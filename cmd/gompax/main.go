@@ -1,0 +1,111 @@
+// Command gompax is the Go MultiPathExplorer: it executes an MTL
+// program under a chosen scheduler with MVC instrumentation attached,
+// reconstructs the computation lattice from the emitted <e, i, V>
+// messages, and predictively checks a past-time LTL safety property
+// against every consistent run — reporting violations the observed
+// execution never exhibited, with optional counterexample replay.
+//
+// Usage:
+//
+//	gompax -prog file.mtl -prop '(x > 0) -> [y = 0, y > z)' [flags]
+//
+// Flags:
+//
+//	-prog file     MTL program file (required)
+//	-prop formula  safety property (required)
+//	-seed n        random scheduler seed (default 1)
+//	-runs n        number of seeds to try, reporting each (default 1)
+//	-enumerate     also materialize the lattice and count runs
+//	-replay        confirm the first predicted violation by replay
+//	-max-events n  execution event bound (default 1e6)
+//	-max-cuts n    analysis cut bound (0 = unlimited)
+//	-liveness f    also check future-time LTL f against lattice lassos
+//	-explain       print a subformula truth table over the counterexample
+//	-quiet         only print the final verdict line per seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gompax/internal/driver"
+	"gompax/internal/monitor"
+)
+
+func main() {
+	progFile := flag.String("prog", "", "MTL program file")
+	prop := flag.String("prop", "", "safety property formula")
+	seed := flag.Int64("seed", 1, "random scheduler seed")
+	runs := flag.Int("runs", 1, "number of consecutive seeds to check")
+	enumerate := flag.Bool("enumerate", false, "materialize the lattice and count runs")
+	replay := flag.Bool("replay", false, "confirm the first predicted violation by replaying a synthesized schedule")
+	maxEvents := flag.Uint64("max-events", 0, "execution event bound (0 = default 1e6)")
+	maxCuts := flag.Int("max-cuts", 0, "predictive analysis cut bound (0 = unlimited)")
+	quiet := flag.Bool("quiet", false, "only print verdict lines")
+	live := flag.String("liveness", "", "future-time LTL property checked against lattice lassos (uv-omega prediction)")
+	explain := flag.Bool("explain", false, "print a subformula truth table over the first counterexample run")
+	flag.Parse()
+
+	if *progFile == "" || *prop == "" {
+		fmt.Fprintln(os.Stderr, "gompax: -prog and -prop are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*progFile)
+	if err != nil {
+		fail(err)
+	}
+
+	exit := 0
+	for i := 0; i < *runs; i++ {
+		s := *seed + int64(i)
+		rep, err := driver.Check(driver.Config{
+			Source:           string(src),
+			Property:         *prop,
+			Seed:             s,
+			MaxEvents:        *maxEvents,
+			MaxCuts:          *maxCuts,
+			Counterexamples:  true,
+			Enumerate:        *enumerate,
+			ConfirmReplay:    *replay,
+			LivenessProperty: *live,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if *runs > 1 || !*quiet {
+			fmt.Printf("--- seed %d ---\n", s)
+		}
+		if *quiet {
+			verdict := "ok"
+			if rep.Result.Violated() {
+				verdict = fmt.Sprintf("PREDICTED %d violation(s)", len(rep.Result.Violations))
+			}
+			fmt.Printf("seed %d: %s\n", s, verdict)
+		} else {
+			fmt.Print(rep.Summary())
+		}
+		if *explain && len(rep.Result.Violations) > 0 && rep.Result.Violations[0].Run != nil {
+			prog, err := monitor.Compile(rep.Formula)
+			if err != nil {
+				fail(err)
+			}
+			ex, err := monitor.Explain(prog, rep.Result.Violations[0].Run.States)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println("\nwhy the counterexample violates the property (T/f per state):")
+			fmt.Print(ex.String())
+		}
+		if rep.Result.Violated() || len(rep.LivenessViolations) > 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gompax:", err)
+	os.Exit(2)
+}

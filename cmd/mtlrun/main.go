@@ -1,0 +1,233 @@
+// Command mtlrun executes an MTL program under a chosen scheduler and
+// prints its event trace, final state and (optionally) the detector
+// reports of the race and deadlock extensions. It is the plain
+// "run the program" tool; use gompax for predictive property checking.
+//
+// Usage:
+//
+//	mtlrun -prog file.mtl [-seed n] [-trace] [-race] [-deadlock] [-explore n]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gompax/internal/deadlock"
+	"gompax/internal/instrument"
+	"gompax/internal/interp"
+	"gompax/internal/mtl"
+	"gompax/internal/mvc"
+	"gompax/internal/race"
+	"gompax/internal/sched"
+	"gompax/internal/trace"
+)
+
+type tracer struct{ n int }
+
+func (t *tracer) line(format string, args ...interface{}) {
+	t.n++
+	fmt.Printf("%4d  ", t.n)
+	fmt.Printf(format+"\n", args...)
+}
+
+func (t *tracer) Read(tid int, name string, val int64) { t.line("t%d  read   %s = %d", tid, name, val) }
+func (t *tracer) Write(tid int, name string, val int64) {
+	t.line("t%d  write  %s := %d", tid, name, val)
+}
+func (t *tracer) Acquire(tid int, l string)    { t.line("t%d  lock   %s", tid, l) }
+func (t *tracer) Release(tid int, l string)    { t.line("t%d  unlock %s", tid, l) }
+func (t *tracer) Signal(tid int, c string)     { t.line("t%d  notify %s", tid, c) }
+func (t *tracer) WaitResume(tid int, c string) { t.line("t%d  resume %s", tid, c) }
+func (t *tracer) Internal(tid int)             { t.line("t%d  skip", tid) }
+func (t *tracer) Spawn(p, c int)               { t.line("t%d  spawn  -> t%d", p, c) }
+
+type multiHooks []interp.Hooks
+
+func (m multiHooks) Read(tid int, n string, v int64) {
+	each(m, func(h interp.Hooks) { h.Read(tid, n, v) })
+}
+func (m multiHooks) Write(tid int, n string, v int64) {
+	each(m, func(h interp.Hooks) { h.Write(tid, n, v) })
+}
+func (m multiHooks) Acquire(tid int, l string) { each(m, func(h interp.Hooks) { h.Acquire(tid, l) }) }
+func (m multiHooks) Release(tid int, l string) { each(m, func(h interp.Hooks) { h.Release(tid, l) }) }
+func (m multiHooks) Signal(tid int, c string)  { each(m, func(h interp.Hooks) { h.Signal(tid, c) }) }
+func (m multiHooks) WaitResume(tid int, c string) {
+	each(m, func(h interp.Hooks) { h.WaitResume(tid, c) })
+}
+func (m multiHooks) Internal(tid int) { each(m, func(h interp.Hooks) { h.Internal(tid) }) }
+func (m multiHooks) Spawn(p, c int)   { each(m, func(h interp.Hooks) { h.Spawn(p, c) }) }
+
+func each(m multiHooks, f func(interp.Hooks)) {
+	for _, h := range m {
+		f(h)
+	}
+}
+
+func main() {
+	progFile := flag.String("prog", "", "MTL program file")
+	seed := flag.Int64("seed", 1, "random scheduler seed")
+	traceFlag := flag.Bool("trace", false, "print every event")
+	raceFlag := flag.Bool("race", false, "attach the predictive race detector")
+	deadlockFlag := flag.Bool("deadlock", false, "attach the deadlock predictor")
+	explore := flag.Int("explore", 0, "exhaustively explore up to n interleavings and summarize outcomes")
+	dump := flag.String("dump", "", "write the run's full instrumented event trace (golden text format) to this file")
+	maxEvents := flag.Uint64("max-events", 1_000_000, "event bound")
+	flag.Parse()
+
+	if *progFile == "" {
+		fmt.Fprintln(os.Stderr, "mtlrun: -prog is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*progFile)
+	if err != nil {
+		fail(err)
+	}
+	code, err := mtl.Compile(mustParse(string(src)))
+	if err != nil {
+		fail(err)
+	}
+
+	if *explore > 0 {
+		exploreMain(code, *explore, *maxEvents)
+		return
+	}
+
+	var hooks multiHooks
+	if *traceFlag {
+		hooks = append(hooks, &tracer{})
+	}
+	var rd *race.Detector
+	if *raceFlag {
+		rd = race.NewDetector(len(code.Threads))
+		hooks = append(hooks, rd)
+	}
+	var dd *deadlock.Detector
+	if *deadlockFlag {
+		dd = deadlock.NewDetector()
+		hooks = append(hooks, dd)
+	}
+	var col *mvc.Collector
+	if *dump != "" {
+		col = &mvc.Collector{}
+		hooks = append(hooks, instrument.New(len(code.Threads), mvc.Everything(), col))
+	}
+
+	m := interp.NewMachine(code, hooks)
+	res, err := sched.Run(m, sched.NewRandom(*seed), *maxEvents)
+	exitCode := 0
+	var dl *sched.DeadlockError
+	switch {
+	case errors.As(err, &dl):
+		fmt.Printf("DEADLOCK after %d events: %v\n", m.Events(), dl.Blocked)
+		exitCode = 1
+	case err != nil:
+		fail(err)
+	default:
+		fmt.Printf("completed: %d events\n", res.Events)
+	}
+
+	if col != nil {
+		f, ferr := os.Create(*dump)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if werr := trace.WriteMessages(f, col.Messages); werr != nil {
+			fail(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fail(cerr)
+		}
+		fmt.Printf("trace: %d events written to %s\n", len(col.Messages), *dump)
+	}
+
+	fmt.Println("final state:")
+	final := m.SharedState()
+	var names []string
+	for k := range final {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  %s = %d\n", k, final[k])
+	}
+
+	if rd != nil {
+		if races := rd.Races(); len(races) > 0 {
+			fmt.Printf("predicted data races: %d\n", len(races))
+			for _, r := range races {
+				fmt.Printf("  %s\n", r)
+			}
+			exitCode = 1
+		} else {
+			fmt.Println("no data races predicted")
+		}
+	}
+	if dd != nil {
+		if cycles := dd.Cycles(); len(cycles) > 0 {
+			fmt.Printf("predicted deadlocks: %d\n", len(cycles))
+			for _, c := range cycles {
+				fmt.Printf("  %s\n", c)
+			}
+			exitCode = 1
+		} else {
+			fmt.Println("no deadlocks predicted")
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func exploreMain(code *mtl.Compiled, limit int, maxEvents uint64) {
+	m := interp.NewMachine(code, nil)
+	finals := map[string]int{}
+	deadlocks := 0
+	n, err := sched.Explore(m, limit, maxEvents, func(r sched.ExploreResult) bool {
+		if r.Deadlocked {
+			deadlocks++
+			return true
+		}
+		var names []string
+		for k := range r.Final {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		key := ""
+		for _, k := range names {
+			key += fmt.Sprintf("%s=%d ", k, r.Final[k])
+		}
+		finals[key]++
+		return true
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("explored %d maximal interleavings (%d deadlocked)\n", n, deadlocks)
+	var keys []string
+	for k := range finals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %5d x  %s\n", finals[k], k)
+	}
+	if deadlocks > 0 {
+		os.Exit(1)
+	}
+}
+
+func mustParse(src string) *mtl.Program {
+	p, err := mtl.Parse(src)
+	if err != nil {
+		fail(err)
+	}
+	return p
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mtlrun:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,64 @@
+// Landing reproduces the paper's Example 1 (Fig. 1 / Fig. 5): the
+// buggy flight controller. A successful execution — landing approved,
+// landing started, radio drops afterwards — is observed; from that
+// single run the analyzer predicts the two erroneous interleavings in
+// which the radio drops before the landing starts, and confirms one by
+// synthesizing and re-executing a concrete schedule.
+//
+// Run with: go run ./examples/landing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gompax/internal/driver"
+	"gompax/internal/progs"
+)
+
+func main() {
+	fmt.Println("=== Example 1: the flight controller (Fig. 1) ===")
+	fmt.Print(progs.Landing)
+	fmt.Printf("property: %s\n", progs.LandingProperty)
+	fmt.Println(`  "If the plane has started landing, then it is the case that landing`)
+	fmt.Println(`   has been approved and since the approval the radio signal has never`)
+	fmt.Println(`   been down."`)
+	fmt.Println()
+
+	// Find a seed whose observed execution lands successfully (the
+	// common case: the radio drops only after the landing started).
+	for seed := int64(0); seed < 100; seed++ {
+		rep, err := driver.Check(driver.Config{
+			Source:          progs.Landing,
+			Property:        progs.LandingProperty,
+			Seed:            seed,
+			Enumerate:       true,
+			Counterexamples: true,
+			ConfirmReplay:   true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		landed := false
+		for _, m := range rep.Messages {
+			if m.Event.Var == "landing" && m.Event.Value == 1 {
+				landed = true
+			}
+		}
+		if !landed || rep.ObservedViolation >= 0 {
+			continue // want the successful landing run, as in the paper
+		}
+		fmt.Printf("observed execution (seed %d) — messages sent to the observer:\n", seed)
+		for _, m := range rep.Messages {
+			fmt.Printf("  %s\n", m)
+		}
+		fmt.Println()
+		fmt.Print(rep.Summary())
+		fmt.Println()
+		fmt.Println("This is the paper's Fig. 5: the 6-state lattice holds 3 runs; the")
+		fmt.Println("observed one satisfies the property, two others violate it, and")
+		fmt.Println("JMPaX-style analysis predicts them from this single successful run.")
+		return
+	}
+	log.Fatal("no successful landing execution found in 100 seeds")
+}

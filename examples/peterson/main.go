@@ -1,0 +1,61 @@
+// Peterson contrasts the predictive analyzer on a correct and a broken
+// mutual-exclusion protocol:
+//
+//   - Correct Peterson: the protocol variables (flag0, flag1, turn) are
+//     not in the property, but their accesses shape the causal partial
+//     order (§2.3), so no consistent run overlaps the critical
+//     sections — the analyzer raises no false alarm.
+//   - Broken check-then-set variant: both threads can pass the check
+//     before either raises its flag. Observed executions almost never
+//     overlap; the lattice contains the overlap, and the prediction is
+//     confirmed by synthesizing and executing a real schedule.
+//
+// Run with: go run ./examples/peterson
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gompax/internal/driver"
+	"gompax/internal/progs"
+)
+
+func main() {
+	fmt.Println("=== Correct Peterson: no false alarms ===")
+	alarms := 0
+	for seed := int64(0); seed < 40; seed++ {
+		rep, err := driver.Check(driver.Config{
+			Source: progs.Peterson, Property: progs.MutualExclusion, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Result.Violated() {
+			alarms++
+		}
+	}
+	fmt.Printf("40 observed executions, %d predicted violations (protocol is correct)\n\n", alarms)
+
+	fmt.Println("=== Broken check-then-set variant ===")
+	fmt.Print(progs.PetersonBroken)
+	for seed := int64(0); seed < 120; seed++ {
+		rep, err := driver.Check(driver.Config{
+			Source:          progs.PetersonBroken,
+			Property:        progs.MutualExclusion,
+			Seed:            seed,
+			Counterexamples: true,
+			ConfirmReplay:   true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.ObservedViolation >= 0 || !rep.Result.Violated() {
+			continue
+		}
+		fmt.Printf("\nseed %d: observed run respects mutual exclusion, but:\n\n", seed)
+		fmt.Print(rep.Summary())
+		return
+	}
+	log.Fatal("no predicting seed found")
+}

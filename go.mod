@@ -1,0 +1,3 @@
+module gompax
+
+go 1.22

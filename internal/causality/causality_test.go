@@ -1,0 +1,204 @@
+package causality
+
+import (
+	"math/rand"
+	"testing"
+
+	"gompax/internal/event"
+	"gompax/internal/mvc"
+	"gompax/internal/trace"
+)
+
+func exec(t *testing.T, ops []trace.Op, threads int, policy mvc.Policy) []event.Event {
+	t.Helper()
+	events, _ := trace.Execute(ops, threads, policy)
+	return events
+}
+
+func TestProgramOrder(t *testing.T) {
+	events := exec(t, []trace.Op{
+		{Thread: 0, Kind: event.Internal},
+		{Thread: 0, Kind: event.Internal},
+		{Thread: 1, Kind: event.Internal},
+	}, 2, mvc.Everything())
+	o := Build(events)
+	if !o.Precedes(0, 1) {
+		t.Errorf("program order missing")
+	}
+	if o.Precedes(1, 0) {
+		t.Errorf("program order reversed")
+	}
+	if !o.Concurrent(0, 2) || !o.Concurrent(1, 2) {
+		t.Errorf("cross-thread internals must be concurrent")
+	}
+}
+
+func TestVariableOrder(t *testing.T) {
+	events := exec(t, []trace.Op{
+		{Thread: 0, Kind: event.Write, Var: "x", Value: 1}, // 0
+		{Thread: 1, Kind: event.Read, Var: "x", Value: 1},  // 1: w-r
+		{Thread: 2, Kind: event.Read, Var: "x", Value: 1},  // 2: reads stay concurrent
+		{Thread: 1, Kind: event.Write, Var: "x", Value: 2}, // 3: r-w and w-w
+	}, 3, mvc.Everything())
+	o := Build(events)
+	if !o.Precedes(0, 1) || !o.Precedes(0, 2) {
+		t.Errorf("write-read dependency missing")
+	}
+	if !o.Concurrent(1, 2) {
+		t.Errorf("read-read must be concurrent")
+	}
+	if !o.Precedes(0, 3) || !o.Precedes(1, 3) || !o.Precedes(2, 3) {
+		t.Errorf("write must depend on all prior accesses")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	events := exec(t, []trace.Op{
+		{Thread: 0, Kind: event.Write, Var: "x", Value: 1}, // 0
+		{Thread: 1, Kind: event.Read, Var: "x", Value: 1},  // 1
+		{Thread: 1, Kind: event.Write, Var: "y", Value: 2}, // 2
+		{Thread: 2, Kind: event.Read, Var: "y", Value: 2},  // 3
+	}, 3, mvc.Everything())
+	o := Build(events)
+	if !o.Precedes(0, 3) {
+		t.Errorf("transitive chain 0≺1≺2≺3 broken at ends")
+	}
+}
+
+func TestPrecedesIsStrictPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ops := trace.RandomOps(rng, trace.GenConfig{Threads: 3, Vars: 2, Length: 60})
+	events := exec(t, ops, 3, mvc.Everything())
+	o := Build(events)
+	n := o.Len()
+	for i := 0; i < n; i++ {
+		if o.Precedes(i, i) {
+			t.Fatalf("irreflexivity violated at %d", i)
+		}
+		for j := 0; j < n; j++ {
+			if o.Precedes(i, j) && o.Precedes(j, i) {
+				t.Fatalf("antisymmetry violated at %d,%d", i, j)
+			}
+			for k := 0; k < n; k++ {
+				if o.Precedes(i, j) && o.Precedes(j, k) && !o.Precedes(i, k) {
+					t.Fatalf("transitivity violated at %d,%d,%d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildPanicsOnMisorderedInput(t *testing.T) {
+	events := exec(t, []trace.Op{
+		{Thread: 0, Kind: event.Internal},
+		{Thread: 0, Kind: event.Internal},
+	}, 1, mvc.Everything())
+	events[0], events[1] = events[1], events[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Build(events)
+}
+
+func TestMostRecentAccessors(t *testing.T) {
+	events := exec(t, []trace.Op{
+		{Thread: 0, Kind: event.Write, Var: "x", Value: 1}, // 0
+		{Thread: 0, Kind: event.Read, Var: "x", Value: 1},  // 1
+		{Thread: 0, Kind: event.Write, Var: "y", Value: 1}, // 2
+	}, 1, mvc.Everything())
+	o := Build(events)
+	if o.MostRecentAccess(2, "x") != 1 {
+		t.Errorf("MostRecentAccess(2,x) = %d", o.MostRecentAccess(2, "x"))
+	}
+	if o.MostRecentWrite(2, "x") != 0 {
+		t.Errorf("MostRecentWrite(2,x) = %d", o.MostRecentWrite(2, "x"))
+	}
+	if o.MostRecentWrite(2, "zz") != -1 {
+		t.Errorf("missing var should give -1")
+	}
+}
+
+// TestFig6RelevantOrder checks the relevant causality DAG of the
+// paper's Fig. 6 has exactly 3 linear extensions (the three runs of
+// the computation lattice).
+func TestFig6RelevantOrder(t *testing.T) {
+	ops := []trace.Op{
+		{Thread: 0, Kind: event.Read, Var: "x", Value: -1},
+		{Thread: 0, Kind: event.Write, Var: "x", Value: 0}, // e1
+		{Thread: 1, Kind: event.Read, Var: "x", Value: 0},
+		{Thread: 1, Kind: event.Write, Var: "z", Value: 1}, // e2
+		{Thread: 0, Kind: event.Read, Var: "x", Value: 0},
+		{Thread: 1, Kind: event.Read, Var: "x", Value: 0},
+		{Thread: 1, Kind: event.Write, Var: "x", Value: 1}, // e4
+		{Thread: 0, Kind: event.Write, Var: "y", Value: 1}, // e3
+	}
+	events := exec(t, ops, 2, mvc.WritesOf("x", "y", "z"))
+	o := Build(events)
+	rel := o.Relevant()
+	if len(rel) != 4 {
+		t.Fatalf("want 4 relevant events, got %d", len(rel))
+	}
+	d := o.RelevantOrder()
+	if got := d.CountLinearExtensions(0); got != 3 {
+		t.Fatalf("Fig. 6 must have 3 runs, got %d", got)
+	}
+	// Transitive reduction: e1→e2, e1→e3, e2→e4 (relevant indices
+	// 0=e1, 1=e2, 2=e4, 3=e3 in execution order).
+	edges := d.MinimalEdges()
+	want := [][2]int{{0, 1}, {0, 3}, {1, 2}}
+	if len(edges) != len(want) {
+		t.Fatalf("minimal edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("minimal edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestLinearExtensionsLimitAndEarlyStop(t *testing.T) {
+	// Two concurrent relevant events: 2 extensions.
+	ops := []trace.Op{
+		{Thread: 0, Kind: event.Write, Var: "a", Value: 1},
+		{Thread: 1, Kind: event.Write, Var: "b", Value: 1},
+	}
+	events := exec(t, ops, 2, mvc.Everything())
+	d := Build(events).RelevantOrder()
+	if n := d.CountLinearExtensions(0); n != 2 {
+		t.Fatalf("want 2 extensions, got %d", n)
+	}
+	if n := d.CountLinearExtensions(1); n != 1 {
+		t.Fatalf("limit 1 should stop at 1, got %d", n)
+	}
+	calls := 0
+	d.LinearExtensions(0, func([]int) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early stop should halt after first extension, got %d", calls)
+	}
+}
+
+// TestLinearExtensionsRespectOrder: every produced permutation is
+// consistent with the partial order.
+func TestLinearExtensionsRespectOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ops := trace.RandomOps(rng, trace.GenConfig{Threads: 3, Vars: 2, Length: 12})
+	events := exec(t, ops, 3, mvc.Everything())
+	o := Build(events)
+	d := o.RelevantOrder()
+	d.LinearExtensions(200, func(perm []int) bool {
+		posOf := make([]int, len(perm))
+		for idx, v := range perm {
+			posOf[v] = idx
+		}
+		for a := 0; a < d.Len(); a++ {
+			for b := 0; b < d.Len(); b++ {
+				if d.Precedes(a, b) && posOf[a] > posOf[b] {
+					t.Fatalf("extension %v violates %d≺%d", perm, a, b)
+				}
+			}
+		}
+		return true
+	})
+}

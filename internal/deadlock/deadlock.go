@@ -1,0 +1,228 @@
+// Package deadlock predicts potential deadlocks from a single observed
+// execution, complementing the safety-property prediction of the main
+// pipeline. It builds the classic lock-order graph (a "Goodlock"-style
+// analysis on top of the same instrumentation hooks): whenever a
+// thread acquires lock b while holding lock a, the edge a→b is
+// recorded together with the set of locks held; a cycle among edges
+// contributed by distinct threads with disjoint guard sets signals
+// that some other interleaving can deadlock — even if the observed run
+// completed normally.
+package deadlock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gompax/internal/interp"
+)
+
+// Edge is one observed lock-order dependency.
+type Edge struct {
+	From, To string
+	Thread   int
+	// Held is the full set of locks the thread held when acquiring To
+	// (including From); used to suppress false positives guarded by a
+	// common "gate" lock.
+	Held map[string]bool
+}
+
+// Cycle is a predicted deadlock: a cyclic chain of lock-order edges
+// contributed by distinct threads.
+type Cycle struct {
+	Locks   []string
+	Threads []int
+}
+
+func (c Cycle) String() string {
+	return fmt.Sprintf("potential deadlock: locks %s held across threads %v",
+		strings.Join(c.Locks, " -> "), c.Threads)
+}
+
+// Detector observes lock operations through interp.Hooks.
+type Detector struct {
+	held  map[int]map[string]bool
+	edges []Edge
+	seen  map[string]bool
+}
+
+// NewDetector returns a detector; it works for any number of threads.
+func NewDetector() *Detector {
+	return &Detector{held: map[int]map[string]bool{}, seen: map[string]bool{}}
+}
+
+// Acquire implements interp.Hooks.
+func (d *Detector) Acquire(tid int, lock string) {
+	h := d.held[tid]
+	if h == nil {
+		h = map[string]bool{}
+		d.held[tid] = h
+	}
+	for prior := range h {
+		key := fmt.Sprintf("%d|%s|%s", tid, prior, lock)
+		if !d.seen[key] {
+			d.seen[key] = true
+			held := map[string]bool{}
+			for l := range h {
+				held[l] = true
+			}
+			d.edges = append(d.edges, Edge{From: prior, To: lock, Thread: tid, Held: held})
+		}
+	}
+	h[lock] = true
+}
+
+// Release implements interp.Hooks.
+func (d *Detector) Release(tid int, lock string) {
+	delete(d.held[tid], lock)
+}
+
+// Read implements interp.Hooks.
+func (d *Detector) Read(int, string, int64) {}
+
+// Write implements interp.Hooks.
+func (d *Detector) Write(int, string, int64) {}
+
+// Signal implements interp.Hooks.
+func (d *Detector) Signal(int, string) {}
+
+// WaitResume implements interp.Hooks.
+func (d *Detector) WaitResume(int, string) {}
+
+// Internal implements interp.Hooks.
+func (d *Detector) Internal(int) {}
+
+// Spawn implements interp.Hooks; a fresh thread holds no locks.
+func (d *Detector) Spawn(int, int) {}
+
+var _ interp.Hooks = (*Detector)(nil)
+
+// Edges returns the recorded lock-order edges.
+func (d *Detector) Edges() []Edge { return d.edges }
+
+// Cycles predicts deadlocks: cycles in the lock-order graph whose
+// edges come from pairwise distinct threads and whose guard sets do
+// not share a common lock (a shared gate lock serializes the cycle and
+// makes it unschedulable).
+func (d *Detector) Cycles() []Cycle {
+	// Index edges by source lock.
+	bySrc := map[string][]Edge{}
+	for _, e := range d.edges {
+		bySrc[e.From] = append(bySrc[e.From], e)
+	}
+	var cycles []Cycle
+	reported := map[string]bool{}
+
+	var path []Edge
+	var dfs func(start string, cur string)
+	dfs = func(start, cur string) {
+		for _, e := range bySrc[cur] {
+			if onPath(path, e.To) && e.To != start {
+				continue
+			}
+			// Distinct threads along the cycle.
+			dup := false
+			for _, pe := range path {
+				if pe.Thread == e.Thread {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			// A common gate lock held by every participant serializes
+			// the would-be deadlock.
+			if len(path) > 0 && e.To == start {
+				all := append(append([]Edge(nil), path...), e)
+				if !commonGate(all) {
+					cyc := toCycle(all)
+					key := cyc.key()
+					if !reported[key] {
+						reported[key] = true
+						cycles = append(cycles, cyc)
+					}
+				}
+				continue
+			}
+			if len(path) >= 4 {
+				continue // bound cycle length; real deadlocks are short
+			}
+			path = append(path, e)
+			dfs(start, e.To)
+			path = path[:len(path)-1]
+		}
+	}
+	var starts []string
+	for s := range bySrc {
+		starts = append(starts, s)
+	}
+	sort.Strings(starts)
+	for _, s := range starts {
+		path = path[:0]
+		dfs(s, s)
+	}
+	return cycles
+}
+
+func onPath(path []Edge, lock string) bool {
+	for _, e := range path {
+		if e.From == lock || e.To == lock {
+			return true
+		}
+	}
+	return false
+}
+
+func commonGate(edges []Edge) bool {
+	if len(edges) == 0 {
+		return false
+	}
+	// Intersect the held sets minus each edge's own cycle locks.
+	counts := map[string]int{}
+	inCycle := map[string]bool{}
+	for _, e := range edges {
+		inCycle[e.From] = true
+		inCycle[e.To] = true
+	}
+	for _, e := range edges {
+		for l := range e.Held {
+			if !inCycle[l] {
+				counts[l]++
+			}
+		}
+	}
+	for _, c := range counts {
+		if c == len(edges) {
+			return true
+		}
+	}
+	return false
+}
+
+func toCycle(edges []Edge) Cycle {
+	var c Cycle
+	for _, e := range edges {
+		c.Locks = append(c.Locks, e.From)
+		c.Threads = append(c.Threads, e.Thread)
+	}
+	return c
+}
+
+func (c Cycle) key() string {
+	// Normalize rotation: start at the lexicographically smallest lock.
+	n := len(c.Locks)
+	best := 0
+	for i := 1; i < n; i++ {
+		if c.Locks[i] < c.Locks[best] {
+			best = i
+		}
+	}
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, c.Locks[(best+i)%n])
+	}
+	return strings.Join(parts, ",")
+}
+
+var _ = interp.NopHooks{}

@@ -1,0 +1,154 @@
+package deadlock_test
+
+import (
+	"errors"
+	"testing"
+
+	"gompax/internal/deadlock"
+	"gompax/internal/interp"
+	"gompax/internal/mtl"
+	"gompax/internal/progs"
+	"gompax/internal/sched"
+)
+
+// observe runs the program to completion (retrying seeds that happen
+// to deadlock for real) and returns the detector.
+func observe(t *testing.T, src string) *deadlock.Detector {
+	t.Helper()
+	for seed := int64(0); seed < 100; seed++ {
+		code := mtl.MustCompile(src)
+		d := deadlock.NewDetector()
+		m := interp.NewMachine(code, d)
+		_, err := sched.Run(m, sched.NewRandom(seed), 100000)
+		if err != nil {
+			var dl *sched.DeadlockError
+			if errors.As(err, &dl) {
+				continue // want a *successful* observed run
+			}
+			t.Fatal(err)
+		}
+		return d
+	}
+	t.Fatalf("no successful run found")
+	return nil
+}
+
+// TestPhilosophersPredicted: from a successful run, the reversed lock
+// order of the two philosophers is predicted as a potential deadlock —
+// and exhaustive exploration confirms a real deadlocking interleaving.
+func TestPhilosophersPredicted(t *testing.T) {
+	d := observe(t, progs.Philosophers)
+	cycles := d.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v, want exactly one", cycles)
+	}
+	if len(cycles[0].Locks) != 2 {
+		t.Fatalf("cycle locks = %v", cycles[0].Locks)
+	}
+	if cycles[0].String() == "" {
+		t.Fatalf("empty cycle description")
+	}
+
+	// Ground truth: exploration finds an actual deadlock.
+	m := interp.NewMachine(mtl.MustCompile(progs.Philosophers), nil)
+	sawDeadlock := false
+	if _, err := sched.Explore(m, 0, 0, func(r sched.ExploreResult) bool {
+		if r.Deadlocked {
+			sawDeadlock = true
+			return false
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeadlock {
+		t.Fatalf("prediction has no witness in the exhaustive exploration")
+	}
+}
+
+func TestConsistentOrderNoCycle(t *testing.T) {
+	src := `
+shared x = 0;
+mutex a, b;
+thread t1 { lock(a); lock(b); x = 1; unlock(b); unlock(a); }
+thread t2 { lock(a); lock(b); x = 2; unlock(b); unlock(a); }
+`
+	d := observe(t, src)
+	if got := d.Cycles(); len(got) != 0 {
+		t.Fatalf("false positive: %v", got)
+	}
+	// Exhaustive exploration confirms there is no deadlock.
+	m := interp.NewMachine(mtl.MustCompile(src), nil)
+	if _, err := sched.Explore(m, 0, 0, func(r sched.ExploreResult) bool {
+		if r.Deadlocked {
+			t.Fatalf("unexpected real deadlock")
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateLockSuppression: a common outer lock serializes the
+// inconsistent inner order, so no deadlock is possible or predicted.
+func TestGateLockSuppression(t *testing.T) {
+	src := `
+shared x = 0;
+mutex g, a, b;
+thread t1 { lock(g); lock(a); lock(b); x = 1; unlock(b); unlock(a); unlock(g); }
+thread t2 { lock(g); lock(b); lock(a); x = 2; unlock(a); unlock(b); unlock(g); }
+`
+	d := observe(t, src)
+	if got := d.Cycles(); len(got) != 0 {
+		t.Fatalf("gate lock not honored: %v", got)
+	}
+	m := interp.NewMachine(mtl.MustCompile(src), nil)
+	if _, err := sched.Explore(m, 0, 0, func(r sched.ExploreResult) bool {
+		if r.Deadlocked {
+			t.Fatalf("gated program deadlocked for real")
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreeWayCycle: a three-philosopher cycle is found.
+func TestThreeWayCycle(t *testing.T) {
+	src := `
+shared x = 0;
+mutex a, b, c;
+thread t1 { lock(a); skip; lock(b); x = 1; unlock(b); unlock(a); }
+thread t2 { lock(b); skip; lock(c); x = 2; unlock(c); unlock(b); }
+thread t3 { lock(c); skip; lock(a); x = 3; unlock(a); unlock(c); }
+`
+	d := observe(t, src)
+	cycles := d.Cycles()
+	if len(cycles) != 1 || len(cycles[0].Locks) != 3 {
+		t.Fatalf("cycles = %v, want one 3-cycle", cycles)
+	}
+}
+
+// TestSingleThreadNoSelfCycle: one thread using both orders at
+// different times cannot deadlock with itself.
+func TestSingleThreadNoSelfCycle(t *testing.T) {
+	src := `
+shared x = 0;
+mutex a, b;
+thread t {
+    lock(a); lock(b); x = 1; unlock(b); unlock(a);
+    lock(b); lock(a); x = 2; unlock(a); unlock(b);
+}
+`
+	d := observe(t, src)
+	if got := d.Cycles(); len(got) != 0 {
+		t.Fatalf("self-cycle reported: %v", got)
+	}
+}
+
+func TestEdgesRecorded(t *testing.T) {
+	d := observe(t, progs.Philosophers)
+	if len(d.Edges()) != 2 {
+		t.Fatalf("edges = %v", d.Edges())
+	}
+}

@@ -1,0 +1,297 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"gompax/internal/progs"
+	"gompax/internal/sched"
+)
+
+// landingRunWithLanding returns a seed whose observed execution takes
+// the landing path and does NOT itself violate the property.
+func landingSeed(t *testing.T) int64 {
+	t.Helper()
+	for seed := int64(0); seed < 200; seed++ {
+		rep, err := Check(Config{Source: progs.Landing, Property: progs.LandingProperty, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		landed := false
+		for _, m := range rep.Messages {
+			if m.Event.Var == "landing" && m.Event.Value == 1 {
+				landed = true
+			}
+		}
+		if landed && rep.ObservedViolation < 0 {
+			return seed
+		}
+	}
+	t.Fatalf("no seed produced a successful landing run")
+	return 0
+}
+
+// TestLandingEndToEnd is the paper's Example 1 through the whole
+// pipeline: a successful observed execution, from which the violation
+// is predicted, with 3 runs / 2 violating in the enumerated lattice,
+// and the counterexample confirmed by an actual re-execution.
+func TestLandingEndToEnd(t *testing.T) {
+	seed := landingSeed(t)
+	rep, err := Check(Config{
+		Source:        progs.Landing,
+		Property:      progs.LandingProperty,
+		Seed:          seed,
+		Enumerate:     true,
+		ConfirmReplay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ObservedViolation >= 0 {
+		t.Fatalf("observed run should be successful")
+	}
+	if !rep.Result.Violated() {
+		t.Fatalf("violation not predicted from the successful run")
+	}
+	if rep.Runs == nil || rep.Runs.Total != 3 || rep.Runs.Violating != 2 {
+		t.Fatalf("runs = %+v, want 3 total / 2 violating (Fig. 5)", rep.Runs)
+	}
+	if rep.Runs.Nodes != 6 {
+		t.Fatalf("lattice nodes = %d, want 6 (Fig. 5)", rep.Runs.Nodes)
+	}
+	if rep.Replay == nil {
+		t.Fatalf("replay confirmation missing")
+	}
+	if rep.Replay.ViolationIndex < 0 {
+		t.Fatalf("replayed schedule did not violate")
+	}
+	sum := rep.Summary()
+	for _, want := range []string{"PREDICTED", "3 consistent runs, 2 violating", "replay:"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestCrossingEndToEnd is the paper's Example 2 end to end: observed
+// successful execution, 3 runs / 1 violating (Fig. 6), prediction +
+// replay confirmation.
+func TestCrossingEndToEnd(t *testing.T) {
+	// Find a seed whose observed run is the successful interleaving
+	// with the full 4-event computation (both threads read x before
+	// the other's increment — the Fig. 6 scenario).
+	for seed := int64(0); seed < 500; seed++ {
+		rep, err := Check(Config{
+			Source:    progs.Crossing,
+			Property:  progs.CrossingProperty,
+			Seed:      seed,
+			Enumerate: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ObservedViolation >= 0 || len(rep.Messages) != 4 {
+			continue
+		}
+		if rep.Runs.Total == 3 && rep.Runs.Violating == 1 && rep.Runs.Nodes == 7 {
+			// Fig. 6 exactly; now confirm by replay.
+			rep2, err := Check(Config{
+				Source:        progs.Crossing,
+				Property:      progs.CrossingProperty,
+				Seed:          seed,
+				ConfirmReplay: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep2.Replay == nil || rep2.Replay.ViolationIndex < 0 {
+				t.Fatalf("replay confirmation failed")
+			}
+			return
+		}
+	}
+	t.Fatalf("no seed reproduced the Fig. 6 scenario")
+}
+
+// TestDetectionProbabilityStudy reproduces the paper's central claim
+// (§1, §4): across many random schedules, the chance that the observed
+// run itself violates the landing property is low, while the
+// predictive analyzer flags the bug in every run that reaches the
+// landing path.
+func TestDetectionProbabilityStudy(t *testing.T) {
+	const runs = 400
+	observed, predicted, landed := 0, 0, 0
+	for seed := int64(0); seed < runs; seed++ {
+		rep, err := Check(Config{Source: progs.Landing, Property: progs.LandingProperty, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		landing := false
+		for _, m := range rep.Messages {
+			if m.Event.Var == "landing" && m.Event.Value == 1 {
+				landing = true
+			}
+		}
+		if landing {
+			landed++
+		}
+		if rep.ObservedViolation >= 0 {
+			observed++
+		}
+		if rep.Result.Violated() {
+			predicted++
+			if !landing {
+				t.Fatalf("seed %d: violation predicted without a landing event", seed)
+			}
+		} else if landing {
+			t.Fatalf("seed %d: landing occurred but no violation predicted", seed)
+		}
+	}
+	if landed == 0 {
+		t.Fatalf("no run reached the landing path")
+	}
+	if predicted != landed {
+		t.Fatalf("predictive detection %d != landing runs %d", predicted, landed)
+	}
+	if observed >= predicted/2 {
+		t.Fatalf("observed-only detection (%d/%d) not clearly rarer than predictive (%d/%d)",
+			observed, runs, predicted, runs)
+	}
+	t.Logf("runs=%d landed=%d observed-detect=%d predictive-detect=%d", runs, landed, observed, predicted)
+}
+
+func TestLockedCounterHasNoInterleavedRuns(t *testing.T) {
+	// §3.1: with the mutex, every consistent run keeps the critical
+	// sections atomic, so count=2 in the final state of every run and
+	// the property "count is never observed mid-update out of order"
+	// cannot be violated. We check the lattice has exactly the runs
+	// where one whole critical section precedes the other.
+	rep, err := Check(Config{
+		Source:    progs.LockedCounter,
+		Property:  `count >= 0`,
+		Seed:      3,
+		Enumerate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Violated() {
+		t.Fatalf("unexpected violation")
+	}
+	// The relevant variable is only count: two ordered writes → exactly
+	// one run.
+	if rep.Runs.Total != 1 {
+		t.Fatalf("lock-ordered writes should leave a single run, got %d", rep.Runs.Total)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	if _, err := Check(Config{Source: "not a program", Property: "x = 1"}); err == nil {
+		t.Errorf("bad program accepted")
+	}
+	if _, err := Check(Config{Source: progs.Landing, Property: "(((("}); err == nil {
+		t.Errorf("bad property accepted")
+	}
+	if _, err := Check(Config{Source: progs.Landing, Property: "nosuchvar = 1"}); err == nil {
+		t.Errorf("property over undeclared variable accepted")
+	}
+	// Non-terminating program trips the event bound.
+	spin := `shared x = 0; thread t { while (x == 0) { skip; } }`
+	if _, err := Check(Config{Source: spin, Property: "x >= 0", MaxEvents: 50}); err == nil {
+		t.Errorf("spin program accepted")
+	}
+}
+
+func TestScriptedSchedulerThroughDriver(t *testing.T) {
+	// Driving the same schedule twice gives identical reports.
+	rep1, err := Check(Config{Source: progs.Crossing, Property: progs.CrossingProperty, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Check(Config{
+		Source:    progs.Crossing,
+		Property:  progs.CrossingProperty,
+		Scheduler: &sched.Scripted{Seq: rep1.Schedule},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Messages) != len(rep2.Messages) {
+		t.Fatalf("replayed run emitted %d messages, original %d", len(rep2.Messages), len(rep1.Messages))
+	}
+	for i := range rep1.Messages {
+		if rep1.Messages[i].String() != rep2.Messages[i].String() {
+			t.Fatalf("message %d differs: %v vs %v", i, rep1.Messages[i], rep2.Messages[i])
+		}
+	}
+}
+
+func TestSummaryNoViolation(t *testing.T) {
+	rep, err := Check(Config{Source: progs.LockedCounter, Property: `count >= 0`, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Summary(), "no violation") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+// TestLivenessThroughDriver checks the uv-omega liveness prediction
+// end to end.
+func TestLivenessThroughDriver(t *testing.T) {
+	src := `
+shared status = 0, goal = 0;
+thread poller { status = 1; status = 0; }
+thread worker { goal = 1; }
+`
+	rep, err := Check(Config{
+		Source:           src,
+		Property:         `status >= 0 /\ goal >= 0`,
+		LivenessProperty: `<> goal = 1`,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LivenessViolations) == 0 {
+		t.Fatalf("starvation lasso not predicted")
+	}
+	if !strings.Contains(rep.Summary(), "liveness:") {
+		t.Fatalf("summary missing liveness section:\n%s", rep.Summary())
+	}
+	// A satisfied liveness property produces no violations: the status
+	// toggle loop always contains status=1, so <> status = 1 holds on
+	// every lasso that leaves the initial state... but the pre-toggle
+	// lasso does not exist (states differ); check a property true on
+	// all lassos.
+	rep, err = Check(Config{
+		Source:           src,
+		Property:         `status >= 0 /\ goal >= 0`,
+		LivenessProperty: `<> true`,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LivenessViolations) != 0 {
+		t.Fatalf("trivially-true liveness property flagged: %v", rep.LivenessViolations)
+	}
+	// Liveness variables must be relevant.
+	if _, err := Check(Config{
+		Source:           src,
+		Property:         `goal >= 0`,
+		LivenessProperty: `<> status = 1`,
+		Seed:             3,
+	}); err == nil {
+		t.Fatalf("liveness over non-relevant variable accepted")
+	}
+	// Bad liveness formula.
+	if _, err := Check(Config{
+		Source:           src,
+		Property:         `goal >= 0`,
+		LivenessProperty: `((`,
+		Seed:             3,
+	}); err == nil {
+		t.Fatalf("bad liveness formula accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gompax/internal/event"
+	"gompax/internal/instrument"
+	"gompax/internal/interp"
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/mtl"
+	"gompax/internal/predict"
+	"gompax/internal/replay"
+	"gompax/internal/sched"
+)
+
+// TestSystemSoundnessRandomPrograms is the whole-pipeline property
+// test: for random MTL programs and random past-time properties,
+//
+//  1. the level-by-level analyzer and the per-run enumerator agree;
+//  2. every run of the computation lattice is realizable — a concrete
+//     schedule re-executes the program and emits exactly that run's
+//     relevant events (prediction soundness, §2.2);
+//  3. the observed execution's verdict (single-trace baseline) matches
+//     the verdict of the lattice path equal to the observed run.
+func TestSystemSoundnessRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	vars := []string{"x0", "x1"}
+	checked, runsRealized := 0, 0
+	for iter := 0; iter < 60; iter++ {
+		prog := mtl.GenProgram(rng, mtl.GenConfig{
+			Threads: 2,
+			Vars:    2,
+			Stmts:   3,
+			Depth:   1,
+		})
+		code, err := mtl.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formula := logic.GenFormula(rng, vars, 2)
+		if logic.HasFuture(formula) {
+			continue
+		}
+		mprog, err := monitor.Compile(formula)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policy := instrument.PolicyFor(formula)
+		initial, err := instrument.InitialState(prog, formula)
+		if err != nil {
+			// Formula may mention no variables at all (constant): skip.
+			continue
+		}
+
+		out, err := instrument.Run(code, policy, sched.NewRandom(int64(iter)), 50_000)
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, prog)
+		}
+		if len(out.Messages) > 10 {
+			continue // keep run enumeration tractable
+		}
+		comp, err := lattice.NewComputation(initial, len(code.Threads), out.Messages)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// (1) analyzer ≡ enumerator.
+		rep, err := predict.EnumerateRuns(mprog, comp, 1<<16, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := predict.Analyze(mprog, comp, predict.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violated() != (rep.Violating > 0) {
+			t.Fatalf("iter %d: analyzer %v, enumerator %d/%d\nprogram:\n%s\nproperty: %s",
+				iter, res.Violated(), rep.Violating, rep.Total, prog, formula)
+		}
+
+		// (2) every lattice run is realizable.
+		l, err := lattice.Build(comp, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var failed error
+		l.Runs(64, func(r lattice.Run) bool {
+			msgs := append([]event.Message(nil), r.Msgs...)
+			if _, err := replay.Synthesize(code, policy, msgs); err != nil {
+				failed = fmt.Errorf("run unrealizable: %v", err)
+				return false
+			}
+			runsRealized++
+			return true
+		})
+		if failed != nil {
+			t.Fatalf("iter %d: %v\nprogram:\n%s", iter, failed, prog)
+		}
+
+		// (3) observed run's verdict matches its lattice path.
+		states := StatesOf(initial, out.Messages)
+		idx, err := monitor.CheckTrace(mprog, states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx >= 0 && !res.Violated() {
+			t.Fatalf("iter %d: observed run violates but analyzer found nothing", iter)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d programs exercised", checked)
+	}
+	t.Logf("programs=%d lattice-runs-realized=%d", checked, runsRealized)
+}
+
+// TestSystemExplorationCrossCheck: for random programs, the union of
+// final states over all interleavings found by exhaustive exploration
+// equals the union of final states over the lattice runs of those same
+// executions — the lattice neither invents unreachable final states
+// (for these lock-free programs) nor loses reachable ones along its
+// own runs.
+func TestSystemExplorationCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 15; iter++ {
+		prog := mtl.GenProgram(rng, mtl.GenConfig{Threads: 2, Vars: 2, Stmts: 2, Depth: 1})
+		code, err := mtl.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ground truth: all final states over all interleavings.
+		m := interp.NewMachine(code, nil)
+		truth := map[string]bool{}
+		n, err := sched.Explore(m, 4096, 50_000, func(r sched.ExploreResult) bool {
+			truth[fmt.Sprintf("%v", []int64{r.Final["x0"], r.Final["x1"]})] = true
+			return true
+		})
+		if err != nil || n == 0 {
+			t.Fatalf("iter %d: explore: %v (%d)", iter, err, n)
+		}
+
+		// Lattice runs' final states from each explored schedule must be
+		// reachable per the ground truth.
+		// The property must mention both variables so lattice states
+		// track them.
+		formula := logic.MustParseFormula("x0 = x0 /\\ x1 = x1")
+		policy := instrument.PolicyFor(formula)
+		initial, err := instrument.InitialState(prog, formula)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			out, err := instrument.Run(code, policy, sched.NewRandom(seed), 50_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Messages) > 9 {
+				continue
+			}
+			comp, err := lattice.NewComputation(initial, len(code.Threads), out.Messages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := lattice.Build(comp, 1<<16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.Runs(64, func(r lattice.Run) bool {
+				last := r.States[len(r.States)-1]
+				x0, _ := last.Lookup("x0")
+				x1, _ := last.Lookup("x1")
+				key := fmt.Sprintf("%v", []int64{x0, x1})
+				if !truth[key] && n < 4096 {
+					t.Fatalf("iter %d seed %d: lattice-run final state %s not reachable by any interleaving\nprogram:\n%s",
+						iter, seed, key, prog)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package event defines the event model of the instrumentation
+// technique: the typed events a multithreaded execution generates
+// (internal, read, write, and the synchronization events of §3.1 which
+// desugar to shared-variable writes), and the <e, i, V> messages that
+// Algorithm A emits to the external observer.
+package event
+
+import (
+	"fmt"
+
+	"gompax/internal/vc"
+)
+
+// Kind classifies an event in a multithreaded execution (§2.1). The
+// paper's core model has internal, read and write events;
+// synchronization events (§3.1) are carried as distinct kinds so traces
+// stay readable, but they behave exactly like writes of the associated
+// shared variable for causality purposes.
+type Kind uint8
+
+const (
+	// Internal is an event that touches no shared variable.
+	Internal Kind = iota
+	// Read is a read of a shared variable.
+	Read
+	// Write is a write of a shared variable.
+	Write
+	// Acquire is a lock acquisition; per §3.1 it is a write of the
+	// lock's shared variable.
+	Acquire
+	// Release is a lock release; per §3.1 it is a write of the lock's
+	// shared variable.
+	Release
+	// Signal is the write of a dummy shared variable performed by a
+	// notifying thread before notification (§3.1).
+	Signal
+	// WaitResume is the write of the same dummy variable performed by
+	// the notified thread after it resumes (§3.1).
+	WaitResume
+	// Spawn marks dynamic creation of a thread; the child inherits the
+	// parent's clock (dynamic-thread extension mentioned in §2).
+	Spawn
+)
+
+var kindNames = [...]string{
+	Internal:   "internal",
+	Read:       "read",
+	Write:      "write",
+	Acquire:    "acquire",
+	Release:    "release",
+	Signal:     "signal",
+	WaitResume: "waitresume",
+	Spawn:      "spawn",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsAccess reports whether the event kind reads or writes a shared
+// variable (including the synchronization encodings).
+func (k Kind) IsAccess() bool { return k == Read || k.IsWrite() }
+
+// IsWrite reports whether the event kind behaves as a write of its
+// variable for the purposes of the causal dependency relation ≺:
+// writes proper, lock acquire/release, and the wait/notify dummy
+// writes all do (§3.1).
+func (k Kind) IsWrite() bool {
+	switch k {
+	case Write, Acquire, Release, Signal, WaitResume:
+		return true
+	}
+	return false
+}
+
+// Event is one event e_i^k of a multithreaded execution.
+type Event struct {
+	// Seq is the position of the event in the observed execution M
+	// (its global "happens-before" timestamp). It exists so tests and
+	// ground-truth tools can reconstruct M; the observer never uses it.
+	Seq uint64
+	// Thread identifies the generating thread t_i (zero-based).
+	Thread int
+	// Index is k in e_i^k: the 1-based position of the event among all
+	// events of its thread.
+	Index uint64
+	// Kind is the event type.
+	Kind Kind
+	// Var is the shared variable accessed, for access events. For
+	// Acquire/Release it is the lock's variable name; for
+	// Signal/WaitResume the condition's dummy variable name.
+	Var string
+	// Value is the value written (for writes) or observed (for reads).
+	// Relevant write events carry the state update the observer applies.
+	Value int64
+	// Relevant marks membership in the relevant event set R.
+	Relevant bool
+}
+
+// ID returns a stable identifier for the event within its execution.
+func (e Event) ID() string {
+	return fmt.Sprintf("e%d@t%d", e.Index, e.Thread)
+}
+
+func (e Event) String() string {
+	switch {
+	case e.Kind == Internal, e.Kind == Spawn:
+		return fmt.Sprintf("%s[%s t%d #%d]", e.Kind, e.ID(), e.Thread, e.Seq)
+	case e.Kind == Read:
+		return fmt.Sprintf("read[%s %s=%d]", e.ID(), e.Var, e.Value)
+	default:
+		return fmt.Sprintf("%s[%s %s:=%d]", e.Kind, e.ID(), e.Var, e.Value)
+	}
+}
+
+// Message is the observer message <e, i, V> of Algorithm A step 4: a
+// relevant event, its generating thread, and the thread's MVC at the
+// moment the event was processed.
+type Message struct {
+	Event Event
+	Clock vc.VC
+}
+
+// Precedes implements Theorem 3 on messages: m ⊲ m' iff m.Clock[i] ≤
+// m'.Clock[i] where i is m's thread, for distinct messages.
+func (m Message) Precedes(other Message) bool {
+	if m.Event.Thread == other.Event.Thread && m.Event.Index == other.Event.Index {
+		return false
+	}
+	return vc.Precedes(m.Clock, m.Event.Thread, other.Clock)
+}
+
+// Concurrent reports m || m' (neither precedes the other).
+func (m Message) Concurrent(other Message) bool {
+	return !m.Precedes(other) && !other.Precedes(m)
+}
+
+func (m Message) String() string {
+	return fmt.Sprintf("<%s=%d, T%d, %s>", m.Event.Var, m.Event.Value, m.Event.Thread+1, m.Clock)
+}

@@ -1,0 +1,106 @@
+package event
+
+import (
+	"strings"
+	"testing"
+
+	"gompax/internal/vc"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Internal:   "internal",
+		Read:       "read",
+		Write:      "write",
+		Acquire:    "acquire",
+		Release:    "release",
+		Signal:     "signal",
+		WaitResume: "waitresume",
+		Spawn:      "spawn",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown kind rendered as %q", got)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	writes := []Kind{Write, Acquire, Release, Signal, WaitResume}
+	for _, k := range writes {
+		if !k.IsWrite() || !k.IsAccess() {
+			t.Errorf("%v should classify as write+access", k)
+		}
+	}
+	if Read.IsWrite() {
+		t.Errorf("Read must not be a write")
+	}
+	if !Read.IsAccess() {
+		t.Errorf("Read must be an access")
+	}
+	for _, k := range []Kind{Internal, Spawn} {
+		if k.IsAccess() || k.IsWrite() {
+			t.Errorf("%v should not access shared state", k)
+		}
+	}
+}
+
+func TestEventID(t *testing.T) {
+	e := Event{Thread: 1, Index: 3, Kind: Write, Var: "x", Value: 7}
+	if e.ID() != "e3@t1" {
+		t.Fatalf("ID = %q", e.ID())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	w := Event{Thread: 0, Index: 1, Kind: Write, Var: "x", Value: 5}
+	if !strings.Contains(w.String(), "x:=5") {
+		t.Errorf("write string = %q", w)
+	}
+	r := Event{Thread: 0, Index: 2, Kind: Read, Var: "y", Value: 2}
+	if !strings.Contains(r.String(), "y=2") {
+		t.Errorf("read string = %q", r)
+	}
+	i := Event{Thread: 1, Index: 3, Kind: Internal}
+	if !strings.Contains(i.String(), "internal") {
+		t.Errorf("internal string = %q", i)
+	}
+}
+
+func TestMessagePrecedes(t *testing.T) {
+	// Paper Fig. 6 messages: e1:<x=0,T1,(1,0)>, e2:<z=1,T2,(1,1)>,
+	// e3:<y=1,T1,(2,0)>, e4:<x=1,T2,(1,2)>.
+	e1 := Message{Event: Event{Thread: 0, Index: 1, Var: "x", Value: 0, Kind: Write, Relevant: true}, Clock: vc.VC{1, 0}}
+	e2 := Message{Event: Event{Thread: 1, Index: 1, Var: "z", Value: 1, Kind: Write, Relevant: true}, Clock: vc.VC{1, 1}}
+	e3 := Message{Event: Event{Thread: 0, Index: 2, Var: "y", Value: 1, Kind: Write, Relevant: true}, Clock: vc.VC{2, 0}}
+	e4 := Message{Event: Event{Thread: 1, Index: 2, Var: "x", Value: 1, Kind: Write, Relevant: true}, Clock: vc.VC{1, 2}}
+
+	if !e1.Precedes(e2) || !e1.Precedes(e3) || !e1.Precedes(e4) {
+		t.Fatalf("e1 must precede e2,e3,e4")
+	}
+	if !e2.Precedes(e4) {
+		t.Fatalf("e2 must precede e4")
+	}
+	if !e2.Concurrent(e3) {
+		t.Fatalf("e2 || e3 expected")
+	}
+	if !e3.Concurrent(e4) {
+		t.Fatalf("e3 || e4 expected")
+	}
+	if e4.Precedes(e1) || e2.Precedes(e1) {
+		t.Fatalf("reverse precedence must not hold")
+	}
+	if e1.Precedes(e1) {
+		t.Fatalf("an event must not precede itself")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{Event: Event{Thread: 1, Index: 1, Var: "z", Value: 1}, Clock: vc.VC{1, 1}}
+	if m.String() != "<z=1, T2, (1,1)>" {
+		t.Fatalf("String = %q", m.String())
+	}
+}

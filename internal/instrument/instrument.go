@@ -1,0 +1,120 @@
+// Package instrument is the counterpart of JMPaX's instrumentation
+// module (Fig. 4): it parses the user specification, extracts the set
+// of relevant (shared) variables, and instruments the program under
+// test so that Algorithm A runs at every shared-variable access and
+// messages <e, i, V> for relevant events flow to the observer.
+//
+// Where JMPaX rewrites Java bytecode, gompax attaches to the MTL
+// interpreter's hook interface — the same cut point (every shared
+// access, lock operation and wait/notify) without a code rewriting
+// step. The concurrent SharedVar/SharedLock wrappers in package mvc
+// provide the equivalent facility for native Go programs.
+package instrument
+
+import (
+	"fmt"
+
+	"gompax/internal/event"
+	"gompax/internal/interp"
+	"gompax/internal/logic"
+	"gompax/internal/mtl"
+	"gompax/internal/mvc"
+	"gompax/internal/sched"
+)
+
+// Instrumentor implements interp.Hooks by feeding every event through
+// an Algorithm A tracker.
+type Instrumentor struct {
+	tracker *mvc.Tracker
+}
+
+// New builds an instrumentor for a program with the given thread
+// count; relevant events are selected by policy and their messages are
+// delivered to sink.
+func New(threads int, policy mvc.Policy, sink mvc.Sink) *Instrumentor {
+	return &Instrumentor{tracker: mvc.NewTracker(threads, policy, sink)}
+}
+
+// Tracker exposes the underlying tracker (e.g. for clock inspection in
+// tests).
+func (in *Instrumentor) Tracker() *mvc.Tracker { return in.tracker }
+
+// Read implements interp.Hooks.
+func (in *Instrumentor) Read(tid int, name string, val int64) { in.tracker.Read(tid, name, val) }
+
+// Write implements interp.Hooks.
+func (in *Instrumentor) Write(tid int, name string, val int64) { in.tracker.Write(tid, name, val) }
+
+// Acquire implements interp.Hooks (§3.1: a write of the lock variable).
+func (in *Instrumentor) Acquire(tid int, lock string) { in.tracker.Acquire(tid, lock) }
+
+// Release implements interp.Hooks (§3.1).
+func (in *Instrumentor) Release(tid int, lock string) { in.tracker.Release(tid, lock) }
+
+// Signal implements interp.Hooks (§3.1: dummy write before notify).
+func (in *Instrumentor) Signal(tid int, cond string) { in.tracker.Signal(tid, cond) }
+
+// WaitResume implements interp.Hooks (§3.1: dummy write after resume).
+func (in *Instrumentor) WaitResume(tid int, cond string) { in.tracker.WaitResume(tid, cond) }
+
+// Internal implements interp.Hooks.
+func (in *Instrumentor) Internal(tid int) { in.tracker.Internal(tid) }
+
+// Spawn implements interp.Hooks: the child's MVC starts as a copy of
+// the parent's (dynamic thread creation, §2).
+func (in *Instrumentor) Spawn(parent, child int) {
+	got := in.tracker.Fork(parent)
+	if got != child {
+		panic(fmt.Sprintf("instrument: tracker assigned thread %d, machine expected %d", got, child))
+	}
+}
+
+var _ interp.Hooks = (*Instrumentor)(nil)
+
+// PolicyFor returns the JMPaX relevance policy for a specification:
+// writes of the variables the formula mentions.
+func PolicyFor(f logic.Formula) mvc.Policy {
+	return mvc.WritesOf(logic.Vars(f)...)
+}
+
+// InitialState returns the initial assignment of the formula's
+// relevant variables, taken from the program's shared declarations. It
+// is an error for the formula to mention a variable the program does
+// not declare shared — the property would be unmonitorable.
+func InitialState(prog *mtl.Program, f logic.Formula) (logic.State, error) {
+	init := prog.InitialState()
+	m := map[string]int64{}
+	for _, v := range logic.Vars(f) {
+		val, ok := init[v]
+		if !ok {
+			return logic.State{}, fmt.Errorf("instrument: specification variable %q is not a shared variable of the program", v)
+		}
+		m[v] = val
+	}
+	return logic.StateFromMap(m), nil
+}
+
+// RunOutput is the result of one instrumented execution.
+type RunOutput struct {
+	// Messages are the observer messages in emission order (the
+	// observed run's relevant events).
+	Messages []event.Message
+	// Result carries the schedule and event count of the execution.
+	Result sched.RunResult
+	// Final is the final shared state.
+	Final map[string]int64
+}
+
+// Run executes the compiled program under the scheduler with
+// instrumentation attached, collecting all emitted messages. maxEvents
+// bounds the execution (0 = unlimited).
+func Run(code *mtl.Compiled, policy mvc.Policy, s sched.Scheduler, maxEvents uint64) (RunOutput, error) {
+	col := &mvc.Collector{}
+	in := New(len(code.Threads), policy, col)
+	m := interp.NewMachine(code, in)
+	res, err := sched.Run(m, s, maxEvents)
+	if err != nil {
+		return RunOutput{Messages: col.Messages, Result: res}, err
+	}
+	return RunOutput{Messages: col.Messages, Result: res, Final: m.SharedState()}, nil
+}

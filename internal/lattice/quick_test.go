@@ -1,0 +1,136 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gompax/internal/event"
+	"gompax/internal/logic"
+	"gompax/internal/mvc"
+	"gompax/internal/trace"
+)
+
+// computationFromSeed deterministically builds a small computation.
+func computationFromSeed(seed int64) (*Computation, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	threads := 2 + rng.Intn(3)
+	ops := trace.RandomOps(rng, trace.GenConfig{Threads: threads, Vars: 3, Length: 12})
+	policy := mvc.WritesOf(trace.VarName(0), trace.VarName(1), trace.VarName(2))
+	_, msgs := trace.Execute(ops, threads, policy)
+	if len(msgs) == 0 || len(msgs) > 8 {
+		return nil, false
+	}
+	initial := logic.StateFromMap(map[string]int64{
+		trace.VarName(0): 0, trace.VarName(1): 0, trace.VarName(2): 0,
+	})
+	c, err := NewComputation(initial, threads, msgs)
+	if err != nil {
+		return nil, false
+	}
+	return c, true
+}
+
+// Property: every run of the lattice reaches the same top state — cut
+// states are path-independent (concurrent relevant writes always touch
+// distinct variables).
+func TestQuickPathIndependentStates(t *testing.T) {
+	f := func(seed int64) bool {
+		c, ok := computationFromSeed(seed)
+		if !ok {
+			return true
+		}
+		l, err := Build(c, 0)
+		if err != nil {
+			return false
+		}
+		top := c.Top().State()
+		agree := true
+		l.Runs(0, func(r Run) bool {
+			if !r.States[len(r.States)-1].Equal(top) {
+				agree = false
+				return false
+			}
+			return true
+		})
+		return agree
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the lattice is graded — every edge goes from level k to
+// level k+1, and the number of nodes per level sums to NumNodes.
+func TestQuickGradedLattice(t *testing.T) {
+	f := func(seed int64) bool {
+		c, ok := computationFromSeed(seed)
+		if !ok {
+			return true
+		}
+		l, err := Build(c, 0)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for k := 0; k < l.NumLevels(); k++ {
+			total += len(l.Level(k))
+			for _, id := range l.Level(k) {
+				n := l.Node(id)
+				if n.Cut.Level() != k {
+					return false
+				}
+				for _, e := range n.Out {
+					if l.Node(e.To).Cut.Level() != k+1 {
+						return false
+					}
+				}
+			}
+		}
+		return total == l.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rebuilding the computation from a random permutation of
+// the same messages yields an identical lattice.
+func TestQuickOrderInsensitiveConstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, ok := computationFromSeed(seed)
+		if !ok {
+			return true
+		}
+		l1, err := Build(c, 0)
+		if err != nil {
+			return false
+		}
+		// Collect and shuffle the messages.
+		var msgs []struct{ th, k int }
+		for th := 0; th < c.Threads(); th++ {
+			for k := 1; k <= c.Count(th); k++ {
+				msgs = append(msgs, struct{ th, k int }{th, k})
+			}
+		}
+		rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+		shuffled := make([]event.Message, 0, len(msgs))
+		for _, m := range msgs {
+			shuffled = append(shuffled, c.Message(m.th, m.k))
+		}
+		c2, err := NewComputation(c.Initial(), c.Threads(), shuffled)
+		if err != nil {
+			return false
+		}
+		l2, err := Build(c2, 0)
+		if err != nil {
+			return false
+		}
+		return l1.NumNodes() == l2.NumNodes() && l1.NumRuns() == l2.NumRuns() &&
+			l1.Width() == l2.Width()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package liveness implements the liveness-prediction outlook of the
+// paper's §4: "search for paths of the form uv in the computation
+// lattice with the property that the shared variable global state of
+// the multithreaded program reached by u is the same as the one
+// reached by uv, and then to check whether uvω satisfies the liveness
+// property. ... It is shown in [Markey & Schnoebelen 2003] that the
+// test uvω |= φ can be done in polynomial time".
+//
+// Two pieces:
+//
+//   - EvalLasso decides w |= φ for the ultimately periodic word
+//     w = u·vω and a future-time LTL formula φ, by the standard
+//     fixpoint evaluation on the lasso's finite quotient (positions
+//     0..|u|+|v|-1 with the successor of the last position wrapping to
+//     |u|): polynomial in |uv|·|φ|.
+//   - FindLassos enumerates lattice paths u·v whose endpoints carry the
+//     same global state — the candidate infinite behaviours uvω the
+//     running system could exhibit under some scheduling.
+//
+// Check combines them: a predicted liveness violation is a lasso whose
+// infinite unrolling falsifies the property.
+package liveness
+
+import (
+	"fmt"
+	"strings"
+
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+)
+
+// EvalLasso decides u·vω |= f at the first position of u. v must be
+// non-empty. f may use the future-time operators (next, [], <>, U) and
+// boolean connectives over state predicates; past-time operators are
+// rejected (liveness properties are future-time).
+func EvalLasso(f logic.Formula, u, v []logic.State) (bool, error) {
+	if len(v) == 0 {
+		return false, fmt.Errorf("liveness: empty loop")
+	}
+	if logic.HasPast(f) {
+		return false, fmt.Errorf("liveness: formula %s contains past-time operators", f)
+	}
+	states := make([]logic.State, 0, len(u)+len(v))
+	states = append(states, u...)
+	states = append(states, v...)
+	n := len(states)
+	loop := len(u) // successor of position n-1
+	succ := func(i int) int {
+		if i+1 < n {
+			return i + 1
+		}
+		return loop
+	}
+	vals, err := evalNode(f, states, succ)
+	if err != nil {
+		return false, err
+	}
+	return vals[0], nil
+}
+
+// evalNode computes the truth value of f at every position of the
+// lasso quotient, bottom-up.
+func evalNode(f logic.Formula, states []logic.State, succ func(int) int) ([]bool, error) {
+	n := len(states)
+	out := make([]bool, n)
+	switch g := f.(type) {
+	case logic.BoolLit:
+		for i := range out {
+			out[i] = g.Value
+		}
+	case logic.Pred:
+		for i := range out {
+			v, err := g.Holds(states[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	case logic.Not:
+		x, err := evalNode(g.X, states, succ)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = !x[i]
+		}
+	case logic.And:
+		l, r, err := evalNode2(g.L, g.R, states, succ)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = l[i] && r[i]
+		}
+	case logic.Or:
+		l, r, err := evalNode2(g.L, g.R, states, succ)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = l[i] || r[i]
+		}
+	case logic.Implies:
+		l, r, err := evalNode2(g.L, g.R, states, succ)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = !l[i] || r[i]
+		}
+	case logic.Iff:
+		l, r, err := evalNode2(g.L, g.R, states, succ)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = l[i] == r[i]
+		}
+	case logic.Next:
+		x, err := evalNode(g.X, states, succ)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = x[succ(i)]
+		}
+	case logic.Eventually:
+		return evalUntil(logic.BoolLit{Value: true}, g.X, states, succ)
+	case logic.Always:
+		// []phi = !<>!phi
+		ev, err := evalUntil(logic.BoolLit{Value: true}, logic.Not{X: g.X}, states, succ)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = !ev[i]
+		}
+	case logic.Until:
+		return evalUntil(g.L, g.R, states, succ)
+	default:
+		return nil, fmt.Errorf("liveness: unsupported operator in %s", f)
+	}
+	return out, nil
+}
+
+func evalNode2(l, r logic.Formula, states []logic.State, succ func(int) int) ([]bool, []bool, error) {
+	lv, err := evalNode(l, states, succ)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, err := evalNode(r, states, succ)
+	return lv, rv, err
+}
+
+// evalUntil computes phi U psi as the least fixpoint of
+// X(i) = psi(i) ∨ (phi(i) ∧ X(succ(i))) starting from all-false.
+// On a lasso quotient of n positions, n iterations reach the fixpoint.
+func evalUntil(phi, psi logic.Formula, states []logic.State, succ func(int) int) ([]bool, error) {
+	p, q, err := evalNode2(phi, psi, states, succ)
+	if err != nil {
+		return nil, err
+	}
+	n := len(states)
+	val := make([]bool, n)
+	for iter := 0; iter < n+1; iter++ {
+		changed := false
+		for i := n - 1; i >= 0; i-- {
+			nv := q[i] || (p[i] && val[succ(i)])
+			if nv != val[i] {
+				val[i] = nv
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return val, nil
+}
+
+// Lasso is a candidate infinite behaviour u·vω extracted from the
+// computation lattice: U ends in the state where V begins and ends.
+type Lasso struct {
+	// U is the finite prefix's state sequence (starting at the initial
+	// state).
+	U []logic.State
+	// V is the loop's state sequence (excluding the repeated state at
+	// its start, including it at its... V[len-1] equals U[len-1]).
+	V []logic.State
+}
+
+func (l Lasso) String() string {
+	var b strings.Builder
+	b.WriteString("u: ")
+	for i, s := range l.U {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString("  loop: ")
+	for i, s := range l.V {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// FindLassos enumerates paths through the computation lattice and
+// reports, for each repeated global state along a path, the lasso
+// (u, v). Enumeration is capped at maxLassos distinct lassos and
+// maxPaths explored paths (0 = defaults). Lassos are deduplicated by
+// the state-sequence of their loop.
+func FindLassos(comp *lattice.Computation, maxLassos, maxPaths int) []Lasso {
+	if maxLassos == 0 {
+		maxLassos = 64
+	}
+	if maxPaths == 0 {
+		maxPaths = 1 << 16
+	}
+	var lassos []Lasso
+	seen := map[string]bool{}
+	paths := 0
+
+	var states []logic.State
+	var dfs func(cut lattice.Cut)
+	dfs = func(cut lattice.Cut) {
+		if len(lassos) >= maxLassos || paths >= maxPaths {
+			return
+		}
+		state := cut.State()
+		// A repeat of an earlier state on this path closes a loop.
+		for i := 0; i < len(states); i++ {
+			if states[i].Equal(state) {
+				u := append([]logic.State(nil), states[:i+1]...)
+				v := append([]logic.State(nil), states[i+1:]...)
+				v = append(v, state)
+				key := lassoKey(u[len(u)-1], v)
+				if !seen[key] {
+					seen[key] = true
+					lassos = append(lassos, Lasso{U: u, V: v})
+				}
+				break
+			}
+		}
+		states = append(states, state)
+		succs := comp.Successors(cut)
+		if len(succs) == 0 {
+			paths++
+		}
+		for _, s := range succs {
+			dfs(s.Cut)
+			if len(lassos) >= maxLassos || paths >= maxPaths {
+				break
+			}
+		}
+		states = states[:len(states)-1]
+	}
+	dfs(comp.Root())
+	return lassos
+}
+
+func lassoKey(base logic.State, v []logic.State) string {
+	var b strings.Builder
+	b.WriteString(base.Key())
+	for _, s := range v {
+		b.WriteByte('|')
+		b.WriteString(s.Key())
+	}
+	return b.String()
+}
+
+// Violation is a predicted liveness violation: an infinite behaviour
+// u·vω, consistent with the observed causality, that falsifies the
+// property.
+type Violation struct {
+	Lasso   Lasso
+	Formula logic.Formula
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("liveness violation of %s on %s", v.Formula, v.Lasso)
+}
+
+// Check searches the computation lattice for lassos and returns those
+// whose infinite unrolling violates the future-time property f.
+func Check(comp *lattice.Computation, f logic.Formula, maxLassos, maxPaths int) ([]Violation, error) {
+	var out []Violation
+	for _, l := range FindLassos(comp, maxLassos, maxPaths) {
+		ok, err := EvalLasso(f, l.U, l.V)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			out = append(out, Violation{Lasso: l, Formula: f})
+		}
+	}
+	return out, nil
+}

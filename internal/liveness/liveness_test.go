@@ -1,0 +1,202 @@
+package liveness
+
+import (
+	"testing"
+
+	"gompax/internal/event"
+	"gompax/internal/instrument"
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/mtl"
+	"gompax/internal/sched"
+	"gompax/internal/vc"
+)
+
+func st(pairs map[string]int64) logic.State { return logic.StateFromMap(pairs) }
+
+func mustF(t *testing.T, src string) logic.Formula {
+	t.Helper()
+	f, err := logic.ParseFormula(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEvalLassoBasics(t *testing.T) {
+	a0 := st(map[string]int64{"x": 0})
+	a1 := st(map[string]int64{"x": 1})
+	a2 := st(map[string]int64{"x": 2})
+
+	cases := []struct {
+		name string
+		src  string
+		u, v []logic.State
+		want bool
+	}{
+		{"eventually-hit-in-u", "<> x = 1", []logic.State{a0, a1}, []logic.State{a0}, true},
+		{"eventually-hit-in-loop", "<> x = 2", []logic.State{a0}, []logic.State{a1, a2}, true},
+		{"eventually-never", "<> x = 5", []logic.State{a0}, []logic.State{a1, a2}, false},
+		{"always-holds", "[] x >= 0", []logic.State{a0}, []logic.State{a1, a2}, true},
+		{"always-fails-in-loop", "[] x < 2", []logic.State{a0}, []logic.State{a1, a2}, false},
+		{"always-fails-only-in-u", "[] x > 0", []logic.State{a0}, []logic.State{a1}, false},
+		{"GF-infinitely-often", "[] <> x = 2", []logic.State{a0, a1}, []logic.State{a1, a2}, true},
+		{"GF-only-finitely-often", "[] <> x = 0", []logic.State{a0, a0}, []logic.State{a1, a2}, false},
+		{"FG-stabilizes", "<> [] x > 0", []logic.State{a0}, []logic.State{a1, a2}, true},
+		{"FG-never-stabilizes", "<> [] x = 1", []logic.State{a0}, []logic.State{a1, a2}, false},
+		{"next", "next x = 1", []logic.State{a0, a1}, []logic.State{a2}, true},
+		{"next-wraps-into-loop", "next x = 1", []logic.State{a0}, []logic.State{a1}, true},
+		{"until-holds", "x = 0 U x = 1", []logic.State{a0, a0}, []logic.State{a1}, true},
+		{"until-guard-broken", "x = 0 U x = 2", []logic.State{a0, a1}, []logic.State{a2}, false},
+		{"response", "[] (x = 1 -> <> x = 2)", []logic.State{a0}, []logic.State{a1, a2}, true},
+		{"response-violated", "[] (x = 1 -> <> x = 0)", []logic.State{a0, a0}, []logic.State{a1, a2}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := EvalLasso(mustF(t, c.src), c.u, c.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Fatalf("%s on u=%v v=%v: got %v, want %v", c.src, c.u, c.v, got, c.want)
+			}
+		})
+	}
+}
+
+func TestEvalLassoErrors(t *testing.T) {
+	a := st(map[string]int64{"x": 0})
+	if _, err := EvalLasso(mustF(t, "<> x = 1"), []logic.State{a}, nil); err == nil {
+		t.Errorf("empty loop accepted")
+	}
+	if _, err := EvalLasso(mustF(t, "[*] x = 0"), []logic.State{a}, []logic.State{a}); err == nil {
+		t.Errorf("past-time operator accepted")
+	}
+	if _, err := EvalLasso(mustF(t, "<> q = 1"), []logic.State{a}, []logic.State{a}); err == nil {
+		t.Errorf("unbound variable accepted")
+	}
+}
+
+// msg builds a relevant write message.
+func msg(thread int, name string, value int64, clock ...uint64) event.Message {
+	return event.Message{
+		Event: event.Event{Thread: thread, Kind: event.Write, Var: name, Value: value, Relevant: true},
+		Clock: vc.VC(clock),
+	}
+}
+
+// TestFindLassosToggle: thread 0 toggles x back to its initial value —
+// the lattice contains a path whose state repeats, yielding a lasso in
+// which thread 1's done=1 never happens.
+func TestFindLassosToggle(t *testing.T) {
+	initial := st(map[string]int64{"x": 0, "done": 0})
+	msgs := []event.Message{
+		msg(0, "x", 1, 1, 0),    // x := 1
+		msg(0, "x", 0, 2, 0),    // x := 0  (state back to initial, modulo done)
+		msg(1, "done", 1, 0, 1), // done := 1, concurrent with the toggles
+	}
+	comp, err := lattice.NewComputation(initial, 2, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lassos := FindLassos(comp, 0, 0)
+	if len(lassos) == 0 {
+		t.Fatalf("no lasso found despite state repetition")
+	}
+	found := false
+	for _, l := range lassos {
+		if l.U[len(l.U)-1].Equal(initial) && len(l.V) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected the x-toggle lasso, got %v", lassos)
+	}
+
+	// The liveness property "eventually done" is violated by the lasso
+	// u = [init], v = [x=1, x=0]^ω where done never rises.
+	viols, err := Check(comp, mustF(t, "<> done = 1"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) == 0 {
+		t.Fatalf("liveness violation not predicted")
+	}
+	if viols[0].String() == "" {
+		t.Fatalf("empty violation string")
+	}
+
+	// "eventually x rises" holds on every lasso (the loop contains x=1).
+	viols, err = Check(comp, mustF(t, "<> x = 1"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 0 {
+		t.Fatalf("false liveness alarm: %v", viols)
+	}
+}
+
+// TestLassoFromProgram extracts lassos from an actual MTL execution: a
+// polling loop that toggles a flag forever would starve the other
+// thread's goal — predicted from a single terminating observation.
+func TestLassoFromProgram(t *testing.T) {
+	src := `
+shared spin = 0, goal = 0;
+
+thread poller {
+    spin = 1;
+    spin = 0;
+    spin = 1;
+    spin = 0;
+}
+
+thread worker {
+    goal = 1;
+}
+`
+	code := mtl.MustCompile(src)
+	f := mustF(t, "<> goal = 1")
+	// Relevant variables are spin and goal: use a policy over both.
+	policy := instrument.PolicyFor(mustF(t, "spin = 0 /\\ goal = 0"))
+	initial := st(map[string]int64{"spin": 0, "goal": 0})
+	out, err := instrument.Run(code, policy, sched.NewRandom(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := lattice.NewComputation(initial, 2, out.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viols, err := Check(comp, f, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) == 0 {
+		t.Fatalf("starvation lasso not predicted")
+	}
+	// Every violating lasso's loop must avoid goal=1.
+	for _, v := range viols {
+		for _, s := range v.Lasso.V {
+			if g, _ := s.Lookup("goal"); g == 1 {
+				t.Fatalf("loop contains the goal state: %v", v.Lasso)
+			}
+		}
+	}
+}
+
+func TestFindLassosBounds(t *testing.T) {
+	initial := st(map[string]int64{"x": 0})
+	msgs := []event.Message{
+		msg(0, "x", 1, 1),
+		msg(0, "x", 0, 2),
+		msg(0, "x", 1, 3),
+		msg(0, "x", 0, 4),
+	}
+	comp, err := lattice.NewComputation(initial, 1, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FindLassos(comp, 1, 0); len(got) != 1 {
+		t.Fatalf("maxLassos ignored: %d", len(got))
+	}
+}

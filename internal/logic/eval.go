@@ -1,0 +1,153 @@
+package logic
+
+import "fmt"
+
+// EvalTrace computes the truth value of f at every position of a finite
+// state sequence, directly from the declarative semantics of past-time
+// LTL. It is the executable reference semantics: the monitor package's
+// synthesized online monitors are differentially tested against it.
+//
+// Semantics at position i of trace s_0 .. s_{n-1}:
+//
+//	pred        holds in s_i
+//	(.)phi      phi at s_{i-1}; at i = 0, phi at s_0
+//	start(phi)  phi at s_i and not at s_{i-1}; false at i = 0
+//	end(phi)    phi at s_{i-1} and not at s_i; false at i = 0
+//	[*]phi      phi at every j ≤ i
+//	<*>phi      phi at some j ≤ i
+//	phi S psi   psi at some j ≤ i and phi at every k with j < k ≤ i
+//	[p, q)      p at some j ≤ i and q at no k with j ≤ k ≤ i
+func EvalTrace(f Formula, states []State) ([]bool, error) {
+	out := make([]bool, len(states))
+	for i := range states {
+		v, err := evalAt(f, states, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func evalAt(f Formula, states []State, i int) (bool, error) {
+	switch g := f.(type) {
+	case BoolLit:
+		return g.Value, nil
+	case Pred:
+		return g.Holds(states[i])
+	case Not:
+		v, err := evalAt(g.X, states, i)
+		return !v, err
+	case And:
+		l, err := evalAt(g.L, states, i)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalAt(g.R, states, i)
+	case Or:
+		l, err := evalAt(g.L, states, i)
+		if err != nil || l {
+			return l, err
+		}
+		return evalAt(g.R, states, i)
+	case Implies:
+		l, err := evalAt(g.L, states, i)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return evalAt(g.R, states, i)
+	case Iff:
+		l, err := evalAt(g.L, states, i)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalAt(g.R, states, i)
+		return l == r, err
+	case Prev:
+		if i == 0 {
+			return evalAt(g.X, states, 0)
+		}
+		return evalAt(g.X, states, i-1)
+	case AlwaysPast:
+		for j := 0; j <= i; j++ {
+			v, err := evalAt(g.X, states, j)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case EventuallyPast:
+		for j := 0; j <= i; j++ {
+			v, err := evalAt(g.X, states, j)
+			if err != nil || v {
+				return v, err
+			}
+		}
+		return false, nil
+	case Since:
+		for j := i; j >= 0; j-- {
+			r, err := evalAt(g.R, states, j)
+			if err != nil {
+				return false, err
+			}
+			if r {
+				for k := j + 1; k <= i; k++ {
+					l, err := evalAt(g.L, states, k)
+					if err != nil || !l {
+						return false, err
+					}
+				}
+				return true, nil
+			}
+		}
+		return false, nil
+	case Start:
+		if i == 0 {
+			return false, nil
+		}
+		now, err := evalAt(g.X, states, i)
+		if err != nil || !now {
+			return false, err
+		}
+		before, err := evalAt(g.X, states, i-1)
+		return !before, err
+	case End:
+		if i == 0 {
+			return false, nil
+		}
+		now, err := evalAt(g.X, states, i)
+		if err != nil || now {
+			return false, err
+		}
+		before, err := evalAt(g.X, states, i-1)
+		return before, err
+	case Interval:
+		for j := i; j >= 0; j-- {
+			p, err := evalAt(g.P, states, j)
+			if err != nil {
+				return false, err
+			}
+			if p {
+				ok := true
+				for k := j; k <= i; k++ {
+					q, err := evalAt(g.Q, states, k)
+					if err != nil {
+						return false, err
+					}
+					if q {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("logic: unknown formula node %T", f)
+}

@@ -1,0 +1,48 @@
+package logic
+
+import "fmt"
+
+// EvalBool evaluates a non-temporal (state) formula in a single
+// environment. It errors on temporal operators, which need a run, not
+// a state. The MTL interpreter uses it for branch conditions, with an
+// Env that routes shared-variable lookups through instrumented reads.
+func EvalBool(f Formula, env Env) (bool, error) {
+	switch g := f.(type) {
+	case BoolLit:
+		return g.Value, nil
+	case Pred:
+		return g.Holds(env)
+	case Not:
+		v, err := EvalBool(g.X, env)
+		return !v, err
+	case And:
+		l, err := EvalBool(g.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return EvalBool(g.R, env)
+	case Or:
+		l, err := EvalBool(g.L, env)
+		if err != nil || l {
+			return l, err
+		}
+		return EvalBool(g.R, env)
+	case Implies:
+		l, err := EvalBool(g.L, env)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return EvalBool(g.R, env)
+	case Iff:
+		l, err := EvalBool(g.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := EvalBool(g.R, env)
+		return l == r, err
+	}
+	return false, fmt.Errorf("logic: temporal operator %T cannot be evaluated in a single state", f)
+}

@@ -1,0 +1,200 @@
+package logic
+
+import "fmt"
+
+// Formula is a past-time LTL formula over state predicates. Formulas
+// are evaluated over finite prefixes of runs; the monitor package
+// compiles them into online monitors with constant-size state.
+type Formula interface {
+	// addVars accumulates the shared variables the formula refers to —
+	// the relevant variable set the instrumentor uses (§4.1).
+	addVars(set map[string]bool)
+	fmt.Stringer
+}
+
+// BoolLit is the constant true or false.
+type BoolLit struct{ Value bool }
+
+func (f BoolLit) addVars(map[string]bool) {}
+func (f BoolLit) String() string {
+	if f.Value {
+		return "true"
+	}
+	return "false"
+}
+
+// Pred is an atomic state predicate: a comparison of two integer
+// expressions, e.g. x > 0 or y = 0.
+type Pred struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Holds evaluates the predicate in an environment.
+func (f Pred) Holds(env Env) (bool, error) {
+	l, err := f.L.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	r, err := f.R.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	return f.Op.apply(l, r), nil
+}
+
+func (f Pred) addVars(set map[string]bool) {
+	f.L.addVars(set)
+	f.R.addVars(set)
+}
+func (f Pred) String() string { return fmt.Sprintf("%s %s %s", f.L, f.Op, f.R) }
+
+// Not is logical negation.
+type Not struct{ X Formula }
+
+func (f Not) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f Not) String() string              { return fmt.Sprintf("!(%s)", f.X) }
+
+// And is logical conjunction.
+type And struct{ L, R Formula }
+
+func (f And) addVars(set map[string]bool) { f.L.addVars(set); f.R.addVars(set) }
+func (f And) String() string              { return fmt.Sprintf("(%s /\\ %s)", f.L, f.R) }
+
+// Or is logical disjunction.
+type Or struct{ L, R Formula }
+
+func (f Or) addVars(set map[string]bool) { f.L.addVars(set); f.R.addVars(set) }
+func (f Or) String() string              { return fmt.Sprintf("(%s \\/ %s)", f.L, f.R) }
+
+// Implies is logical implication.
+type Implies struct{ L, R Formula }
+
+func (f Implies) addVars(set map[string]bool) { f.L.addVars(set); f.R.addVars(set) }
+func (f Implies) String() string              { return fmt.Sprintf("(%s -> %s)", f.L, f.R) }
+
+// Iff is logical equivalence.
+type Iff struct{ L, R Formula }
+
+func (f Iff) addVars(set map[string]bool) { f.L.addVars(set); f.R.addVars(set) }
+func (f Iff) String() string              { return fmt.Sprintf("(%s <-> %s)", f.L, f.R) }
+
+// Prev is the "previously" operator ⊙φ: the value of φ in the previous
+// state. In the initial state ⊙φ is defined as φ's value there
+// (Havelund–Roşu convention).
+type Prev struct{ X Formula }
+
+func (f Prev) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f Prev) String() string              { return fmt.Sprintf("(.)(%s)", f.X) }
+
+// AlwaysPast is [*]φ: φ held in every state so far (including now).
+type AlwaysPast struct{ X Formula }
+
+func (f AlwaysPast) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f AlwaysPast) String() string              { return fmt.Sprintf("[*](%s)", f.X) }
+
+// EventuallyPast is <*>φ: φ held in some state so far (including now).
+type EventuallyPast struct{ X Formula }
+
+func (f EventuallyPast) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f EventuallyPast) String() string              { return fmt.Sprintf("<*>(%s)", f.X) }
+
+// Since is φ S ψ: ψ held at some past (or current) state, and φ has
+// held in every state strictly after it (strong since).
+type Since struct{ L, R Formula }
+
+func (f Since) addVars(set map[string]bool) { f.L.addVars(set); f.R.addVars(set) }
+func (f Since) String() string              { return fmt.Sprintf("(%s S %s)", f.L, f.R) }
+
+// Interval is the interval operator [p, q) used by the paper's example
+// properties: "p was true at some point in the past, and since then q
+// has never been true (including now)". Its monitor recursion is
+//
+//	[p,q) now = !q(now) /\ (p(now) \/ [p,q) before)
+type Interval struct{ P, Q Formula }
+
+func (f Interval) addVars(set map[string]bool) { f.P.addVars(set); f.Q.addVars(set) }
+func (f Interval) String() string              { return fmt.Sprintf("[%s, %s)", f.P, f.Q) }
+
+// Start is the "start" operator of Havelund–Roşu ptLTL: phi holds now
+// and did not hold in the previous state (a rising edge). It is the
+// natural trigger for event-like antecedents such as the paper's "if
+// the plane has started landing". By convention start(phi) is false in
+// the initial state (it abbreviates phi /\ !(.)phi and (.)phi equals
+// phi there).
+type Start struct{ X Formula }
+
+func (f Start) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f Start) String() string              { return fmt.Sprintf("start(%s)", f.X) }
+
+// End is the falling-edge operator: phi held previously and does not
+// hold now. False in the initial state.
+type End struct{ X Formula }
+
+func (f End) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f End) String() string              { return fmt.Sprintf("end(%s)", f.X) }
+
+// Vars returns the sorted shared-variable names the formula mentions:
+// the relevant variables of §2.3/§4.1.
+func Vars(f Formula) []string {
+	set := map[string]bool{}
+	f.addVars(set)
+	return sortedKeys(set)
+}
+
+// Walk visits f and all subformulas in depth-first, children-first
+// order (each node visited after its children).
+func Walk(f Formula, visit func(Formula)) {
+	switch g := f.(type) {
+	case Not:
+		Walk(g.X, visit)
+	case And:
+		Walk(g.L, visit)
+		Walk(g.R, visit)
+	case Or:
+		Walk(g.L, visit)
+		Walk(g.R, visit)
+	case Implies:
+		Walk(g.L, visit)
+		Walk(g.R, visit)
+	case Iff:
+		Walk(g.L, visit)
+		Walk(g.R, visit)
+	case Prev:
+		Walk(g.X, visit)
+	case AlwaysPast:
+		Walk(g.X, visit)
+	case EventuallyPast:
+		Walk(g.X, visit)
+	case Since:
+		Walk(g.L, visit)
+		Walk(g.R, visit)
+	case Interval:
+		Walk(g.P, visit)
+		Walk(g.Q, visit)
+	case Start:
+		Walk(g.X, visit)
+	case End:
+		Walk(g.X, visit)
+	case Next:
+		Walk(g.X, visit)
+	case Always:
+		Walk(g.X, visit)
+	case Eventually:
+		Walk(g.X, visit)
+	case Until:
+		Walk(g.L, visit)
+		Walk(g.R, visit)
+	}
+	visit(f)
+}
+
+// IsTemporal reports whether the top-level connective of f is a
+// temporal operator (one whose evaluation needs the previous state).
+func IsTemporal(f Formula) bool {
+	switch f.(type) {
+	case Prev, AlwaysPast, EventuallyPast, Since, Interval, Start, End:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package logic
+
+import "fmt"
+
+// Future-time operators. The paper's safety monitoring uses only
+// past-time operators; §4's liveness outlook ("predict violations of
+// liveness properties" by finding lattice paths uv with a repeated
+// state and checking uvω) needs future-time LTL. These nodes share the
+// formula AST; the safety monitor compiler and the finite-trace
+// reference semantics reject them, while the liveness package
+// evaluates them over ultimately periodic words.
+
+// Next is the future-time X operator: phi holds in the next state.
+type Next struct{ X Formula }
+
+func (f Next) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f Next) String() string              { return fmt.Sprintf("next(%s)", f.X) }
+
+// Always is the future-time [] (G) operator: phi holds now and forever.
+type Always struct{ X Formula }
+
+func (f Always) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f Always) String() string              { return fmt.Sprintf("[](%s)", f.X) }
+
+// Eventually is the future-time <> (F) operator: phi holds now or at
+// some later state.
+type Eventually struct{ X Formula }
+
+func (f Eventually) addVars(set map[string]bool) { f.X.addVars(set) }
+func (f Eventually) String() string              { return fmt.Sprintf("<>(%s)", f.X) }
+
+// Until is the future-time (strong) U operator: psi holds now or
+// later, and phi holds at every state before that.
+type Until struct{ L, R Formula }
+
+func (f Until) addVars(set map[string]bool) { f.L.addVars(set); f.R.addVars(set) }
+func (f Until) String() string              { return fmt.Sprintf("(%s U %s)", f.L, f.R) }
+
+// IsFuture reports whether the top-level connective is a future-time
+// temporal operator.
+func IsFuture(f Formula) bool {
+	switch f.(type) {
+	case Next, Always, Eventually, Until:
+		return true
+	}
+	return false
+}
+
+// HasFuture reports whether the formula contains any future-time
+// operator anywhere.
+func HasFuture(f Formula) bool {
+	found := false
+	Walk(f, func(g Formula) {
+		if IsFuture(g) {
+			found = true
+		}
+	})
+	return found
+}
+
+// HasPast reports whether the formula contains any past-time operator
+// anywhere.
+func HasPast(f Formula) bool {
+	found := false
+	Walk(f, func(g Formula) {
+		if IsTemporal(g) {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,40 @@
+package logic
+
+import "testing"
+
+// FuzzParseFormula checks the parser never panics and that accepted
+// formulas round-trip through String (printing is a fixpoint).
+func FuzzParseFormula(f *testing.F) {
+	seeds := []string{
+		"(x > 0) -> [y = 0, y > z)",
+		"start(landing = 1) -> [approved = 1, radio = 0)",
+		"[*] <*> (.) x = 1",
+		"a = 1 S b = 2 U c = 3",
+		"!((x + 1) * 2 > y) /\\ true",
+		"x=1<->y=2<->z=3",
+		"[] <> next done = 1",
+		"((((", "x @", "", "5", "since = 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := ParseFormula(src)
+		if err != nil {
+			return
+		}
+		printed := formula.String()
+		again, err := ParseFormula(printed)
+		if err != nil {
+			t.Fatalf("printed form %q does not reparse: %v", printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("printing not a fixpoint: %q vs %q", again.String(), printed)
+		}
+		// Simplification must also yield a parseable, stable formula.
+		simp := Simplify(formula)
+		if _, err := ParseFormula(simp.String()); err != nil {
+			t.Fatalf("simplified form %q does not parse: %v", simp.String(), err)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package logic
+
+import "math/rand"
+
+// GenFormula generates a random formula of the given maximum depth over
+// the named variables. It is exported for the differential tests and
+// benchmarks that compare synthesized monitors against the reference
+// trace semantics.
+func GenFormula(rng *rand.Rand, vars []string, depth int) Formula {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		return genAtom(rng, vars)
+	}
+	switch rng.Intn(12) {
+	case 0:
+		return Not{X: GenFormula(rng, vars, depth-1)}
+	case 1:
+		return And{L: GenFormula(rng, vars, depth-1), R: GenFormula(rng, vars, depth-1)}
+	case 2:
+		return Or{L: GenFormula(rng, vars, depth-1), R: GenFormula(rng, vars, depth-1)}
+	case 3:
+		return Implies{L: GenFormula(rng, vars, depth-1), R: GenFormula(rng, vars, depth-1)}
+	case 4:
+		return Iff{L: GenFormula(rng, vars, depth-1), R: GenFormula(rng, vars, depth-1)}
+	case 5:
+		return Prev{X: GenFormula(rng, vars, depth-1)}
+	case 6:
+		return AlwaysPast{X: GenFormula(rng, vars, depth-1)}
+	case 7:
+		return EventuallyPast{X: GenFormula(rng, vars, depth-1)}
+	case 8:
+		return Since{L: GenFormula(rng, vars, depth-1), R: GenFormula(rng, vars, depth-1)}
+	case 9:
+		return Start{X: GenFormula(rng, vars, depth-1)}
+	case 10:
+		return End{X: GenFormula(rng, vars, depth-1)}
+	default:
+		return Interval{P: GenFormula(rng, vars, depth-1), Q: GenFormula(rng, vars, depth-1)}
+	}
+}
+
+func genAtom(rng *rand.Rand, vars []string) Formula {
+	switch rng.Intn(6) {
+	case 0:
+		return BoolLit{Value: rng.Intn(2) == 0}
+	default:
+		ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+		return Pred{
+			Op: ops[rng.Intn(len(ops))],
+			L:  genExpr(rng, vars, 2),
+			R:  genExpr(rng, vars, 2),
+		}
+	}
+}
+
+func genExpr(rng *rand.Rand, vars []string, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 && len(vars) > 0 {
+			return VarRef{Name: vars[rng.Intn(len(vars))]}
+		}
+		// Literals stay non-negative so String() output reparses to an
+		// identical tree (negative literals would come back as NegExpr).
+		return IntLit{Value: int64(rng.Intn(7))}
+	}
+	// Division and modulus are omitted: random operands would hit
+	// divide-by-zero errors constantly and the differential tests want
+	// total functions.
+	ops := []ArithOp{Add, Sub, Mul}
+	return BinExpr{
+		Op: ops[rng.Intn(len(ops))],
+		L:  genExpr(rng, vars, depth-1),
+		R:  genExpr(rng, vars, depth-1),
+	}
+}
+
+// GenStates generates a random state sequence over the given variables
+// with values in a small range, for differential monitor testing.
+func GenStates(rng *rand.Rand, vars []string, n int) []State {
+	out := make([]State, n)
+	m := map[string]int64{}
+	for _, v := range vars {
+		m[v] = int64(rng.Intn(5) - 2)
+	}
+	for i := range out {
+		// Mutate one variable per step, mimicking relevant write events.
+		if len(vars) > 0 && i > 0 {
+			m[vars[rng.Intn(len(vars))]] = int64(rng.Intn(5) - 2)
+		}
+		out[i] = StateFromMap(m)
+	}
+	return out
+}

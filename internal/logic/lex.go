@@ -1,0 +1,112 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tInt
+	tOp
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	val  int64 // for tInt
+	pos  int   // byte offset in the source
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tInt:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// multiOps are matched greedily, longest first, before single-char
+// operators. Order within equal lengths does not matter.
+var multiOps = []string{
+	"[*]", "<*>", "(.)", "<->",
+	"[]", "<>",
+	"->", "/\\", "\\/", "<=", ">=", "==", "!=", "&&", "||",
+}
+
+const singleOps = "()[],+-*/%<>=!"
+
+// lex tokenizes a formula or expression source string.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+outer:
+	for i < n {
+		c := src[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			i++
+			continue
+		}
+		for _, op := range multiOps {
+			if len(src)-i >= len(op) && src[i:i+len(op)] == op {
+				toks = append(toks, token{kind: tOp, text: op, pos: i})
+				i += len(op)
+				continue outer
+			}
+		}
+		switch {
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("logic: bad integer %q at offset %d", src[i:j], i)
+			}
+			toks = append(toks, token{kind: tInt, text: src[i:j], val: v, pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			if indexByte(singleOps, c) >= 0 {
+				toks = append(toks, token{kind: tOp, text: string(c), pos: i})
+				i++
+				continue
+			}
+			return nil, fmt.Errorf("logic: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

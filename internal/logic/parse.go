@@ -1,0 +1,437 @@
+package logic
+
+import "fmt"
+
+// ParseFormula parses the concrete syntax for specification formulas.
+//
+// Grammar (loosest binding first):
+//
+//	formula  := iff
+//	iff      := implies { '<->' implies }
+//	implies  := or [ '->' implies ]                  (right associative)
+//	or       := and { ('\/' | '||' | 'or') and }
+//	and      := since { ('/\' | '&&' | 'and') since }
+//	since    := unary { ('S' | 'since' | 'U' | 'until') unary }
+//	unary    := ('!' | 'not' | '[*]' | '<*>' | '(.)' | 'start' | 'end'
+//	            | '[]' | 'always' | '<>' | 'eventually' | 'next') unary | atom
+//	atom     := 'true' | 'false'
+//	         | '[' formula ',' formula ')'           (interval [p,q))
+//	         | '(' formula ')'
+//	         | comparison
+//	comparison := arith cmp arith
+//	cmp      := '=' | '==' | '!=' | '<' | '<=' | '>' | '>='
+//	arith    := term { ('+'|'-') term }
+//	term     := factor { ('*'|'/'|'%') factor }
+//	factor   := int | ident | '-' factor | '(' arith ')'
+//
+// The paper's example property is written exactly as in the text:
+//
+//	(x > 0) -> [y = 0, y > z)
+func ParseFormula(src string) (Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("logic: unexpected %s after formula", p.peek())
+	}
+	return f, nil
+}
+
+// MustParseFormula is ParseFormula that panics on error, for use with
+// known-good literals in tests and examples.
+func MustParseFormula(src string) Formula {
+	f, err := ParseFormula(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseExpr parses a bare integer expression (the arith production).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("logic: unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) atEOF() bool { return p.peek().kind == tEOF }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+// acceptOp consumes the next token if it is the given operator.
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.kind == tOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// acceptIdent consumes the next token if it is the given identifier.
+func (p *parser) acceptIdent(name string) bool {
+	if t := p.peek(); t.kind == tIdent && t.text == name {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return fmt.Errorf("logic: expected %q, found %s at offset %d", op, p.peek(), p.peek().pos)
+	}
+	return nil
+}
+
+func (p *parser) formula() (Formula, error) { return p.iff() }
+
+func (p *parser) iff() (Formula, error) {
+	l, err := p.implies()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("<->") {
+		r, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		l = Iff{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) implies() (Formula, error) {
+	l, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptOp("->") || p.acceptIdent("implies") {
+		r, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) or() (Formula, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("\\/") || p.acceptOp("||") || p.acceptIdent("or") {
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) and() (Formula, error) {
+	l, err := p.since()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("/\\") || p.acceptOp("&&") || p.acceptIdent("and") {
+		r, err := p.since()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) since() (Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptIdent("S"), p.acceptIdent("since"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = Since{L: l, R: r}
+		case p.acceptIdent("U"), p.acceptIdent("until"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = Until{L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Formula, error) {
+	switch {
+	case p.acceptOp("!"), p.acceptIdent("not"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	case p.acceptOp("[*]"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return AlwaysPast{X: x}, nil
+	case p.acceptOp("<*>"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return EventuallyPast{X: x}, nil
+	case p.acceptOp("(.)"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Prev{X: x}, nil
+	case p.acceptIdent("start"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Start{X: x}, nil
+	case p.acceptIdent("end"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return End{X: x}, nil
+	case p.acceptOp("[]"), p.acceptIdent("always"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Always{X: x}, nil
+	case p.acceptOp("<>"), p.acceptIdent("eventually"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Eventually{X: x}, nil
+	case p.acceptIdent("next"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Next{X: x}, nil
+	}
+	return p.atom()
+}
+
+func (p *parser) atom() (Formula, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tIdent && t.text == "true":
+		p.next()
+		return BoolLit{Value: true}, nil
+	case t.kind == tIdent && t.text == "false":
+		p.next()
+		return BoolLit{Value: false}, nil
+	case t.kind == tOp && t.text == "[":
+		p.next()
+		f1, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(","); err != nil {
+			return nil, err
+		}
+		f2, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, fmt.Errorf("logic: interval must close with ')': %w", err)
+		}
+		return Interval{P: f1, Q: f2}, nil
+	case t.kind == tOp && t.text == "(":
+		// Ambiguity: "(" may open a parenthesized formula, e.g.
+		// (x > 0) -> ..., or a parenthesized arithmetic expression,
+		// e.g. (x + 1) * 2 > y. Try the formula reading; if it fails,
+		// or if the closing paren is followed by an operator that can
+		// only continue an arithmetic expression, reparse as a
+		// comparison.
+		save := p.pos
+		p.next()
+		f, err := p.formula()
+		if err == nil {
+			if err2 := p.expectOp(")"); err2 == nil && !p.arithContinues() {
+				return f, nil
+			}
+		}
+		p.pos = save
+		return p.comparison()
+	default:
+		return p.comparison()
+	}
+}
+
+// arithContinues reports whether the upcoming token forces an
+// arithmetic reading of what was just parsed.
+func (p *parser) arithContinues() bool {
+	t := p.peek()
+	if t.kind != tOp {
+		return false
+	}
+	switch t.text {
+	case "+", "-", "*", "/", "%", "=", "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+var cmpOps = map[string]CmpOp{
+	"=": EQ, "==": EQ, "!=": NE, "<": LT, "<=": LE, ">": GT, ">=": GE,
+}
+
+func (p *parser) comparison() (Formula, error) {
+	l, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.next()
+			r, err := p.arith()
+			if err != nil {
+				return nil, err
+			}
+			return Pred{Op: op, L: l, R: r}, nil
+		}
+	}
+	return nil, fmt.Errorf("logic: expected comparison operator, found %s at offset %d", t, t.pos)
+}
+
+func (p *parser) arith() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: Add, L: l, R: r}
+		case p.acceptOp("-"):
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: Sub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: Mul, L: l, R: r}
+		case p.acceptOp("/"):
+			r, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: Div, L: l, R: r}
+		case p.acceptOp("%"):
+			r, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: Mod, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) factor() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tInt:
+		p.next()
+		return IntLit{Value: t.val}, nil
+	case t.kind == tIdent:
+		// Reserved words cannot be variables.
+		switch t.text {
+		case "true", "false", "not", "and", "or", "implies", "since", "S",
+			"start", "end", "until", "U", "next", "always", "eventually":
+			return nil, fmt.Errorf("logic: reserved word %s cannot be used as a variable at offset %d", t, t.pos)
+		}
+		p.next()
+		return VarRef{Name: t.text}, nil
+	case t.kind == tOp && t.text == "-":
+		p.next()
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return NegExpr{X: x}, nil
+	case t.kind == tOp && t.text == "(":
+		p.next()
+		e, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("logic: expected expression, found %s at offset %d", t, t.pos)
+}

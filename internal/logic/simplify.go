@@ -1,0 +1,238 @@
+package logic
+
+// Simplify rewrites a formula into an equivalent, usually smaller one:
+// constant subexpressions are folded, boolean identities applied, and
+// temporal operators over constants collapsed. Monitors compiled from
+// the simplified formula have fewer nodes and fewer temporal state
+// bits; the rewrite is proved semantics-preserving by property tests
+// against EvalTrace.
+func Simplify(f Formula) Formula {
+	switch g := f.(type) {
+	case BoolLit:
+		return g
+	case Pred:
+		l := simplifyExpr(g.L)
+		r := simplifyExpr(g.R)
+		if lv, lok := l.(IntLit); lok {
+			if rv, rok := r.(IntLit); rok {
+				return BoolLit{Value: g.Op.apply(lv.Value, rv.Value)}
+			}
+		}
+		return Pred{Op: g.Op, L: l, R: r}
+	case Not:
+		x := Simplify(g.X)
+		if b, ok := x.(BoolLit); ok {
+			return BoolLit{Value: !b.Value}
+		}
+		if inner, ok := x.(Not); ok {
+			return inner.X
+		}
+		return Not{X: x}
+	case And:
+		l, r := Simplify(g.L), Simplify(g.R)
+		if b, ok := l.(BoolLit); ok {
+			if b.Value {
+				return r
+			}
+			return BoolLit{Value: false}
+		}
+		if b, ok := r.(BoolLit); ok {
+			if b.Value {
+				return l
+			}
+			return BoolLit{Value: false}
+		}
+		return And{L: l, R: r}
+	case Or:
+		l, r := Simplify(g.L), Simplify(g.R)
+		if b, ok := l.(BoolLit); ok {
+			if b.Value {
+				return BoolLit{Value: true}
+			}
+			return r
+		}
+		if b, ok := r.(BoolLit); ok {
+			if b.Value {
+				return BoolLit{Value: true}
+			}
+			return l
+		}
+		return Or{L: l, R: r}
+	case Implies:
+		l, r := Simplify(g.L), Simplify(g.R)
+		if b, ok := l.(BoolLit); ok {
+			if b.Value {
+				return r
+			}
+			return BoolLit{Value: true}
+		}
+		if b, ok := r.(BoolLit); ok {
+			if b.Value {
+				return BoolLit{Value: true}
+			}
+			return Simplify(Not{X: l})
+		}
+		return Implies{L: l, R: r}
+	case Iff:
+		l, r := Simplify(g.L), Simplify(g.R)
+		if b, ok := l.(BoolLit); ok {
+			if b.Value {
+				return r
+			}
+			return Simplify(Not{X: r})
+		}
+		if b, ok := r.(BoolLit); ok {
+			if b.Value {
+				return l
+			}
+			return Simplify(Not{X: l})
+		}
+		return Iff{L: l, R: r}
+	case Prev:
+		x := Simplify(g.X)
+		// (.)c = c for constants (the initial-state convention makes
+		// (.)phi equal phi at position 0 and the constant is
+		// position-independent).
+		if b, ok := x.(BoolLit); ok {
+			return b
+		}
+		return Prev{X: x}
+	case AlwaysPast:
+		x := Simplify(g.X)
+		if b, ok := x.(BoolLit); ok {
+			return b
+		}
+		return AlwaysPast{X: x}
+	case EventuallyPast:
+		x := Simplify(g.X)
+		if b, ok := x.(BoolLit); ok {
+			return b
+		}
+		return EventuallyPast{X: x}
+	case Since:
+		l, r := Simplify(g.L), Simplify(g.R)
+		// phi S true = true; phi S false = false; true S psi = <*>psi.
+		if b, ok := r.(BoolLit); ok {
+			return b
+		}
+		if b, ok := l.(BoolLit); ok && b.Value {
+			return Simplify(EventuallyPast{X: r})
+		}
+		return Since{L: l, R: r}
+	case Interval:
+		p, q := Simplify(g.P), Simplify(g.Q)
+		// [p, true) = false; [p, false) = <*>p; [false, q) = false.
+		if b, ok := q.(BoolLit); ok {
+			if b.Value {
+				return BoolLit{Value: false}
+			}
+			return Simplify(EventuallyPast{X: p})
+		}
+		if b, ok := p.(BoolLit); ok && !b.Value {
+			return BoolLit{Value: false}
+		}
+		return Interval{P: p, Q: q}
+	case Start:
+		x := Simplify(g.X)
+		// start(c) is false for constants (no edge can occur).
+		if _, ok := x.(BoolLit); ok {
+			return BoolLit{Value: false}
+		}
+		return Start{X: x}
+	case End:
+		x := Simplify(g.X)
+		if _, ok := x.(BoolLit); ok {
+			return BoolLit{Value: false}
+		}
+		return End{X: x}
+	case Next:
+		x := Simplify(g.X)
+		if b, ok := x.(BoolLit); ok {
+			return b
+		}
+		return Next{X: x}
+	case Always:
+		x := Simplify(g.X)
+		if b, ok := x.(BoolLit); ok {
+			return b
+		}
+		return Always{X: x}
+	case Eventually:
+		x := Simplify(g.X)
+		if b, ok := x.(BoolLit); ok {
+			return b
+		}
+		return Eventually{X: x}
+	case Until:
+		l, r := Simplify(g.L), Simplify(g.R)
+		if b, ok := r.(BoolLit); ok {
+			if b.Value {
+				return BoolLit{Value: true}
+			}
+			return BoolLit{Value: false}
+		}
+		if b, ok := l.(BoolLit); ok && b.Value {
+			return Simplify(Eventually{X: r})
+		}
+		return Until{L: l, R: r}
+	}
+	return f
+}
+
+// simplifyExpr folds constant arithmetic.
+func simplifyExpr(e Expr) Expr {
+	switch g := e.(type) {
+	case IntLit, VarRef:
+		return g
+	case NegExpr:
+		x := simplifyExpr(g.X)
+		if v, ok := x.(IntLit); ok {
+			return IntLit{Value: -v.Value}
+		}
+		return NegExpr{X: x}
+	case BinExpr:
+		l := simplifyExpr(g.L)
+		r := simplifyExpr(g.R)
+		lv, lok := l.(IntLit)
+		rv, rok := r.(IntLit)
+		if lok && rok {
+			switch g.Op {
+			case Add:
+				return IntLit{Value: lv.Value + rv.Value}
+			case Sub:
+				return IntLit{Value: lv.Value - rv.Value}
+			case Mul:
+				return IntLit{Value: lv.Value * rv.Value}
+			case Div:
+				if rv.Value != 0 {
+					return IntLit{Value: lv.Value / rv.Value}
+				}
+			case Mod:
+				if rv.Value != 0 {
+					return IntLit{Value: lv.Value % rv.Value}
+				}
+			}
+		}
+		// Identities that cannot change evaluation errors: x+0, 0+x,
+		// x-0, x*1, 1*x. (x*0 is NOT folded: x may reference an unbound
+		// variable whose lookup error must be preserved.)
+		if rok {
+			switch {
+			case g.Op == Add && rv.Value == 0,
+				g.Op == Sub && rv.Value == 0,
+				g.Op == Mul && rv.Value == 1,
+				g.Op == Div && rv.Value == 1:
+				return l
+			}
+		}
+		if lok {
+			switch {
+			case g.Op == Add && lv.Value == 0,
+				g.Op == Mul && lv.Value == 1:
+				return r
+			}
+		}
+		return BinExpr{Op: g.Op, L: l, R: r}
+	}
+	return e
+}

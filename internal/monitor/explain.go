@@ -1,0 +1,118 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"gompax/internal/logic"
+)
+
+// Explanation is a step-by-step account of a run's evaluation: the
+// truth value of every subformula at every state. It is what a user
+// reads to understand *why* a predicted counterexample violates the
+// property.
+type Explanation struct {
+	// Labels are the subformulas in evaluation (bottom-up) order; the
+	// last one is the whole property.
+	Labels []string
+	// Steps[i][n] is the value of subformula n at state i.
+	Steps [][]bool
+	// Verdicts[i] is the monitor verdict at state i.
+	Verdicts []Verdict
+}
+
+// Explain evaluates the property over the state sequence, recording
+// every subformula's value at every step.
+func Explain(p *Program, states []logic.State) (*Explanation, error) {
+	ex := &Explanation{Labels: p.labels()}
+	m := p.NewMonitor()
+	for _, s := range states {
+		v, err := m.Step(s)
+		if err != nil {
+			return nil, err
+		}
+		ex.Steps = append(ex.Steps, append([]bool(nil), m.scratch...))
+		ex.Verdicts = append(ex.Verdicts, v)
+	}
+	return ex, nil
+}
+
+// labels reconstructs one display string per program node by walking
+// the source formula in the same order build() compiled it. Start/End
+// nodes were desugared at compile time, so the walk desugars them the
+// same way.
+func (p *Program) labels() []string {
+	var out []string
+	var walk func(f logic.Formula)
+	walk = func(f logic.Formula) {
+		switch g := f.(type) {
+		case logic.Not:
+			walk(g.X)
+		case logic.And:
+			walk(g.L)
+			walk(g.R)
+		case logic.Or:
+			walk(g.L)
+			walk(g.R)
+		case logic.Implies:
+			walk(g.L)
+			walk(g.R)
+		case logic.Iff:
+			walk(g.L)
+			walk(g.R)
+		case logic.Prev:
+			walk(g.X)
+		case logic.AlwaysPast:
+			walk(g.X)
+		case logic.EventuallyPast:
+			walk(g.X)
+		case logic.Since:
+			walk(g.L)
+			walk(g.R)
+		case logic.Interval:
+			walk(g.P)
+			walk(g.Q)
+		case logic.Start:
+			walk(logic.And{L: g.X, R: logic.Not{X: logic.Prev{X: g.X}}})
+			return
+		case logic.End:
+			walk(logic.And{L: logic.Not{X: g.X}, R: logic.Prev{X: g.X}})
+			return
+		}
+		out = append(out, f.String())
+	}
+	walk(p.formula)
+	return out
+}
+
+// String renders the explanation as a table, states as columns.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	width := 0
+	for _, l := range e.Labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for n := len(e.Labels) - 1; n >= 0; n-- {
+		fmt.Fprintf(&b, "%-*s |", width, e.Labels[n])
+		for i := range e.Steps {
+			if e.Steps[i][n] {
+				b.WriteString(" T")
+			} else {
+				b.WriteString(" f")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s |", width, "verdict")
+	for _, v := range e.Verdicts {
+		if v == Violated {
+			b.WriteString(" ✗")
+		} else {
+			b.WriteString(" ✓")
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

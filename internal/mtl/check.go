@@ -1,0 +1,156 @@
+package mtl
+
+import (
+	"fmt"
+
+	"gompax/internal/logic"
+)
+
+// Check runs the static checks on a parsed program: unique
+// declarations, every referenced name resolves (shared, local in
+// scope, mutex, cond), no shadowing of shared variables by locals, and
+// conditions are non-temporal.
+func Check(p *Program) error {
+	shared := map[string]bool{}
+	for _, d := range p.Shared {
+		if shared[d.Name] {
+			return fmt.Errorf("mtl: shared variable %q declared twice", d.Name)
+		}
+		shared[d.Name] = true
+	}
+	mutexes := map[string]bool{}
+	for _, m := range p.Mutexes {
+		if mutexes[m] || shared[m] {
+			return fmt.Errorf("mtl: mutex %q conflicts with another declaration", m)
+		}
+		mutexes[m] = true
+	}
+	conds := map[string]bool{}
+	for _, c := range p.Conds {
+		if conds[c] || mutexes[c] || shared[c] {
+			return fmt.Errorf("mtl: cond %q conflicts with another declaration", c)
+		}
+		conds[c] = true
+	}
+	threads := map[string]bool{}
+	tasks := map[string]bool{}
+	for _, t := range p.Tasks {
+		if tasks[t.Name] {
+			return fmt.Errorf("mtl: task %q declared twice", t.Name)
+		}
+		tasks[t.Name] = true
+	}
+	for _, t := range p.Threads {
+		if threads[t.Name] || tasks[t.Name] {
+			return fmt.Errorf("mtl: thread %q declared twice", t.Name)
+		}
+		threads[t.Name] = true
+	}
+	units := append(append([]ThreadDecl(nil), p.Threads...), p.Tasks...)
+	for _, t := range units {
+		locals := map[string]bool{}
+		if err := checkBlock(t.Name, t.Body, shared, mutexes, conds, tasks, locals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkBlock(thread string, stmts []Stmt, shared, mutexes, conds, tasks, locals map[string]bool) error {
+	for _, s := range stmts {
+		if err := checkStmt(thread, s, shared, mutexes, conds, tasks, locals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkStmt(thread string, s Stmt, shared, mutexes, conds, tasks, locals map[string]bool) error {
+	checkExpr := func(e logic.Expr) error {
+		for _, v := range logic.ExprVars(e) {
+			if !shared[v] && !locals[v] {
+				return fmt.Errorf("mtl: thread %s references undeclared variable %q", thread, v)
+			}
+		}
+		return nil
+	}
+	checkCond := func(f logic.Formula) error {
+		var bad error
+		logic.Walk(f, func(g logic.Formula) {
+			if logic.IsTemporal(g) && bad == nil {
+				bad = fmt.Errorf("mtl: thread %s uses temporal operator in a condition", thread)
+			}
+		})
+		if bad != nil {
+			return bad
+		}
+		for _, v := range logic.Vars(f) {
+			if !shared[v] && !locals[v] {
+				return fmt.Errorf("mtl: thread %s references undeclared variable %q", thread, v)
+			}
+		}
+		return nil
+	}
+	switch g := s.(type) {
+	case VarDecl:
+		if shared[g.Name] {
+			return fmt.Errorf("mtl: thread %s: local %q shadows a shared variable", thread, g.Name)
+		}
+		if mutexes[g.Name] || conds[g.Name] {
+			return fmt.Errorf("mtl: thread %s: local %q conflicts with a mutex or cond", thread, g.Name)
+		}
+		if err := checkExpr(g.Expr); err != nil {
+			return err
+		}
+		if locals[g.Name] {
+			return fmt.Errorf("mtl: thread %s: local %q declared twice", thread, g.Name)
+		}
+		locals[g.Name] = true
+	case Assign:
+		if !shared[g.Name] && !locals[g.Name] {
+			return fmt.Errorf("mtl: thread %s assigns undeclared variable %q", thread, g.Name)
+		}
+		if err := checkExpr(g.Expr); err != nil {
+			return err
+		}
+	case If:
+		if err := checkCond(g.Cond); err != nil {
+			return err
+		}
+		if err := checkBlock(thread, g.Then, shared, mutexes, conds, tasks, locals); err != nil {
+			return err
+		}
+		return checkBlock(thread, g.Else, shared, mutexes, conds, tasks, locals)
+	case While:
+		if err := checkCond(g.Cond); err != nil {
+			return err
+		}
+		return checkBlock(thread, g.Body, shared, mutexes, conds, tasks, locals)
+	case LockStmt:
+		if !mutexes[g.Name] {
+			return fmt.Errorf("mtl: thread %s locks undeclared mutex %q", thread, g.Name)
+		}
+	case UnlockStmt:
+		if !mutexes[g.Name] {
+			return fmt.Errorf("mtl: thread %s unlocks undeclared mutex %q", thread, g.Name)
+		}
+	case WaitStmt:
+		if !conds[g.Name] {
+			return fmt.Errorf("mtl: thread %s waits on undeclared cond %q", thread, g.Name)
+		}
+	case NotifyStmt:
+		if !conds[g.Name] {
+			return fmt.Errorf("mtl: thread %s notifies undeclared cond %q", thread, g.Name)
+		}
+	case NotifyAllStmt:
+		if !conds[g.Name] {
+			return fmt.Errorf("mtl: thread %s notifies undeclared cond %q", thread, g.Name)
+		}
+	case SpawnStmt:
+		if !tasks[g.Task] {
+			return fmt.Errorf("mtl: thread %s spawns undeclared task %q", thread, g.Task)
+		}
+	case Skip:
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package mtl
+
+import (
+	"fmt"
+
+	"gompax/internal/logic"
+)
+
+// OpCode enumerates the stack-machine instructions MTL compiles to.
+// Instructions marked "event" are the yield points where the
+// interpreter hands control back to the scheduler and where the
+// instrumentation (Algorithm A) runs — exactly one event per such
+// instruction.
+type OpCode uint8
+
+const (
+	// OpPush pushes Val.
+	OpPush OpCode = iota
+	// OpLoadLocal pushes the local at Idx.
+	OpLoadLocal
+	// OpStoreLocal pops into the local at Idx.
+	OpStoreLocal
+	// OpLoadShared pushes the shared variable Name (event: read).
+	OpLoadShared
+	// OpStoreShared pops into the shared variable Name (event: write).
+	OpStoreShared
+	// OpAdd, OpSub, OpMul, OpDiv, OpMod pop two operands and push the result.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	// OpNeg negates the top of stack.
+	OpNeg
+	// OpCmp pops two operands and pushes Cmp(l, r) as 0/1.
+	OpCmp
+	// OpNot inverts the 0/1 top of stack.
+	OpNot
+	// OpJump jumps to Target.
+	OpJump
+	// OpJumpFalse pops and jumps to Target when zero.
+	OpJumpFalse
+	// OpLock acquires mutex Name (event: acquire; may block first).
+	OpLock
+	// OpUnlock releases mutex Name (event: release).
+	OpUnlock
+	// OpWait blocks on cond Name until notified (event on resume).
+	OpWait
+	// OpNotify wakes one waiter of cond Name (event: signal).
+	OpNotify
+	// OpNotifyAll wakes all waiters of cond Name (event: signal).
+	OpNotifyAll
+	// OpSpawn starts a new instance of the task named Name (event:
+	// spawn by the parent thread).
+	OpSpawn
+	// OpSkip is an internal no-op event.
+	OpSkip
+	// OpHalt ends the thread.
+	OpHalt
+)
+
+var opNames = [...]string{
+	OpPush: "push", OpLoadLocal: "loadl", OpStoreLocal: "storel",
+	OpLoadShared: "loads", OpStoreShared: "stores",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpCmp: "cmp", OpNot: "not",
+	OpJump: "jmp", OpJumpFalse: "jmpf",
+	OpLock: "lock", OpUnlock: "unlock",
+	OpWait: "wait", OpNotify: "notify", OpNotifyAll: "notifyall",
+	OpSpawn: "spawn", OpSkip: "skip", OpHalt: "halt",
+}
+
+func (op OpCode) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Instr is one stack-machine instruction.
+type Instr struct {
+	Op     OpCode
+	Val    int64       // OpPush
+	Idx    int         // OpLoadLocal / OpStoreLocal
+	Name   string      // shared variable, mutex or cond name
+	Cmp    logic.CmpOp // OpCmp
+	Target int         // OpJump / OpJumpFalse
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpPush:
+		return fmt.Sprintf("push %d", in.Val)
+	case OpLoadLocal, OpStoreLocal:
+		return fmt.Sprintf("%s %d", in.Op, in.Idx)
+	case OpLoadShared, OpStoreShared, OpLock, OpUnlock, OpWait, OpNotify, OpNotifyAll, OpSpawn:
+		return fmt.Sprintf("%s %s", in.Op, in.Name)
+	case OpCmp:
+		return fmt.Sprintf("cmp %s", in.Cmp)
+	case OpJump, OpJumpFalse:
+		return fmt.Sprintf("%s %d", in.Op, in.Target)
+	default:
+		return in.Op.String()
+	}
+}
+
+// IsEvent reports whether the instruction generates an event (a yield
+// point for the scheduler).
+func (in Instr) IsEvent() bool {
+	switch in.Op {
+	case OpLoadShared, OpStoreShared, OpLock, OpUnlock, OpWait, OpNotify, OpNotifyAll, OpSpawn, OpSkip:
+		return true
+	}
+	return false
+}
+
+// ThreadCode is the compiled body of one thread.
+type ThreadCode struct {
+	Name   string
+	Code   []Instr
+	Locals []string // local variable names by slot index
+}
+
+// Compiled is a compiled MTL program, ready for the interpreter.
+type Compiled struct {
+	Prog    *Program
+	Threads []ThreadCode
+	// Tasks are the compiled spawnable bodies; TaskIndex maps task
+	// names to indices into Tasks.
+	Tasks     []ThreadCode
+	TaskIndex map[string]int
+}
+
+// Compile lowers a checked program to stack-machine code.
+func Compile(p *Program) (*Compiled, error) {
+	if err := Check(p); err != nil {
+		return nil, err
+	}
+	shared := map[string]bool{}
+	for _, d := range p.Shared {
+		shared[d.Name] = true
+	}
+	out := &Compiled{Prog: p, TaskIndex: map[string]int{}}
+	for _, t := range p.Threads {
+		c := &compiler{shared: shared, localIdx: map[string]int{}}
+		c.block(t.Body)
+		c.emit(Instr{Op: OpHalt})
+		out.Threads = append(out.Threads, ThreadCode{Name: t.Name, Code: c.code, Locals: c.locals})
+	}
+	for i, t := range p.Tasks {
+		c := &compiler{shared: shared, localIdx: map[string]int{}}
+		c.block(t.Body)
+		c.emit(Instr{Op: OpHalt})
+		out.Tasks = append(out.Tasks, ThreadCode{Name: t.Name, Code: c.code, Locals: c.locals})
+		out.TaskIndex[t.Name] = i
+	}
+	return out, nil
+}
+
+// MustCompile parses and compiles source, panicking on error.
+func MustCompile(src string) *Compiled {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	c, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type compiler struct {
+	shared   map[string]bool
+	locals   []string
+	localIdx map[string]int
+	code     []Instr
+}
+
+func (c *compiler) emit(in Instr) int {
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+func (c *compiler) here() int { return len(c.code) }
+
+func (c *compiler) patch(at, target int) { c.code[at].Target = target }
+
+func (c *compiler) local(name string) int {
+	if i, ok := c.localIdx[name]; ok {
+		return i
+	}
+	i := len(c.locals)
+	c.locals = append(c.locals, name)
+	c.localIdx[name] = i
+	return i
+}
+
+func (c *compiler) block(stmts []Stmt) {
+	for _, s := range stmts {
+		c.stmt(s)
+	}
+}
+
+func (c *compiler) stmt(s Stmt) {
+	switch g := s.(type) {
+	case Assign:
+		c.expr(g.Expr)
+		if c.shared[g.Name] {
+			c.emit(Instr{Op: OpStoreShared, Name: g.Name})
+		} else {
+			c.emit(Instr{Op: OpStoreLocal, Idx: c.local(g.Name)})
+		}
+	case VarDecl:
+		c.expr(g.Expr)
+		c.emit(Instr{Op: OpStoreLocal, Idx: c.local(g.Name)})
+	case If:
+		c.cond(g.Cond)
+		jf := c.emit(Instr{Op: OpJumpFalse})
+		c.block(g.Then)
+		if len(g.Else) > 0 {
+			j := c.emit(Instr{Op: OpJump})
+			c.patch(jf, c.here())
+			c.block(g.Else)
+			c.patch(j, c.here())
+		} else {
+			c.patch(jf, c.here())
+		}
+	case While:
+		top := c.here()
+		c.cond(g.Cond)
+		jf := c.emit(Instr{Op: OpJumpFalse})
+		c.block(g.Body)
+		c.emit(Instr{Op: OpJump, Target: top})
+		c.patch(jf, c.here())
+	case LockStmt:
+		c.emit(Instr{Op: OpLock, Name: g.Name})
+	case UnlockStmt:
+		c.emit(Instr{Op: OpUnlock, Name: g.Name})
+	case WaitStmt:
+		c.emit(Instr{Op: OpWait, Name: g.Name})
+	case NotifyStmt:
+		c.emit(Instr{Op: OpNotify, Name: g.Name})
+	case NotifyAllStmt:
+		c.emit(Instr{Op: OpNotifyAll, Name: g.Name})
+	case SpawnStmt:
+		c.emit(Instr{Op: OpSpawn, Name: g.Task})
+	case Skip:
+		c.emit(Instr{Op: OpSkip})
+	}
+}
+
+func (c *compiler) expr(e logic.Expr) {
+	switch g := e.(type) {
+	case logic.IntLit:
+		c.emit(Instr{Op: OpPush, Val: g.Value})
+	case logic.VarRef:
+		if c.shared[g.Name] {
+			c.emit(Instr{Op: OpLoadShared, Name: g.Name})
+		} else {
+			c.emit(Instr{Op: OpLoadLocal, Idx: c.local(g.Name)})
+		}
+	case logic.NegExpr:
+		c.expr(g.X)
+		c.emit(Instr{Op: OpNeg})
+	case logic.BinExpr:
+		c.expr(g.L)
+		c.expr(g.R)
+		switch g.Op {
+		case logic.Add:
+			c.emit(Instr{Op: OpAdd})
+		case logic.Sub:
+			c.emit(Instr{Op: OpSub})
+		case logic.Mul:
+			c.emit(Instr{Op: OpMul})
+		case logic.Div:
+			c.emit(Instr{Op: OpDiv})
+		case logic.Mod:
+			c.emit(Instr{Op: OpMod})
+		}
+	}
+}
+
+// cond compiles a boolean formula with Java-style short-circuit
+// evaluation: the right operand of && and || is not evaluated (and
+// emits no read events) when the left operand decides the result.
+func (c *compiler) cond(f logic.Formula) {
+	switch g := f.(type) {
+	case logic.BoolLit:
+		v := int64(0)
+		if g.Value {
+			v = 1
+		}
+		c.emit(Instr{Op: OpPush, Val: v})
+	case logic.Pred:
+		c.expr(g.L)
+		c.expr(g.R)
+		c.emit(Instr{Op: OpCmp, Cmp: g.Op})
+	case logic.Not:
+		c.cond(g.X)
+		c.emit(Instr{Op: OpNot})
+	case logic.And:
+		c.cond(g.L)
+		jf := c.emit(Instr{Op: OpJumpFalse})
+		c.cond(g.R)
+		j := c.emit(Instr{Op: OpJump})
+		c.patch(jf, c.here())
+		c.emit(Instr{Op: OpPush, Val: 0})
+		c.patch(j, c.here())
+	case logic.Or:
+		c.cond(g.L)
+		jf := c.emit(Instr{Op: OpJumpFalse})
+		c.emit(Instr{Op: OpPush, Val: 1})
+		j := c.emit(Instr{Op: OpJump})
+		c.patch(jf, c.here())
+		c.cond(g.R)
+		c.patch(j, c.here())
+	case logic.Implies:
+		c.cond(logic.Or{L: logic.Not{X: g.L}, R: g.R})
+	case logic.Iff:
+		c.cond(g.L)
+		c.cond(g.R)
+		c.emit(Instr{Op: OpCmp, Cmp: logic.EQ})
+	}
+}

@@ -1,0 +1,36 @@
+package mtl
+
+import "testing"
+
+// FuzzParse checks the MTL parser is total and that accepted programs
+// print to a parseable fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		landingSrc,
+		"shared x = 0; thread t { x = 1; }",
+		"shared x = -1;\nmutex m;\ncond c;\nthread a { lock(m); wait(c); unlock(m); }\nthread b { notify(c); }",
+		"thread t { while (1 == 1) { skip; } }",
+		"shared if = 0;",
+		"{{{", "",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\n%s", err, printed)
+		}
+		if p2.String() != printed {
+			t.Fatalf("printing not a fixpoint")
+		}
+		if _, err := Compile(p); err != nil {
+			t.Fatalf("checked program does not compile: %v", err)
+		}
+	})
+}

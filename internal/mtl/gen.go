@@ -1,0 +1,158 @@
+package mtl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gompax/internal/logic"
+)
+
+// GenConfig controls random program generation.
+type GenConfig struct {
+	// Threads is the number of threads (default 2).
+	Threads int
+	// Vars is the number of shared variables x0..x{Vars-1} (default 3).
+	Vars int
+	// Stmts is the approximate number of statements per thread
+	// (default 6).
+	Stmts int
+	// Depth bounds nesting of if/while (default 2).
+	Depth int
+}
+
+func (c GenConfig) defaults() GenConfig {
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	if c.Vars <= 0 {
+		c.Vars = 3
+	}
+	if c.Stmts <= 0 {
+		c.Stmts = 6
+	}
+	if c.Depth <= 0 {
+		c.Depth = 2
+	}
+	return c
+}
+
+// GenProgram generates a random, always-terminating MTL program:
+// assignments over the shared variables, conditionals, and loops that
+// are bounded by construction (each while counts a fresh local up to a
+// small constant). No locks or condition variables are generated, so
+// every interleaving runs to completion — which is what the
+// system-level soundness tests need (they exhaustively explore and
+// replay interleavings). Exported for tests and benchmarks, like
+// logic.GenFormula.
+func GenProgram(rng *rand.Rand, cfg GenConfig) *Program {
+	cfg = cfg.defaults()
+	p := &Program{}
+	for i := 0; i < cfg.Vars; i++ {
+		p.Shared = append(p.Shared, SharedDecl{
+			Name: fmt.Sprintf("x%d", i),
+			Init: int64(rng.Intn(5) - 2),
+		})
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		g := &progGen{rng: rng, cfg: cfg, thread: t}
+		body := g.block(cfg.Stmts, cfg.Depth)
+		p.Threads = append(p.Threads, ThreadDecl{
+			Name: fmt.Sprintf("t%d", t),
+			Body: body,
+		})
+	}
+	return p
+}
+
+type progGen struct {
+	rng    *rand.Rand
+	cfg    GenConfig
+	thread int
+	loops  int
+}
+
+func (g *progGen) sharedVar() string {
+	return fmt.Sprintf("x%d", g.rng.Intn(g.cfg.Vars))
+}
+
+func (g *progGen) expr(depth int) logic.Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return logic.VarRef{Name: g.sharedVar()}
+		}
+		// Non-negative literals keep printing a fixpoint (negative ones
+		// reparse as NegExpr).
+		return logic.IntLit{Value: int64(g.rng.Intn(7))}
+	}
+	ops := []logic.ArithOp{logic.Add, logic.Sub, logic.Mul}
+	return logic.BinExpr{
+		Op: ops[g.rng.Intn(len(ops))],
+		L:  g.expr(depth - 1),
+		R:  g.expr(depth - 1),
+	}
+}
+
+func (g *progGen) cond() logic.Formula {
+	ops := []logic.CmpOp{logic.EQ, logic.NE, logic.LT, logic.LE, logic.GT, logic.GE}
+	pred := logic.Pred{Op: ops[g.rng.Intn(len(ops))], L: g.expr(1), R: g.expr(1)}
+	switch g.rng.Intn(4) {
+	case 0:
+		other := logic.Pred{Op: ops[g.rng.Intn(len(ops))], L: g.expr(1), R: g.expr(1)}
+		return logic.And{L: pred, R: other}
+	case 1:
+		other := logic.Pred{Op: ops[g.rng.Intn(len(ops))], L: g.expr(1), R: g.expr(1)}
+		return logic.Or{L: pred, R: other}
+	default:
+		return pred
+	}
+}
+
+func (g *progGen) block(n, depth int) []Stmt {
+	var out []Stmt
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmts(depth)...)
+	}
+	return out
+}
+
+// stmts generates one logical statement, which may expand to several
+// physical ones (a bounded loop needs its counter declaration).
+func (g *progGen) stmts(depth int) []Stmt {
+	choice := g.rng.Intn(10)
+	switch {
+	case choice < 5 || depth <= 0:
+		return []Stmt{Assign{Name: g.sharedVar(), Expr: g.expr(2)}}
+	case choice < 6:
+		return []Stmt{Skip{}}
+	case choice < 8:
+		return []Stmt{If{
+			Cond: g.cond(),
+			Then: g.block(1+g.rng.Intn(2), depth-1),
+			Else: g.maybeElse(depth - 1),
+		}}
+	default:
+		// A loop bounded by construction: a fresh local counts to k.
+		g.loops++
+		counter := fmt.Sprintf("i%d_%d", g.thread, g.loops)
+		k := int64(1 + g.rng.Intn(3))
+		body := g.block(1+g.rng.Intn(2), depth-1)
+		body = append(body, Assign{
+			Name: counter,
+			Expr: logic.BinExpr{Op: logic.Add, L: logic.VarRef{Name: counter}, R: logic.IntLit{Value: 1}},
+		})
+		return []Stmt{
+			VarDecl{Name: counter, Expr: logic.IntLit{Value: 0}},
+			While{
+				Cond: logic.Pred{Op: logic.LT, L: logic.VarRef{Name: counter}, R: logic.IntLit{Value: k}},
+				Body: body,
+			},
+		}
+	}
+}
+
+func (g *progGen) maybeElse(depth int) []Stmt {
+	if g.rng.Intn(2) == 0 {
+		return nil
+	}
+	return g.block(1, depth)
+}

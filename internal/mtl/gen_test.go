@@ -1,0 +1,28 @@
+package mtl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenProgramValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		p := GenProgram(rng, GenConfig{Threads: 2 + rng.Intn(2), Vars: 3, Stmts: 5, Depth: 2})
+		if err := Check(p); err != nil {
+			t.Fatalf("iter %d: generated program fails check: %v\n%s", iter, err, p)
+		}
+		if _, err := Compile(p); err != nil {
+			t.Fatalf("iter %d: compile: %v", iter, err)
+		}
+		// Printing round-trips.
+		printed := p.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("iter %d: reparse: %v\n%s", iter, err, printed)
+		}
+		if p2.String() != printed {
+			t.Fatalf("iter %d: print not a fixpoint", iter)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package mtl
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tPunct
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+func (t tok) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tInt:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func (t tok) pos() string { return fmt.Sprintf("%d:%d", t.line, t.col) }
+
+var punct2 = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+const punct1 = "(){};,=+-*/%<>!"
+
+// lexMTL tokenizes MTL source, supporting // line comments.
+func lexMTL(src string) ([]tok, error) {
+	var toks []tok
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+outer:
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+			continue
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+			continue
+		}
+		for _, op := range punct2 {
+			if n-i >= len(op) && src[i:i+len(op)] == op {
+				toks = append(toks, tok{kind: tPunct, text: op, line: line, col: col})
+				advance(len(op))
+				continue outer
+			}
+		}
+		switch {
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mtl:%d:%d: bad integer %q", line, col, src[i:j])
+			}
+			toks = append(toks, tok{kind: tInt, text: src[i:j], val: v, line: line, col: col})
+			advance(j - i)
+		case c == '_' || unicode.IsLetter(rune(c)):
+			j := i
+			for j < n && (src[j] == '_' || unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, tok{kind: tIdent, text: src[i:j], line: line, col: col})
+			advance(j - i)
+		default:
+			found := false
+			for k := 0; k < len(punct1); k++ {
+				if punct1[k] == c {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("mtl:%d:%d: unexpected character %q", line, col, c)
+			}
+			toks = append(toks, tok{kind: tPunct, text: string(c), line: line, col: col})
+			advance(1)
+		}
+	}
+	toks = append(toks, tok{kind: tEOF, line: line, col: col})
+	return toks, nil
+}

@@ -1,0 +1,269 @@
+package mtl
+
+import (
+	"strings"
+	"testing"
+
+	"gompax/internal/logic"
+)
+
+const landingSrc = `
+// The paper's Fig. 1 flight controller.
+shared landing = 0, approved = 0, radio = 1;
+
+thread controller {
+    if (radio == 0) { approved = 0; } else { approved = 1; }
+    if (approved == 1) { landing = 1; }
+}
+
+thread radioman {
+    skip;
+    radio = 0;
+}
+`
+
+func TestParseLanding(t *testing.T) {
+	p, err := Parse(landingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shared) != 3 || len(p.Threads) != 2 {
+		t.Fatalf("shape: %d shared, %d threads", len(p.Shared), len(p.Threads))
+	}
+	init := p.InitialState()
+	if init["landing"] != 0 || init["approved"] != 0 || init["radio"] != 1 {
+		t.Fatalf("initial state %v", init)
+	}
+	if got := p.ThreadNames(); got[0] != "controller" || got[1] != "radioman" {
+		t.Fatalf("thread names %v", got)
+	}
+	if got := p.SharedNames(); strings.Join(got, ",") != "landing,approved,radio" {
+		t.Fatalf("shared names %v", got)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		landingSrc,
+		`
+shared x = -1, y = 0, z = 0;
+thread t1 { x = x + 1; skip; y = x + 1; }
+thread t2 { z = x + 1; skip; x = x + 1; }
+`,
+		`
+shared c = 0;
+mutex m;
+cond full;
+thread producer { lock(m); c = c + 1; notify(full); unlock(m); }
+thread consumer { while (c == 0) { wait(full); } c = c - 1; }
+`,
+		`
+shared a = 0;
+thread t {
+    var i = 0;
+    while (i < 10 && a >= 0) {
+        if (i % 2 == 0) { a = a + i; } else if (i > 5) { a = a - 1; } else { skip; }
+        i = i + 1;
+    }
+}
+`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		printed := p1.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, printed)
+		}
+		if p2.String() != printed {
+			t.Fatalf("print not a fixpoint:\n%s\nvs\n%s", printed, p2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"no threads":         `shared x = 0;`,
+		"bad char":           `thread t { x @ 1; }`,
+		"keyword as name":    `shared if = 0; thread t { skip; }`,
+		"unterminated block": `thread t { skip;`,
+		"missing semicolon":  `shared x = 0; thread t { x = 1 }`,
+		"garbage decl":       `banana x; thread t { skip; }`,
+		"huge int":           `shared x = 99999999999999999999; thread t { skip; }`,
+		"junk statement":     `thread t { 42; }`,
+		"missing paren":      `thread t { if (1 == 1 { skip; } }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse unexpectedly succeeded", name)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := map[string]string{
+		"dup shared":        `shared x = 0, x = 1; thread t { skip; }`,
+		"dup thread":        `shared x = 0; thread t { skip; } thread t { skip; }`,
+		"undeclared write":  `shared x = 0; thread t { y = 1; }`,
+		"undeclared read":   `shared x = 0; thread t { x = q + 1; }`,
+		"undeclared lock":   `shared x = 0; thread t { lock(m); }`,
+		"undeclared cond":   `shared x = 0; thread t { wait(c); }`,
+		"shadowed shared":   `shared x = 0; thread t { var x = 1; }`,
+		"dup local":         `shared x = 0; thread t { var i = 0; var i = 1; }`,
+		"mutex clash":       `shared x = 0; mutex x; thread t { skip; }`,
+		"cond clash":        `shared x = 0; cond x; thread t { skip; }`,
+		"local as mutex":    `shared x = 0; mutex m; thread t { var m = 0; }`,
+		"undeclared unlock": `shared x = 0; thread t { unlock(m); }`,
+		"undeclared notify": `shared x = 0; thread t { notify(c); }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: check unexpectedly passed", name)
+		}
+	}
+}
+
+func TestLocalScoping(t *testing.T) {
+	// Locals are visible after declaration, including in nested blocks.
+	src := `
+shared x = 0;
+thread t {
+    var i = 3;
+    if (i > 0) { x = i; }
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Use before declaration is an error.
+	bad := `
+shared x = 0;
+thread t {
+    x = i;
+    var i = 3;
+}
+`
+	if _, err := Parse(bad); err == nil {
+		t.Fatalf("use before declaration accepted")
+	}
+}
+
+func TestCompileLanding(t *testing.T) {
+	c := MustCompile(landingSrc)
+	if len(c.Threads) != 2 {
+		t.Fatalf("threads = %d", len(c.Threads))
+	}
+	// Controller: reads radio, stores approved (both branches), reads
+	// approved, stores landing; ends with halt.
+	code := c.Threads[0].Code
+	if code[len(code)-1].Op != OpHalt {
+		t.Fatalf("missing halt")
+	}
+	var loads, stores int
+	for _, in := range code {
+		switch in.Op {
+		case OpLoadShared:
+			loads++
+		case OpStoreShared:
+			stores++
+		}
+	}
+	if loads != 2 || stores != 3 {
+		t.Fatalf("controller has %d loads, %d stores; want 2 and 3", loads, stores)
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	// In `a == 1 && b == 1`, b must not be read when a != 1: the jump
+	// structure routes around the second load.
+	c := MustCompile(`
+shared a = 0, b = 0, out = 0;
+thread t { if (a == 1 && b == 1) { out = 1; } else { out = 2; } }
+`)
+	code := c.Threads[0].Code
+	// Find the two loads; there must be a conditional jump between them.
+	first, second := -1, -1
+	for i, in := range code {
+		if in.Op == OpLoadShared {
+			if first < 0 {
+				first = i
+			} else if second < 0 {
+				second = i
+			}
+		}
+	}
+	if first < 0 || second < 0 {
+		t.Fatalf("expected two shared loads")
+	}
+	foundJump := false
+	for i := first; i < second; i++ {
+		if code[i].Op == OpJumpFalse {
+			foundJump = true
+		}
+	}
+	if !foundJump {
+		t.Fatalf("no short-circuit jump between loads:\n%v", code)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	ins := []Instr{
+		{Op: OpPush, Val: 42},
+		{Op: OpLoadLocal, Idx: 1},
+		{Op: OpLoadShared, Name: "x"},
+		{Op: OpCmp, Cmp: logic.LE},
+		{Op: OpJump, Target: 7},
+		{Op: OpHalt},
+	}
+	wants := []string{"push 42", "loadl 1", "loads x", "cmp <=", "jmp 7", "halt"}
+	for i, in := range ins {
+		if in.String() != wants[i] {
+			t.Errorf("Instr %d = %q, want %q", i, in.String(), wants[i])
+		}
+	}
+	if OpCode(250).String() == "" {
+		t.Errorf("unknown opcode should render")
+	}
+}
+
+func TestIsEvent(t *testing.T) {
+	events := []OpCode{OpLoadShared, OpStoreShared, OpLock, OpUnlock, OpWait, OpNotify, OpNotifyAll, OpSkip}
+	for _, op := range events {
+		if !(Instr{Op: op}).IsEvent() {
+			t.Errorf("%v should be an event", op)
+		}
+	}
+	silent := []OpCode{OpPush, OpLoadLocal, OpStoreLocal, OpAdd, OpJump, OpJumpFalse, OpHalt, OpCmp, OpNot}
+	for _, op := range silent {
+		if (Instr{Op: op}).IsEvent() {
+			t.Errorf("%v should be silent", op)
+		}
+	}
+}
+
+func TestNegativeInitializer(t *testing.T) {
+	p, err := Parse(`shared x = -5; thread t { x = 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InitialState()["x"] != -5 {
+		t.Fatalf("negative initializer lost")
+	}
+}
+
+func TestTemporalOperatorRejectedInCondition(t *testing.T) {
+	// The MTL grammar cannot even produce temporal conditions, but
+	// Check guards against AST-level construction too.
+	p := &Program{
+		Shared: []SharedDecl{{Name: "x"}},
+		Threads: []ThreadDecl{{Name: "t", Body: []Stmt{
+			If{Cond: logic.EventuallyPast{X: logic.BoolLit{Value: true}}, Then: []Stmt{Skip{}}},
+		}}},
+	}
+	if err := Check(p); err == nil || !strings.Contains(err.Error(), "temporal") {
+		t.Fatalf("temporal condition accepted: %v", err)
+	}
+}

@@ -1,0 +1,541 @@
+package mtl
+
+import (
+	"fmt"
+
+	"gompax/internal/logic"
+)
+
+// Parse parses MTL source into a Program and runs the static checks
+// (declared-before-use, no shadowing of shared variables, lock and
+// condition names resolve, at least one thread).
+//
+// Grammar:
+//
+//	program   := decl* (thread | task)+  (at least one thread)
+//	decl      := 'shared' ident '=' int {',' ident '=' int} ';'
+//	           | 'mutex' ident {',' ident} ';'
+//	           | 'cond' ident {',' ident} ';'
+//	thread    := 'thread' ident '{' stmt* '}'
+//	task      := 'task' ident '{' stmt* '}'   (started by 'spawn')
+//	stmt      := ident '=' expr ';'
+//	           | 'var' ident '=' expr ';'
+//	           | 'if' '(' cond ')' block ['else' (block | ifstmt)]
+//	           | 'while' '(' cond ')' block
+//	           | 'lock' '(' ident ')' ';'   | 'unlock' '(' ident ')' ';'
+//	           | 'wait' '(' ident ')' ';'   | 'notify' '(' ident ')' ';'
+//	           | 'notifyall' '(' ident ')' ';'
+//	           | 'skip' ';'
+//	block     := '{' stmt* '}'
+//	cond      := cor                        (boolean, non-temporal)
+//	cor       := cand {'||' cand}
+//	cand      := cnot {'&&' cnot}
+//	cnot      := '!' cnot | 'true' | 'false' | '(' cond ')' | comparison
+//	comparison:= expr ('='|'=='|'!='|'<'|'<='|'>'|'>=') expr
+//	expr      := term {('+'|'-') term}
+//	term      := factor {('*'|'/'|'%') factor}
+//	factor    := int | ident | '-' factor | '(' expr ')'
+//
+// Line comments start with //.
+func Parse(src string) (*Program, error) {
+	toks, err := lexMTL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &mtlParser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error, for known-good literals.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type mtlParser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *mtlParser) peek() tok { return p.toks[p.pos] }
+
+func (p *mtlParser) next() tok {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *mtlParser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tPunct || t.kind == tIdent) && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *mtlParser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("mtl:%s: expected %q, found %s", p.peek().pos(), text, p.peek())
+	}
+	return nil
+}
+
+func (p *mtlParser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return "", fmt.Errorf("mtl:%s: expected identifier, found %s", t.pos(), t)
+	}
+	if isKeyword(t.text) {
+		return "", fmt.Errorf("mtl:%s: keyword %q cannot be used as a name", t.pos(), t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+var keywords = map[string]bool{
+	"shared": true, "mutex": true, "cond": true, "thread": true,
+	"task": true, "spawn": true,
+	"var": true, "if": true, "else": true, "while": true,
+	"lock": true, "unlock": true, "wait": true, "notify": true,
+	"notifyall": true, "skip": true, "true": true, "false": true,
+}
+
+func isKeyword(s string) bool { return keywords[s] }
+
+func (p *mtlParser) program() (*Program, error) {
+	prog := &Program{}
+	for {
+		switch {
+		case p.accept("shared"):
+			for {
+				name, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				init := int64(0)
+				if p.accept("=") {
+					v, err := p.intLit()
+					if err != nil {
+						return nil, err
+					}
+					init = v
+				}
+				prog.Shared = append(prog.Shared, SharedDecl{Name: name, Init: init})
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case p.accept("mutex"):
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			prog.Mutexes = append(prog.Mutexes, names...)
+		case p.accept("cond"):
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			prog.Conds = append(prog.Conds, names...)
+		case p.accept("thread"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			prog.Threads = append(prog.Threads, ThreadDecl{Name: name, Body: body})
+		case p.accept("task"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			prog.Tasks = append(prog.Tasks, ThreadDecl{Name: name, Body: body})
+		default:
+			if p.peek().kind == tEOF {
+				if len(prog.Threads) == 0 {
+					return nil, fmt.Errorf("mtl: program declares no threads")
+				}
+				return prog, nil
+			}
+			return nil, fmt.Errorf("mtl:%s: expected declaration or thread, found %s", p.peek().pos(), p.peek())
+		}
+	}
+}
+
+func (p *mtlParser) intLit() (int64, error) {
+	neg := p.accept("-")
+	t := p.peek()
+	if t.kind != tInt {
+		return 0, fmt.Errorf("mtl:%s: expected integer, found %s", t.pos(), t)
+	}
+	p.pos++
+	if neg {
+		return -t.val, nil
+	}
+	return t.val, nil
+}
+
+func (p *mtlParser) nameList() ([]string, error) {
+	var names []string
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+func (p *mtlParser) block() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept("}") {
+		if p.peek().kind == tEOF {
+			return nil, fmt.Errorf("mtl:%s: unterminated block", p.peek().pos())
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *mtlParser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case p.accept("skip"):
+		return Skip{}, p.expect(";")
+	case p.accept("spawn"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return SpawnStmt{Task: name}, p.expect(";")
+	case p.accept("var"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return VarDecl{Name: name, Expr: e}, p.expect(";")
+	case p.accept("if"):
+		cond, err := p.parenCond()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept("else") {
+			if p.peek().text == "if" && p.peek().kind == tIdent {
+				s, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+	case p.accept("while"):
+		cond, err := p.parenCond()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body}, nil
+	case p.accept("lock"):
+		name, err := p.parenName()
+		if err != nil {
+			return nil, err
+		}
+		return LockStmt{Name: name}, p.expect(";")
+	case p.accept("unlock"):
+		name, err := p.parenName()
+		if err != nil {
+			return nil, err
+		}
+		return UnlockStmt{Name: name}, p.expect(";")
+	case p.accept("wait"):
+		name, err := p.parenName()
+		if err != nil {
+			return nil, err
+		}
+		return WaitStmt{Name: name}, p.expect(";")
+	case p.accept("notify"):
+		name, err := p.parenName()
+		if err != nil {
+			return nil, err
+		}
+		return NotifyStmt{Name: name}, p.expect(";")
+	case p.accept("notifyall"):
+		name, err := p.parenName()
+		if err != nil {
+			return nil, err
+		}
+		return NotifyAllStmt{Name: name}, p.expect(";")
+	case t.kind == tIdent && !isKeyword(t.text):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Name: name, Expr: e}, p.expect(";")
+	}
+	return nil, fmt.Errorf("mtl:%s: expected statement, found %s", t.pos(), t)
+}
+
+func (p *mtlParser) parenName() (string, error) {
+	if err := p.expect("("); err != nil {
+		return "", err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	return name, p.expect(")")
+}
+
+func (p *mtlParser) parenCond() (logic.Formula, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	c, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	return c, p.expect(")")
+}
+
+// cond parses a boolean condition.
+func (p *mtlParser) cond() (logic.Formula, error) {
+	l, err := p.cand()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.cand()
+		if err != nil {
+			return nil, err
+		}
+		l = logic.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mtlParser) cand() (logic.Formula, error) {
+	l, err := p.cnot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.cnot()
+		if err != nil {
+			return nil, err
+		}
+		l = logic.And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mtlParser) cnot() (logic.Formula, error) {
+	switch {
+	case p.accept("!"):
+		x, err := p.cnot()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not{X: x}, nil
+	case p.accept("true"):
+		return logic.BoolLit{Value: true}, nil
+	case p.accept("false"):
+		return logic.BoolLit{Value: false}, nil
+	case p.peek().kind == tPunct && p.peek().text == "(":
+		// Either a parenthesized condition or a parenthesized arithmetic
+		// expression; try the condition reading, backtrack to the
+		// comparison on failure (same trick as the logic parser).
+		save := p.pos
+		p.next()
+		c, err := p.cond()
+		if err == nil {
+			if err2 := p.expect(")"); err2 == nil && !p.arithContinues() {
+				return c, nil
+			}
+		}
+		p.pos = save
+		return p.comparison()
+	default:
+		return p.comparison()
+	}
+}
+
+func (p *mtlParser) arithContinues() bool {
+	t := p.peek()
+	if t.kind != tPunct {
+		return false
+	}
+	switch t.text {
+	case "+", "-", "*", "/", "%", "=", "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+var cmpTok = map[string]logic.CmpOp{
+	// "=" is accepted as equality inside conditions (the paper writes
+	// y = 0); it cannot be confused with assignment, which only occurs
+	// at statement level.
+	"=": logic.EQ, "==": logic.EQ, "!=": logic.NE,
+	"<": logic.LT, "<=": logic.LE, ">": logic.GT, ">=": logic.GE,
+}
+
+func (p *mtlParser) comparison() (logic.Formula, error) {
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tPunct {
+		if op, ok := cmpTok[t.text]; ok {
+			p.next()
+			r, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return logic.Pred{Op: op, L: l, R: r}, nil
+		}
+	}
+	return nil, fmt.Errorf("mtl:%s: expected comparison operator, found %s", t.pos(), t)
+}
+
+func (p *mtlParser) expr() (logic.Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = logic.BinExpr{Op: logic.Add, L: l, R: r}
+		case p.accept("-"):
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = logic.BinExpr{Op: logic.Sub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *mtlParser) term() (logic.Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op logic.ArithOp
+		switch {
+		case p.accept("*"):
+			op = logic.Mul
+		case p.accept("/"):
+			op = logic.Div
+		case p.accept("%"):
+			op = logic.Mod
+		default:
+			return l, nil
+		}
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = logic.BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *mtlParser) factor() (logic.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tInt:
+		p.next()
+		return logic.IntLit{Value: t.val}, nil
+	case t.kind == tIdent && !isKeyword(t.text):
+		p.next()
+		return logic.VarRef{Name: t.text}, nil
+	case t.kind == tPunct && t.text == "-":
+		p.next()
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return logic.NegExpr{X: x}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, fmt.Errorf("mtl:%s: expected expression, found %s", t.pos(), t)
+}

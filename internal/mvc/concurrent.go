@@ -1,0 +1,145 @@
+package mvc
+
+import (
+	"sync"
+
+	"gompax/internal/event"
+	"gompax/internal/vc"
+)
+
+// ConcurrentTracker is a mutex-guarded Tracker safe for direct use from
+// multiple goroutines. The mutex serializes shared-variable accesses,
+// which also enforces the atomic, sequentially consistent memory model
+// the paper assumes (§2.1): the order in which goroutines win the mutex
+// *is* the observed execution M.
+//
+// This is the "library function" implementation option from §1: Go code
+// routes its shared accesses through SharedInt / SharedVar wrappers and
+// gets instrumented for free, with no source transformation.
+type ConcurrentTracker struct {
+	mu sync.Mutex
+	t  *Tracker
+}
+
+// NewConcurrentTracker returns a goroutine-safe tracker.
+func NewConcurrentTracker(n int, policy Policy, sink Sink) *ConcurrentTracker {
+	return &ConcurrentTracker{t: NewTracker(n, policy, sink)}
+}
+
+// Internal records an internal event of thread i.
+func (c *ConcurrentTracker) Internal(i int) event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Internal(i)
+}
+
+// Read records a read event of x by thread i.
+func (c *ConcurrentTracker) Read(i int, x string, value int64) event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Read(i, x, value)
+}
+
+// Write records a write event of x by thread i.
+func (c *ConcurrentTracker) Write(i int, x string, value int64) event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Write(i, x, value)
+}
+
+// Acquire records a lock-acquire event.
+func (c *ConcurrentTracker) Acquire(i int, lock string) event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Acquire(i, lock)
+}
+
+// Release records a lock-release event.
+func (c *ConcurrentTracker) Release(i int, lock string) event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Release(i, lock)
+}
+
+// Fork registers a child thread of parent and returns its id.
+func (c *ConcurrentTracker) Fork(parent int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Fork(parent)
+}
+
+// ThreadClock returns a copy of V_i.
+func (c *ConcurrentTracker) ThreadClock(i int) vc.VC {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.ThreadClock(i)
+}
+
+// Emitted returns the number of messages emitted so far.
+func (c *ConcurrentTracker) Emitted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Emitted()
+}
+
+// SharedVar is an instrumented shared variable holding an int64. All
+// access goes through the tracker, so every goroutine interaction is
+// observed and clocked. This is how real Go programs adopt the
+// technique without an interpreter.
+type SharedVar struct {
+	name string
+	c    *ConcurrentTracker
+	val  int64
+}
+
+// NewSharedVar declares an instrumented shared variable with an initial
+// value. The initial value is not an event (it is the initial state).
+func NewSharedVar(c *ConcurrentTracker, name string, initial int64) *SharedVar {
+	return &SharedVar{name: name, c: c, val: initial}
+}
+
+// Name returns the variable's name.
+func (s *SharedVar) Name() string { return s.name }
+
+// Get reads the variable as thread i.
+func (s *SharedVar) Get(i int) int64 {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	v := s.val
+	s.c.t.Read(i, s.name, v)
+	return v
+}
+
+// Set writes the variable as thread i.
+func (s *SharedVar) Set(i int, v int64) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.val = v
+	s.c.t.Write(i, s.name, v)
+}
+
+// SharedLock is an instrumented mutex: acquisition and release generate
+// write events of the lock's shared variable per §3.1, so synchronized
+// regions are never permuted by the observer.
+type SharedLock struct {
+	name string
+	c    *ConcurrentTracker
+	mu   sync.Mutex
+}
+
+// NewSharedLock declares an instrumented lock.
+func NewSharedLock(c *ConcurrentTracker, name string) *SharedLock {
+	return &SharedLock{name: name, c: c}
+}
+
+// Lock acquires the lock as thread i.
+func (l *SharedLock) Lock(i int) {
+	l.mu.Lock()
+	l.c.Acquire(i, l.name)
+}
+
+// Unlock releases the lock as thread i.
+func (l *SharedLock) Unlock(i int) {
+	l.c.Release(i, l.name)
+	l.mu.Unlock()
+}

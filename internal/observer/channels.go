@@ -1,0 +1,98 @@
+package observer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"gompax/internal/monitor"
+	"gompax/internal/predict"
+	"gompax/internal/wire"
+)
+
+// AnalyzeChannels consumes a session that was split across several
+// wire channels (the paper's "multiple channels to reduce the
+// monitoring overhead", §2.2) and runs the online analysis over the
+// merged stream. Each channel preserves its own order; the merge order
+// across channels is arbitrary — correctness rests on the vector
+// clocks alone.
+//
+// Every channel must carry an identical Hello; per-thread completion
+// notices may arrive on any channel. The call returns when every
+// channel has delivered its Bye (or EOF).
+func AnalyzeChannels(rs []*wire.Receiver, prog *monitor.Program, opts predict.Options) (predict.Result, error) {
+	if len(rs) == 0 {
+		return predict.Result{}, fmt.Errorf("observer: no channels")
+	}
+
+	var mu sync.Mutex
+	var online *predict.Online
+	var firstHello *wire.Hello
+
+	handle := func(f wire.Frame) error {
+		mu.Lock()
+		defer mu.Unlock()
+		switch f.Kind {
+		case wire.FrameHello:
+			if firstHello == nil {
+				firstHello = f.Hello
+				var err error
+				online, err = predict.NewOnline(prog, f.Hello.Initial, f.Hello.Threads, opts)
+				return err
+			}
+			if f.Hello.Threads != firstHello.Threads || !f.Hello.Initial.Equal(firstHello.Initial) {
+				return fmt.Errorf("observer: channels disagree on the session hello")
+			}
+			return nil
+		case wire.FrameMessage:
+			if online == nil {
+				return fmt.Errorf("observer: message before hello")
+			}
+			return online.Feed(*f.Msg)
+		case wire.FrameThreadDone:
+			if online == nil {
+				return fmt.Errorf("observer: thread-done before hello")
+			}
+			return online.FinishThread(f.Thread)
+		}
+		return nil
+	}
+
+	errs := make(chan error, len(rs))
+	var wg sync.WaitGroup
+	for _, r := range rs {
+		wg.Add(1)
+		go func(r *wire.Receiver) {
+			defer wg.Done()
+			for {
+				f, err := r.Next()
+				if errors.Is(err, wire.ErrClosed) || errors.Is(err, io.EOF) {
+					errs <- nil
+					return
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := handle(f); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return predict.Result{}, err
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if online == nil {
+		return predict.Result{}, fmt.Errorf("observer: no hello received on any channel")
+	}
+	return online.Close()
+}

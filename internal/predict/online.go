@@ -1,0 +1,333 @@
+package predict
+
+import (
+	"fmt"
+
+	"gompax/internal/event"
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/vc"
+)
+
+// Online is the incremental analyzer of §4: "one can buffer [events]
+// at the observer's side and then build the lattice on a level-by-level
+// basis in a top-down manner, as the events become available", with
+// the analysis performed in parallel and earlier levels garbage
+// collected.
+//
+// Messages may arrive in any order; each is buffered until its
+// per-thread predecessors are present (the message's own clock
+// component gives its position). The frontier advances one full level
+// at a time, as soon as every event the level could need is either
+// delivered or ruled out by a thread-completion notice. Violations are
+// reported as soon as the level containing them is analyzed.
+type Online struct {
+	prog    *monitor.Program
+	initial logic.State
+	threads int
+
+	events  [][]event.Message          // contiguous prefixes per thread
+	pending []map[uint64]event.Message // buffered out-of-order messages
+	final   []bool                     // thread announced complete
+	applied int                        // events consumed into the frontier
+
+	frontier map[string]*oentry
+	result   Result
+	maxCuts  int
+	paths    bool
+	closed   bool
+}
+
+type oentry struct {
+	counts vc.VC
+	state  logic.State
+	// keys maps each reachable monitor state to one representative
+	// path (encoded as pathID ints); the path slice stays nil unless
+	// Options.Counterexamples was set.
+	keys map[uint64][]int
+}
+
+// NewOnline starts an online analysis session. The root monitor is
+// stepped on the initial state immediately, so a property violated by
+// the initial state is reported before any event arrives.
+func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Options) (*Online, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("predict: online analysis needs a positive thread count")
+	}
+	o := &Online{
+		prog:     prog,
+		initial:  initial,
+		threads:  threads,
+		events:   make([][]event.Message, threads),
+		pending:  make([]map[uint64]event.Message, threads),
+		final:    make([]bool, threads),
+		frontier: map[string]*oentry{},
+		maxCuts:  opts.MaxCuts,
+		paths:    opts.Counterexamples,
+	}
+	for i := range o.pending {
+		o.pending[i] = map[uint64]event.Message{}
+	}
+	m := prog.NewMonitor()
+	verdict, err := m.Step(initial)
+	if err != nil {
+		return nil, err
+	}
+	o.result.Stats = Stats{Cuts: 1, Pairs: 1, Levels: 1, MaxWidth: 1, MaxPairWidth: 1}
+	root := lattice.NewCut(vc.New(threads), initial)
+	if verdict == monitor.Violated {
+		viol := Violation{Cut: root, State: initial, Level: 0}
+		if o.paths {
+			viol.Run = &lattice.Run{States: []logic.State{initial}}
+		}
+		o.result.Violations = append(o.result.Violations, viol)
+		return o, nil
+	}
+	o.frontier[root.Key()] = &oentry{counts: vc.New(threads), state: initial, keys: map[uint64][]int{m.Key(): nil}}
+	return o, nil
+}
+
+// Feed delivers one observer message (any order) and advances the
+// analysis as far as the delivered events allow.
+func (o *Online) Feed(m event.Message) error {
+	if o.closed {
+		return fmt.Errorf("predict: Feed after Close")
+	}
+	i := m.Event.Thread
+	if i < 0 || i >= o.threads {
+		return fmt.Errorf("predict: message for unknown thread %d", i)
+	}
+	k := m.Clock.Get(i)
+	if k == 0 {
+		return fmt.Errorf("predict: message %v has zero own clock component", m)
+	}
+	if o.final[i] {
+		return fmt.Errorf("predict: message for completed thread %d", i)
+	}
+	if k <= uint64(len(o.events[i])) {
+		return fmt.Errorf("predict: duplicate message for thread %d position %d", i, k)
+	}
+	if _, dup := o.pending[i][k]; dup {
+		return fmt.Errorf("predict: duplicate message for thread %d position %d", i, k)
+	}
+	o.pending[i][k] = m
+	// Absorb any now-contiguous prefix.
+	for {
+		next := uint64(len(o.events[i])) + 1
+		msg, ok := o.pending[i][next]
+		if !ok {
+			break
+		}
+		delete(o.pending[i], next)
+		o.events[i] = append(o.events[i], msg)
+	}
+	return o.advance()
+}
+
+// FinishThread declares that a thread will send no further messages.
+func (o *Online) FinishThread(i int) error {
+	if i < 0 || i >= o.threads {
+		return fmt.Errorf("predict: unknown thread %d", i)
+	}
+	if len(o.pending[i]) > 0 {
+		return fmt.Errorf("predict: thread %d finished with %d undeliverable out-of-order messages", i, len(o.pending[i]))
+	}
+	o.final[i] = true
+	return o.advance()
+}
+
+// Violations returns the violations found so far.
+func (o *Online) Violations() []Violation { return o.result.Violations }
+
+// Level returns the lattice level of the current frontier.
+func (o *Online) Level() int { return o.result.Stats.Levels - 1 }
+
+// Close marks every thread complete, drains the analysis and returns
+// the final result.
+func (o *Online) Close() (Result, error) {
+	if o.closed {
+		return o.result, nil
+	}
+	for i := 0; i < o.threads; i++ {
+		if len(o.pending[i]) > 0 {
+			return o.result, fmt.Errorf("predict: thread %d has a gap: %d out-of-order messages never became deliverable", i, len(o.pending[i]))
+		}
+		o.final[i] = true
+	}
+	if err := o.advance(); err != nil {
+		return o.result, err
+	}
+	o.closed = true
+	total := 0
+	for i := range o.events {
+		total += len(o.events[i])
+	}
+	if o.applied < total && len(o.frontier) > 0 {
+		return o.result, fmt.Errorf("predict: analysis stalled with %d of %d events applied", o.applied, total)
+	}
+	return o.result, nil
+}
+
+// ready reports whether the current frontier's successor set is fully
+// determined: every (entry, thread) pair either has its candidate
+// event delivered or is known to have none.
+func (o *Online) ready() bool {
+	for _, ent := range o.frontier {
+		for i := 0; i < o.threads; i++ {
+			need := int(ent.counts.Get(i)) + 1
+			if need <= len(o.events[i]) {
+				continue // candidate available
+			}
+			if !o.final[i] {
+				return false // may still arrive
+			}
+		}
+	}
+	return true
+}
+
+// advance expands complete levels until blocked on undelivered events.
+func (o *Online) advance() error {
+	for len(o.frontier) > 0 && o.ready() {
+		next := map[string]*oentry{}
+		scratch := o.prog.NewMonitor()
+		progressed := false
+		for _, ent := range o.frontier {
+			for i := 0; i < o.threads; i++ {
+				need := int(ent.counts.Get(i)) + 1
+				if need > len(o.events[i]) {
+					continue
+				}
+				msg := o.events[i][need-1]
+				if !consistentExtension(msg.Clock, ent.counts, i) {
+					continue
+				}
+				counts := ent.counts.Clone()
+				counts.Set(i, uint64(need))
+				state := ent.state.With(msg.Event.Var, msg.Event.Value)
+				key := counts.Key()
+				tgt := next[key]
+				if tgt == nil {
+					tgt = &oentry{counts: counts, state: state, keys: map[uint64][]int{}}
+					next[key] = tgt
+					o.result.Stats.Cuts++
+					if o.maxCuts > 0 && o.result.Stats.Cuts > o.maxCuts {
+						return fmt.Errorf("predict: exceeded MaxCuts=%d", o.maxCuts)
+					}
+				}
+				for mkey, path := range ent.keys {
+					scratch.Restore(mkey)
+					verdict, err := scratch.Step(state)
+					if err != nil {
+						return err
+					}
+					o.result.Stats.Pairs++
+					if verdict == monitor.Violated {
+						cut := lattice.NewCut(counts.Clone(), state)
+						viol := Violation{Cut: cut, State: state, Level: cut.Level()}
+						if o.paths {
+							run := o.buildRun(append(append([]int(nil), path...), onlinePathID(i, need)))
+							viol.Run = &run
+						}
+						o.result.Violations = append(o.result.Violations, viol)
+						continue
+					}
+					if _, seen := tgt.keys[scratch.Key()]; !seen {
+						var p []int
+						if o.paths {
+							p = append(append([]int(nil), path...), onlinePathID(i, need))
+						}
+						tgt.keys[scratch.Key()] = p
+					}
+				}
+				progressed = true
+			}
+		}
+		if !progressed && len(next) == 0 {
+			// Frontier entries have no available successors at all:
+			// analysis of delivered events is complete.
+			if o.allFinal() {
+				o.frontier = map[string]*oentry{}
+			}
+			return nil
+		}
+		// One event of each path is consumed per level.
+		o.applied++
+		o.result.Stats.Levels++
+		if len(next) > o.result.Stats.MaxWidth {
+			o.result.Stats.MaxWidth = len(next)
+		}
+		pairs := 0
+		for _, e := range next {
+			pairs += len(e.keys)
+		}
+		if pairs > o.result.Stats.MaxPairWidth {
+			o.result.Stats.MaxPairWidth = pairs
+		}
+		o.frontier = next
+		// Dedup violations across parents is handled by construction
+		// here: each violating (cut, key) pair is only generated once
+		// per level because violated keys are not propagated. Across
+		// parents duplicates can still occur; keep reports unique.
+		o.dedupViolations()
+	}
+	return nil
+}
+
+func (o *Online) allFinal() bool {
+	for _, f := range o.final {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *Online) dedupViolations() {
+	seen := map[string]bool{}
+	out := o.result.Violations[:0]
+	for _, v := range o.result.Violations {
+		k := v.Cut.Key() + "|" + v.State.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, v)
+	}
+	o.result.Violations = out
+}
+
+// onlinePathID encodes an edge (thread, 1-based index) like the
+// offline analyzer's pathID.
+func onlinePathID(thread, index int) int { return thread<<32 | index }
+
+// buildRun reconstructs a counterexample Run from encoded path ids,
+// reading the messages out of the per-thread buffers.
+func (o *Online) buildRun(ids []int) lattice.Run {
+	run := lattice.Run{States: []logic.State{o.initial}}
+	cur := o.initial
+	for _, id := range ids {
+		th := id >> 32
+		idx := id & 0xffffffff
+		msg := o.events[th][idx-1]
+		cur = cur.With(msg.Event.Var, msg.Event.Value)
+		run.Msgs = append(run.Msgs, msg)
+		run.States = append(run.States, cur)
+	}
+	return run
+}
+
+// consistentExtension checks the consistent-cut condition: every
+// causal predecessor of the event (per its clock) is inside the cut.
+func consistentExtension(clock vc.VC, counts vc.VC, thread int) bool {
+	for j := 0; j < len(counts); j++ {
+		if j == thread {
+			continue
+		}
+		if clock.Get(j) > counts.Get(j) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,287 @@
+// Package predict implements JMPaX's monitoring module (§4, Fig. 4):
+// it checks a safety formula against every multithreaded run encoded in
+// a computation lattice, in parallel, while the lattice is constructed
+// level by level.
+//
+// The key idea from the paper: instead of materializing the (possibly
+// exponential) set of runs, each lattice cut carries the *set of
+// monitor states* reachable at that cut along any path. Because the
+// synthesized monitors have constant-size state (a bit per temporal
+// subformula), this set is small and deduplicates aggressively, and
+// only two consecutive lattice levels need to be alive at any moment.
+//
+// Two analyzers are provided:
+//
+//   - Analyze: the memory-bounded level-by-level analyzer described
+//     above — the production path.
+//   - EnumerateRuns: materializes the lattice and checks every run
+//     separately — exponential, but exact run-level statistics for
+//     reporting and for cross-checking Analyze (any violation found by
+//     one must be found by the other).
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"gompax/internal/event"
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+)
+
+// Options configures Analyze.
+type Options struct {
+	// MaxCuts aborts the analysis if more than this many distinct cuts
+	// are explored (0 = unlimited).
+	MaxCuts int
+	// Counterexamples, when true, tracks one representative path per
+	// (cut, monitor state) pair so violations carry a full run. This
+	// costs extra memory (paths are O(depth)); with it off the analyzer
+	// stores only the two active levels, as in the paper.
+	Counterexamples bool
+	// FirstOnly stops at the first violation.
+	FirstOnly bool
+}
+
+// Violation is a predicted safety violation: a reachable global state
+// (cut) and a monitor that rejects there.
+type Violation struct {
+	// Cut is the consistent global state at which the property fails.
+	Cut lattice.Cut
+	// State is the cut's variable assignment.
+	State logic.State
+	// Level is the lattice level of the cut.
+	Level int
+	// Run is a counterexample: the relevant-event path from the initial
+	// state to the violation. Populated only with Options.Counterexamples.
+	Run *lattice.Run
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("violation at level %d, cut %s, state %s", v.Level, v.Cut, v.State)
+}
+
+// Stats reports the work the analyzer did.
+type Stats struct {
+	// Cuts is the number of distinct consistent cuts explored.
+	Cuts int
+	// Pairs is the number of (cut, monitor state) pairs stepped.
+	Pairs int
+	// Levels is the number of lattice levels traversed.
+	Levels int
+	// MaxWidth is the maximum number of cuts alive on one level: the
+	// analyzer's memory high-water mark.
+	MaxWidth int
+	// MaxPairWidth is the maximum number of (cut, monitor state) pairs
+	// alive on one level.
+	MaxPairWidth int
+}
+
+// Result is the outcome of a predictive analysis.
+type Result struct {
+	Violations []Violation
+	Stats      Stats
+}
+
+// Violated reports whether any violation was predicted.
+func (r Result) Violated() bool { return len(r.Violations) > 0 }
+
+type entry struct {
+	cut  lattice.Cut
+	keys map[uint64][]int // monitor key -> representative path (msg ids), nil when not tracking
+}
+
+// Analyze runs the predictive safety analysis of the formula compiled
+// in prog over the computation comp.
+func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Result, error) {
+	var res Result
+	root := comp.Root()
+
+	m0 := prog.NewMonitor()
+	v0, err := m0.Step(root.State())
+	if err != nil {
+		return res, err
+	}
+	res.Stats.Cuts = 1
+	res.Stats.Pairs = 1
+	res.Stats.Levels = 1
+	res.Stats.MaxWidth = 1
+	res.Stats.MaxPairWidth = 1
+	if v0 == monitor.Violated {
+		viol := Violation{Cut: root, State: root.State(), Level: 0}
+		if opts.Counterexamples {
+			viol.Run = &lattice.Run{States: []logic.State{root.State()}}
+		}
+		res.Violations = append(res.Violations, viol)
+		if opts.FirstOnly {
+			return res, nil
+		}
+		// A violated monitor state is not propagated: the property is a
+		// safety property, every extension of a violating run prefix is
+		// already reported at its shortest witness.
+		return res, nil
+	}
+
+	frontier := map[string]*entry{
+		root.Key(): {cut: root, keys: map[uint64][]int{m0.Key(): pathIfTracking(opts, nil)}},
+	}
+	scratch := prog.NewMonitor()
+	// The same violating (cut, monitor state) pair is typically reachable
+	// from several parents; report it once.
+	reported := map[string]bool{}
+
+	for len(frontier) > 0 {
+		next := map[string]*entry{}
+		// Deterministic iteration keeps violation order stable run to run.
+		keys := make([]string, 0, len(frontier))
+		for k := range frontier {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		for _, fk := range keys {
+			ent := frontier[fk]
+			for _, succ := range comp.Successors(ent.cut) {
+				sk := succ.Cut.Key()
+				tgt := next[sk]
+				if tgt == nil {
+					tgt = &entry{cut: succ.Cut, keys: map[uint64][]int{}}
+					next[sk] = tgt
+					res.Stats.Cuts++
+					if opts.MaxCuts > 0 && res.Stats.Cuts > opts.MaxCuts {
+						return res, fmt.Errorf("predict: exceeded MaxCuts=%d", opts.MaxCuts)
+					}
+				}
+				for mkey, path := range ent.keys {
+					scratch.Restore(mkey)
+					verdict, err := scratch.Step(succ.Cut.State())
+					if err != nil {
+						return res, err
+					}
+					res.Stats.Pairs++
+					if verdict == monitor.Violated {
+						vk := fmt.Sprintf("%s|%d", sk, mkey)
+						if reported[vk] {
+							continue
+						}
+						reported[vk] = true
+						viol := Violation{Cut: succ.Cut, State: succ.Cut.State(), Level: succ.Cut.Level()}
+						if opts.Counterexamples {
+							run := buildRun(comp, append(append([]int(nil), path...), pathID(succ)))
+							viol.Run = &run
+						}
+						res.Violations = append(res.Violations, viol)
+						if opts.FirstOnly {
+							return res, nil
+						}
+						continue // do not propagate violated monitor states
+					}
+					if _, seen := tgt.keys[scratch.Key()]; !seen {
+						tgt.keys[scratch.Key()] = appendPath(opts, path, succ)
+					}
+				}
+			}
+		}
+
+		if len(next) > 0 {
+			res.Stats.Levels++
+			if len(next) > res.Stats.MaxWidth {
+				res.Stats.MaxWidth = len(next)
+			}
+			pairs := 0
+			for _, e := range next {
+				pairs += len(e.keys)
+			}
+			if pairs > res.Stats.MaxPairWidth {
+				res.Stats.MaxPairWidth = pairs
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// pathID encodes a successor edge as thread*2^32 | index for compact
+// path storage.
+func pathID(s lattice.Succ) int {
+	return s.Thread<<32 | int(s.Msg.Clock.Get(s.Thread))
+}
+
+func pathIfTracking(opts Options, path []int) []int {
+	if !opts.Counterexamples {
+		return nil
+	}
+	return path
+}
+
+func appendPath(opts Options, path []int, succ lattice.Succ) []int {
+	if !opts.Counterexamples {
+		return nil
+	}
+	out := make([]int, len(path)+1)
+	copy(out, path)
+	out[len(path)] = pathID(succ)
+	return out
+}
+
+// buildRun reconstructs a Run from encoded path ids.
+func buildRun(comp *lattice.Computation, ids []int) lattice.Run {
+	run := lattice.Run{States: []logic.State{comp.Initial()}}
+	cut := comp.Root()
+	for _, id := range ids {
+		thread := id >> 32
+		succ := comp.Advance(cut, thread)
+		run.Msgs = append(run.Msgs, succ.Msg)
+		run.States = append(run.States, succ.Cut.State())
+		cut = succ.Cut
+	}
+	return run
+}
+
+// RunReport is the outcome of the exhaustive per-run analysis.
+type RunReport struct {
+	// Total is the number of multithreaded runs in the lattice.
+	Total int
+	// Violating is how many of them violate the property.
+	Violating int
+	// Counterexamples holds up to Limit violating runs.
+	Counterexamples []lattice.Run
+	// Nodes and Width describe the materialized lattice.
+	Nodes int
+	Width int
+}
+
+// EnumerateRuns materializes the lattice (bounded by maxNodes; 0 =
+// unlimited) and checks the property against every run separately.
+// limit bounds the retained counterexamples (0 = all).
+func EnumerateRuns(prog *monitor.Program, comp *lattice.Computation, maxNodes, limit int) (RunReport, error) {
+	var rep RunReport
+	l, err := lattice.Build(comp, maxNodes)
+	if err != nil {
+		return rep, err
+	}
+	rep.Nodes = l.NumNodes()
+	rep.Width = l.Width()
+	var stepErr error
+	l.Runs(0, func(r lattice.Run) bool {
+		rep.Total++
+		idx, err := monitor.CheckTrace(prog, r.States)
+		if err != nil {
+			stepErr = err
+			return false
+		}
+		if idx >= 0 {
+			rep.Violating++
+			if limit == 0 || len(rep.Counterexamples) < limit {
+				cp := lattice.Run{
+					Msgs:   append([]event.Message(nil), r.Msgs...),
+					States: append([]logic.State(nil), r.States...),
+				}
+				rep.Counterexamples = append(rep.Counterexamples, cp)
+			}
+		}
+		return true
+	})
+	return rep, stepErr
+}

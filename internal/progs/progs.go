@@ -1,0 +1,233 @@
+// Package progs collects the MTL programs and safety properties used
+// throughout the repository: the paper's two worked examples plus the
+// auxiliary workloads of the benchmark harness. Keeping them in one
+// place guarantees tests, examples and benchmarks exercise the same
+// artifacts that EXPERIMENTS.md reports on.
+package progs
+
+// Landing is the paper's Fig. 1 flight controller. Thread 1 asks for
+// landing approval (reading the radio state) and starts landing;
+// thread 2 monitors the radio and eventually reports it down. The bug:
+// approval is based on a stale radio reading, so the radio can drop
+// between approval and landing.
+const Landing = `
+// Fig. 1: a buggy implementation of a flight controller.
+shared landing = 0, approved = 0, radio = 1;
+
+thread controller {
+    // askLandingApproval()
+    if (radio == 0) { approved = 0; } else { approved = 1; }
+    // if (approved == 1) { landing = 1; }
+    if (approved == 1) {
+        landing = 1;
+    }
+}
+
+thread radioman {
+    // while(radio) checkRadio();  — the radio eventually goes down.
+    // The skips model checkRadio() polls: the drop usually lands well
+    // after the landing decision, which is why observing the violation
+    // directly is rare (§1).
+    skip;
+    skip;
+    skip;
+    skip;
+    skip;
+    skip;
+    skip;
+    skip;
+    radio = 0;
+}
+`
+
+// LandingProperty is the paper's safety property: "If the plane has
+// started landing, then it is the case that landing has been approved
+// and since the approval the radio signal has never been down."
+const LandingProperty = `start(landing = 1) -> [approved = 1, radio = 0)`
+
+// Crossing is the paper's Example 2: two threads over shared x, y, z
+// with initial state (-1, 0, 0); thread 1 runs x++; ...; y = x + 1 and
+// thread 2 runs z = x + 1; ...; x++.
+const Crossing = `
+shared x = -1, y = 0, z = 0;
+
+thread t1 {
+    x = x + 1;
+    skip;
+    y = x + 1;
+}
+
+thread t2 {
+    z = x + 1;
+    skip;
+    x = x + 1;
+}
+`
+
+// CrossingProperty is the paper's §2.3 property: "if x > 0 then y = 0
+// has been true in the past, and since then y > z was always false".
+const CrossingProperty = `(x > 0) -> [y = 0, y > z)`
+
+// Account is a classic racy bank-account workload used by the
+// benchmark harness: deposits and withdrawals without locking, with a
+// balance-consistency property.
+const Account = `
+shared balance = 100, audited = 0, low = 0;
+
+thread depositor {
+    var i = 0;
+    while (i < 3) {
+        balance = balance + 10;
+        i = i + 1;
+    }
+}
+
+thread withdrawer {
+    var i = 0;
+    while (i < 3) {
+        if (balance >= 20) {
+            balance = balance - 20;
+        }
+        i = i + 1;
+    }
+    if (balance < 50) { low = 1; }
+}
+
+thread auditor {
+    skip;
+    audited = balance;
+}
+`
+
+// AccountProperty flags audits that observed an overdrawn balance.
+const AccountProperty = `audited >= 0 /\ balance > -1000000`
+
+// LockedCounter is the lock-disciplined counter used to demonstrate
+// §3.1: with the mutex, no consistent run interleaves the two critical
+// sections.
+const LockedCounter = `
+shared count = 0, t1done = 0, t2done = 0;
+mutex m;
+
+thread inc1 {
+    lock(m);
+    count = count + 1;
+    t1done = 1;
+    unlock(m);
+}
+
+thread inc2 {
+    lock(m);
+    count = count + 1;
+    t2done = 1;
+    unlock(m);
+}
+`
+
+// Philosophers is a two-philosopher dining scenario with inconsistent
+// lock ordering: some interleavings deadlock. Used by the deadlock
+// prediction extension.
+const Philosophers = `
+shared meals = 0;
+mutex forkA, forkB;
+
+thread phil1 {
+    lock(forkA);
+    skip;
+    lock(forkB);
+    meals = meals + 1;
+    unlock(forkB);
+    unlock(forkA);
+}
+
+thread phil2 {
+    lock(forkB);
+    skip;
+    lock(forkA);
+    meals = meals + 1;
+    unlock(forkA);
+    unlock(forkB);
+}
+`
+
+// Racy has two unsynchronized writers to the same variable plus a
+// lock-protected section; used by the data-race prediction extension.
+// Both data writes happen before the threads' critical sections, so
+// under the synchronization-only causality they are concurrent in
+// every observed execution and the race is always predicted — while
+// flag stays race-free under the lock.
+const Racy = `
+shared data = 0, flag = 0;
+mutex m;
+
+thread writer1 {
+    data = 1;
+    lock(m);
+    flag = 1;
+    unlock(m);
+}
+
+thread writer2 {
+    data = 2;
+    lock(m);
+    flag = 2;
+    unlock(m);
+}
+`
+
+// Peterson is Peterson's mutual exclusion protocol for two threads.
+// The in0/in1 markers delimit the critical sections; the protocol
+// variables flag0/flag1/turn are not in the property, but their
+// accesses still constrain the causal order (§2.3: irrelevant
+// variables "can clearly affect the causal partial ordering") — which
+// is exactly why the predictive analyzer raises no false alarm here.
+const Peterson = `
+shared flag0 = 0, flag1 = 0, turn = 0, in0 = 0, in1 = 0;
+
+thread p0 {
+    flag0 = 1;
+    turn = 1;
+    while (flag1 == 1 && turn == 1) { skip; }
+    in0 = 1;
+    in0 = 0;
+    flag0 = 0;
+}
+
+thread p1 {
+    flag1 = 1;
+    turn = 0;
+    while (flag0 == 1 && turn == 0) { skip; }
+    in1 = 1;
+    in1 = 0;
+    flag1 = 0;
+}
+`
+
+// PetersonBroken is the classic check-then-set mutual exclusion bug:
+// each thread tests the other's flag *before* raising its own, so both
+// can pass the test and enter together. Most observed executions look
+// fine (the critical sections are short); the lattice contains the
+// overlap.
+const PetersonBroken = `
+shared flag0 = 0, flag1 = 0, in0 = 0, in1 = 0;
+
+thread p0 {
+    while (flag1 == 1) { skip; }
+    flag0 = 1;
+    in0 = 1;
+    in0 = 0;
+    flag0 = 0;
+}
+
+thread p1 {
+    while (flag0 == 1) { skip; }
+    flag1 = 1;
+    in1 = 1;
+    in1 = 0;
+    flag1 = 0;
+}
+`
+
+// MutualExclusion is the safety property for both Peterson variants:
+// the two critical sections never overlap.
+const MutualExclusion = `!(in0 = 1 /\ in1 = 1)`

@@ -1,0 +1,224 @@
+package replay_test
+
+import (
+	"strings"
+	"testing"
+
+	"gompax/internal/driver"
+	"gompax/internal/event"
+	"gompax/internal/instrument"
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/mtl"
+	"gompax/internal/predict"
+	"gompax/internal/progs"
+	"gompax/internal/replay"
+	"gompax/internal/sched"
+)
+
+// predictedRun returns a counterexample run predicted from a
+// successful landing execution.
+func predictedRun(t *testing.T) (code *mtl.Compiled, policy instrumentPolicy, run lattice.Run) {
+	t.Helper()
+	for seed := int64(0); seed < 100; seed++ {
+		rep, err := driver.Check(driver.Config{
+			Source:          progs.Landing,
+			Property:        progs.LandingProperty,
+			Seed:            seed,
+			Counterexamples: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ObservedViolation >= 0 || !rep.Result.Violated() {
+			continue
+		}
+		code = mtl.MustCompile(progs.Landing)
+		return code, instrumentPolicy{rep.Formula}, *rep.Result.Violations[0].Run
+	}
+	t.Fatalf("no predicted counterexample found")
+	return nil, instrumentPolicy{}, lattice.Run{}
+}
+
+type instrumentPolicy struct{ f logic.Formula }
+
+// TestSynthesizeAndConfirm: the synthesized schedule re-executes to the
+// exact predicted relevant-event sequence, and the replayed trace
+// violates the property per the single-run checker.
+func TestSynthesizeAndConfirm(t *testing.T) {
+	code, p, run := predictedRun(t)
+	policy := instrument.PolicyFor(p.f)
+
+	schedule, err := replay.Synthesize(code, policy, run.Msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schedule) == 0 {
+		t.Fatalf("empty schedule")
+	}
+
+	msgs, schedule2, err := replay.Confirm(code, policy, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schedule2) == 0 {
+		t.Fatalf("confirm returned empty schedule")
+	}
+	if len(msgs) < len(run.Msgs) {
+		t.Fatalf("replayed %d messages, want at least %d", len(msgs), len(run.Msgs))
+	}
+	for i := range run.Msgs {
+		if msgs[i].Event.Var != run.Msgs[i].Event.Var ||
+			msgs[i].Event.Value != run.Msgs[i].Event.Value ||
+			msgs[i].Event.Thread != run.Msgs[i].Event.Thread {
+			t.Fatalf("message %d: %v vs %v", i, msgs[i], run.Msgs[i])
+		}
+	}
+
+	// The replayed run violates the property.
+	prog := monitor.MustCompile(p.f)
+	initial := run.States[0]
+	states := driver.StatesOf(initial, msgs)
+	idx, err := monitor.CheckTrace(prog, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 0 {
+		t.Fatalf("replayed run does not violate the property")
+	}
+}
+
+// TestEveryLatticeRunIsRealizable: for a small program, every run of
+// the computation lattice has a realizing schedule — the soundness of
+// prediction (§2.2: each run "can be viewed as a possible execution of
+// the same system under a different execution speed of each thread").
+func TestEveryLatticeRunIsRealizable(t *testing.T) {
+	code := mtl.MustCompile(progs.Crossing)
+	f := logic.MustParseFormula(progs.CrossingProperty)
+	policy := instrument.PolicyFor(f)
+	initial, err := instrument.InitialState(code.Prog, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		out, err := instrument.Run(code, policy, sched.NewRandom(seed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Messages) != 4 {
+			continue
+		}
+		comp, err := lattice.NewComputation(initial, 2, out.Messages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := lattice.Build(comp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs := 0
+		l.Runs(0, func(r lattice.Run) bool {
+			runs++
+			msgs := append([]event.Message(nil), r.Msgs...)
+			if _, err := replay.Synthesize(code, policy, msgs); err != nil {
+				t.Fatalf("seed %d run %d unrealizable: %v", seed, runs, err)
+			}
+			return true
+		})
+		if runs == 0 {
+			t.Fatalf("no runs")
+		}
+		return
+	}
+	t.Fatalf("no full-computation seed found")
+}
+
+// TestSynthesizeRejectsImpossibleTarget: a target sequence that is NOT
+// a linearization of the program's causality has no schedule.
+func TestSynthesizeRejectsImpossibleTarget(t *testing.T) {
+	code := mtl.MustCompile(`
+shared x = 0, y = 0;
+thread t { x = 1; y = 2; }
+`)
+	policy := instrument.PolicyFor(logic.MustParseFormula("x = 0 /\\ y = 0"))
+	// Program order forces x before y; ask for the reverse.
+	target := []event.Message{
+		{Event: event.Event{Thread: 0, Kind: event.Write, Var: "y", Value: 2, Relevant: true}},
+		{Event: event.Event{Thread: 0, Kind: event.Write, Var: "x", Value: 1, Relevant: true}},
+	}
+	_, err := replay.Synthesize(code, policy, target)
+	if err == nil || !strings.Contains(err.Error(), "no schedule") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSynthesizeWithLocks: schedules through lock-protected regions.
+func TestSynthesizeWithLocks(t *testing.T) {
+	code := mtl.MustCompile(progs.LockedCounter)
+	policy := instrument.PolicyFor(logic.MustParseFormula("count = 0 /\\ t1done = 0 /\\ t2done = 0"))
+	initial := logic.StateFromMap(map[string]int64{"count": 0, "t1done": 0, "t2done": 0})
+	out, err := instrument.Run(code, policy, sched.NewRandom(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := lattice.NewComputation(initial, 2, out.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lattice.Build(comp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Runs(0, func(r lattice.Run) bool {
+		if _, err := replay.Synthesize(code, policy, r.Msgs); err != nil {
+			t.Fatalf("lock-ordered run unrealizable: %v", err)
+		}
+		return true
+	})
+}
+
+// TestConfirmAgreesWithPredict is the full-system soundness check on a
+// second example: predicted crossing violations replay to real
+// violations.
+func TestConfirmAgreesWithPredict(t *testing.T) {
+	code := mtl.MustCompile(progs.Crossing)
+	f := logic.MustParseFormula(progs.CrossingProperty)
+	policy := instrument.PolicyFor(f)
+	initial, err := instrument.InitialState(code.Prog, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := monitor.MustCompile(f)
+	for seed := int64(0); seed < 200; seed++ {
+		out, err := instrument.Run(code, policy, sched.NewRandom(seed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := lattice.NewComputation(initial, 2, out.Messages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := predict.Analyze(prog, comp, predict.Options{Counterexamples: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Violated() {
+			continue
+		}
+		msgs, _, err := replay.Confirm(code, policy, *res.Violations[0].Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := driver.StatesOf(initial, msgs)
+		idx, err := monitor.CheckTrace(prog, states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx < 0 {
+			t.Fatalf("seed %d: replay did not confirm", seed)
+		}
+		return
+	}
+	t.Skip("no violating seed found (crossing violations need the right causality)")
+}

@@ -1,0 +1,50 @@
+package vc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned by Decode when the buffer ends inside an
+// encoded clock.
+var ErrTruncated = errors.New("vc: truncated encoding")
+
+// MaxEncodedLen is the maximum number of components Decode will accept,
+// a guard against corrupt or hostile input.
+const MaxEncodedLen = 1 << 20
+
+// AppendEncode appends a portable binary encoding of v to buf and
+// returns the extended buffer. The encoding is a uvarint component
+// count followed by each component as a uvarint; it is the wire format
+// used for the <e, i, V> observer messages.
+func AppendEncode(buf []byte, v VC) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.AppendUvarint(buf, x)
+	}
+	return buf
+}
+
+// Decode parses a clock from the front of buf, returning the clock and
+// the number of bytes consumed.
+func Decode(buf []byte) (VC, int, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	if n > MaxEncodedLen {
+		return nil, 0, fmt.Errorf("vc: encoded length %d exceeds limit %d", n, MaxEncodedLen)
+	}
+	off := k
+	out := make(VC, n)
+	for i := range out {
+		x, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		out[i] = x
+		off += k
+	}
+	return out, off, nil
+}

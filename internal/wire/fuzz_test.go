@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"gompax/internal/event"
+	"gompax/internal/vc"
+)
+
+// FuzzDecodeMessage checks the message decoder is total: arbitrary
+// bytes either decode into a message that re-encodes losslessly, or
+// fail cleanly.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range []event.Message{
+		{Event: event.Event{Thread: 0, Index: 1, Kind: event.Write, Var: "x", Value: -3, Relevant: true}, Clock: vc.VC{1, 0}},
+		{Event: event.Event{Thread: 9, Index: 1 << 30, Kind: event.Acquire, Var: "", Value: 0}, Clock: nil},
+	} {
+		f.Add(AppendMessage(nil, m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := AppendMessage(nil, m)
+		m2, _, err := DecodeMessage(re)
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if m2.Event != m.Event || !vc.Equal(m2.Clock, m.Clock) {
+			t.Fatalf("round trip changed message")
+		}
+	})
+}
+
+// FuzzReceiver checks the framed stream reader is total over arbitrary
+// byte streams.
+func FuzzReceiver(f *testing.F) {
+	var buf bytes.Buffer
+	s := NewSender(&buf)
+	s.SendHello(Hello{Threads: 2})
+	s.SendThreadDone(1)
+	s.SendBye()
+	f.Add(buf.Bytes())
+	f.Add([]byte{byte(FrameMessage), 3, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReceiver(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,341 @@
+// Package wire serializes the instrumentation's observer messages.
+// JMPaX sends <e, i, V> messages over a socket from the instrumented
+// JVM to the external observer (Fig. 4); this package provides the
+// equivalent: a compact length-prefixed binary codec, frame types for
+// session setup (initial state of the relevant variables) and
+// per-thread completion, stream senders/receivers over any
+// io.Writer/io.Reader (including TCP), and a reordering simulator for
+// exercising the observer's delivery-order independence (§2.2).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"gompax/internal/event"
+	"gompax/internal/logic"
+	"gompax/internal/vc"
+)
+
+// FrameKind tags a frame on the wire.
+type FrameKind uint8
+
+const (
+	// FrameHello opens a session: thread count and initial state.
+	FrameHello FrameKind = 1
+	// FrameMessage carries one observer message <e, i, V>.
+	FrameMessage FrameKind = 2
+	// FrameThreadDone announces that a thread has halted (its event
+	// stream is complete), enabling fully online lattice expansion.
+	FrameThreadDone FrameKind = 3
+	// FrameBye closes the session.
+	FrameBye FrameKind = 4
+)
+
+// Hello is the session-opening frame payload.
+type Hello struct {
+	Threads int
+	Initial logic.State
+}
+
+// Frame is a decoded wire frame.
+type Frame struct {
+	Kind   FrameKind
+	Hello  *Hello
+	Msg    *event.Message
+	Thread int // FrameThreadDone
+}
+
+// maxFrameLen guards against corrupt length prefixes.
+const maxFrameLen = 1 << 24
+
+// AppendMessage encodes an observer message (without framing).
+func AppendMessage(buf []byte, m event.Message) []byte {
+	buf = append(buf, byte(m.Event.Kind))
+	buf = binary.AppendUvarint(buf, uint64(m.Event.Thread))
+	buf = binary.AppendUvarint(buf, m.Event.Index)
+	buf = binary.AppendUvarint(buf, m.Event.Seq)
+	if m.Event.Relevant {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Event.Var)))
+	buf = append(buf, m.Event.Var...)
+	buf = binary.AppendVarint(buf, m.Event.Value)
+	buf = vc.AppendEncode(buf, m.Clock)
+	return buf
+}
+
+// DecodeMessage decodes a message produced by AppendMessage, returning
+// the bytes consumed.
+func DecodeMessage(buf []byte) (event.Message, int, error) {
+	var m event.Message
+	if len(buf) < 1 {
+		return m, 0, io.ErrUnexpectedEOF
+	}
+	m.Event.Kind = event.Kind(buf[0])
+	off := 1
+	u, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return m, 0, io.ErrUnexpectedEOF
+	}
+	m.Event.Thread = int(u)
+	off += n
+	if m.Event.Index, n = binary.Uvarint(buf[off:]); n <= 0 {
+		return m, 0, io.ErrUnexpectedEOF
+	}
+	off += n
+	if m.Event.Seq, n = binary.Uvarint(buf[off:]); n <= 0 {
+		return m, 0, io.ErrUnexpectedEOF
+	}
+	off += n
+	if off >= len(buf) {
+		return m, 0, io.ErrUnexpectedEOF
+	}
+	m.Event.Relevant = buf[off] == 1
+	off++
+	nameLen, n := binary.Uvarint(buf[off:])
+	if n <= 0 || nameLen > maxFrameLen {
+		return m, 0, io.ErrUnexpectedEOF
+	}
+	off += n
+	if off+int(nameLen) > len(buf) {
+		return m, 0, io.ErrUnexpectedEOF
+	}
+	m.Event.Var = string(buf[off : off+int(nameLen)])
+	off += int(nameLen)
+	v, n := binary.Varint(buf[off:])
+	if n <= 0 {
+		return m, 0, io.ErrUnexpectedEOF
+	}
+	m.Event.Value = v
+	off += n
+	clock, n, err := vc.Decode(buf[off:])
+	if err != nil {
+		return m, 0, err
+	}
+	m.Clock = clock
+	off += n
+	return m, off, nil
+}
+
+func appendHello(buf []byte, h Hello) []byte {
+	buf = binary.AppendUvarint(buf, uint64(h.Threads))
+	vars := h.Initial.Vars()
+	buf = binary.AppendUvarint(buf, uint64(len(vars)))
+	for _, name := range vars {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		v, _ := h.Initial.Lookup(name)
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+func decodeHello(buf []byte) (Hello, error) {
+	var h Hello
+	u, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return h, io.ErrUnexpectedEOF
+	}
+	h.Threads = int(u)
+	off := n
+	count, n := binary.Uvarint(buf[off:])
+	if n <= 0 || count > maxFrameLen {
+		return h, io.ErrUnexpectedEOF
+	}
+	off += n
+	m := map[string]int64{}
+	for i := uint64(0); i < count; i++ {
+		nameLen, n := binary.Uvarint(buf[off:])
+		if n <= 0 || nameLen > maxFrameLen {
+			return h, io.ErrUnexpectedEOF
+		}
+		off += n
+		if off+int(nameLen) > len(buf) {
+			return h, io.ErrUnexpectedEOF
+		}
+		name := string(buf[off : off+int(nameLen)])
+		off += int(nameLen)
+		v, n := binary.Varint(buf[off:])
+		if n <= 0 {
+			return h, io.ErrUnexpectedEOF
+		}
+		off += n
+		m[name] = v
+	}
+	h.Initial = logic.StateFromMap(m)
+	return h, nil
+}
+
+// Sender writes frames to a stream. It is not safe for concurrent use;
+// give each thread channel its own Sender (that is the multi-channel
+// deployment the paper mentions).
+type Sender struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewSender wraps a writer.
+func NewSender(w io.Writer) *Sender {
+	return &Sender{w: bufio.NewWriter(w)}
+}
+
+func (s *Sender) frame(kind FrameKind, payload []byte) error {
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	hdr[0] = byte(kind)
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := s.w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := s.w.Write(payload)
+	return err
+}
+
+// SendHello opens the session.
+func (s *Sender) SendHello(h Hello) error {
+	s.buf = appendHello(s.buf[:0], h)
+	return s.frame(FrameHello, s.buf)
+}
+
+// SendMessage emits one observer message.
+func (s *Sender) SendMessage(m event.Message) error {
+	s.buf = AppendMessage(s.buf[:0], m)
+	return s.frame(FrameMessage, s.buf)
+}
+
+// SendThreadDone announces a completed thread.
+func (s *Sender) SendThreadDone(thread int) error {
+	s.buf = binary.AppendUvarint(s.buf[:0], uint64(thread))
+	return s.frame(FrameThreadDone, s.buf)
+}
+
+// SendBye closes the session (and flushes).
+func (s *Sender) SendBye() error {
+	if err := s.frame(FrameBye, nil); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Flush flushes buffered frames.
+func (s *Sender) Flush() error { return s.w.Flush() }
+
+// Receiver reads frames from a stream.
+type Receiver struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReceiver wraps a reader.
+func NewReceiver(r io.Reader) *Receiver {
+	return &Receiver{r: bufio.NewReader(r)}
+}
+
+// ErrClosed is returned by Next after a Bye frame.
+var ErrClosed = errors.New("wire: session closed")
+
+// Next reads the next frame. After FrameBye it returns ErrClosed.
+func (r *Receiver) Next() (Frame, error) {
+	kindByte, err := r.r.ReadByte()
+	if err != nil {
+		return Frame{}, err
+	}
+	length, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Frame{}, err
+	}
+	if length > maxFrameLen {
+		return Frame{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", length)
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	r.buf = r.buf[:length]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return Frame{}, err
+	}
+	f := Frame{Kind: FrameKind(kindByte)}
+	switch f.Kind {
+	case FrameHello:
+		h, err := decodeHello(r.buf)
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Hello = &h
+	case FrameMessage:
+		m, _, err := DecodeMessage(r.buf)
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Msg = &m
+	case FrameThreadDone:
+		u, n := binary.Uvarint(r.buf)
+		if n <= 0 {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		f.Thread = int(u)
+	case FrameBye:
+		return f, ErrClosed
+	default:
+		return Frame{}, fmt.Errorf("wire: unknown frame kind %d", kindByte)
+	}
+	return f, nil
+}
+
+// Scramble returns a random permutation of messages: the worst-case
+// delivery reordering the observer must tolerate (§2.2 — the lattice
+// reconstruction depends only on the clocks, never on arrival order).
+func Scramble(msgs []event.Message, seed int64) []event.Message {
+	out := append([]event.Message(nil), msgs...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// SplitByThread partitions messages into per-thread FIFO channels,
+// modelling the paper's "multiple channels to reduce the monitoring
+// overhead": each channel preserves its thread's order while the
+// channels interleave arbitrarily.
+func SplitByThread(msgs []event.Message) map[int][]event.Message {
+	out := map[int][]event.Message{}
+	for _, m := range msgs {
+		out[m.Event.Thread] = append(out[m.Event.Thread], m)
+	}
+	return out
+}
+
+// InterleaveChannels merges per-thread channels with a seeded random
+// interleaving that preserves each channel's internal order.
+func InterleaveChannels(channels map[int][]event.Message, seed int64) []event.Message {
+	rng := rand.New(rand.NewSource(seed))
+	var keys []int
+	for k := range channels {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	pos := map[int]int{}
+	total := 0
+	for _, k := range keys {
+		total += len(channels[k])
+	}
+	out := make([]event.Message, 0, total)
+	for len(out) < total {
+		var candidates []int
+		for _, k := range keys {
+			if pos[k] < len(channels[k]) {
+				candidates = append(candidates, k)
+			}
+		}
+		k := candidates[rng.Intn(len(candidates))]
+		out = append(out, channels[k][pos[k]])
+		pos[k]++
+	}
+	return out
+}

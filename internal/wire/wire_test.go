@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gompax/internal/event"
+	"gompax/internal/logic"
+	"gompax/internal/vc"
+)
+
+func sampleMessages() []event.Message {
+	return []event.Message{
+		{Event: event.Event{Seq: 1, Thread: 0, Index: 1, Kind: event.Write, Var: "x", Value: -3, Relevant: true}, Clock: vc.VC{1, 0}},
+		{Event: event.Event{Seq: 4, Thread: 1, Index: 1, Kind: event.Write, Var: "longer_name", Value: 1 << 40, Relevant: true}, Clock: vc.VC{1, 1}},
+		{Event: event.Event{Seq: 9, Thread: 1, Index: 2, Kind: event.Acquire, Var: "m", Value: 0, Relevant: true}, Clock: vc.VC{1, 2}},
+		{Event: event.Event{Seq: 12, Thread: 2, Index: 1, Kind: event.Read, Var: "y", Value: 0, Relevant: false}, Clock: vc.VC{0, 0, 7}},
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf := AppendMessage(nil, m)
+		got, n, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d", n, len(buf))
+		}
+		if got.Event != m.Event || !vc.Equal(got.Clock, m.Clock) {
+			t.Fatalf("round trip: %+v vs %+v", got, m)
+		}
+	}
+}
+
+func TestMessageCodecTruncation(t *testing.T) {
+	buf := AppendMessage(nil, sampleMessages()[1])
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := DecodeMessage(buf[:i]); err == nil {
+			t.Fatalf("accepted truncation at %d", i)
+		}
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSender(&buf)
+	hello := Hello{Threads: 2, Initial: logic.StateFromMap(map[string]int64{"x": -1, "y": 0})}
+	if err := s.SendHello(hello); err != nil {
+		t.Fatal(err)
+	}
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := s.SendMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SendThreadDone(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendBye(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReceiver(&buf)
+	f, err := r.Next()
+	if err != nil || f.Kind != FrameHello {
+		t.Fatalf("first frame: %v %v", f, err)
+	}
+	if f.Hello.Threads != 2 {
+		t.Fatalf("threads = %d", f.Hello.Threads)
+	}
+	if v, _ := f.Hello.Initial.Lookup("x"); v != -1 {
+		t.Fatalf("initial x = %d", v)
+	}
+	for i := range msgs {
+		f, err = r.Next()
+		if err != nil || f.Kind != FrameMessage {
+			t.Fatalf("frame %d: %v %v", i, f, err)
+		}
+		if f.Msg.Event != msgs[i].Event {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+	f, err = r.Next()
+	if err != nil || f.Kind != FrameThreadDone || f.Thread != 1 {
+		t.Fatalf("thread-done frame: %+v %v", f, err)
+	}
+	if _, err = r.Next(); err != ErrClosed {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+}
+
+func TestReceiverRejectsGarbage(t *testing.T) {
+	r := NewReceiver(strings.NewReader("\xff\x01z"))
+	if _, err := r.Next(); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	// Oversized frame length.
+	r = NewReceiver(bytes.NewReader([]byte{byte(FrameMessage), 0xff, 0xff, 0xff, 0xff, 0x7f}))
+	if _, err := r.Next(); err == nil {
+		t.Fatalf("oversized frame accepted")
+	}
+}
+
+func TestScramblePreservesMultiset(t *testing.T) {
+	msgs := sampleMessages()
+	got := Scramble(msgs, 42)
+	if len(got) != len(msgs) {
+		t.Fatalf("length changed")
+	}
+	seen := map[string]int{}
+	for _, m := range msgs {
+		seen[m.String()]++
+	}
+	for _, m := range got {
+		seen[m.String()]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("multiset changed at %s", k)
+		}
+	}
+}
+
+func TestSplitAndInterleaveChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var msgs []event.Message
+	for i := 0; i < 30; i++ {
+		th := rng.Intn(3)
+		msgs = append(msgs, event.Message{
+			Event: event.Event{Thread: th, Index: uint64(i), Var: "x", Kind: event.Write},
+			Clock: vc.VC{uint64(i + 1)},
+		})
+	}
+	chans := SplitByThread(msgs)
+	merged := InterleaveChannels(chans, 9)
+	if len(merged) != len(msgs) {
+		t.Fatalf("lost messages")
+	}
+	// Per-thread order must be preserved.
+	lastIdx := map[int]uint64{}
+	for _, m := range merged {
+		if m.Event.Index < lastIdx[m.Event.Thread] {
+			t.Fatalf("thread %d order violated", m.Event.Thread)
+		}
+		lastIdx[m.Event.Thread] = m.Event.Index
+	}
+}
