@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build vet test race chaos fuzz verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The chaos regressions run on short deterministic seed lists, so they
+# are part of the normal test suite; this target runs just them.
+chaos:
+	$(GO) test -run 'Chaos|Corrupt|Fault|Resync|IdleTimeout' ./internal/wire/ ./internal/observer/ ./internal/race/ -v
+
+# Short bounded fuzz pass over the wire decoders and fault pipeline.
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz FuzzDecodeMessage -fuzztime 10s
+	$(GO) test ./internal/wire/ -fuzz FuzzReceiver -fuzztime 10s
+	$(GO) test ./internal/wire/ -fuzz FuzzSessionFaults -fuzztime 10s
+
+verify: build vet race

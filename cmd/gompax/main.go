@@ -22,15 +22,27 @@
 //	-liveness f    also check future-time LTL f against lattice lassos
 //	-explain       print a subformula truth table over the counterexample
 //	-quiet         only print the final verdict line per seed
+//	-chaos r       stream the session through the fault injector at
+//	               per-frame rate r (drop/corrupt/duplicate/delay each)
+//	               and analyze it in lossy resync mode
+//	-chaos-seed n  fault injector seed (default 1)
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"gompax/internal/driver"
+	"gompax/internal/instrument"
+	"gompax/internal/logic"
 	"gompax/internal/monitor"
+	"gompax/internal/mtl"
+	"gompax/internal/observer"
+	"gompax/internal/predict"
+	"gompax/internal/sched"
+	"gompax/internal/wire"
 )
 
 func main() {
@@ -45,6 +57,8 @@ func main() {
 	quiet := flag.Bool("quiet", false, "only print verdict lines")
 	live := flag.String("liveness", "", "future-time LTL property checked against lattice lassos (uv-omega prediction)")
 	explain := flag.Bool("explain", false, "print a subformula truth table over the first counterexample run")
+	chaos := flag.Float64("chaos", 0, "per-frame fault rate: stream through the fault injector and analyze in lossy resync mode")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault injector seed")
 	flag.Parse()
 
 	if *progFile == "" || *prop == "" {
@@ -60,6 +74,16 @@ func main() {
 	exit := 0
 	for i := 0; i < *runs; i++ {
 		s := *seed + int64(i)
+		if *chaos > 0 {
+			violated, err := runChaos(string(src), *prop, s, *chaos, *chaosSeed, *maxEvents, *maxCuts)
+			if err != nil {
+				fail(err)
+			}
+			if violated {
+				exit = 1
+			}
+			continue
+		}
 		rep, err := driver.Check(driver.Config{
 			Source:           string(src),
 			Property:         *prop,
@@ -103,6 +127,73 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// runChaos streams one instrumented execution through the fault
+// injector and analyzes the damaged session in lossy resync mode —
+// exercising the fault-tolerance path end to end from the CLI.
+func runChaos(src, prop string, seed int64, rate float64, chaosSeed int64, maxEvents uint64, maxCuts int) (bool, error) {
+	p, err := mtl.Parse(src)
+	if err != nil {
+		return false, err
+	}
+	code, err := mtl.Compile(p)
+	if err != nil {
+		return false, err
+	}
+	formula, err := logic.ParseFormula(prop)
+	if err != nil {
+		return false, err
+	}
+	prog, err := monitor.Compile(formula)
+	if err != nil {
+		return false, err
+	}
+	policy := instrument.PolicyFor(formula)
+	initial, err := instrument.InitialState(code.Prog, formula)
+	if err != nil {
+		return false, err
+	}
+
+	var damaged bytes.Buffer
+	fw := wire.NewFaultWriter(&damaged, wire.FaultPlan{
+		Seed:       chaosSeed,
+		Drop:       rate,
+		Corrupt:    rate,
+		Duplicate:  rate,
+		Delay:      rate,
+		MaxDelay:   4,
+		SpareHello: true,
+	})
+	if err := instrument.RunStreaming(code, policy, initial, sched.NewRandom(seed), maxEvents, fw); err != nil {
+		return false, err
+	}
+	if err := fw.Close(); err != nil {
+		return false, err
+	}
+	fs := fw.Stats()
+
+	r := wire.NewResyncReceiver(bytes.NewReader(damaged.Bytes()))
+	res, err := observer.Analyze(r, prog, predict.Options{Lossy: true, MaxCuts: maxCuts})
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("--- seed %d (chaos rate %g, chaos seed %d) ---\n", seed, rate, chaosSeed)
+	fmt.Printf("injected: %d frames: %d dropped, %d corrupted, %d truncated, %d duplicated, %d delayed\n",
+		fs.Frames, fs.Dropped, fs.Corrupted, fs.Truncated, fs.Duplicated, fs.Delayed)
+	fmt.Printf("received: %s\n", r.Stats())
+	if res.Degraded != nil && res.Degraded.Any() {
+		fmt.Printf("%s\n", res.Degraded)
+	} else {
+		fmt.Println("degraded: no (session survived intact)")
+	}
+	fmt.Printf("analysis: %d cuts over %d levels\n", res.Stats.Cuts, res.Stats.Levels)
+	if res.Violated() {
+		fmt.Printf("PREDICTED %d violation(s) despite the damage\n", len(res.Violations))
+	} else {
+		fmt.Println("no violation predicted from the surviving frames")
+	}
+	return res.Violated(), nil
 }
 
 func fail(err error) {

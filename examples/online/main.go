@@ -73,7 +73,15 @@ func main() {
 
 	o := <-done
 	if o.err != nil {
+		// Analyze returns the partial result computed before the
+		// session died alongside the error — report the salvage, too.
+		fmt.Printf("session error: %v\n", o.err)
+		fmt.Printf("partial analysis before the error: %d cuts over %d levels, %d violation(s)\n",
+			o.res.Stats.Cuts, o.res.Stats.Levels, len(o.res.Violations))
 		log.Fatal(o.err)
+	}
+	if o.res.Degraded != nil && o.res.Degraded.Any() {
+		fmt.Printf("session %s\n", o.res.Degraded)
 	}
 	fmt.Printf("online analysis: %d cuts over %d levels (max width %d)\n",
 		o.res.Stats.Cuts, o.res.Stats.Levels, o.res.Stats.MaxWidth)

@@ -108,9 +108,12 @@ func RunStreamingChannels(code *mtl.Compiled, policy mvc.Policy, initial logic.S
 	}
 	route := func(thread int) *wire.Sender { return senders[thread%len(senders)] }
 
+	var sinkErr error
 	sink := mvc.SinkFunc(func(msg event.Message) {
-		// Errors surface on the next flush below.
-		_ = route(msg.Event.Thread).SendMessage(msg)
+		if sinkErr != nil {
+			return
+		}
+		sinkErr = route(msg.Event.Thread).SendMessage(msg)
 	})
 	in := New(len(code.Threads), policy, sink)
 	m := interp.NewMachine(code, in)
@@ -125,6 +128,9 @@ func RunStreamingChannels(code *mtl.Compiled, policy mvc.Policy, initial logic.S
 		kind, err := m.Step(tid)
 		if err != nil {
 			return err
+		}
+		if sinkErr != nil {
+			return sinkErr
 		}
 		if kind == interp.Finished && !done[tid] {
 			done[tid] = true

@@ -5,11 +5,27 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"gompax/internal/monitor"
 	"gompax/internal/predict"
 	"gompax/internal/wire"
 )
+
+// SessionOptions configures a multi-channel observer session.
+type SessionOptions struct {
+	// Predict configures the online analysis.
+	Predict predict.Options
+	// IdleTimeout, when positive, bounds how long the merge waits for
+	// the next frame on each channel. A channel that stays silent past
+	// the deadline is declared stalled: it is abandoned, the session
+	// finishes as lossy (partial result + Degraded report), and the
+	// merge returns instead of hanging forever. The reader goroutine
+	// blocked on the dead channel is leaked by necessity — a plain
+	// io.Reader cannot be interrupted — so the deadline should only
+	// fire on genuinely wedged transports.
+	IdleTimeout time.Duration
+}
 
 // AnalyzeChannels consumes a session that was split across several
 // wire channels (the paper's "multiple channels to reduce the
@@ -22,6 +38,25 @@ import (
 // notices may arrive on any channel. The call returns when every
 // channel has delivered its Bye (or EOF).
 func AnalyzeChannels(rs []*wire.Receiver, prog *monitor.Program, opts predict.Options) (predict.Result, error) {
+	return AnalyzeSession(rs, prog, SessionOptions{Predict: opts})
+}
+
+// channelEnd is one channel's terminal condition.
+type channelEnd struct {
+	err     error // nil on clean end (Bye or EOF)
+	sawBye  bool
+	stalled bool
+}
+
+type frameOrErr struct {
+	f   wire.Frame
+	err error
+}
+
+// AnalyzeSession is AnalyzeChannels with fault-tolerance options: an
+// idle timeout for stalled channels, and (via opts.Predict.Lossy plus
+// resync receivers) graceful degradation over lossy transports.
+func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOptions) (predict.Result, error) {
 	if len(rs) == 0 {
 		return predict.Result{}, fmt.Errorf("observer: no channels")
 	}
@@ -38,7 +73,7 @@ func AnalyzeChannels(rs []*wire.Receiver, prog *monitor.Program, opts predict.Op
 			if firstHello == nil {
 				firstHello = f.Hello
 				var err error
-				online, err = predict.NewOnline(prog, f.Hello.Initial, f.Hello.Threads, opts)
+				online, err = predict.NewOnline(prog, f.Hello.Initial, f.Hello.Threads, opts.Predict)
 				return err
 			}
 			if f.Hello.Threads != firstHello.Threads || !f.Hello.Initial.Equal(firstHello.Initial) {
@@ -59,40 +94,103 @@ func AnalyzeChannels(rs []*wire.Receiver, prog *monitor.Program, opts predict.Op
 		return nil
 	}
 
-	errs := make(chan error, len(rs))
+	ends := make(chan channelEnd, len(rs))
 	var wg sync.WaitGroup
 	for _, r := range rs {
 		wg.Add(1)
 		go func(r *wire.Receiver) {
 			defer wg.Done()
+			// The pump isolates the blocking Next() calls so the
+			// consumer below can enforce the idle deadline. It leaks
+			// if the channel stalls permanently (see SessionOptions).
+			frames := make(chan frameOrErr, 1)
+			go func() {
+				for {
+					f, err := r.Next()
+					frames <- frameOrErr{f, err}
+					if err != nil {
+						return
+					}
+				}
+			}()
+			var timer *time.Timer
+			if opts.IdleTimeout > 0 {
+				timer = time.NewTimer(opts.IdleTimeout)
+				defer timer.Stop()
+			}
 			for {
-				f, err := r.Next()
-				if errors.Is(err, wire.ErrClosed) || errors.Is(err, io.EOF) {
-					errs <- nil
+				var fe frameOrErr
+				if timer == nil {
+					fe = <-frames
+				} else {
+					select {
+					case fe = <-frames:
+						if !timer.Stop() {
+							<-timer.C
+						}
+						timer.Reset(opts.IdleTimeout)
+					case <-timer.C:
+						ends <- channelEnd{stalled: true}
+						return
+					}
+				}
+				if fe.err != nil {
+					if errors.Is(fe.err, wire.ErrClosed) || errors.Is(fe.err, io.EOF) {
+						ends <- channelEnd{sawBye: r.SawBye()}
+					} else {
+						ends <- channelEnd{err: fe.err}
+					}
 					return
 				}
-				if err != nil {
-					errs <- err
-					return
-				}
-				if err := handle(f); err != nil {
-					errs <- err
+				if err := handle(fe.f); err != nil {
+					ends <- channelEnd{err: err}
 					return
 				}
 			}
 		}(r)
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return predict.Result{}, err
+	close(ends)
+
+	stalled := 0
+	missingBye := false
+	var firstErr error
+	for e := range ends {
+		if e.stalled {
+			stalled++
+		} else if e.err != nil && firstErr == nil {
+			firstErr = e.err
+		} else if e.err == nil && !e.sawBye {
+			missingBye = true
 		}
 	}
+
 	mu.Lock()
 	defer mu.Unlock()
 	if online == nil {
+		if firstErr != nil {
+			return predict.Result{}, firstErr
+		}
 		return predict.Result{}, fmt.Errorf("observer: no hello received on any channel")
 	}
-	return online.Close()
+	if firstErr != nil {
+		// Salvage the analysis done before the session died.
+		res := online.Partial()
+		attachWireStats(&res, rs...)
+		return res, firstErr
+	}
+	var res predict.Result
+	var err error
+	if stalled > 0 {
+		// A stalled channel means lost frames: finish tolerantly.
+		res, err = online.CloseLossy()
+		res.Degrade().StalledChannels = stalled
+	} else {
+		res, err = online.Close()
+	}
+	if missingBye || stalled > 0 {
+		res.Degrade().MissingBye = res.Degrade().MissingBye || missingBye
+	}
+	attachWireStats(&res, rs...)
+	return res, err
 }

@@ -24,6 +24,11 @@ type Session struct {
 	Messages []event.Message
 	// Done[i] is true when the sender announced thread i complete.
 	Done []bool
+	// SawBye is true when the session was closed by an explicit Bye.
+	SawBye bool
+	// Stats is the wire-level health of the channel (meaningful for a
+	// resync receiver; all-zero on a clean strict stream).
+	Stats wire.SessionStats
 }
 
 // Drain reads a whole session (through Bye or EOF) and returns its
@@ -36,6 +41,8 @@ func Drain(r *wire.Receiver) (*Session, error) {
 			if s == nil {
 				return nil, fmt.Errorf("observer: session ended before hello")
 			}
+			s.SawBye = errors.Is(err, wire.ErrClosed)
+			s.Stats = r.Stats()
 			return s, nil
 		}
 		if err != nil {
@@ -71,26 +78,60 @@ func (s *Session) Computation() (*lattice.Computation, error) {
 	return lattice.NewComputation(s.Hello.Initial, s.Hello.Threads, s.Messages)
 }
 
+// attachWireStats records a channel's wire-level statistics in the
+// result's degradation report when the channel saw any fault.
+func attachWireStats(res *predict.Result, rs ...*wire.Receiver) {
+	for _, r := range rs {
+		if s := r.Stats(); s.Lossy() {
+			res.Degrade().Wire = append(res.Degrade().Wire, s)
+		}
+	}
+}
+
 // Analyze consumes a session online: every message is fed to the
 // incremental analyzer the moment it arrives, so violations on early
 // lattice levels are detected while the program is still running.
+//
+// Fault tolerance: when the stream ends without a Bye, the result's
+// Degraded report notes it. With opts.Lossy (typically paired with a
+// resync Receiver) delivery gaps degrade the result instead of failing
+// it. On an unrecoverable error — a wire error from a strict receiver,
+// or a strict-mode session inconsistency — the partial result computed
+// so far is returned alongside the error, never discarded.
 func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (predict.Result, error) {
 	var online *predict.Online
+	// partial salvages the work done so far when the session dies.
+	partial := func(err error) (predict.Result, error) {
+		if online == nil {
+			return predict.Result{}, err
+		}
+		res := online.Partial()
+		attachWireStats(&res, r)
+		return res, err
+	}
 	for {
 		f, err := r.Next()
 		if errors.Is(err, wire.ErrClosed) || errors.Is(err, io.EOF) {
 			if online == nil {
 				return predict.Result{}, fmt.Errorf("observer: session ended before hello")
 			}
-			return online.Close()
+			res, cerr := online.Close()
+			if !r.SawBye() {
+				res.Degrade().MissingBye = true
+			}
+			attachWireStats(&res, r)
+			return res, cerr
 		}
 		if err != nil {
-			return predict.Result{}, err
+			return partial(err)
 		}
 		switch f.Kind {
 		case wire.FrameHello:
 			if online != nil {
-				return predict.Result{}, fmt.Errorf("observer: duplicate hello")
+				if opts.Lossy { // duplicated hello frame: ignore
+					continue
+				}
+				return partial(fmt.Errorf("observer: duplicate hello"))
 			}
 			online, err = predict.NewOnline(prog, f.Hello.Initial, f.Hello.Threads, opts)
 			if err != nil {
@@ -101,14 +142,14 @@ func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (pre
 				return predict.Result{}, fmt.Errorf("observer: message before hello")
 			}
 			if err := online.Feed(*f.Msg); err != nil {
-				return predict.Result{}, err
+				return partial(err)
 			}
 		case wire.FrameThreadDone:
 			if online == nil {
 				return predict.Result{}, fmt.Errorf("observer: thread-done before hello")
 			}
 			if err := online.FinishThread(f.Thread); err != nil {
-				return predict.Result{}, err
+				return partial(err)
 			}
 		}
 	}

@@ -27,15 +27,17 @@ type Online struct {
 	initial logic.State
 	threads int
 
-	events  [][]event.Message          // contiguous prefixes per thread
-	pending []map[uint64]event.Message // buffered out-of-order messages
-	final   []bool                     // thread announced complete
-	applied int                        // events consumed into the frontier
+	events    [][]event.Message          // contiguous prefixes per thread
+	pending   []map[uint64]event.Message // buffered out-of-order messages
+	final     []bool                     // thread will send no more deliverable messages
+	announced []bool                     // thread-done notice received
+	applied   int                        // events consumed into the frontier
 
 	frontier map[string]*oentry
 	result   Result
 	maxCuts  int
 	paths    bool
+	lossy    bool
 	closed   bool
 }
 
@@ -56,15 +58,17 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 		return nil, fmt.Errorf("predict: online analysis needs a positive thread count")
 	}
 	o := &Online{
-		prog:     prog,
-		initial:  initial,
-		threads:  threads,
-		events:   make([][]event.Message, threads),
-		pending:  make([]map[uint64]event.Message, threads),
-		final:    make([]bool, threads),
-		frontier: map[string]*oentry{},
-		maxCuts:  opts.MaxCuts,
-		paths:    opts.Counterexamples,
+		prog:      prog,
+		initial:   initial,
+		threads:   threads,
+		events:    make([][]event.Message, threads),
+		pending:   make([]map[uint64]event.Message, threads),
+		final:     make([]bool, threads),
+		announced: make([]bool, threads),
+		frontier:  map[string]*oentry{},
+		maxCuts:   opts.MaxCuts,
+		paths:     opts.Counterexamples,
+		lossy:     opts.Lossy,
 	}
 	for i := range o.pending {
 		o.pending[i] = map[uint64]event.Message{}
@@ -89,8 +93,23 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 }
 
 // Feed delivers one observer message (any order) and advances the
-// analysis as far as the delivered events allow.
+// analysis as far as the delivered events allow. In lossy mode a
+// message that cannot be accepted (duplicate, unknown thread, arrival
+// after the thread completed) is counted in the degradation report
+// and ignored instead of failing the session.
 func (o *Online) Feed(m event.Message) error {
+	if err := o.buffer(m); err != nil {
+		if o.lossy {
+			o.result.Degrade().Rejected++
+			return nil
+		}
+		return err
+	}
+	return o.advance()
+}
+
+// buffer validates and enqueues one message without advancing.
+func (o *Online) buffer(m event.Message) error {
 	if o.closed {
 		return fmt.Errorf("predict: Feed after Close")
 	}
@@ -122,16 +141,33 @@ func (o *Online) Feed(m event.Message) error {
 		delete(o.pending[i], next)
 		o.events[i] = append(o.events[i], msg)
 	}
-	return o.advance()
+	// A late gap-filler can complete a thread whose done notice
+	// already arrived.
+	if o.announced[i] && len(o.pending[i]) == 0 {
+		o.final[i] = true
+	}
+	return nil
 }
 
 // FinishThread declares that a thread will send no further messages.
+// In lossy mode a completion notice that arrives while the thread
+// still has undeliverable out-of-order messages does not fail the
+// session: the thread stays open so late gap-fillers can still land,
+// and Close truncates whatever remains missing.
 func (o *Online) FinishThread(i int) error {
 	if i < 0 || i >= o.threads {
+		if o.lossy {
+			o.result.Degrade().Rejected++
+			return nil
+		}
 		return fmt.Errorf("predict: unknown thread %d", i)
 	}
+	o.announced[i] = true
 	if len(o.pending[i]) > 0 {
-		return fmt.Errorf("predict: thread %d finished with %d undeliverable out-of-order messages", i, len(o.pending[i]))
+		if !o.lossy {
+			return fmt.Errorf("predict: thread %d finished with %d undeliverable out-of-order messages", i, len(o.pending[i]))
+		}
+		return nil // keep the thread open for late gap-fillers
 	}
 	o.final[i] = true
 	return o.advance()
@@ -144,15 +180,24 @@ func (o *Online) Violations() []Violation { return o.result.Violations }
 func (o *Online) Level() int { return o.result.Stats.Levels - 1 }
 
 // Close marks every thread complete, drains the analysis and returns
-// the final result.
+// the final result. In strict mode a delivery gap is an error; in
+// lossy mode (Options.Lossy or CloseLossy) each thread's stream is
+// truncated at its first gap, the loss is recorded in Result.Degraded,
+// and the partial result is returned without error.
 func (o *Online) Close() (Result, error) {
 	if o.closed {
 		return o.result, nil
 	}
-	for i := 0; i < o.threads; i++ {
-		if len(o.pending[i]) > 0 {
-			return o.result, fmt.Errorf("predict: thread %d has a gap: %d out-of-order messages never became deliverable", i, len(o.pending[i]))
+	if o.lossy {
+		o.truncateGaps()
+	} else {
+		for i := 0; i < o.threads; i++ {
+			if len(o.pending[i]) > 0 {
+				return o.result, fmt.Errorf("predict: thread %d has a gap: %d out-of-order messages never became deliverable", i, len(o.pending[i]))
+			}
 		}
+	}
+	for i := range o.final {
 		o.final[i] = true
 	}
 	if err := o.advance(); err != nil {
@@ -164,9 +209,61 @@ func (o *Online) Close() (Result, error) {
 		total += len(o.events[i])
 	}
 	if o.applied < total && len(o.frontier) > 0 {
-		return o.result, fmt.Errorf("predict: analysis stalled with %d of %d events applied", o.applied, total)
+		if !o.lossy {
+			return o.result, fmt.Errorf("predict: analysis stalled with %d of %d events applied", o.applied, total)
+		}
+		o.result.Degrade().Stalled = true
 	}
 	return o.result, nil
+}
+
+// CloseLossy closes the analysis tolerantly regardless of how it was
+// opened: the observer uses it when it discovers mid-session (a stalled
+// channel, a torn stream) that the session can no longer complete.
+func (o *Online) CloseLossy() (Result, error) {
+	o.lossy = true
+	return o.Close()
+}
+
+// Partial returns a snapshot of the result accumulated so far without
+// closing the analysis — the violations and statistics of every level
+// fully analyzed to date. Callers use it to salvage the work done
+// before an unrecoverable session error.
+func (o *Online) Partial() Result { return o.result }
+
+// truncateGaps cuts each thread's stream at its first delivery gap,
+// recording the loss and a lower bound on the lattice cuts that became
+// unexplorable (the frontier successors whose event is known lost).
+func (o *Online) truncateGaps() {
+	for i := 0; i < o.threads; i++ {
+		if len(o.pending[i]) == 0 {
+			continue
+		}
+		d := o.result.Degrade()
+		// Events buffered beyond the gap prove the sender produced at
+		// least maxPos events; successors needing a lost one of those
+		// can never be explored.
+		maxPos := uint64(len(o.events[i]))
+		for k := range o.pending[i] {
+			if k > maxPos {
+				maxPos = k
+			}
+		}
+		delivered := uint64(len(o.events[i]))
+		for _, ent := range o.frontier {
+			need := ent.counts.Get(i) + 1
+			if need > delivered && need <= maxPos {
+				d.UnexplorableCuts++
+			}
+		}
+		d.Threads = append(d.Threads, ThreadLoss{
+			Thread:    i,
+			Delivered: int(delivered),
+			Dropped:   len(o.pending[i]),
+			FirstGap:  delivered + 1,
+		})
+		o.pending[i] = map[uint64]event.Message{}
+	}
 }
 
 // ready reports whether the current frontier's successor set is fully

@@ -28,6 +28,7 @@ import (
 	"gompax/internal/lattice"
 	"gompax/internal/logic"
 	"gompax/internal/monitor"
+	"gompax/internal/wire"
 )
 
 // Options configures Analyze.
@@ -42,6 +43,13 @@ type Options struct {
 	Counterexamples bool
 	// FirstOnly stops at the first violation.
 	FirstOnly bool
+	// Lossy makes the online analyzer tolerate lossy sessions instead
+	// of failing: messages that cannot be accepted (duplicates, or
+	// arrivals after a thread completed) are counted and ignored, and
+	// Close truncates each thread's stream at its first delivery gap,
+	// reporting what was lost in Result.Degraded, rather than
+	// returning an error. Only Online honors this flag.
+	Lossy bool
 }
 
 // Violation is a predicted safety violation: a reachable global state
@@ -82,10 +90,119 @@ type Stats struct {
 type Result struct {
 	Violations []Violation
 	Stats      Stats
+	// Degraded is non-nil when the session the result was computed
+	// from was lossy: the verdict is sound for the events that
+	// arrived, but runs involving lost events were not explored.
+	Degraded *Degraded
 }
 
 // Violated reports whether any violation was predicted.
 func (r Result) Violated() bool { return len(r.Violations) > 0 }
+
+// Degrade returns the result's degradation report, allocating it on
+// first use.
+func (r *Result) Degrade() *Degraded {
+	if r.Degraded == nil {
+		r.Degraded = &Degraded{}
+	}
+	return r.Degraded
+}
+
+// ThreadLoss describes what one thread lost in a lossy session.
+type ThreadLoss struct {
+	// Thread is the thread index.
+	Thread int
+	// Delivered is the length of the contiguous event prefix that was
+	// analyzed.
+	Delivered int
+	// Dropped counts buffered out-of-order events discarded because
+	// the event before them never arrived.
+	Dropped int
+	// FirstGap is the 1-based position of the first event that never
+	// arrived (0 when the prefix was complete and only the completion
+	// notice was missing).
+	FirstGap uint64
+}
+
+func (l ThreadLoss) String() string {
+	return fmt.Sprintf("thread %d: %d delivered, %d dropped, first gap at %d",
+		l.Thread, l.Delivered, l.Dropped, l.FirstGap)
+}
+
+// Degraded reports how a lossy session limited the analysis: which
+// threads lost frames, how much of the lattice was consequently out of
+// reach, and the wire-level health of each channel. A degraded result
+// is a sound verdict over the delivered events — it under-approximates
+// the set of runs, never over-approximates it.
+type Degraded struct {
+	// MissingBye is set when the session ended without a Bye frame
+	// (the stream tore before the sender closed).
+	MissingBye bool
+	// Stalled is set when delivered events could not all be applied
+	// (an internal inconsistency, distinct from plain loss).
+	Stalled bool
+	// StalledChannels counts wire channels abandoned because they hit
+	// the observer's idle timeout.
+	StalledChannels int
+	// Rejected counts messages the analyzer refused (duplicates,
+	// arrivals after thread completion, malformed clocks).
+	Rejected int
+	// Threads lists the per-thread delivery losses.
+	Threads []ThreadLoss
+	// UnexplorableCuts is a lower bound on the lattice cuts that could
+	// not be explored: the frontier successors blocked by a lost event
+	// at the moment the session was cut short.
+	UnexplorableCuts int
+	// Wire holds the per-channel wire statistics (checksum failures,
+	// resync skips, sequence gaps and duplicates).
+	Wire []wire.SessionStats
+}
+
+// Any reports whether any degradation was recorded.
+func (d *Degraded) Any() bool {
+	if d == nil {
+		return false
+	}
+	if d.MissingBye || d.Stalled || d.StalledChannels > 0 || d.Rejected > 0 ||
+		len(d.Threads) > 0 || d.UnexplorableCuts > 0 {
+		return true
+	}
+	for _, w := range d.Wire {
+		if w.Lossy() {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Degraded) String() string {
+	if !d.Any() {
+		return "degraded: none"
+	}
+	s := "degraded:"
+	if d.MissingBye {
+		s += " missing-bye"
+	}
+	if d.Stalled {
+		s += " stalled"
+	}
+	if d.StalledChannels > 0 {
+		s += fmt.Sprintf(" stalled-channels=%d", d.StalledChannels)
+	}
+	if d.Rejected > 0 {
+		s += fmt.Sprintf(" rejected=%d", d.Rejected)
+	}
+	if len(d.Threads) > 0 {
+		s += fmt.Sprintf(" lossy-threads=%d", len(d.Threads))
+	}
+	if d.UnexplorableCuts > 0 {
+		s += fmt.Sprintf(" unexplorable-cuts>=%d", d.UnexplorableCuts)
+	}
+	for i, w := range d.Wire {
+		s += fmt.Sprintf(" ch%d[%s]", i, w)
+	}
+	return s
+}
 
 type entry struct {
 	cut  lattice.Cut

@@ -1,0 +1,160 @@
+package race_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gompax/internal/event"
+	"gompax/internal/interp"
+	"gompax/internal/logic"
+	"gompax/internal/mtl"
+	"gompax/internal/observer"
+	"gompax/internal/progs"
+	"gompax/internal/race"
+	"gompax/internal/sched"
+	"gompax/internal/wire"
+)
+
+// accessMessage ships one recorded data access over the wire: the
+// access's sync-only clock rides in the message clock, and Seq/Write
+// survive in the event fields.
+func accessMessage(a race.Access, index uint64) event.Message {
+	kind := event.Read
+	if a.Write {
+		kind = event.Write
+	}
+	return event.Message{
+		Event: event.Event{
+			Seq:      a.Seq,
+			Thread:   a.Thread,
+			Index:    index,
+			Kind:     kind,
+			Var:      a.Var,
+			Relevant: true,
+		},
+		Clock: a.Clock,
+	}
+}
+
+func messageAccess(m event.Message) race.Access {
+	return race.Access{
+		Thread: m.Event.Thread,
+		Var:    m.Event.Var,
+		Write:  m.Event.Kind == event.Write,
+		Clock:  m.Clock,
+		Seq:    m.Event.Seq,
+	}
+}
+
+// chaosPipe pushes the access messages through a faulty wire session
+// and returns the accesses that survived plus the receiver's stats.
+func chaosPipe(t *testing.T, msgs []event.Message, threads int, plan wire.FaultPlan) ([]race.Access, wire.SessionStats) {
+	t.Helper()
+	var damaged bytes.Buffer
+	fw := wire.NewFaultWriter(&damaged, plan)
+	snd := wire.NewSender(fw)
+	if err := snd.SendHello(wire.Hello{Threads: threads, Initial: logic.StateFromMap(nil)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if err := snd.SendMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < threads; i++ {
+		if err := snd.SendThreadDone(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := snd.SendBye(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := wire.NewResyncReceiver(bytes.NewReader(damaged.Bytes()))
+	sess, err := observer.Drain(r)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	var out []race.Access
+	for _, m := range sess.Messages {
+		out = append(out, messageAccess(m))
+	}
+	return out, sess.Stats
+}
+
+// TestChaosDataRacePrediction is the chaos regression for the datarace
+// example: the Racy program's accesses stream through the fault proxy
+// at several seeds and loss profiles; whenever both racing writes
+// survive, the race on "data" is still predicted; the lock-protected
+// "flag" never races; and everything is byte-identical per seed.
+func TestChaosDataRacePrediction(t *testing.T) {
+	code := mtl.MustCompile(progs.Racy)
+	rd := race.NewDetector(len(code.Threads))
+	m := interp.NewMachine(code, rd)
+	if _, err := sched.Run(m, sched.NewRandom(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if vars := rd.RacyVars(); len(vars) != 1 || vars[0] != "data" {
+		t.Fatalf("baseline detector found races on %v, want [data]", vars)
+	}
+	accesses := rd.Accesses()
+	if got := race.PredictRaces(accesses); len(got) != len(rd.Races()) {
+		t.Fatalf("PredictRaces on the full set found %d races, detector found %d", len(got), len(rd.Races()))
+	}
+	msgs := make([]event.Message, len(accesses))
+	perThread := map[int]uint64{}
+	for i, a := range accesses {
+		perThread[a.Thread]++
+		msgs[i] = accessMessage(a, perThread[a.Thread])
+	}
+
+	plans := []wire.FaultPlan{
+		{Drop: 0.3, SpareHello: true},
+		{Corrupt: 0.3, SpareHello: true},
+		{Drop: 0.15, Corrupt: 0.15, Truncate: 0.1, Duplicate: 0.2, Delay: 0.2, MaxDelay: 3, SpareHello: true},
+	}
+	sawBoth, sawLoss := 0, 0
+	for seed := int64(1); seed <= 8; seed++ {
+		for pi, base := range plans {
+			plan := base
+			plan.Seed = seed
+			survived, stats := chaosPipe(t, msgs, len(code.Threads), plan)
+			survived2, stats2 := chaosPipe(t, msgs, len(code.Threads), plan)
+			if fmt.Sprint(survived) != fmt.Sprint(survived2) || stats != stats2 {
+				t.Fatalf("seed %d plan %d: chaos pipeline not deterministic", seed, pi)
+			}
+
+			reports := race.PredictRaces(survived)
+			for _, r := range reports {
+				if r.Var != "data" {
+					t.Fatalf("seed %d plan %d: spurious race invented under loss: %s", seed, pi, r)
+				}
+			}
+			racingWrites := map[int]bool{}
+			for _, a := range survived {
+				if a.Var == "data" && a.Write {
+					racingWrites[a.Thread] = true
+				}
+			}
+			if len(racingWrites) >= 2 {
+				sawBoth++
+				if len(reports) == 0 {
+					t.Fatalf("seed %d plan %d: both racing writes survived but no race predicted", seed, pi)
+				}
+			} else {
+				sawLoss++
+				if len(reports) != 0 {
+					t.Fatalf("seed %d plan %d: race predicted from a single surviving write", seed, pi)
+				}
+			}
+		}
+	}
+	// The sweep must exercise both regimes or it proves nothing.
+	if sawBoth == 0 || sawLoss == 0 {
+		t.Fatalf("chaos sweep unbalanced: %d runs kept both writes, %d lost one", sawBoth, sawLoss)
+	}
+}

@@ -85,6 +85,56 @@ func NewDetector(threads int) *Detector {
 // Races returns the predicted races in detection order.
 func (d *Detector) Races() []Report { return d.races }
 
+// Accesses returns every recorded data access in observation order
+// (Seq ascending), suitable for shipping over the wire and replaying
+// through PredictRaces on the observer side.
+func (d *Detector) Accesses() []Access {
+	var out []Access
+	for _, list := range d.accesses {
+		out = append(out, list...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// PredictRaces runs the pairwise concurrency check over an arbitrary
+// set of accesses — in particular a *subset* of an execution's
+// accesses, as survives a lossy wire session. Losing accesses can only
+// lose races, never invent them: the check is per-pair, so every
+// report returned from a subset is also found on the full set.
+func PredictRaces(accesses []Access) []Report {
+	byVar := map[string][]Access{}
+	order := []string{}
+	for _, a := range accesses {
+		if _, ok := byVar[a.Var]; !ok {
+			order = append(order, a.Var)
+		}
+		byVar[a.Var] = append(byVar[a.Var], a)
+	}
+	sort.Strings(order)
+	var races []Report
+	seen := map[string]bool{}
+	for _, name := range order {
+		list := byVar[name]
+		sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+		for i, a := range list {
+			for _, b := range list[i+1:] {
+				if a.Thread == b.Thread || (!a.Write && !b.Write) {
+					continue
+				}
+				if vc.Concurrent(a.Clock, b.Clock) {
+					key := raceKey(name, a, b)
+					if !seen[key] {
+						seen[key] = true
+						races = append(races, Report{Var: name, A: a, B: b})
+					}
+				}
+			}
+		}
+	}
+	return races
+}
+
 // RacyVars returns the sorted set of variables with predicted races.
 func (d *Detector) RacyVars() []string {
 	set := map[string]bool{}

@@ -1,0 +1,190 @@
+// FaultWriter is the wire-level sibling of Scramble: where Scramble
+// exercises the observer's delivery-order independence (§2.2), the
+// FaultWriter exercises the session layer's fault model — frames that
+// are dropped, duplicated, corrupted, truncated, or delayed on their
+// way to the observer. It is deterministic for a given seed and input
+// stream, so every chaos experiment is reproducible byte for byte.
+package wire
+
+import (
+	"io"
+	"math/rand"
+)
+
+// FaultPlan configures a FaultWriter. Each rate is the independent
+// per-frame probability of that fault; the faults are mutually
+// exclusive per frame, tried in the order drop, corrupt, truncate,
+// duplicate, delay.
+type FaultPlan struct {
+	// Seed drives every random decision. The same seed and input
+	// stream reproduce the same output bytes and FaultStats.
+	Seed int64
+	// Drop loses the frame entirely.
+	Drop float64
+	// Corrupt flips one random byte of the frame (header or payload).
+	Corrupt float64
+	// Truncate forwards only a strict prefix of the frame.
+	Truncate float64
+	// Duplicate forwards the frame twice back to back.
+	Duplicate float64
+	// Delay holds the frame back and releases it after one to MaxDelay
+	// later frames have passed — a bounded reordering.
+	Delay float64
+	// MaxDelay bounds how many frames a delayed frame is held behind
+	// (default 3).
+	MaxDelay int
+	// SpareHello exempts Hello frames from every fault, so sessions
+	// still open; losing the Hello makes the whole session useless and
+	// is tested separately.
+	SpareHello bool
+}
+
+// FaultStats counts the faults actually injected.
+type FaultStats struct {
+	// Frames is the number of complete frames that passed through.
+	Frames     int
+	Dropped    int
+	Corrupted  int
+	Truncated  int
+	Duplicated int
+	Delayed    int
+}
+
+type delayedFrame struct {
+	data []byte
+	due  int // frame counter at which to release
+}
+
+// FaultWriter proxies a wire byte stream, injecting frame-granular
+// faults per its plan. It buffers bytes until a complete frame is
+// delimited, so it composes with any upstream write chunking. Close
+// releases delayed frames and forwards any torn trailing bytes.
+type FaultWriter struct {
+	w           io.Writer
+	plan        FaultPlan
+	rng         *rand.Rand
+	pending     []byte
+	delayed     []delayedFrame
+	count       int
+	stats       FaultStats
+	err         error
+	passthrough bool
+}
+
+// NewFaultWriter wraps w with the given fault plan.
+func NewFaultWriter(w io.Writer, plan FaultPlan) *FaultWriter {
+	if plan.MaxDelay <= 0 {
+		plan.MaxDelay = 3
+	}
+	return &FaultWriter{w: w, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Stats returns the faults injected so far.
+func (fw *FaultWriter) Stats() FaultStats { return fw.stats }
+
+// Write implements io.Writer. It always reports the full input length
+// as written (dropping bytes is the point); the first underlying write
+// error is sticky and returned from then on.
+func (fw *FaultWriter) Write(p []byte) (int, error) {
+	if fw.err != nil {
+		return 0, fw.err
+	}
+	fw.pending = append(fw.pending, p...)
+	if fw.passthrough {
+		fw.forward(fw.pending)
+		fw.pending = fw.pending[:0]
+		return len(p), fw.err
+	}
+	consumed := 0
+	for {
+		size, err := frameSize(fw.pending[consumed:])
+		if err != nil {
+			// Upstream is not speaking the wire protocol; stop
+			// delimiting and forward everything verbatim.
+			fw.passthrough = true
+			fw.release(1 << 62)
+			fw.forward(fw.pending[consumed:])
+			consumed = len(fw.pending)
+			break
+		}
+		if size == 0 {
+			break
+		}
+		fw.frame(fw.pending[consumed : consumed+size])
+		consumed += size
+	}
+	fw.pending = append(fw.pending[:0], fw.pending[consumed:]...)
+	return len(p), fw.err
+}
+
+// frame applies the fault plan to one complete frame.
+func (fw *FaultWriter) frame(data []byte) {
+	fw.count++
+	fw.stats.Frames++
+	// Always draw the same number of variates per frame so fault
+	// decisions depend only on the frame's position in the stream.
+	pDrop := fw.rng.Float64()
+	pCorrupt := fw.rng.Float64()
+	pTruncate := fw.rng.Float64()
+	pDup := fw.rng.Float64()
+	pDelay := fw.rng.Float64()
+	spare := fw.plan.SpareHello && len(data) > 1 && FrameKind(data[1]) == FrameHello
+	switch {
+	case spare:
+		fw.forward(data)
+	case pDrop < fw.plan.Drop:
+		fw.stats.Dropped++
+	case pCorrupt < fw.plan.Corrupt:
+		b := append([]byte(nil), data...)
+		b[fw.rng.Intn(len(b))] ^= byte(1 + fw.rng.Intn(255))
+		fw.stats.Corrupted++
+		fw.forward(b)
+	case pTruncate < fw.plan.Truncate:
+		fw.stats.Truncated++
+		fw.forward(data[:fw.rng.Intn(len(data))])
+	case pDup < fw.plan.Duplicate:
+		fw.stats.Duplicated++
+		fw.forward(data)
+		fw.forward(data)
+	case pDelay < fw.plan.Delay:
+		fw.stats.Delayed++
+		fw.delayed = append(fw.delayed, delayedFrame{
+			data: append([]byte(nil), data...),
+			due:  fw.count + 1 + fw.rng.Intn(fw.plan.MaxDelay),
+		})
+	default:
+		fw.forward(data)
+	}
+	fw.release(fw.count)
+}
+
+// release forwards delayed frames whose due time has passed, in the
+// order they were delayed.
+func (fw *FaultWriter) release(now int) {
+	kept := fw.delayed[:0]
+	for _, d := range fw.delayed {
+		if d.due <= now {
+			fw.forward(d.data)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	fw.delayed = kept
+}
+
+func (fw *FaultWriter) forward(b []byte) {
+	if fw.err != nil || len(b) == 0 {
+		return
+	}
+	_, fw.err = fw.w.Write(b)
+}
+
+// Close releases every delayed frame and forwards any torn trailing
+// bytes (an incomplete frame at stream end stays incomplete — the
+// receiver's resync mode accounts for it).
+func (fw *FaultWriter) Close() error {
+	fw.release(1 << 62)
+	fw.forward(fw.pending)
+	fw.pending = fw.pending[:0]
+	return fw.err
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// pipeFaults runs a session through a FaultWriter in chunked writes
+// (exercising the frame delimiter) and returns the damaged bytes plus
+// the injector's stats.
+func pipeFaults(t *testing.T, raw []byte, plan FaultPlan) ([]byte, FaultStats) {
+	t.Helper()
+	var out bytes.Buffer
+	fw := NewFaultWriter(&out, plan)
+	for len(raw) > 0 {
+		n := 7
+		if n > len(raw) {
+			n = len(raw)
+		}
+		if _, err := fw.Write(raw[:n]); err != nil {
+			t.Fatal(err)
+		}
+		raw = raw[n:]
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes(), fw.Stats()
+}
+
+func TestFaultWriterIdentityWhenCalm(t *testing.T) {
+	raw := sessionBytes(t)
+	got, stats := pipeFaults(t, raw, FaultPlan{Seed: 1})
+	if !bytes.Equal(got, raw) {
+		t.Fatalf("zero-rate plan altered the stream")
+	}
+	if stats.Frames == 0 || stats.Dropped+stats.Corrupted+stats.Truncated+stats.Duplicated+stats.Delayed != 0 {
+		t.Fatalf("unexpected stats: %+v", stats)
+	}
+}
+
+func TestFaultWriterDeterministic(t *testing.T) {
+	raw := sessionBytes(t)
+	plan := FaultPlan{Seed: 42, Drop: 0.2, Corrupt: 0.2, Truncate: 0.1, Duplicate: 0.2, Delay: 0.2}
+	a, sa := pipeFaults(t, raw, plan)
+	b, sb := pipeFaults(t, raw, plan)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different streams")
+	}
+	if sa != sb {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", sa, sb)
+	}
+	plan.Seed = 43
+	c, _ := pipeFaults(t, raw, plan)
+	if bytes.Equal(a, c) {
+		t.Fatalf("different seeds produced identical streams (suspicious)")
+	}
+}
+
+func TestFaultWriterSparesHello(t *testing.T) {
+	raw := sessionBytes(t)
+	got, stats := pipeFaults(t, raw, FaultPlan{Seed: 7, Drop: 1, SpareHello: true})
+	frames := splitFrames(t, got)
+	if len(frames) != 1 {
+		t.Fatalf("expected only the hello to survive, got %d frames", len(frames))
+	}
+	if FrameKind(frames[0][1]) != FrameHello {
+		t.Fatalf("survivor is not the hello")
+	}
+	if stats.Dropped != stats.Frames-1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestFaultWriterDelayPreservesFrames(t *testing.T) {
+	raw := sessionBytes(t)
+	sent := splitFrames(t, raw)
+	got, stats := pipeFaults(t, raw, FaultPlan{Seed: 3, Delay: 1})
+	if stats.Delayed != len(sent) {
+		t.Fatalf("delayed %d of %d frames", stats.Delayed, len(sent))
+	}
+	recv := splitFrames(t, got)
+	if len(recv) != len(sent) {
+		t.Fatalf("frames lost: %d of %d", len(recv), len(sent))
+	}
+	// Multiset of frames must be preserved (order may differ).
+	count := map[string]int{}
+	for _, f := range sent {
+		count[string(f)]++
+	}
+	for _, f := range recv {
+		count[string(f)]--
+	}
+	for k, v := range count {
+		if v != 0 {
+			t.Fatalf("frame multiset changed at %q", k)
+		}
+	}
+}
+
+// TestFaultWriterResyncEndToEnd wires the injector to a resync
+// receiver and checks the receiver survives and its stats add up.
+func TestFaultWriterResyncEndToEnd(t *testing.T) {
+	raw := sessionBytes(t)
+	sent := len(splitFrames(t, raw))
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		got, stats := pipeFaults(t, raw, FaultPlan{
+			Seed: seed, Drop: 0.1, Corrupt: 0.1, Truncate: 0.05, Duplicate: 0.1, Delay: 0.1, SpareHello: true,
+		})
+		r := NewResyncReceiver(bytes.NewReader(got))
+		frames := drainFrames(t, r)
+		rs := r.Stats()
+		if rs.Frames != len(frames) {
+			t.Fatalf("seed %d: receiver stats count %d, delivered %d", seed, rs.Frames, len(frames))
+		}
+		if rs.Frames > sent+stats.Duplicated {
+			t.Fatalf("seed %d: more frames out (%d) than in (%d+%d dup)", seed, rs.Frames, sent, stats.Duplicated)
+		}
+		if rs.SkippedBytes > int64(len(got)) {
+			t.Fatalf("seed %d: skipped more bytes than exist", seed)
+		}
+	}
+}

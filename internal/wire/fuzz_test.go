@@ -2,15 +2,18 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"gompax/internal/event"
+	"gompax/internal/logic"
 	"gompax/internal/vc"
 )
 
 // FuzzDecodeMessage checks the message decoder is total: arbitrary
 // bytes either decode into a message that re-encodes losslessly, or
-// fail cleanly.
+// fail cleanly with a typed error.
 func FuzzDecodeMessage(f *testing.F) {
 	for _, m := range []event.Message{
 		{Event: event.Event{Thread: 0, Index: 1, Kind: event.Write, Var: "x", Value: -3, Relevant: true}, Clock: vc.VC{1, 0}},
@@ -23,6 +26,9 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, n, err := DecodeMessage(data)
 		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decode error %v does not wrap ErrBadFrame", err)
+			}
 			return
 		}
 		if n > len(data) {
@@ -39,22 +45,118 @@ func FuzzDecodeMessage(f *testing.F) {
 	})
 }
 
-// FuzzReceiver checks the framed stream reader is total over arbitrary
-// byte streams.
-func FuzzReceiver(f *testing.F) {
+// fuzzSession encodes a fixed full session (Hello, Messages,
+// ThreadDone, Bye) for the stream fuzzers.
+func fuzzSession() []byte {
 	var buf bytes.Buffer
 	s := NewSender(&buf)
-	s.SendHello(Hello{Threads: 2})
+	s.SendHello(Hello{Threads: 2, Initial: logic.StateFromMap(map[string]int64{"x": 1})})
+	for _, m := range []event.Message{
+		{Event: event.Event{Thread: 0, Index: 1, Kind: event.Write, Var: "x", Value: 5, Relevant: true}, Clock: vc.VC{1, 0}},
+		{Event: event.Event{Thread: 1, Index: 1, Kind: event.Write, Var: "y", Value: -2, Relevant: true}, Clock: vc.VC{0, 1}},
+		{Event: event.Event{Thread: 0, Index: 2, Kind: event.Read, Var: "y", Value: -2}, Clock: vc.VC{2, 1}},
+	} {
+		s.SendMessage(m)
+	}
+	s.SendThreadDone(0)
 	s.SendThreadDone(1)
 	s.SendBye()
-	f.Add(buf.Bytes())
-	f.Add([]byte{byte(FrameMessage), 3, 1, 2, 3})
+	return buf.Bytes()
+}
+
+// FuzzReceiver checks both receiver modes are total over arbitrary
+// byte streams: no panics, guaranteed termination, and in resync mode
+// consistent accounting.
+func FuzzReceiver(f *testing.F) {
+	f.Add(fuzzSession())
+	f.Add([]byte{frameMagic, byte(FrameMessage), 1, 3, 0, 0, 0, 0, 1, 2, 3})
+	f.Add([]byte{frameMagic, frameMagic, frameMagic})
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Strict mode: reads frames until the first error.
 		r := NewReceiver(bytes.NewReader(data))
-		for i := 0; i < 64; i++ {
+		for i := 0; i < 1+len(data); i++ {
 			if _, err := r.Next(); err != nil {
-				return
+				break
 			}
+		}
+		// Resync mode: must terminate at EOF with consistent stats.
+		r = NewResyncReceiver(bytes.NewReader(data))
+		frames := 0
+		for {
+			_, err := r.Next()
+			if errors.Is(err, ErrClosed) || errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("resync receiver surfaced error: %v", err)
+			}
+			frames++
+			if frames > len(data) {
+				t.Fatalf("more frames than input bytes")
+			}
+		}
+		stats := r.Stats()
+		if stats.SkippedBytes > int64(len(data)) {
+			t.Fatalf("skipped %d bytes of %d", stats.SkippedBytes, len(data))
+		}
+		if stats.Frames < frames {
+			t.Fatalf("stats.Frames %d < delivered %d", stats.Frames, frames)
+		}
+	})
+}
+
+// FuzzSessionFaults pushes a full session through the fault-injecting
+// writer at fuzzer-chosen rates and checks the resync receiver never
+// panics, always terminates, and reports consistent SessionStats.
+func FuzzSessionFaults(f *testing.F) {
+	f.Add(int64(1), byte(10), byte(10), byte(5), byte(10), byte(10))
+	f.Add(int64(99), byte(255), byte(0), byte(0), byte(0), byte(0))
+	f.Add(int64(7), byte(0), byte(255), byte(255), byte(255), byte(255))
+	f.Fuzz(func(t *testing.T, seed int64, drop, corrupt, trunc, dup, delay byte) {
+		raw := fuzzSession()
+		rate := func(b byte) float64 { return float64(b) / 255 }
+		var damaged bytes.Buffer
+		fw := NewFaultWriter(&damaged, FaultPlan{
+			Seed:      seed,
+			Drop:      rate(drop),
+			Corrupt:   rate(corrupt),
+			Truncate:  rate(trunc),
+			Duplicate: rate(dup),
+			Delay:     rate(delay),
+		})
+		if _, err := fw.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fs := fw.Stats()
+		sent := fs.Frames
+
+		r := NewResyncReceiver(bytes.NewReader(damaged.Bytes()))
+		delivered := 0
+		for {
+			frame, err := r.Next()
+			if errors.Is(err, ErrClosed) || errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("receiver error: %v", err)
+			}
+			delivered++
+			if frame.Kind == FrameMessage && frame.Msg == nil {
+				t.Fatalf("message frame without message")
+			}
+		}
+		stats := r.Stats()
+		if delivered > sent+fs.Duplicated {
+			t.Fatalf("delivered %d frames, sent %d (+%d dup)", delivered, sent, fs.Duplicated)
+		}
+		if stats.SkippedBytes > int64(damaged.Len()) {
+			t.Fatalf("skipped %d of %d bytes", stats.SkippedBytes, damaged.Len())
+		}
+		if stats.Duplicates > fs.Duplicated {
+			t.Fatalf("receiver saw %d duplicates, injector made %d", stats.Duplicates, fs.Duplicated)
 		}
 	})
 }

@@ -4,8 +4,23 @@
 // equivalent: a compact length-prefixed binary codec, frame types for
 // session setup (initial state of the relevant variables) and
 // per-thread completion, stream senders/receivers over any
-// io.Writer/io.Reader (including TCP), and a reordering simulator for
-// exercising the observer's delivery-order independence (§2.2).
+// io.Writer/io.Reader (including TCP), and simulators for the two
+// fault classes the observer must tolerate: reordering (Scramble,
+// §2.2) and byte-level damage (FaultWriter).
+//
+// # Wire format
+//
+// Every frame is
+//
+//	magic(0xA7) | kind(1B) | seq uvarint | len uvarint | crc32c(4B LE) | payload
+//
+// where seq is a per-channel sequence number starting at 1 and the
+// CRC32C (Castagnoli) covers kind, seq, len and payload. The Hello
+// payload additionally opens with a protocol version byte. The magic
+// byte gives a Receiver in resync mode a boundary to scan for after a
+// corrupt frame; the checksum rejects damaged frames; the sequence
+// numbers expose gaps (lost frames) and duplicates, reported in
+// SessionStats.
 package wire
 
 import (
@@ -13,9 +28,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"gompax/internal/event"
 	"gompax/internal/logic"
@@ -37,6 +54,28 @@ const (
 	FrameBye FrameKind = 4
 )
 
+func (k FrameKind) String() string {
+	switch k {
+	case FrameHello:
+		return "hello"
+	case FrameMessage:
+		return "message"
+	case FrameThreadDone:
+		return "thread-done"
+	case FrameBye:
+		return "bye"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ProtocolVersion is the wire protocol version carried in every Hello.
+const ProtocolVersion = 2
+
+// frameMagic opens every frame; resync scans for it after corruption.
+const frameMagic = 0xA7
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // Hello is the session-opening frame payload.
 type Hello struct {
 	Threads int
@@ -46,6 +85,7 @@ type Hello struct {
 // Frame is a decoded wire frame.
 type Frame struct {
 	Kind   FrameKind
+	Seq    uint64 // per-channel sequence number (1-based)
 	Hello  *Hello
 	Msg    *event.Message
 	Thread int // FrameThreadDone
@@ -53,6 +93,32 @@ type Frame struct {
 
 // maxFrameLen guards against corrupt length prefixes.
 const maxFrameLen = 1 << 24
+
+func getUvarint(buf []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(buf)
+	if n == 0 {
+		return 0, 0, ErrTruncated
+	}
+	if n < 0 {
+		return 0, 0, ErrBadVarint
+	}
+	return v, n, nil
+}
+
+func getVarint(buf []byte) (int64, int, error) {
+	v, n := binary.Varint(buf)
+	if n == 0 {
+		return 0, 0, ErrTruncated
+	}
+	if n < 0 {
+		return 0, 0, ErrBadVarint
+	}
+	return v, n, nil
+}
+
+func msgErr(off int, field string, err error) error {
+	return &FrameError{Kind: FrameMessage, Offset: int64(off), Field: field, Err: err}
+}
 
 // AppendMessage encodes an observer message (without framing).
 func AppendMessage(buf []byte, m event.Message) []byte {
@@ -73,52 +139,56 @@ func AppendMessage(buf []byte, m event.Message) []byte {
 }
 
 // DecodeMessage decodes a message produced by AppendMessage, returning
-// the bytes consumed.
+// the bytes consumed. Failures are *FrameError values wrapping the
+// package sentinels, with Offset relative to the start of buf.
 func DecodeMessage(buf []byte) (event.Message, int, error) {
 	var m event.Message
 	if len(buf) < 1 {
-		return m, 0, io.ErrUnexpectedEOF
+		return m, 0, msgErr(0, "kind", ErrTruncated)
 	}
 	m.Event.Kind = event.Kind(buf[0])
 	off := 1
-	u, n := binary.Uvarint(buf[off:])
-	if n <= 0 {
-		return m, 0, io.ErrUnexpectedEOF
+	u, n, err := getUvarint(buf[off:])
+	if err != nil {
+		return m, 0, msgErr(off, "thread", err)
 	}
 	m.Event.Thread = int(u)
 	off += n
-	if m.Event.Index, n = binary.Uvarint(buf[off:]); n <= 0 {
-		return m, 0, io.ErrUnexpectedEOF
+	if m.Event.Index, n, err = getUvarint(buf[off:]); err != nil {
+		return m, 0, msgErr(off, "index", err)
 	}
 	off += n
-	if m.Event.Seq, n = binary.Uvarint(buf[off:]); n <= 0 {
-		return m, 0, io.ErrUnexpectedEOF
+	if m.Event.Seq, n, err = getUvarint(buf[off:]); err != nil {
+		return m, 0, msgErr(off, "seq", err)
 	}
 	off += n
 	if off >= len(buf) {
-		return m, 0, io.ErrUnexpectedEOF
+		return m, 0, msgErr(off, "relevant", ErrTruncated)
 	}
 	m.Event.Relevant = buf[off] == 1
 	off++
-	nameLen, n := binary.Uvarint(buf[off:])
-	if n <= 0 || nameLen > maxFrameLen {
-		return m, 0, io.ErrUnexpectedEOF
+	nameLen, n, err := getUvarint(buf[off:])
+	if err != nil {
+		return m, 0, msgErr(off, "var length", err)
+	}
+	if nameLen > maxFrameLen {
+		return m, 0, msgErr(off, "var length", ErrBadLength)
 	}
 	off += n
 	if off+int(nameLen) > len(buf) {
-		return m, 0, io.ErrUnexpectedEOF
+		return m, 0, msgErr(off, "var", ErrTruncated)
 	}
 	m.Event.Var = string(buf[off : off+int(nameLen)])
 	off += int(nameLen)
-	v, n := binary.Varint(buf[off:])
-	if n <= 0 {
-		return m, 0, io.ErrUnexpectedEOF
+	v, n, err := getVarint(buf[off:])
+	if err != nil {
+		return m, 0, msgErr(off, "value", err)
 	}
 	m.Event.Value = v
 	off += n
 	clock, n, err := vc.Decode(buf[off:])
 	if err != nil {
-		return m, 0, err
+		return m, 0, msgErr(off, "clock", fmt.Errorf("%w: %w", ErrTruncated, err))
 	}
 	m.Clock = clock
 	off += n
@@ -126,6 +196,7 @@ func DecodeMessage(buf []byte) (event.Message, int, error) {
 }
 
 func appendHello(buf []byte, h Hello) []byte {
+	buf = append(buf, ProtocolVersion)
 	buf = binary.AppendUvarint(buf, uint64(h.Threads))
 	vars := h.Initial.Vars()
 	buf = binary.AppendUvarint(buf, uint64(len(vars)))
@@ -138,34 +209,51 @@ func appendHello(buf []byte, h Hello) []byte {
 	return buf
 }
 
+func helloErr(off int, field string, err error) error {
+	return &FrameError{Kind: FrameHello, Offset: int64(off), Field: field, Err: err}
+}
+
 func decodeHello(buf []byte) (Hello, error) {
 	var h Hello
-	u, n := binary.Uvarint(buf)
-	if n <= 0 {
-		return h, io.ErrUnexpectedEOF
+	if len(buf) < 1 {
+		return h, helloErr(0, "version", ErrTruncated)
+	}
+	if buf[0] != ProtocolVersion {
+		return h, helloErr(0, "version", fmt.Errorf("%w: got %d, want %d", ErrVersion, buf[0], ProtocolVersion))
+	}
+	off := 1
+	u, n, err := getUvarint(buf[off:])
+	if err != nil {
+		return h, helloErr(off, "threads", err)
 	}
 	h.Threads = int(u)
-	off := n
-	count, n := binary.Uvarint(buf[off:])
-	if n <= 0 || count > maxFrameLen {
-		return h, io.ErrUnexpectedEOF
+	off += n
+	count, n, err := getUvarint(buf[off:])
+	if err != nil {
+		return h, helloErr(off, "var count", err)
+	}
+	if count > maxFrameLen {
+		return h, helloErr(off, "var count", ErrBadLength)
 	}
 	off += n
 	m := map[string]int64{}
 	for i := uint64(0); i < count; i++ {
-		nameLen, n := binary.Uvarint(buf[off:])
-		if n <= 0 || nameLen > maxFrameLen {
-			return h, io.ErrUnexpectedEOF
+		nameLen, n, err := getUvarint(buf[off:])
+		if err != nil {
+			return h, helloErr(off, "var length", err)
+		}
+		if nameLen > maxFrameLen {
+			return h, helloErr(off, "var length", ErrBadLength)
 		}
 		off += n
 		if off+int(nameLen) > len(buf) {
-			return h, io.ErrUnexpectedEOF
+			return h, helloErr(off, "var", ErrTruncated)
 		}
 		name := string(buf[off : off+int(nameLen)])
 		off += int(nameLen)
-		v, n := binary.Varint(buf[off:])
-		if n <= 0 {
-			return h, io.ErrUnexpectedEOF
+		v, n, err := getVarint(buf[off:])
+		if err != nil {
+			return h, helloErr(off, "value", err)
 		}
 		off += n
 		m[name] = v
@@ -176,10 +264,13 @@ func decodeHello(buf []byte) (Hello, error) {
 
 // Sender writes frames to a stream. It is not safe for concurrent use;
 // give each thread channel its own Sender (that is the multi-channel
-// deployment the paper mentions).
+// deployment the paper mentions). Each Sender numbers its frames with
+// its own sequence counter: one Sender = one wire channel.
 type Sender struct {
 	w   *bufio.Writer
 	buf []byte
+	hdr []byte
+	seq uint64
 }
 
 // NewSender wraps a writer.
@@ -188,10 +279,18 @@ func NewSender(w io.Writer) *Sender {
 }
 
 func (s *Sender) frame(kind FrameKind, payload []byte) error {
-	var hdr [binary.MaxVarintLen64 + 1]byte
-	hdr[0] = byte(kind)
-	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
-	if _, err := s.w.Write(hdr[:1+n]); err != nil {
+	s.seq++
+	s.hdr = append(s.hdr[:0], frameMagic, byte(kind))
+	s.hdr = binary.AppendUvarint(s.hdr, s.seq)
+	s.hdr = binary.AppendUvarint(s.hdr, uint64(len(payload)))
+	crc := crc32.Update(0, castagnoli, s.hdr[1:]) // kind, seq, len
+	crc = crc32.Update(crc, castagnoli, payload)
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], crc)
+	if _, err := s.w.Write(s.hdr); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(cb[:]); err != nil {
 		return err
 	}
 	_, err := s.w.Write(payload)
@@ -227,66 +326,357 @@ func (s *Sender) SendBye() error {
 // Flush flushes buffered frames.
 func (s *Sender) Flush() error { return s.w.Flush() }
 
-// Receiver reads frames from a stream.
-type Receiver struct {
-	r   *bufio.Reader
-	buf []byte
+// SessionStats reports the wire-level health of one channel, the raw
+// material of the observer's degradation report.
+type SessionStats struct {
+	// Frames counts valid frames delivered to the caller.
+	Frames int
+	// CorruptFrames counts frame candidates whose checksum or payload
+	// failed to validate (resync mode only; strict mode errors instead).
+	CorruptFrames int
+	// SkippedBytes counts bytes scanned past while searching for the
+	// next valid frame boundary (resync mode only).
+	SkippedBytes int64
+	// Gaps counts sequence numbers never seen: frames known to be lost
+	// in the middle of the stream. Tail losses are only observable as a
+	// missing Bye.
+	Gaps int
+	// Duplicates counts valid frames dropped because their sequence
+	// number had already been delivered.
+	Duplicates int
 }
 
-// NewReceiver wraps a reader.
+// Lossy reports whether the channel saw any fault at all.
+func (s SessionStats) Lossy() bool {
+	return s.CorruptFrames > 0 || s.SkippedBytes > 0 || s.Gaps > 0 || s.Duplicates > 0
+}
+
+func (s SessionStats) String() string {
+	return fmt.Sprintf("frames=%d corrupt=%d skipped=%dB gaps=%d dups=%d",
+		s.Frames, s.CorruptFrames, s.SkippedBytes, s.Gaps, s.Duplicates)
+}
+
+// Receiver reads frames from a stream.
+//
+// In strict mode (NewReceiver) any framing or checksum failure is
+// returned as a *FrameError and the stream should be abandoned. In
+// resync mode (NewResyncReceiver) the receiver instead scans forward
+// to the next valid frame boundary, counts what it had to discard in
+// SessionStats, silently drops duplicate frames, and keeps going —
+// Next only returns frames that passed the checksum.
+type Receiver struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+	off        int64 // absolute stream offset of buf[start]
+	eof        bool
+	resync     bool
+	sawBye     bool
+
+	stats   SessionStats
+	maxSeq  uint64
+	missing map[uint64]struct{}
+
+	// snap is the stats snapshot published at the end of each Next
+	// call, so Stats and SawBye stay safe to call while another
+	// goroutine is blocked inside Next (e.g. after an idle-timeout
+	// abandons the channel mid-read).
+	snapMu     sync.Mutex
+	snap       SessionStats
+	snapSawBye bool
+}
+
+// NewReceiver wraps a reader in strict mode: corruption is an error.
 func NewReceiver(r io.Reader) *Receiver {
-	return &Receiver{r: bufio.NewReader(r)}
+	return &Receiver{r: r, missing: map[uint64]struct{}{}}
+}
+
+// NewResyncReceiver wraps a reader in resync mode: corruption is
+// skipped and accounted for in Stats.
+func NewResyncReceiver(r io.Reader) *Receiver {
+	rc := NewReceiver(r)
+	rc.resync = true
+	return rc
+}
+
+// Stats returns a snapshot of the channel's wire-level statistics as
+// of the last completed Next call. Safe to call concurrently with a
+// blocked Next.
+func (r *Receiver) Stats() SessionStats {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	return r.snap
+}
+
+// SawBye reports whether the session was closed by an explicit Bye
+// frame (as opposed to the stream just ending). Like Stats it reflects
+// the last completed Next call.
+func (r *Receiver) SawBye() bool {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	return r.snapSawBye
+}
+
+// publish copies the live counters into the concurrent-read snapshot.
+func (r *Receiver) publish() {
+	r.snapMu.Lock()
+	r.snap = r.stats
+	r.snap.Gaps = len(r.missing)
+	r.snapSawBye = r.sawBye
+	r.snapMu.Unlock()
 }
 
 // ErrClosed is returned by Next after a Bye frame.
 var ErrClosed = errors.New("wire: session closed")
 
-// Next reads the next frame. After FrameBye it returns ErrClosed.
+// fill blocks until at least n bytes are buffered, returning io.EOF if
+// the stream ends first. It never reads further than it must.
+func (r *Receiver) fill(n int) error {
+	for r.end-r.start < n {
+		if r.eof {
+			return io.EOF
+		}
+		if r.start+n > len(r.buf) {
+			// Compact, then grow if the window is still too small.
+			copy(r.buf, r.buf[r.start:r.end])
+			r.end -= r.start
+			r.start = 0
+			if n > len(r.buf) {
+				grown := make([]byte, max(n, 2*len(r.buf), 4096))
+				copy(grown, r.buf[:r.end])
+				r.buf = grown
+			}
+		}
+		m, err := r.r.Read(r.buf[r.end:])
+		r.end += m
+		if err == io.EOF {
+			r.eof = true
+		} else if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// skip consumes n buffered bytes.
+func (r *Receiver) skip(n int) {
+	r.start += n
+	r.off += int64(n)
+	if r.start == r.end {
+		r.start, r.end = 0, 0
+	}
+}
+
+// uvarint parses a uvarint at offset rel from the window start,
+// filling as needed. io.EOF means the stream tore mid-varint.
+func (r *Receiver) uvarint(rel int) (uint64, int, error) {
+	for {
+		v, n := binary.Uvarint(r.buf[r.start+rel : r.end])
+		if n > 0 {
+			return v, n, nil
+		}
+		if n < 0 {
+			return 0, 0, ErrBadVarint
+		}
+		if err := r.fill(r.end - r.start + 1); err != nil {
+			return 0, 0, err
+		}
+	}
+}
+
+// frameErr builds a strict-mode error at the current stream offset.
+// Genuine I/O errors (anything but EOF and the decode sentinels) pass
+// through unwrapped so resync mode does not try to scan past them.
+func (r *Receiver) frameErr(kind FrameKind, rel int, field string, err error) error {
+	if err == io.EOF {
+		err = ErrTruncated
+	} else if !errors.Is(err, ErrBadFrame) {
+		return err
+	}
+	return &FrameError{Kind: kind, Offset: r.off + int64(rel), Field: field, Err: err}
+}
+
+// Next reads the next frame. After FrameBye it returns ErrClosed; at
+// the end of the stream it returns io.EOF (or ErrClosed if a Bye was
+// seen). In resync mode corrupt stretches are skipped, not returned.
 func (r *Receiver) Next() (Frame, error) {
-	kindByte, err := r.r.ReadByte()
-	if err != nil {
-		return Frame{}, err
-	}
-	length, err := binary.ReadUvarint(r.r)
-	if err != nil {
-		return Frame{}, err
-	}
-	if length > maxFrameLen {
-		return Frame{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", length)
-	}
-	if cap(r.buf) < int(length) {
-		r.buf = make([]byte, length)
-	}
-	r.buf = r.buf[:length]
-	if _, err := io.ReadFull(r.r, r.buf); err != nil {
-		return Frame{}, err
-	}
-	f := Frame{Kind: FrameKind(kindByte)}
-	switch f.Kind {
-	case FrameHello:
-		h, err := decodeHello(r.buf)
-		if err != nil {
+	defer r.publish()
+	for {
+		if err := r.fill(1); err != nil {
+			if err == io.EOF {
+				if r.sawBye {
+					return Frame{}, ErrClosed
+				}
+				return Frame{}, io.EOF
+			}
 			return Frame{}, err
+		}
+		if r.buf[r.start] != frameMagic {
+			if r.resync {
+				r.skip(1)
+				r.stats.SkippedBytes++
+				continue
+			}
+			return Frame{}, r.frameErr(0, 0, "magic", ErrBadMagic)
+		}
+		f, size, corrupt, err := r.parseCandidate()
+		if err != nil {
+			if !r.resync {
+				return Frame{}, err
+			}
+			// Only genuine I/O errors abort resync mode; frameErr
+			// leaves those unwrapped.
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				return Frame{}, err
+			}
+			if corrupt {
+				r.stats.CorruptFrames++
+			}
+			r.skip(1)
+			r.stats.SkippedBytes++
+			continue
+		}
+		// Sequence bookkeeping: expose gaps, drop duplicates.
+		switch {
+		case f.Seq == r.maxSeq+1:
+			r.maxSeq = f.Seq
+		case f.Seq > r.maxSeq+1:
+			for s := r.maxSeq + 1; s < f.Seq; s++ {
+				r.missing[s] = struct{}{}
+			}
+			r.maxSeq = f.Seq
+		default: // f.Seq <= r.maxSeq: late gap-filler or duplicate
+			if _, gap := r.missing[f.Seq]; gap {
+				delete(r.missing, f.Seq)
+			} else {
+				r.stats.Duplicates++
+				r.skip(size)
+				continue
+			}
+		}
+		r.skip(size)
+		r.stats.Frames++
+		if f.Kind == FrameBye {
+			r.sawBye = true
+			return f, ErrClosed
+		}
+		return f, nil
+	}
+}
+
+// parseCandidate parses a frame at the window start (which holds the
+// magic byte). It consumes nothing; on success it returns the frame
+// and its total encoded size. corrupt marks failures where a complete
+// candidate was read but its checksum or payload did not validate —
+// resync mode counts those as CorruptFrames rather than stray bytes.
+func (r *Receiver) parseCandidate() (f Frame, size int, corrupt bool, err error) {
+	if err := r.fill(2); err != nil {
+		return Frame{}, 0, false, r.frameErr(0, 1, "kind", err)
+	}
+	kind := FrameKind(r.buf[r.start+1])
+	if kind < FrameHello || kind > FrameBye {
+		return Frame{}, 0, false, r.frameErr(kind, 1, "kind", ErrUnknownKind)
+	}
+	seq, sn, err := r.uvarint(2)
+	if err != nil {
+		return Frame{}, 0, false, r.frameErr(kind, 2, "seq", err)
+	}
+	lenOff := 2 + sn
+	plen, ln, err := r.uvarint(lenOff)
+	if err != nil {
+		return Frame{}, 0, false, r.frameErr(kind, lenOff, "length", err)
+	}
+	if plen > maxFrameLen {
+		return Frame{}, 0, false, r.frameErr(kind, lenOff, "length", ErrBadLength)
+	}
+	crcOff := lenOff + ln
+	size = crcOff + 4 + int(plen)
+	if err := r.fill(size); err != nil {
+		return Frame{}, 0, false, r.frameErr(kind, r.end-r.start, "payload", err)
+	}
+	head := r.buf[r.start+1 : r.start+crcOff]
+	payload := r.buf[r.start+crcOff+4 : r.start+size]
+	want := binary.LittleEndian.Uint32(r.buf[r.start+crcOff:])
+	got := crc32.Update(0, castagnoli, head)
+	got = crc32.Update(got, castagnoli, payload)
+	if got != want {
+		return Frame{}, 0, true, r.frameErr(kind, crcOff, "checksum", ErrBadChecksum)
+	}
+	f = Frame{Kind: kind, Seq: seq}
+	switch kind {
+	case FrameHello:
+		h, err := decodeHello(payload)
+		if err != nil {
+			return Frame{}, 0, true, r.wrapPayloadErr(err, crcOff+4)
 		}
 		f.Hello = &h
 	case FrameMessage:
-		m, _, err := DecodeMessage(r.buf)
+		m, _, err := DecodeMessage(payload)
 		if err != nil {
-			return Frame{}, err
+			return Frame{}, 0, true, r.wrapPayloadErr(err, crcOff+4)
 		}
 		f.Msg = &m
 	case FrameThreadDone:
-		u, n := binary.Uvarint(r.buf)
-		if n <= 0 {
-			return Frame{}, io.ErrUnexpectedEOF
+		u, _, err := getUvarint(payload)
+		if err != nil {
+			return Frame{}, 0, true, r.frameErr(kind, crcOff+4, "thread", err)
 		}
 		f.Thread = int(u)
 	case FrameBye:
-		return f, ErrClosed
-	default:
-		return Frame{}, fmt.Errorf("wire: unknown frame kind %d", kindByte)
 	}
-	return f, nil
+	return f, size, false, nil
+}
+
+// wrapPayloadErr lifts a payload-relative *FrameError to an absolute
+// stream offset.
+func (r *Receiver) wrapPayloadErr(err error, payloadOff int) error {
+	var fe *FrameError
+	if errors.As(err, &fe) {
+		return &FrameError{Kind: fe.Kind, Offset: r.off + int64(payloadOff) + fe.Offset, Field: fe.Field, Err: fe.Err}
+	}
+	return err
+}
+
+// frameSize reports the total encoded size of the frame starting at
+// buf[0]: (0, nil) when buf holds a valid but incomplete prefix, or an
+// error when buf cannot start a frame. Used by FaultWriter to delimit
+// frames in the byte stream it proxies.
+func frameSize(buf []byte) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	if buf[0] != frameMagic {
+		return 0, ErrBadMagic
+	}
+	if len(buf) < 2 {
+		return 0, nil
+	}
+	off := 2
+	_, n := binary.Uvarint(buf[off:])
+	if n < 0 {
+		return 0, ErrBadVarint
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	off += n
+	plen, n := binary.Uvarint(buf[off:])
+	if n < 0 {
+		return 0, ErrBadVarint
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if plen > maxFrameLen {
+		return 0, ErrBadLength
+	}
+	off += n
+	total := off + 4 + int(plen)
+	if len(buf) < total {
+		return 0, nil
+	}
+	return total, nil
 }
 
 // Scramble returns a random permutation of messages: the worst-case

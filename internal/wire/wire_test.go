@@ -2,6 +2,10 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -96,13 +100,236 @@ func TestSessionRoundTrip(t *testing.T) {
 
 func TestReceiverRejectsGarbage(t *testing.T) {
 	r := NewReceiver(strings.NewReader("\xff\x01z"))
-	if _, err := r.Next(); err == nil {
-		t.Fatalf("garbage accepted")
+	if _, err := r.Next(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage: got %v, want ErrBadMagic", err)
 	}
 	// Oversized frame length.
-	r = NewReceiver(bytes.NewReader([]byte{byte(FrameMessage), 0xff, 0xff, 0xff, 0xff, 0x7f}))
-	if _, err := r.Next(); err == nil {
-		t.Fatalf("oversized frame accepted")
+	r = NewReceiver(bytes.NewReader([]byte{frameMagic, byte(FrameMessage), 1, 0xff, 0xff, 0xff, 0xff, 0x7f}))
+	if _, err := r.Next(); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("oversized frame: got %v, want ErrBadLength", err)
+	}
+	// Unknown frame kind.
+	r = NewReceiver(bytes.NewReader([]byte{frameMagic, 99, 1, 0}))
+	if _, err := r.Next(); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind: got %v, want ErrUnknownKind", err)
+	}
+}
+
+// sessionBytes encodes a complete sample session.
+func sessionBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	s := NewSender(&buf)
+	if err := s.SendHello(Hello{Threads: 3, Initial: logic.StateFromMap(map[string]int64{"x": -1})}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sampleMessages() {
+		if err := s.SendMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.SendThreadDone(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SendBye(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// splitFrames cuts a raw session into its individual frames.
+func splitFrames(t *testing.T, raw []byte) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	for len(raw) > 0 {
+		n, err := frameSize(raw)
+		if err != nil || n == 0 {
+			t.Fatalf("frameSize: n=%d err=%v", n, err)
+		}
+		frames = append(frames, raw[:n])
+		raw = raw[n:]
+	}
+	return frames
+}
+
+// drainFrames reads every frame until the stream ends.
+func drainFrames(t *testing.T, r *Receiver) []Frame {
+	t.Helper()
+	var out []Frame
+	for {
+		f, err := r.Next()
+		if errors.Is(err, ErrClosed) || errors.Is(err, io.EOF) {
+			if errors.Is(err, ErrClosed) {
+				out = append(out, f)
+			}
+			return out
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		out = append(out, f)
+	}
+}
+
+func TestStrictChecksumError(t *testing.T) {
+	raw := sessionBytes(t)
+	frames := splitFrames(t, raw)
+	// Flip a payload byte of the second frame (a message).
+	corrupted := append([]byte(nil), raw...)
+	corrupted[len(frames[0])+len(frames[1])-1] ^= 0x40
+	r := NewReceiver(bytes.NewReader(corrupted))
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	_, err := r.Next()
+	if !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("got %v, want ErrBadChecksum", err)
+	}
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v is not a *FrameError", err)
+	}
+	if fe.Kind != FrameMessage || fe.Offset <= 0 {
+		t.Fatalf("frame error lacks context: %+v", fe)
+	}
+}
+
+func TestResyncSkipsCorruptFrame(t *testing.T) {
+	raw := sessionBytes(t)
+	frames := splitFrames(t, raw)
+	corrupted := append([]byte(nil), raw...)
+	corrupted[len(frames[0])+len(frames[1])-1] ^= 0x40 // second frame payload
+	r := NewResyncReceiver(bytes.NewReader(corrupted))
+	got := drainFrames(t, r)
+	if len(got) != len(frames)-1 {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(frames)-1)
+	}
+	stats := r.Stats()
+	if stats.CorruptFrames != 1 {
+		t.Fatalf("corrupt frames = %d, want 1: %s", stats.CorruptFrames, stats)
+	}
+	if stats.SkippedBytes == 0 {
+		t.Fatalf("no bytes skipped: %s", stats)
+	}
+	if !r.SawBye() {
+		t.Fatalf("bye lost")
+	}
+}
+
+func TestResyncRecoversFromStrayBytes(t *testing.T) {
+	raw := sessionBytes(t)
+	frames := splitFrames(t, raw)
+	// Inject garbage between two frames.
+	var spliced []byte
+	spliced = append(spliced, frames[0]...)
+	spliced = append(spliced, 0xde, 0xad, 0xbe, 0xef)
+	for _, f := range frames[1:] {
+		spliced = append(spliced, f...)
+	}
+	r := NewResyncReceiver(bytes.NewReader(spliced))
+	got := drainFrames(t, r)
+	if len(got) != len(frames) {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(frames))
+	}
+	if s := r.Stats(); s.SkippedBytes != 4 {
+		t.Fatalf("skipped %d bytes, want 4", s.SkippedBytes)
+	}
+}
+
+func TestSequenceGapsAndDuplicates(t *testing.T) {
+	frames := splitFrames(t, sessionBytes(t))
+	// Drop the third frame and duplicate the fourth.
+	var spliced []byte
+	for i, f := range frames {
+		if i == 2 {
+			continue
+		}
+		spliced = append(spliced, f...)
+		if i == 3 {
+			spliced = append(spliced, f...)
+		}
+	}
+	r := NewResyncReceiver(bytes.NewReader(spliced))
+	got := drainFrames(t, r)
+	if len(got) != len(frames)-1 {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(frames)-1)
+	}
+	stats := r.Stats()
+	if stats.Gaps != 1 {
+		t.Fatalf("gaps = %d, want 1: %s", stats.Gaps, stats)
+	}
+	if stats.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1: %s", stats.Duplicates, stats)
+	}
+}
+
+func TestLateGapFillerClearsGap(t *testing.T) {
+	frames := splitFrames(t, sessionBytes(t))
+	// Deliver frame 2 late: 0,1,3,2,4,...
+	order := []int{0, 1, 3, 2}
+	for i := 4; i < len(frames); i++ {
+		order = append(order, i)
+	}
+	var spliced []byte
+	for _, i := range order {
+		spliced = append(spliced, frames[i]...)
+	}
+	r := NewResyncReceiver(bytes.NewReader(spliced))
+	got := drainFrames(t, r)
+	if len(got) != len(frames) {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(frames))
+	}
+	stats := r.Stats()
+	if stats.Gaps != 0 || stats.Duplicates != 0 {
+		t.Fatalf("late filler misaccounted: %s", stats)
+	}
+}
+
+func TestHelloVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSender(&buf)
+	if err := s.SendHello(Hello{Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The version byte is the first payload byte; find it via frameSize
+	// math: header is magic+kind+seq(1)+len(1)+crc(4).
+	versionOff := len(raw) - 1 - 2 // payload = version + threads varint + count varint
+	raw[versionOff] = ProtocolVersion + 9
+	// Recompute the checksum so only the version is wrong.
+	n, err := frameSize(raw)
+	if err != nil || n != len(raw) {
+		t.Fatalf("frameSize: %d %v", n, err)
+	}
+	crc := crc32.Update(0, castagnoli, raw[1:4])
+	crc = crc32.Update(crc, castagnoli, raw[8:])
+	binary.LittleEndian.PutUint32(raw[4:], crc)
+	r := NewReceiver(bytes.NewReader(raw))
+	if _, err := r.Next(); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestTornTailResync(t *testing.T) {
+	raw := sessionBytes(t)
+	// Cut the stream inside the final frame.
+	cut := raw[:len(raw)-3]
+	r := NewResyncReceiver(bytes.NewReader(cut))
+	got := drainFrames(t, r)
+	frames := splitFrames(t, raw)
+	if len(got) != len(frames)-1 {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(frames)-1)
+	}
+	if s := r.Stats(); s.SkippedBytes == 0 {
+		t.Fatalf("torn tail not accounted: %s", s)
+	}
+	if r.SawBye() {
+		t.Fatalf("bye reported despite truncation")
 	}
 }
 
