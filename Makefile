@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz verify
+.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice verify
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# -count=2 reruns every test twice in one process: the second pass
+# catches tests that mutate shared state, and with -race it doubles
+# the schedules the parallel lattice explorer is exercised under.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./...
 
 # The chaos regressions run on short deterministic seed lists, so they
 # are part of the normal test suite; this target runs just them.
@@ -25,4 +28,15 @@ fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzReceiver -fuzztime 10s
 	$(GO) test ./internal/wire/ -fuzz FuzzSessionFaults -fuzztime 10s
 
-verify: build vet race
+# Quick fuzz smoke for verify: a few seconds over the frame decoder,
+# enough to catch a decoder regression without stalling the gate.
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 5s
+
+# Sequential-vs-parallel exploration benchmarks (baseline in
+# BENCH_lattice.json; regenerate it from this output when the explorer
+# or the host changes).
+bench-lattice:
+	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchmem -benchtime 5x .
+
+verify: build vet race fuzz-smoke

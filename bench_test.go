@@ -321,6 +321,60 @@ func BenchmarkLatticeLevels(b *testing.B) {
 	}
 }
 
+// --- C4b: sequential vs parallel level-by-level exploration ----------------
+
+// benchGrid builds a computation of `threads` fully independent
+// threads with `perThread` relevant writes each: a dense
+// (perThread+1)^threads lattice with wide middle levels, the shape the
+// worker pool is meant for.
+func benchGrid(threads, perThread int) (*lattice.Computation, *monitor.Program, error) {
+	m := map[string]int64{}
+	var msgs []event.Message
+	for i := 0; i < threads; i++ {
+		name := trace.VarName(i)
+		m[name] = 0
+		for k := 1; k <= perThread; k++ {
+			clock := make(vc.VC, threads)
+			clock[i] = uint64(k)
+			msgs = append(msgs, event.Message{
+				Event: event.Event{Thread: i, Index: uint64(k), Kind: event.Write, Var: name, Value: int64(k), Relevant: true},
+				Clock: clock,
+			})
+		}
+	}
+	comp, err := lattice.NewComputation(logic.StateFromMap(m), threads, msgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := monitor.Compile(logic.MustParseFormula("[*] x0 >= 0"))
+	return comp, prog, err
+}
+
+// benchExplore runs the level-by-level analyzer with the given worker
+// count over the wide grid, reporting lattice geometry once.
+func benchExplore(b *testing.B, workers int) {
+	b.ReportAllocs()
+	comp, prog, err := benchGrid(4, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res predict.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = predict.Analyze(prog, comp, predict.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Stats.Cuts), "cuts")
+	b.ReportMetric(float64(res.Stats.MaxWidth), "max-width")
+}
+
+func BenchmarkExploreSequential(b *testing.B) { benchExplore(b, 0) }
+func BenchmarkExploreParallel2(b *testing.B)  { benchExplore(b, 2) }
+func BenchmarkExploreParallel4(b *testing.B)  { benchExplore(b, 4) }
+func BenchmarkExploreParallel8(b *testing.B)  { benchExplore(b, 8) }
+
 // --- Ablation: all-runs-in-parallel vs per-run checking --------------------
 
 // The paper's key engineering idea is checking all runs in parallel

@@ -59,6 +59,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print a subformula truth table over the first counterexample run")
 	chaos := flag.Float64("chaos", 0, "per-frame fault rate: stream through the fault injector and analyze in lossy resync mode")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault injector seed")
+	workers := flag.Int("workers", 0, "lattice exploration worker pool (0 or 1 = sequential, -1 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *progFile == "" || *prop == "" {
@@ -75,7 +76,7 @@ func main() {
 	for i := 0; i < *runs; i++ {
 		s := *seed + int64(i)
 		if *chaos > 0 {
-			violated, err := runChaos(string(src), *prop, s, *chaos, *chaosSeed, *maxEvents, *maxCuts)
+			violated, err := runChaos(string(src), *prop, s, *chaos, *chaosSeed, *maxEvents, *maxCuts, *workers)
 			if err != nil {
 				fail(err)
 			}
@@ -94,6 +95,7 @@ func main() {
 			Enumerate:        *enumerate,
 			ConfirmReplay:    *replay,
 			LivenessProperty: *live,
+			Workers:          *workers,
 		})
 		if err != nil {
 			fail(err)
@@ -132,7 +134,7 @@ func main() {
 // runChaos streams one instrumented execution through the fault
 // injector and analyzes the damaged session in lossy resync mode —
 // exercising the fault-tolerance path end to end from the CLI.
-func runChaos(src, prop string, seed int64, rate float64, chaosSeed int64, maxEvents uint64, maxCuts int) (bool, error) {
+func runChaos(src, prop string, seed int64, rate float64, chaosSeed int64, maxEvents uint64, maxCuts, workers int) (bool, error) {
 	p, err := mtl.Parse(src)
 	if err != nil {
 		return false, err
@@ -174,7 +176,7 @@ func runChaos(src, prop string, seed int64, rate float64, chaosSeed int64, maxEv
 	fs := fw.Stats()
 
 	r := wire.NewResyncReceiver(bytes.NewReader(damaged.Bytes()))
-	res, err := observer.Analyze(r, prog, predict.Options{Lossy: true, MaxCuts: maxCuts})
+	res, err := observer.Analyze(r, prog, predict.Options{Lossy: true, MaxCuts: maxCuts, Workers: workers})
 	if err != nil {
 		return false, err
 	}

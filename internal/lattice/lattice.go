@@ -34,6 +34,11 @@ import (
 // recovered from the message's own clock (V[i] of <e, i, V> is the
 // 1-based index of the event among thread i's relevant events), which
 // is how the observer tolerates arbitrary delivery reordering (§2.2).
+//
+// A Computation is immutable after NewComputation returns: every
+// method (Successors, CanAdvance, Advance, Message, ...) only reads,
+// so one Computation may be shared by any number of goroutines — the
+// parallel level explorer in the predict package relies on this.
 type Computation struct {
 	initial   logic.State
 	perThread [][]event.Message
@@ -122,6 +127,11 @@ func (cut Cut) Level() int { return int(cut.counts.Sum()) }
 // Key identifies the cut within its computation.
 func (cut Cut) Key() string { return cut.counts.Key() }
 
+// Hash returns a hash of the cut's clock vector, consistent with Key
+// (equal cuts hash identically). The parallel explorer uses it to pick
+// the shard a cut is interned in.
+func (cut Cut) Hash() uint64 { return cut.counts.Hash() }
+
 // String renders the cut like the paper's S_{c1,c2,...} labels.
 func (cut Cut) String() string {
 	var b strings.Builder
@@ -184,7 +194,8 @@ func (c *Computation) Advance(cut Cut, thread int) Succ {
 }
 
 // Successors returns all single-event extensions of the cut, in thread
-// order.
+// order. It is safe to call concurrently from multiple goroutines:
+// the computation is never mutated and the returned slice is fresh.
 func (c *Computation) Successors(cut Cut) []Succ {
 	var out []Succ
 	for i := range c.perThread {

@@ -58,6 +58,7 @@ func fig6(t *testing.T) *Computation {
 }
 
 func TestFig5Lattice(t *testing.T) {
+	t.Parallel()
 	c := fig5(t)
 	l, err := Build(c, 0)
 	if err != nil {
@@ -86,6 +87,7 @@ func TestFig5Lattice(t *testing.T) {
 }
 
 func TestFig6Lattice(t *testing.T) {
+	t.Parallel()
 	c := fig6(t)
 	l, err := Build(c, 0)
 	if err != nil {
@@ -130,6 +132,7 @@ func TestFig6Lattice(t *testing.T) {
 }
 
 func TestReorderedDeliveryGivesSameLattice(t *testing.T) {
+	t.Parallel()
 	initial := logic.StateFromMap(map[string]int64{"x": -1, "y": 0, "z": 0})
 	msgs := []event.Message{
 		msg(1, "x", 1, 1, 2), // deliberately scrambled order
@@ -151,6 +154,7 @@ func TestReorderedDeliveryGivesSameLattice(t *testing.T) {
 }
 
 func TestNewComputationErrors(t *testing.T) {
+	t.Parallel()
 	initial := logic.StateFromMap(map[string]int64{"x": 0})
 	// Zero own-component clock.
 	if _, err := NewComputation(initial, 1, []event.Message{msg(0, "x", 1, 0)}); err == nil {
@@ -167,6 +171,7 @@ func TestNewComputationErrors(t *testing.T) {
 }
 
 func TestEmptyComputation(t *testing.T) {
+	t.Parallel()
 	initial := logic.StateFromMap(map[string]int64{"x": 5})
 	c, err := NewComputation(initial, 2, nil)
 	if err != nil {
@@ -185,6 +190,7 @@ func TestEmptyComputation(t *testing.T) {
 }
 
 func TestBuildMaxNodes(t *testing.T) {
+	t.Parallel()
 	// k mutually concurrent events → 2^k cuts.
 	initial := logic.StateFromMap(map[string]int64{"a": 0, "b": 0, "c": 0, "d": 0})
 	var msgs []event.Message
@@ -218,6 +224,7 @@ func TestBuildMaxNodes(t *testing.T) {
 // that the number of lattice runs equals the number of linear
 // extensions of the relevant causality computed independently.
 func TestRunsMatchLinearExtensions(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(21))
 	for iter := 0; iter < 40; iter++ {
 		threads := 2 + rng.Intn(3)
@@ -255,6 +262,7 @@ func TestRunsMatchLinearExtensions(t *testing.T) {
 // closed: all causal predecessors of every included event are
 // included.
 func TestCutConsistency(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(33))
 	for iter := 0; iter < 20; iter++ {
 		threads := 2 + rng.Intn(3)
@@ -293,6 +301,7 @@ func TestCutConsistency(t *testing.T) {
 // TestObservedRunIsALatticePath: the observed emission order is always
 // one of the enumerated runs.
 func TestObservedRunIsALatticePath(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(55))
 	for iter := 0; iter < 30; iter++ {
 		threads := 2 + rng.Intn(3)
@@ -334,6 +343,7 @@ func TestObservedRunIsALatticePath(t *testing.T) {
 }
 
 func TestDOTOutput(t *testing.T) {
+	t.Parallel()
 	l, err := Build(fig5(t), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -351,6 +361,7 @@ func TestDOTOutput(t *testing.T) {
 }
 
 func TestAdvancePanicsWhenInconsistent(t *testing.T) {
+	t.Parallel()
 	c := fig5(t)
 	root := c.Root()
 	// Thread 0's second event requires its first; jump straight to a
@@ -368,6 +379,7 @@ func TestAdvancePanicsWhenInconsistent(t *testing.T) {
 }
 
 func TestCutStringAndLevel(t *testing.T) {
+	t.Parallel()
 	c := fig6(t)
 	root := c.Root()
 	if root.String() != "S0,0" {

@@ -1,0 +1,84 @@
+package lattice
+
+import "sync"
+
+// Sharded is a hash-sharded interning table for deduplicating cuts
+// while several workers expand one lattice level concurrently. Cuts
+// are identified by their clock vector: shard selection uses the
+// clock's Hash (so workers expanding causally unrelated cuts rarely
+// contend on the same shard) and exact identity uses the clock's
+// collision-free Key.
+//
+// The table intentionally does NOT protect the values it stores: a
+// worker that loses the GetOrCreate race for a cut must synchronize on
+// the value itself (the predict package keeps a mutex per frontier
+// entry) before merging monitor states into it.
+type Sharded[V any] struct {
+	mask   uint64
+	shards []tableShard[V]
+}
+
+type tableShard[V any] struct {
+	mu sync.Mutex
+	m  map[string]V
+	// Pad each shard to its own cache line so uncontended locks on
+	// neighbouring shards do not false-share.
+	_ [40]byte
+}
+
+// NewSharded returns a table with at least n shards (rounded up to a
+// power of two, minimum 1).
+func NewSharded[V any](n int) *Sharded[V] {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Sharded[V]{mask: uint64(size - 1), shards: make([]tableShard[V], size)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]V)
+	}
+	return s
+}
+
+// GetOrCreate returns the value interned under key, creating it with
+// create() under the shard lock when absent. The boolean reports
+// whether this call created the value — exactly one concurrent caller
+// per key observes true, which is how the parallel explorer counts
+// distinct cuts without double-counting merges.
+func (s *Sharded[V]) GetOrCreate(hash uint64, key string, create func() V) (V, bool) {
+	sh := &s.shards[hash&s.mask]
+	sh.mu.Lock()
+	v, ok := sh.m[key]
+	if !ok {
+		v = create()
+		sh.m[key] = v
+	}
+	sh.mu.Unlock()
+	return v, !ok
+}
+
+// Len returns the number of interned values. It takes every shard lock
+// and is meant for the level barrier, not the hot path.
+func (s *Sharded[V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Range calls fn for every interned (key, value) pair, holding the
+// corresponding shard lock. Iteration order is unspecified; callers
+// that need determinism must sort what they collect.
+func (s *Sharded[V]) Range(fn func(key string, v V)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			fn(k, v)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,56 @@
+package observer_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/observer"
+	"gompax/internal/predict"
+	"gompax/internal/progs"
+	"gompax/internal/wire"
+)
+
+// renderResult flattens the violation list and statistics for
+// byte-exact comparison across worker counts.
+func renderResult(res predict.Result) string {
+	var b strings.Builder
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "viol %s level=%d state=%s\n", v.Cut.Counts().Key(), v.Level, v.State.Key())
+	}
+	fmt.Fprintf(&b, "stats %+v\n", res.Stats)
+	return b.String()
+}
+
+// TestAnalyzeWorkersParity: observer.Analyze plumbs Options.Workers
+// into the online analyzer, and the parallel analysis of a streamed
+// session is byte-identical to the sequential one.
+func TestAnalyzeWorkersParity(t *testing.T) {
+	t.Parallel()
+	raw := landingSessionWithLanding(t)
+	prog := monitor.MustCompile(logic.MustParseFormula(progs.LandingProperty))
+	seq, err := observer.Analyze(wire.NewReceiver(bytes.NewReader(raw)), prog, predict.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Violated() {
+		t.Fatal("landing session did not predict the violation")
+	}
+	want := renderResult(seq)
+	for _, w := range []int{2, 4, 8, -1} {
+		par, err := observer.Analyze(wire.NewReceiver(bytes.NewReader(raw)), prog, predict.Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got := renderResult(par); got != want {
+			t.Errorf("workers=%d differs:\n%s\nvs\n%s", w, got, want)
+		}
+		if !reflect.DeepEqual(par.Stats, seq.Stats) {
+			t.Errorf("workers=%d stats %+v, want %+v", w, par.Stats, seq.Stats)
+		}
+	}
+}

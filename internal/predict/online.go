@@ -2,6 +2,7 @@ package predict
 
 import (
 	"fmt"
+	"sort"
 
 	"gompax/internal/event"
 	"gompax/internal/lattice"
@@ -33,21 +34,16 @@ type Online struct {
 	announced []bool                     // thread-done notice received
 	applied   int                        // events consumed into the frontier
 
-	frontier map[string]*oentry
+	// frontier maps cut keys to frontier entries (the shared pentry of
+	// parallel.go; each entry's keys map each reachable monitor state
+	// to one representative path, nil unless Counterexamples was set).
+	frontier map[string]*pentry
 	result   Result
 	maxCuts  int
 	paths    bool
 	lossy    bool
+	workers  int
 	closed   bool
-}
-
-type oentry struct {
-	counts vc.VC
-	state  logic.State
-	// keys maps each reachable monitor state to one representative
-	// path (encoded as pathID ints); the path slice stays nil unless
-	// Options.Counterexamples was set.
-	keys map[uint64][]int
 }
 
 // NewOnline starts an online analysis session. The root monitor is
@@ -65,10 +61,11 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 		pending:   make([]map[uint64]event.Message, threads),
 		final:     make([]bool, threads),
 		announced: make([]bool, threads),
-		frontier:  map[string]*oentry{},
+		frontier:  map[string]*pentry{},
 		maxCuts:   opts.MaxCuts,
 		paths:     opts.Counterexamples,
 		lossy:     opts.Lossy,
+		workers:   normalizeWorkers(opts.Workers),
 	}
 	for i := range o.pending {
 		o.pending[i] = map[uint64]event.Message{}
@@ -78,7 +75,7 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 	if err != nil {
 		return nil, err
 	}
-	o.result.Stats = Stats{Cuts: 1, Pairs: 1, Levels: 1, MaxWidth: 1, MaxPairWidth: 1}
+	o.result.Stats = Stats{Cuts: 1, Pairs: 1, Levels: 1, MaxWidth: 1, MaxPairWidth: 1, LevelWidths: []int{1}}
 	root := lattice.NewCut(vc.New(threads), initial)
 	if verdict == monitor.Violated {
 		viol := Violation{Cut: root, State: initial, Level: 0}
@@ -88,7 +85,7 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 		o.result.Violations = append(o.result.Violations, viol)
 		return o, nil
 	}
-	o.frontier[root.Key()] = &oentry{counts: vc.New(threads), state: initial, keys: map[uint64][]int{m.Key(): nil}}
+	o.frontier[root.Key()] = &pentry{counts: vc.New(threads), key: root.Key(), state: initial, keys: map[uint64][]int{m.Key(): nil}}
 	return o, nil
 }
 
@@ -285,91 +282,152 @@ func (o *Online) ready() bool {
 }
 
 // advance expands complete levels until blocked on undelivered events.
+// With Options.Workers > 1 each level's frontier is split across the
+// worker pool of parallel.go; either way one full level is sealed per
+// iteration, so at most two adjacent levels are alive at any time.
 func (o *Online) advance() error {
 	for len(o.frontier) > 0 && o.ready() {
-		next := map[string]*oentry{}
-		scratch := o.prog.NewMonitor()
-		progressed := false
-		for _, ent := range o.frontier {
-			for i := 0; i < o.threads; i++ {
-				need := int(ent.counts.Get(i)) + 1
-				if need > len(o.events[i]) {
-					continue
-				}
-				msg := o.events[i][need-1]
-				if !consistentExtension(msg.Clock, ent.counts, i) {
-					continue
-				}
-				counts := ent.counts.Clone()
-				counts.Set(i, uint64(need))
-				state := ent.state.With(msg.Event.Var, msg.Event.Value)
-				key := counts.Key()
-				tgt := next[key]
-				if tgt == nil {
-					tgt = &oentry{counts: counts, state: state, keys: map[uint64][]int{}}
-					next[key] = tgt
-					o.result.Stats.Cuts++
-					if o.maxCuts > 0 && o.result.Stats.Cuts > o.maxCuts {
-						return fmt.Errorf("predict: exceeded MaxCuts=%d", o.maxCuts)
-					}
-				}
-				for mkey, path := range ent.keys {
-					scratch.Restore(mkey)
-					verdict, err := scratch.Step(state)
-					if err != nil {
-						return err
-					}
-					o.result.Stats.Pairs++
-					if verdict == monitor.Violated {
-						cut := lattice.NewCut(counts.Clone(), state)
-						viol := Violation{Cut: cut, State: state, Level: cut.Level()}
-						if o.paths {
-							run := o.buildRun(append(append([]int(nil), path...), onlinePathID(i, need)))
-							viol.Run = &run
-						}
-						o.result.Violations = append(o.result.Violations, viol)
-						continue
-					}
-					if _, seen := tgt.keys[scratch.Key()]; !seen {
-						var p []int
-						if o.paths {
-							p = append(append([]int(nil), path...), onlinePathID(i, need))
-						}
-						tgt.keys[scratch.Key()] = p
-					}
-				}
-				progressed = true
-			}
+		var out levelOut
+		var err error
+		if o.workers > 1 {
+			out, err = o.expandLevelWorkers()
+		} else {
+			out, err = o.expandLevelSequential()
 		}
-		if !progressed && len(next) == 0 {
+		if err != nil {
+			return err
+		}
+		if len(out.next) == 0 {
 			// Frontier entries have no available successors at all:
 			// analysis of delivered events is complete.
 			if o.allFinal() {
-				o.frontier = map[string]*oentry{}
+				o.frontier = map[string]*pentry{}
 			}
 			return nil
 		}
 		// One event of each path is consumed per level.
 		o.applied++
+		o.result.Stats.Cuts += out.newCuts
+		if o.maxCuts > 0 && o.result.Stats.Cuts > o.maxCuts {
+			return fmt.Errorf("predict: exceeded MaxCuts=%d", o.maxCuts)
+		}
+		o.result.Stats.Pairs += out.pairs
 		o.result.Stats.Levels++
-		if len(next) > o.result.Stats.MaxWidth {
-			o.result.Stats.MaxWidth = len(next)
+		o.result.Stats.LevelWidths = append(o.result.Stats.LevelWidths, len(out.next))
+		if len(out.next) > o.result.Stats.MaxWidth {
+			o.result.Stats.MaxWidth = len(out.next)
 		}
-		pairs := 0
-		for _, e := range next {
-			pairs += len(e.keys)
+		if out.pairWidth > o.result.Stats.MaxPairWidth {
+			o.result.Stats.MaxPairWidth = out.pairWidth
 		}
-		if pairs > o.result.Stats.MaxPairWidth {
-			o.result.Stats.MaxPairWidth = pairs
+		o.frontier = make(map[string]*pentry, len(out.next))
+		for _, e := range out.next {
+			o.frontier[e.key] = e
 		}
-		o.frontier = next
-		// Dedup violations across parents is handled by construction
-		// here: each violating (cut, key) pair is only generated once
-		// per level because violated keys are not propagated. Across
-		// parents duplicates can still occur; keep reports unique.
+		for _, vr := range out.viols {
+			cut := lattice.NewCut(vr.counts, vr.state)
+			viol := Violation{Cut: cut, State: vr.state, Level: cut.Level()}
+			if o.paths {
+				run := o.buildRun(vr.path)
+				viol.Run = &run
+			}
+			o.result.Violations = append(o.result.Violations, viol)
+		}
+		// The level's violations arrive canonically sorted and deduped
+		// per (cut, monitor state); across parents and levels the same
+		// cut can still recur, so keep reports unique.
 		o.dedupViolations()
 	}
 	return nil
+}
+
+// expandSuccessors enumerates the consistent single-event extensions
+// of one frontier entry from the delivered per-thread event prefixes.
+// It is the online succFn: safe for concurrent calls with distinct
+// entries because the event buffers are not mutated during a level.
+func (o *Online) expandSuccessors(ent *pentry, yield func(thread, index int, counts vc.VC, state logic.State)) {
+	for i := 0; i < o.threads; i++ {
+		need := int(ent.counts.Get(i)) + 1
+		if need > len(o.events[i]) {
+			continue
+		}
+		msg := o.events[i][need-1]
+		if !consistentExtension(msg.Clock, ent.counts, i) {
+			continue
+		}
+		counts := ent.counts.Clone()
+		counts.Set(i, uint64(need))
+		yield(i, need, counts, ent.state.With(msg.Event.Var, msg.Event.Value))
+	}
+}
+
+// expandLevelWorkers seals the next level on the worker pool.
+func (o *Online) expandLevelWorkers() (levelOut, error) {
+	entries := make([]*pentry, 0, len(o.frontier))
+	for _, e := range o.frontier {
+		entries = append(entries, e)
+	}
+	return expandLevelParallel(o.prog, entries, o.expandSuccessors, o.workers, o.paths)
+}
+
+// expandLevelSequential seals the next level on the calling goroutine,
+// lock-free — the path existing callers (Workers == 0) get.
+func (o *Online) expandLevelSequential() (levelOut, error) {
+	var out levelOut
+	next := map[string]*pentry{}
+	scratch := o.prog.NewMonitor()
+	for _, ent := range o.frontier {
+		var stepErr error
+		o.expandSuccessors(ent, func(thread, index int, counts vc.VC, state logic.State) {
+			if stepErr != nil {
+				return
+			}
+			key := counts.Key()
+			tgt := next[key]
+			if tgt == nil {
+				tgt = &pentry{counts: counts, key: key, state: state, keys: map[uint64][]int{}}
+				next[key] = tgt
+				out.newCuts++
+			}
+			for mkey, path := range ent.keys {
+				scratch.Restore(mkey)
+				verdict, err := scratch.Step(state)
+				if err != nil {
+					stepErr = err
+					return
+				}
+				out.pairs++
+				if verdict == monitor.Violated {
+					out.viols = append(out.viols, levelViolation{
+						counts: counts, state: state, mkey: mkey,
+						path: extendPath(o.paths, path, thread, index),
+					})
+					continue
+				}
+				// Same merge rule as the parallel workers: keep the
+				// lexicographically least representative path.
+				nk := scratch.Key()
+				if old, seen := tgt.keys[nk]; !seen {
+					tgt.keys[nk] = extendPath(o.paths, path, thread, index)
+				} else if o.paths {
+					if p := extendPath(o.paths, path, thread, index); lessPath(p, old) {
+						tgt.keys[nk] = p
+					}
+				}
+			}
+		})
+		if stepErr != nil {
+			return out, stepErr
+		}
+	}
+	for _, e := range next {
+		out.next = append(out.next, e)
+		out.pairWidth += len(e.keys)
+	}
+	sort.Slice(out.next, func(i, j int) bool { return out.next[i].key < out.next[j].key })
+	sortLevelViolations(out.viols)
+	out.viols = dedupLevelViolations(out.viols)
+	return out, nil
 }
 
 func (o *Online) allFinal() bool {

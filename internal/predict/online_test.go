@@ -33,6 +33,7 @@ func feedAll(t *testing.T, o *Online, msgs []event.Message, threads int) Result 
 }
 
 func TestOnlineMatchesOfflineLanding(t *testing.T) {
+	t.Parallel()
 	comp := landingComputation(t)
 	offline, err := Analyze(landingProp, comp, Options{})
 	if err != nil {
@@ -72,6 +73,7 @@ func TestOnlineMatchesOfflineLanding(t *testing.T) {
 // delivery orders, online and offline agree on the verdict and on the
 // number of cuts.
 func TestOnlineMatchesOfflineRandom(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(17))
 	vars := []string{trace.VarName(0), trace.VarName(1)}
 	checked := 0
@@ -118,6 +120,7 @@ func TestOnlineMatchesOfflineRandom(t *testing.T) {
 }
 
 func TestOnlineViolationAtInitialState(t *testing.T) {
+	t.Parallel()
 	prog := monitor.MustCompile(logic.MustParseFormula("x < 0"))
 	o, err := NewOnline(prog, logic.StateFromMap(map[string]int64{"x": 1}), 1, Options{})
 	if err != nil {
@@ -133,6 +136,7 @@ func TestOnlineViolationAtInitialState(t *testing.T) {
 }
 
 func TestOnlineIncrementalProgress(t *testing.T) {
+	t.Parallel()
 	// With thread-done notices, levels advance as messages arrive even
 	// before Close.
 	initial := logic.StateFromMap(map[string]int64{"a": 0, "b": 0})
@@ -167,6 +171,7 @@ func TestOnlineIncrementalProgress(t *testing.T) {
 }
 
 func TestOnlineErrors(t *testing.T) {
+	t.Parallel()
 	initial := logic.StateFromMap(map[string]int64{"a": 0})
 	prog := monitor.MustCompile(logic.MustParseFormula("a >= 0"))
 
@@ -203,6 +208,7 @@ func TestOnlineErrors(t *testing.T) {
 }
 
 func TestOnlineFeedAfterClose(t *testing.T) {
+	t.Parallel()
 	initial := logic.StateFromMap(map[string]int64{"a": 0})
 	prog := monitor.MustCompile(logic.MustParseFormula("a >= 0"))
 	o, _ := NewOnline(prog, initial, 1, Options{})
@@ -222,6 +228,7 @@ func TestOnlineFeedAfterClose(t *testing.T) {
 // TestOnlineCounterexamples: the online analyzer reports full
 // counterexample runs when asked, matching the offline analyzer's.
 func TestOnlineCounterexamples(t *testing.T) {
+	t.Parallel()
 	msgs := []event.Message{
 		msg(0, "approved", 1, 1, 0),
 		msg(0, "landing", 1, 2, 0),

@@ -1,0 +1,343 @@
+package predict
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/vc"
+)
+
+// This file implements the parallel level-by-level lattice explorer.
+//
+// The sequential analyzers (Analyze in predict.go, Online in online.go)
+// expand one frontier cut at a time on one goroutine. The parallel
+// explorer splits each level's frontier across a worker pool and
+// expands successor cuts concurrently, deduplicating them in a sharded
+// cut table keyed by the cut's clock vector (lattice.Sharded), so
+// workers only contend when two paths genuinely merge into the same
+// cut — and even then only on that cut's own mutex.
+//
+// Invariants shared with the sequential path (see DESIGN.md §8):
+//
+//   - Level barrier: level k+1 is sealed (every successor of every
+//     level-k cut interned, every monitor state stepped and merged)
+//     before any level-k+2 work starts; level k is retired at the
+//     barrier. At most two adjacent levels are ever alive — the
+//     paper's memory bound is preserved.
+//   - Set semantics: the set of cuts per level, the set of monitor
+//     states per cut, and the set of violating (cut, monitor state)
+//     pairs are pure functions of the computation and formula, so they
+//     are identical however parents are scheduled across workers.
+//   - Deterministic reports: violations discovered within a level are
+//     sorted canonically (cut key, then monitor key) at the barrier,
+//     making the parallel explorer's output identical run to run.
+
+// pentry is one frontier cut: its per-thread event counts, the global
+// state there, and the monitor states reachable at it, each with one
+// representative path (nil unless counterexamples are tracked). The
+// mutex serializes concurrent merges by parallel workers; the
+// sequential paths never lock it.
+type pentry struct {
+	counts vc.VC
+	key    string // counts.Key(), computed once at creation
+	state  logic.State
+	mu     sync.Mutex
+	keys   map[uint64][]int
+}
+
+// succFn enumerates the consistent single-event extensions of one
+// frontier entry. For each extension it yields the advancing thread,
+// the 1-based index of the applied event within that thread, and the
+// successor's freshly allocated counts and state. Implementations must
+// be safe for concurrent calls with distinct entries.
+type succFn func(ent *pentry, yield func(thread, index int, counts vc.VC, state logic.State))
+
+// levelViolation is a violating (cut, monitor state) pair found while
+// expanding one level, before deduplication and reporting.
+type levelViolation struct {
+	counts vc.VC
+	state  logic.State
+	mkey   uint64
+	path   []int
+}
+
+// levelOut is one sealed level.
+type levelOut struct {
+	next      []*pentry // the new frontier, sorted by cut key
+	viols     []levelViolation
+	newCuts   int // distinct cuts interned this level
+	pairs     int // (cut, monitor state) pairs stepped
+	pairWidth int // pairs alive in the sealed level
+}
+
+// normalizeWorkers maps the Options.Workers knob to a pool size:
+// 0 and 1 select the sequential path, n>1 selects n workers, and a
+// negative value selects GOMAXPROCS.
+func normalizeWorkers(w int) int {
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// expandLevelParallel seals the next level: every entry's successors
+// are interned, monitor states stepped and merged, and violations
+// collected. Workers claim parent entries round-robin; the call
+// returns only after every worker is done (the level barrier).
+func expandLevelParallel(prog *monitor.Program, entries []*pentry, succs succFn, workers int, trackPaths bool) (levelOut, error) {
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	table := lattice.NewSharded[*pentry](workers * 8)
+
+	outs := make([]levelOut, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := prog.NewMonitor()
+			out := &outs[w]
+			for idx := w; idx < len(entries); idx += workers {
+				if errs[w] != nil {
+					return
+				}
+				ent := entries[idx]
+				succs(ent, func(thread, index int, counts vc.VC, state logic.State) {
+					key := counts.Key()
+					tgt, created := table.GetOrCreate(counts.Hash(), key, func() *pentry {
+						return &pentry{counts: counts, key: key, state: state, keys: map[uint64][]int{}}
+					})
+					if created {
+						out.newCuts++
+					}
+					// The parent's key set was sealed at the previous
+					// barrier, so it can be read without ent.mu here.
+					for mkey, path := range ent.keys {
+						scratch.Restore(mkey)
+						verdict, err := scratch.Step(state)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						out.pairs++
+						if verdict == monitor.Violated {
+							out.viols = append(out.viols, levelViolation{
+								counts: counts, state: state, mkey: mkey,
+								path: extendPath(trackPaths, path, thread, index),
+							})
+							continue // violated monitor states are not propagated
+						}
+						nk := scratch.Key()
+						tgt.mu.Lock()
+						if old, seen := tgt.keys[nk]; !seen {
+							tgt.keys[nk] = extendPath(trackPaths, path, thread, index)
+						} else if trackPaths {
+							// Keep the lexicographically least representative
+							// path so counterexamples are deterministic no
+							// matter which worker merged first.
+							if p := extendPath(trackPaths, path, thread, index); lessPath(p, old) {
+								tgt.keys[nk] = p
+							}
+						}
+						tgt.mu.Unlock()
+					}
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var out levelOut
+	for w := range outs {
+		if errs[w] != nil {
+			return out, errs[w]
+		}
+		out.newCuts += outs[w].newCuts
+		out.pairs += outs[w].pairs
+		out.viols = append(out.viols, outs[w].viols...)
+	}
+
+	// Seal the level: collect and order the new frontier, count the
+	// surviving pairs, and canonicalize the violation list.
+	table.Range(func(_ string, e *pentry) { out.next = append(out.next, e) })
+	sort.Slice(out.next, func(i, j int) bool { return out.next[i].key < out.next[j].key })
+	for _, e := range out.next {
+		out.pairWidth += len(e.keys)
+	}
+	sortLevelViolations(out.viols)
+	out.viols = dedupLevelViolations(out.viols)
+	return out, nil
+}
+
+// extendPath appends one encoded edge to a representative path,
+// returning nil when paths are not tracked.
+func extendPath(track bool, path []int, thread, index int) []int {
+	if !track {
+		return nil
+	}
+	p := make([]int, len(path)+1)
+	copy(p, path)
+	p[len(path)] = onlinePathID(thread, index)
+	return p
+}
+
+// lessPath orders encoded paths lexicographically.
+func lessPath(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// sortLevelViolations orders a level's violations canonically: by cut
+// key, then monitor key, then representative path.
+func sortLevelViolations(vs []levelViolation) {
+	sort.Slice(vs, func(i, j int) bool {
+		ki, kj := vs[i].counts.Key(), vs[j].counts.Key()
+		if ki != kj {
+			return ki < kj
+		}
+		if vs[i].mkey != vs[j].mkey {
+			return vs[i].mkey < vs[j].mkey
+		}
+		return lessPath(vs[i].path, vs[j].path)
+	})
+}
+
+// dedupLevelViolations collapses violations of the same (cut, monitor
+// state) pair reached from several parents, keeping the canonically
+// first representative. The input must be sorted.
+func dedupLevelViolations(vs []levelViolation) []levelViolation {
+	out := vs[:0]
+	for i, v := range vs {
+		if i > 0 && vs[i-1].mkey == v.mkey && vs[i-1].counts.Key() == v.counts.Key() {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// analyzeParallel is Analyze with a worker pool: identical exploration
+// semantics, with each level's frontier split across workers and cuts
+// deduplicated through the sharded table. It is selected by
+// Options.Workers (see Analyze).
+func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Options, workers int) (Result, error) {
+	res, root, rootKeys, done, err := analyzeRoot(prog, comp, opts)
+	if done || err != nil {
+		return res, err
+	}
+
+	frontier := []*pentry{{counts: root.Counts(), key: root.Key(), state: root.State(), keys: rootKeys}}
+	succs := func(ent *pentry, yield func(thread, index int, counts vc.VC, state logic.State)) {
+		for i := 0; i < comp.Threads(); i++ {
+			next := int(ent.counts.Get(i)) + 1
+			if next > comp.Count(i) {
+				continue
+			}
+			m := comp.Message(i, next)
+			if !consistentExtension(m.Clock, ent.counts, i) {
+				continue
+			}
+			counts := ent.counts.Clone()
+			counts.Set(i, uint64(next))
+			yield(i, next, counts, ent.state.With(m.Event.Var, m.Event.Value))
+		}
+	}
+
+	reported := map[string]bool{}
+	for len(frontier) > 0 {
+		out, err := expandLevelParallel(prog, frontier, succs, workers, opts.Counterexamples)
+		if err != nil {
+			return res, err
+		}
+		res.Stats.Cuts += out.newCuts
+		if opts.MaxCuts > 0 && res.Stats.Cuts > opts.MaxCuts {
+			return res, fmt.Errorf("predict: exceeded MaxCuts=%d", opts.MaxCuts)
+		}
+		res.Stats.Pairs += out.pairs
+		if len(out.next) > 0 {
+			res.Stats.Levels++
+			res.Stats.LevelWidths = append(res.Stats.LevelWidths, len(out.next))
+			if len(out.next) > res.Stats.MaxWidth {
+				res.Stats.MaxWidth = len(out.next)
+			}
+			if out.pairWidth > res.Stats.MaxPairWidth {
+				res.Stats.MaxPairWidth = out.pairWidth
+			}
+		}
+		if reportViolations(&res, out.viols, reported, opts,
+			func(ids []int) lattice.Run { return buildRun(comp, ids) }) {
+			return res, nil
+		}
+		frontier = out.next
+	}
+	return res, nil
+}
+
+// reportViolations converts a sealed level's canonical violations into
+// Result entries, deduplicating against previously reported (cut,
+// monitor state) pairs across levels. mkRun reconstructs a
+// counterexample run from an encoded path; it is only called when
+// Options.Counterexamples is set. The return value reports that
+// Options.FirstOnly stops the analysis here.
+func reportViolations(res *Result, viols []levelViolation, reported map[string]bool, opts Options, mkRun func([]int) lattice.Run) bool {
+	for _, vr := range viols {
+		vk := fmt.Sprintf("%s|%d", vr.counts.Key(), vr.mkey)
+		if reported[vk] {
+			continue
+		}
+		reported[vk] = true
+		viol := Violation{
+			Cut:   lattice.NewCut(vr.counts, vr.state),
+			State: vr.state,
+			Level: int(vr.counts.Sum()),
+		}
+		if opts.Counterexamples {
+			run := mkRun(vr.path)
+			viol.Run = &run
+		}
+		res.Violations = append(res.Violations, viol)
+		if opts.FirstOnly {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeRoot steps the root monitor on the initial state and prepares
+// the shared level-0 statistics. done reports that the analysis is
+// already complete (the initial state violates the property).
+func analyzeRoot(prog *monitor.Program, comp *lattice.Computation, opts Options) (Result, lattice.Cut, map[uint64][]int, bool, error) {
+	var res Result
+	root := comp.Root()
+	m0 := prog.NewMonitor()
+	v0, err := m0.Step(root.State())
+	if err != nil {
+		return res, root, nil, false, err
+	}
+	res.Stats = Stats{Cuts: 1, Pairs: 1, Levels: 1, MaxWidth: 1, MaxPairWidth: 1, LevelWidths: []int{1}}
+	if v0 == monitor.Violated {
+		viol := Violation{Cut: root, State: root.State(), Level: 0}
+		if opts.Counterexamples {
+			viol.Run = &lattice.Run{States: []logic.State{root.State()}}
+		}
+		res.Violations = append(res.Violations, viol)
+		// A violated monitor state is not propagated: every extension is
+		// already reported at its shortest witness.
+		return res, root, nil, true, nil
+	}
+	return res, root, map[uint64][]int{m0.Key(): pathIfTracking(opts, nil)}, false, nil
+}

@@ -50,6 +50,15 @@ type Options struct {
 	// reporting what was lost in Result.Degraded, rather than
 	// returning an error. Only Online honors this flag.
 	Lossy bool
+	// Workers sizes the worker pool of the parallel level-by-level
+	// explorer: 0 (the default) and 1 keep the single-goroutine
+	// sequential exploration, so existing callers are untouched; n > 1
+	// splits each level's frontier across n workers; a negative value
+	// selects GOMAXPROCS. Both Analyze and Online honor it. The
+	// explored cut sets, statistics and violation sets are identical to
+	// the sequential explorer's (violations are reported in canonical
+	// per-level order: cut key, then monitor key).
+	Workers int
 }
 
 // Violation is a predicted safety violation: a reachable global state
@@ -84,6 +93,12 @@ type Stats struct {
 	// MaxPairWidth is the maximum number of (cut, monitor state) pairs
 	// alive on one level.
 	MaxPairWidth int
+	// LevelWidths records the number of distinct cuts explored at each
+	// level, starting with the root level (width 1). Its length equals
+	// Levels; for a complete computation it matches the materialized
+	// lattice's per-level node counts, which is what the latticecheck
+	// differential harness cross-checks.
+	LevelWidths []int
 }
 
 // Result is the outcome of a predictive analysis.
@@ -210,38 +225,23 @@ type entry struct {
 }
 
 // Analyze runs the predictive safety analysis of the formula compiled
-// in prog over the computation comp.
+// in prog over the computation comp. With Options.Workers > 1 each
+// level's frontier is expanded by a worker pool (see parallel.go); the
+// explored cuts, statistics and violation set are the same either way.
 func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Result, error) {
-	var res Result
-	root := comp.Root()
-
-	m0 := prog.NewMonitor()
-	v0, err := m0.Step(root.State())
-	if err != nil {
-		return res, err
+	if w := normalizeWorkers(opts.Workers); w > 1 {
+		return analyzeParallel(prog, comp, opts, w)
 	}
-	res.Stats.Cuts = 1
-	res.Stats.Pairs = 1
-	res.Stats.Levels = 1
-	res.Stats.MaxWidth = 1
-	res.Stats.MaxPairWidth = 1
-	if v0 == monitor.Violated {
-		viol := Violation{Cut: root, State: root.State(), Level: 0}
-		if opts.Counterexamples {
-			viol.Run = &lattice.Run{States: []logic.State{root.State()}}
-		}
-		res.Violations = append(res.Violations, viol)
-		if opts.FirstOnly {
-			return res, nil
-		}
+	res, root, rootKeys, done, err := analyzeRoot(prog, comp, opts)
+	if done || err != nil {
 		// A violated monitor state is not propagated: the property is a
 		// safety property, every extension of a violating run prefix is
 		// already reported at its shortest witness.
-		return res, nil
+		return res, err
 	}
 
 	frontier := map[string]*entry{
-		root.Key(): {cut: root, keys: map[uint64][]int{m0.Key(): pathIfTracking(opts, nil)}},
+		root.Key(): {cut: root, keys: rootKeys},
 	}
 	scratch := prog.NewMonitor()
 	// The same violating (cut, monitor state) pair is typically reachable
@@ -250,13 +250,16 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 
 	for len(frontier) > 0 {
 		next := map[string]*entry{}
-		// Deterministic iteration keeps violation order stable run to run.
+		// Deterministic iteration keeps the explored order stable run to
+		// run; the violations themselves are canonicalized per level
+		// below, exactly like the parallel explorer's barrier.
 		keys := make([]string, 0, len(frontier))
 		for k := range frontier {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 
+		var levelViols []levelViolation
 		for _, fk := range keys {
 			ent := frontier[fk]
 			for _, succ := range comp.Successors(ent.cut) {
@@ -278,31 +281,32 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 					}
 					res.Stats.Pairs++
 					if verdict == monitor.Violated {
-						vk := fmt.Sprintf("%s|%d", sk, mkey)
-						if reported[vk] {
-							continue
-						}
-						reported[vk] = true
-						viol := Violation{Cut: succ.Cut, State: succ.Cut.State(), Level: succ.Cut.Level()}
-						if opts.Counterexamples {
-							run := buildRun(comp, append(append([]int(nil), path...), pathID(succ)))
-							viol.Run = &run
-						}
-						res.Violations = append(res.Violations, viol)
-						if opts.FirstOnly {
-							return res, nil
-						}
+						levelViols = append(levelViols, levelViolation{
+							counts: succ.Cut.Counts(), state: succ.Cut.State(), mkey: mkey,
+							path: appendPath(opts, path, succ),
+						})
 						continue // do not propagate violated monitor states
 					}
-					if _, seen := tgt.keys[scratch.Key()]; !seen {
-						tgt.keys[scratch.Key()] = appendPath(opts, path, succ)
+					// Keep the lexicographically least representative path
+					// (the rule the parallel merge applies), so
+					// counterexamples are identical across explorers.
+					nk := scratch.Key()
+					if old, seen := tgt.keys[nk]; !seen {
+						tgt.keys[nk] = appendPath(opts, path, succ)
+					} else if opts.Counterexamples {
+						if p := appendPath(opts, path, succ); lessPath(p, old) {
+							tgt.keys[nk] = p
+						}
 					}
 				}
 			}
 		}
-
+		// Seal the level's statistics before reporting, so a FirstOnly
+		// early return carries the level the violation lives on (the
+		// parallel explorer does the same at its barrier).
 		if len(next) > 0 {
 			res.Stats.Levels++
+			res.Stats.LevelWidths = append(res.Stats.LevelWidths, len(next))
 			if len(next) > res.Stats.MaxWidth {
 				res.Stats.MaxWidth = len(next)
 			}
@@ -313,6 +317,11 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 			if pairs > res.Stats.MaxPairWidth {
 				res.Stats.MaxPairWidth = pairs
 			}
+		}
+		sortLevelViolations(levelViols)
+		if reportViolations(&res, dedupLevelViolations(levelViols), reported, opts,
+			func(ids []int) lattice.Run { return buildRun(comp, ids) }) {
+			return res, nil
 		}
 		frontier = next
 	}

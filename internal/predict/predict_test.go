@@ -59,6 +59,7 @@ var (
 // violation; exhaustive run enumeration finds exactly 3 runs of which
 // 2 violate, over a 6-state lattice (Fig. 5).
 func TestLandingLattice(t *testing.T) {
+	t.Parallel()
 	comp := landingComputation(t)
 
 	rep, err := EnumerateRuns(landingProp, comp, 0, 0)
@@ -107,6 +108,7 @@ func TestLandingLattice(t *testing.T) {
 // TestCrossingLattice reproduces Example 2 (Fig. 6): 3 runs, exactly 1
 // violating, predicted from the successful observed execution.
 func TestCrossingLattice(t *testing.T) {
+	t.Parallel()
 	comp := crossingComputation(t)
 
 	rep, err := EnumerateRuns(crossingProp, comp, 0, 0)
@@ -154,6 +156,7 @@ func TestCrossingLattice(t *testing.T) {
 // JPAX-style single-trace checker does NOT detect either bug on the
 // observed (successful) runs.
 func TestObservedOnlyBaselineMisses(t *testing.T) {
+	t.Parallel()
 	landingObserved := []logic.State{
 		logic.StateFromMap(map[string]int64{"landing": 0, "approved": 0, "radio": 1}),
 		logic.StateFromMap(map[string]int64{"landing": 0, "approved": 1, "radio": 1}),
@@ -179,6 +182,7 @@ func TestObservedOnlyBaselineMisses(t *testing.T) {
 // level-by-level analyzer predicts a violation iff some enumerated run
 // violates the property.
 func TestAnalyzeAgreesWithEnumeration(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(99))
 	vars := []string{trace.VarName(0), trace.VarName(1)}
 	checked := 0
@@ -222,6 +226,7 @@ func TestAnalyzeAgreesWithEnumeration(t *testing.T) {
 // lattice's widest level even when the lattice has exponentially many
 // runs, demonstrating the two-levels-at-a-time claim (§4).
 func TestLevelMemoryBound(t *testing.T) {
+	t.Parallel()
 	// k independent writer threads: lattice is the k-dimensional cube
 	// {0,1}^k with k! runs, widest level C(k, k/2).
 	const k = 8
@@ -258,6 +263,7 @@ func TestLevelMemoryBound(t *testing.T) {
 }
 
 func TestAnalyzeMaxCuts(t *testing.T) {
+	t.Parallel()
 	comp := landingComputation(t)
 	if _, err := Analyze(landingProp, comp, Options{MaxCuts: 2}); err == nil {
 		t.Fatalf("expected MaxCuts error")
@@ -265,6 +271,7 @@ func TestAnalyzeMaxCuts(t *testing.T) {
 }
 
 func TestAnalyzeFirstOnly(t *testing.T) {
+	t.Parallel()
 	comp := landingComputation(t)
 	res, err := Analyze(landingProp, comp, Options{FirstOnly: true})
 	if err != nil {
@@ -276,6 +283,7 @@ func TestAnalyzeFirstOnly(t *testing.T) {
 }
 
 func TestAnalyzeViolationAtInitialState(t *testing.T) {
+	t.Parallel()
 	initial := logic.StateFromMap(map[string]int64{"x": 5})
 	comp, err := lattice.NewComputation(initial, 1, []event.Message{msg(0, "x", 0, 1)})
 	if err != nil {
@@ -295,6 +303,7 @@ func TestAnalyzeViolationAtInitialState(t *testing.T) {
 }
 
 func TestAnalyzeErrorOnUnboundVariable(t *testing.T) {
+	t.Parallel()
 	initial := logic.StateFromMap(map[string]int64{"x": 0})
 	comp, err := lattice.NewComputation(initial, 1, nil)
 	if err != nil {
@@ -310,6 +319,7 @@ func TestAnalyzeErrorOnUnboundVariable(t *testing.T) {
 }
 
 func TestViolationString(t *testing.T) {
+	t.Parallel()
 	comp := landingComputation(t)
 	res, err := Analyze(landingProp, comp, Options{})
 	if err != nil {

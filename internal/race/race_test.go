@@ -26,6 +26,7 @@ func detect(t *testing.T, src string, seed int64) *race.Detector {
 // TestRacyProgram: the data variable races (unsynchronized cross-thread
 // write/write), the flag variable does not (lock-protected).
 func TestRacyProgram(t *testing.T) {
+	t.Parallel()
 	for seed := int64(0); seed < 25; seed++ {
 		d := detect(t, progs.Racy, seed)
 		vars := d.RacyVars()
@@ -48,6 +49,7 @@ func TestRacyProgram(t *testing.T) {
 // orders the two data writes, the race is predicted — the point of
 // using causality rather than the observed order.
 func TestPredictionFromAnyObservedOrder(t *testing.T) {
+	t.Parallel()
 	src := `
 shared data = 0;
 thread a { skip; skip; skip; data = 1; }
@@ -66,6 +68,7 @@ thread b { data = 2; }
 }
 
 func TestLockedAccessesDoNotRace(t *testing.T) {
+	t.Parallel()
 	src := `
 shared x = 0;
 mutex m;
@@ -81,6 +84,7 @@ thread b { lock(m); x = x + 1; unlock(m); }
 }
 
 func TestReadReadDoesNotRace(t *testing.T) {
+	t.Parallel()
 	src := `
 shared x = 5, a = 0, b = 0;
 thread r1 { a = x; }
@@ -99,6 +103,7 @@ thread r2 { b = x; }
 }
 
 func TestReadWriteRace(t *testing.T) {
+	t.Parallel()
 	src := `
 shared x = 0, sink = 0;
 thread w { x = 1; }
@@ -117,6 +122,7 @@ thread r { sink = x; }
 }
 
 func TestWaitNotifyOrders(t *testing.T) {
+	t.Parallel()
 	// The notifying thread writes before notify; the waiter reads after
 	// resume: ordered through the cond's dummy variable, no race.
 	src := `
@@ -148,6 +154,7 @@ thread n { x = 1; notify(c); }
 }
 
 func TestDedup(t *testing.T) {
+	t.Parallel()
 	// Many racy iterations produce one report per (var, thread-pair,
 	// access-kind) class, not per pair of accesses.
 	src := `
@@ -162,6 +169,7 @@ thread b { var i = 0; while (i < 5) { x = 2; i = i + 1; } }
 }
 
 func TestMaxAccessesBound(t *testing.T) {
+	t.Parallel()
 	code := mtl.MustCompile(`
 shared x = 0;
 thread a { var i = 0; while (i < 50) { x = 1; i = i + 1; } }
@@ -180,6 +188,7 @@ thread b { skip; }
 }
 
 func TestAccessAndReportStrings(t *testing.T) {
+	t.Parallel()
 	d := detect(t, progs.Racy, 0)
 	if len(d.Races()) == 0 {
 		t.Fatalf("need a race for formatting test")

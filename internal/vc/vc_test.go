@@ -6,6 +6,7 @@ import (
 )
 
 func TestZeroValue(t *testing.T) {
+	t.Parallel()
 	var v VC
 	if v.Get(0) != 0 || v.Get(7) != 0 {
 		t.Fatalf("zero clock has nonzero components")
@@ -22,6 +23,7 @@ func TestZeroValue(t *testing.T) {
 }
 
 func TestIncSetGet(t *testing.T) {
+	t.Parallel()
 	var v VC
 	if got := v.Inc(2); got != 1 {
 		t.Fatalf("Inc returned %d, want 1", got)
@@ -36,6 +38,7 @@ func TestIncSetGet(t *testing.T) {
 }
 
 func TestGetOutOfRange(t *testing.T) {
+	t.Parallel()
 	v := VC{1, 2}
 	if v.Get(-1) != 0 {
 		t.Fatalf("negative index should read 0")
@@ -46,6 +49,7 @@ func TestGetOutOfRange(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
 	v := VC{1, 2, 3}
 	w := v.Clone()
 	w.Inc(0)
@@ -58,6 +62,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestCloneInto(t *testing.T) {
+	t.Parallel()
 	v := VC{5, 6, 7}
 	dst := make(VC, 1)
 	dst = v.CloneInto(dst)
@@ -73,6 +78,7 @@ func TestCloneInto(t *testing.T) {
 }
 
 func TestJoin(t *testing.T) {
+	t.Parallel()
 	a := VC{1, 5, 0}
 	b := VC{3, 2}
 	j := Join(a, b)
@@ -89,6 +95,7 @@ func TestJoin(t *testing.T) {
 }
 
 func TestOrderRelations(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		a, b            VC
 		leq, less, conc bool
@@ -114,6 +121,7 @@ func TestOrderRelations(t *testing.T) {
 }
 
 func TestEqualDifferentLengths(t *testing.T) {
+	t.Parallel()
 	if !Equal(VC{1, 0, 0}, VC{1}) {
 		t.Fatalf("trailing zeros should not affect Equal")
 	}
@@ -123,6 +131,7 @@ func TestEqualDifferentLengths(t *testing.T) {
 }
 
 func TestHashNormalizesTrailingZeros(t *testing.T) {
+	t.Parallel()
 	a := VC{3, 1, 0, 0}
 	b := VC{3, 1}
 	if a.Hash() != b.Hash() {
@@ -134,6 +143,7 @@ func TestHashNormalizesTrailingZeros(t *testing.T) {
 }
 
 func TestStringAndKey(t *testing.T) {
+	t.Parallel()
 	v := VC{1, 2}
 	if v.String() != "(1,2)" {
 		t.Fatalf("String = %q", v.String())
@@ -147,6 +157,7 @@ func TestStringAndKey(t *testing.T) {
 }
 
 func TestPrecedesTheorem3Shape(t *testing.T) {
+	t.Parallel()
 	// Thread 0 emits e with V=(1,0); thread 1 emits e' with V'=(1,1)
 	// after reading what thread 0 wrote: e ⊲ e'.
 	v := VC{1, 0}
@@ -163,6 +174,7 @@ func TestPrecedesTheorem3Shape(t *testing.T) {
 }
 
 func TestCodecRoundTrip(t *testing.T) {
+	t.Parallel()
 	cases := []VC{nil, {}, {0}, {1, 2, 3}, {1 << 40, 0, 7}}
 	for _, v := range cases {
 		buf := AppendEncode(nil, v)
@@ -180,6 +192,7 @@ func TestCodecRoundTrip(t *testing.T) {
 }
 
 func TestCodecTruncated(t *testing.T) {
+	t.Parallel()
 	buf := AppendEncode(nil, VC{1, 2, 3})
 	for i := 0; i < len(buf); i++ {
 		if _, _, err := Decode(buf[:i]); err == nil {
@@ -189,6 +202,7 @@ func TestCodecTruncated(t *testing.T) {
 }
 
 func TestCodecLengthGuard(t *testing.T) {
+	t.Parallel()
 	var buf []byte
 	buf = append(buf, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) // huge uvarint
 	if _, _, err := Decode(buf); err == nil {
@@ -199,6 +213,7 @@ func TestCodecLengthGuard(t *testing.T) {
 // Property: Join is the least upper bound — it dominates both operands
 // and is dominated by any common upper bound.
 func TestQuickJoinIsLUB(t *testing.T) {
+	t.Parallel()
 	f := func(a8, b8, c8 [5]uint8) bool {
 		a, b, c := fromBytes(a8[:]), fromBytes(b8[:]), fromBytes(c8[:])
 		j := Join(a, b)
@@ -216,6 +231,7 @@ func TestQuickJoinIsLUB(t *testing.T) {
 
 // Property: exactly one of a<b, b<a, a==b, a||b holds.
 func TestQuickTrichotomyWithConcurrency(t *testing.T) {
+	t.Parallel()
 	f := func(a8, b8 [4]uint8) bool {
 		a, b := fromBytes(a8[:]), fromBytes(b8[:])
 		n := 0
@@ -240,6 +256,7 @@ func TestQuickTrichotomyWithConcurrency(t *testing.T) {
 
 // Property: codec round-trips arbitrary clocks.
 func TestQuickCodecRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(xs []uint64) bool {
 		v := VC(xs)
 		got, _, err := Decode(AppendEncode(nil, v))
@@ -252,6 +269,7 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 
 // Property: Hash agrees on Equal clocks regardless of trailing zeros.
 func TestQuickHashRespectsEquality(t *testing.T) {
+	t.Parallel()
 	f := func(xs [6]uint8, pad uint8) bool {
 		v := fromBytes(xs[:])
 		w := v.Clone()
