@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice verify
+.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice telemetry-gate verify
 
 build:
 	$(GO) build ./...
@@ -39,4 +39,10 @@ fuzz-smoke:
 bench-lattice:
 	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchmem -benchtime 5x .
 
-verify: build vet race fuzz-smoke
+# Telemetry overhead gate: the BenchmarkExploreSequential workload with
+# telemetry active must stay within 5% of the inactive run (baseline
+# and budget in BENCH_telemetry.json).
+telemetry-gate:
+	GOMPAX_TELEMETRY_GATE=1 $(GO) test -count=1 -run TestTelemetryOverheadGate -v .
+
+verify: build vet race fuzz-smoke telemetry-gate

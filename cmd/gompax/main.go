@@ -26,12 +26,23 @@
 //	               per-frame rate r (drop/corrupt/duplicate/delay each)
 //	               and analyze it in lossy resync mode
 //	-chaos-seed n  fault injector seed (default 1)
+//	-workers n     lattice exploration worker pool
+//	-telemetry-addr a  serve /metrics, /healthz, /statusz and
+//	               /debug/pprof on address a (e.g. :9090)
+//	-log-level l   structured log level: debug, info, warn, error
+//	-log-json      emit logs as JSON instead of text
+//
+// Exit codes: 0 when every run is clean, 1 when any run predicts a
+// violation, 2 on usage or pipeline errors and for runs that finished
+// degraded (lossy session) without predicting a violation.
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 
 	"gompax/internal/driver"
@@ -42,46 +53,92 @@ import (
 	"gompax/internal/observer"
 	"gompax/internal/predict"
 	"gompax/internal/sched"
+	"gompax/internal/telemetry"
 	"gompax/internal/wire"
 )
 
+// Exit codes.
+const (
+	exitClean    = 0
+	exitViolated = 1
+	exitError    = 2 // usage errors, pipeline failures, degraded-only runs
+)
+
 func main() {
-	progFile := flag.String("prog", "", "MTL program file")
-	prop := flag.String("prop", "", "safety property formula")
-	seed := flag.Int64("seed", 1, "random scheduler seed")
-	runs := flag.Int("runs", 1, "number of consecutive seeds to check")
-	enumerate := flag.Bool("enumerate", false, "materialize the lattice and count runs")
-	replay := flag.Bool("replay", false, "confirm the first predicted violation by replaying a synthesized schedule")
-	maxEvents := flag.Uint64("max-events", 0, "execution event bound (0 = default 1e6)")
-	maxCuts := flag.Int("max-cuts", 0, "predictive analysis cut bound (0 = unlimited)")
-	quiet := flag.Bool("quiet", false, "only print verdict lines")
-	live := flag.String("liveness", "", "future-time LTL property checked against lattice lassos (uv-omega prediction)")
-	explain := flag.Bool("explain", false, "print a subformula truth table over the first counterexample run")
-	chaos := flag.Float64("chaos", 0, "per-frame fault rate: stream through the fault injector and analyze in lossy resync mode")
-	chaosSeed := flag.Int64("chaos-seed", 1, "fault injector seed")
-	workers := flag.Int("workers", 0, "lattice exploration worker pool (0 or 1 = sequential, -1 = GOMAXPROCS)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted, so tests can drive the
+// CLI end to end and assert on the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gompax", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	progFile := fs.String("prog", "", "MTL program file")
+	prop := fs.String("prop", "", "safety property formula")
+	seed := fs.Int64("seed", 1, "random scheduler seed")
+	runs := fs.Int("runs", 1, "number of consecutive seeds to check")
+	enumerate := fs.Bool("enumerate", false, "materialize the lattice and count runs")
+	replay := fs.Bool("replay", false, "confirm the first predicted violation by replaying a synthesized schedule")
+	maxEvents := fs.Uint64("max-events", 0, "execution event bound (0 = default 1e6)")
+	maxCuts := fs.Int("max-cuts", 0, "predictive analysis cut bound (0 = unlimited)")
+	quiet := fs.Bool("quiet", false, "only print verdict lines")
+	live := fs.String("liveness", "", "future-time LTL property checked against lattice lassos (uv-omega prediction)")
+	explain := fs.Bool("explain", false, "print a subformula truth table over the first counterexample run")
+	chaos := fs.Float64("chaos", 0, "per-frame fault rate: stream through the fault injector and analyze in lossy resync mode")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault injector seed")
+	workers := fs.Int("workers", 0, "lattice exploration worker pool (0 or 1 = sequential, -1 = GOMAXPROCS)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address (e.g. :9090)")
+	logLevel := fs.String("log-level", "warn", "structured log level: debug, info, warn, error")
+	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	if *progFile == "" || *prop == "" {
-		fmt.Fprintln(os.Stderr, "gompax: -prog and -prop are required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gompax: -prog and -prop are required")
+		fs.Usage()
+		return exitError
+	}
+	lvl, ok := telemetry.ParseLevel(*logLevel)
+	if !ok {
+		fmt.Fprintf(stderr, "gompax: unknown -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		return exitError
+	}
+	telemetry.InitLogging(lvl, *logJSON, stderr)
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "gompax:", err)
+			return exitError
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(stderr, "gompax: telemetry on http://%s\n", srv.Addr)
+		}
 	}
 	src, err := os.ReadFile(*progFile)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "gompax:", err)
+		return exitError
 	}
 
-	exit := 0
+	log := telemetry.Logger("gompax")
+	exit := exitClean
+	degraded := false
 	for i := 0; i < *runs; i++ {
 		s := *seed + int64(i)
 		if *chaos > 0 {
-			violated, err := runChaos(string(src), *prop, s, *chaos, *chaosSeed, *maxEvents, *maxCuts, *workers)
+			violated, deg, err := runChaos(stdout, string(src), *prop, s, *chaos, *chaosSeed, *maxEvents, *maxCuts, *workers)
 			if err != nil {
-				fail(err)
+				fmt.Fprintln(stderr, "gompax:", err)
+				return exitError
 			}
 			if violated {
-				exit = 1
+				exit = exitViolated
+			}
+			if deg && !degraded {
+				degraded = true
+				markDegraded(log)
 			}
 			continue
 		}
@@ -98,63 +155,86 @@ func main() {
 			Workers:          *workers,
 		})
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "gompax:", err)
+			return exitError
 		}
 		if *runs > 1 || !*quiet {
-			fmt.Printf("--- seed %d ---\n", s)
+			fmt.Fprintf(stdout, "--- seed %d ---\n", s)
 		}
 		if *quiet {
 			verdict := "ok"
 			if rep.Result.Violated() {
 				verdict = fmt.Sprintf("PREDICTED %d violation(s)", len(rep.Result.Violations))
 			}
-			fmt.Printf("seed %d: %s\n", s, verdict)
+			fmt.Fprintf(stdout, "seed %d: %s\n", s, verdict)
 		} else {
-			fmt.Print(rep.Summary())
+			fmt.Fprint(stdout, rep.Summary())
 		}
 		if *explain && len(rep.Result.Violations) > 0 && rep.Result.Violations[0].Run != nil {
 			prog, err := monitor.Compile(rep.Formula)
 			if err != nil {
-				fail(err)
+				fmt.Fprintln(stderr, "gompax:", err)
+				return exitError
 			}
 			ex, err := monitor.Explain(prog, rep.Result.Violations[0].Run.States)
 			if err != nil {
-				fail(err)
+				fmt.Fprintln(stderr, "gompax:", err)
+				return exitError
 			}
-			fmt.Println("\nwhy the counterexample violates the property (T/f per state):")
-			fmt.Print(ex.String())
+			fmt.Fprintln(stdout, "\nwhy the counterexample violates the property (T/f per state):")
+			fmt.Fprint(stdout, ex.String())
 		}
 		if rep.Result.Violated() || len(rep.LivenessViolations) > 0 {
-			exit = 1
+			exit = exitViolated
+			log.Info("violation predicted", "seed", s, "violations", len(rep.Result.Violations))
+		}
+		if rep.Result.Degraded.Any() && !degraded {
+			degraded = true
+			markDegraded(log)
 		}
 	}
-	os.Exit(exit)
+	// A violation verdict takes precedence: a degraded session that
+	// still predicted a violation exits 1, not 2.
+	if degraded && exit == exitClean {
+		exit = exitError
+	}
+	return exit
+}
+
+// markDegraded flips /healthz the moment an analysis finishes
+// degraded, so a live collector sees the loss while the session is
+// still running rather than only at exit.
+func markDegraded(log *slog.Logger) {
+	telemetry.SetHealth("analysis", "an analysis finished degraded")
+	log.Warn("analysis finished degraded")
 }
 
 // runChaos streams one instrumented execution through the fault
 // injector and analyzes the damaged session in lossy resync mode —
-// exercising the fault-tolerance path end to end from the CLI.
-func runChaos(src, prop string, seed int64, rate float64, chaosSeed int64, maxEvents uint64, maxCuts, workers int) (bool, error) {
+// exercising the fault-tolerance path end to end from the CLI. It
+// reports whether a violation was predicted and whether the analysis
+// finished degraded.
+func runChaos(stdout io.Writer, src, prop string, seed int64, rate float64, chaosSeed int64, maxEvents uint64, maxCuts, workers int) (violated, degraded bool, err error) {
 	p, err := mtl.Parse(src)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	code, err := mtl.Compile(p)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	formula, err := logic.ParseFormula(prop)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	prog, err := monitor.Compile(formula)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	policy := instrument.PolicyFor(formula)
 	initial, err := instrument.InitialState(code.Prog, formula)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 
 	var damaged bytes.Buffer
@@ -168,37 +248,32 @@ func runChaos(src, prop string, seed int64, rate float64, chaosSeed int64, maxEv
 		SpareHello: true,
 	})
 	if err := instrument.RunStreaming(code, policy, initial, sched.NewRandom(seed), maxEvents, fw); err != nil {
-		return false, err
+		return false, false, err
 	}
 	if err := fw.Close(); err != nil {
-		return false, err
+		return false, false, err
 	}
 	fs := fw.Stats()
 
 	r := wire.NewResyncReceiver(bytes.NewReader(damaged.Bytes()))
 	res, err := observer.Analyze(r, prog, predict.Options{Lossy: true, MaxCuts: maxCuts, Workers: workers})
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
-	fmt.Printf("--- seed %d (chaos rate %g, chaos seed %d) ---\n", seed, rate, chaosSeed)
-	fmt.Printf("injected: %d frames: %d dropped, %d corrupted, %d truncated, %d duplicated, %d delayed\n",
+	fmt.Fprintf(stdout, "--- seed %d (chaos rate %g, chaos seed %d) ---\n", seed, rate, chaosSeed)
+	fmt.Fprintf(stdout, "injected: %d frames: %d dropped, %d corrupted, %d truncated, %d duplicated, %d delayed\n",
 		fs.Frames, fs.Dropped, fs.Corrupted, fs.Truncated, fs.Duplicated, fs.Delayed)
-	fmt.Printf("received: %s\n", r.Stats())
-	if res.Degraded != nil && res.Degraded.Any() {
-		fmt.Printf("%s\n", res.Degraded)
+	fmt.Fprintf(stdout, "received: %s\n", r.Stats())
+	if res.Degraded.Any() {
+		fmt.Fprintf(stdout, "%s\n", res.Degraded)
 	} else {
-		fmt.Println("degraded: no (session survived intact)")
+		fmt.Fprintln(stdout, "degraded: no (session survived intact)")
 	}
-	fmt.Printf("analysis: %d cuts over %d levels\n", res.Stats.Cuts, res.Stats.Levels)
+	fmt.Fprintf(stdout, "analysis: %d cuts over %d levels\n", res.Stats.Cuts, res.Stats.Levels)
 	if res.Violated() {
-		fmt.Printf("PREDICTED %d violation(s) despite the damage\n", len(res.Violations))
+		fmt.Fprintf(stdout, "PREDICTED %d violation(s) despite the damage\n", len(res.Violations))
 	} else {
-		fmt.Println("no violation predicted from the surviving frames")
+		fmt.Fprintln(stdout, "no violation predicted from the surviving frames")
 	}
-	return res.Violated(), nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "gompax:", err)
-	os.Exit(2)
+	return res.Violated(), res.Degraded.Any(), nil
 }

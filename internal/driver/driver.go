@@ -21,6 +21,7 @@ import (
 	"gompax/internal/predict"
 	"gompax/internal/replay"
 	"gompax/internal/sched"
+	"gompax/internal/telemetry"
 )
 
 // Config selects what to run and how.
@@ -100,6 +101,8 @@ type Report struct {
 
 // Check runs the pipeline.
 func Check(cfg Config) (*Report, error) {
+	root := telemetry.StartSpan("driver.check")
+	defer root.End()
 	prog, err := mtl.Parse(cfg.Source)
 	if err != nil {
 		return nil, err
@@ -130,7 +133,9 @@ func Check(cfg Config) (*Report, error) {
 	if maxEvents == 0 {
 		maxEvents = 1_000_000
 	}
+	runSpan := root.Child("driver.instrument")
 	out, err := instrument.Run(code, policy, s, maxEvents)
+	runSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -154,11 +159,13 @@ func Check(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	predictSpan := root.Child("driver.predict")
 	rep.Result, err = predict.Analyze(mprog, comp, predict.Options{
 		MaxCuts:         cfg.MaxCuts,
 		Counterexamples: cfg.Counterexamples || cfg.ConfirmReplay,
 		Workers:         cfg.Workers,
 	})
+	predictSpan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ import (
 	"gompax/internal/mtl"
 	"gompax/internal/mvc"
 	"gompax/internal/sched"
+	"gompax/internal/telemetry"
 )
 
 // Instrumentor implements interp.Hooks by feeding every event through
@@ -109,6 +110,9 @@ type RunOutput struct {
 // instrumentation attached, collecting all emitted messages. maxEvents
 // bounds the execution (0 = unlimited).
 func Run(code *mtl.Compiled, policy mvc.Policy, s sched.Scheduler, maxEvents uint64) (RunOutput, error) {
+	mRuns.With("collect").Inc()
+	sp := telemetry.StartSpan("instrument.run")
+	defer sp.End()
 	col := &mvc.Collector{}
 	in := New(len(code.Threads), policy, col)
 	m := interp.NewMachine(code, in)

@@ -1,0 +1,10 @@
+package instrument
+
+import "gompax/internal/telemetry"
+
+// Instrumentation telemetry: one counter increment and one span per
+// instrumented execution. Per-event accounting lives in package mvc
+// (Algorithm A) and on the wire (frame counters); duplicating it here
+// would double-count the same events.
+var mRuns = telemetry.Default().NewCounterVec("gompax_instrument_runs_total",
+	"Instrumented executions started, by mode (collect, stream, channels).", "mode")

@@ -10,6 +10,7 @@ import (
 	"gompax/internal/mtl"
 	"gompax/internal/mvc"
 	"gompax/internal/sched"
+	"gompax/internal/telemetry"
 	"gompax/internal/wire"
 )
 
@@ -36,6 +37,9 @@ func RunStreaming(code *mtl.Compiled, policy mvc.Policy, initial logic.State, s 
 	if len(code.Tasks) > 0 {
 		return fmt.Errorf("instrument: streaming sessions do not support dynamically spawned threads (the hello frame fixes the thread count)")
 	}
+	mRuns.With("stream").Inc()
+	sp := telemetry.StartSpan("instrument.stream")
+	defer sp.End()
 	sender := wire.NewSender(w)
 	if err := sender.SendHello(wire.Hello{Threads: len(code.Threads), Initial: initial}); err != nil {
 		return err
@@ -99,6 +103,9 @@ func RunStreamingChannels(code *mtl.Compiled, policy mvc.Policy, initial logic.S
 	if len(code.Tasks) > 0 {
 		return fmt.Errorf("instrument: streaming sessions do not support dynamically spawned threads (the hello frame fixes the thread count)")
 	}
+	mRuns.With("channels").Inc()
+	sp := telemetry.StartSpan("instrument.stream")
+	defer sp.End()
 	senders := make([]*wire.Sender, len(ws))
 	for i, w := range ws {
 		senders[i] = wire.NewSender(w)

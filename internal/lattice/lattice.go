@@ -79,6 +79,7 @@ func NewComputation(initial logic.State, threads int, msgs []event.Message) (*Co
 		}
 		total += len(list)
 	}
+	mComputations.Inc()
 	return &Computation{initial: initial, perThread: per, total: total}, nil
 }
 
@@ -283,6 +284,7 @@ func Build(c *Computation, maxNodes int) (*Lattice, error) {
 		}
 		level = next
 	}
+	mBuiltNodes.Add(uint64(len(l.nodes)))
 	return l, nil
 }
 

@@ -87,6 +87,7 @@ func Compile(f logic.Formula) (*Program, error) {
 	if _, err := p.build(f); err != nil {
 		return nil, err
 	}
+	mPrograms.Inc()
 	return p, nil
 }
 
@@ -357,14 +358,19 @@ func (m *Monitor) StepAtoms(atomVals []bool) Verdict {
 // the baseline the paper's predictive technique improves on.
 func CheckTrace(p *Program, states []logic.State) (int, error) {
 	m := p.NewMonitor()
+	steps := 0
+	defer func() { mTraceSteps.Add(uint64(steps)) }()
 	for i, s := range states {
 		v, err := m.Step(s)
 		if err != nil {
 			return -1, err
 		}
+		steps++
 		if v == Violated {
+			mTraceChecks.With("violated").Inc()
 			return i, nil
 		}
 	}
+	mTraceChecks.With("satisfied").Inc()
 	return -1, nil
 }

@@ -1,0 +1,30 @@
+package mvc
+
+import (
+	"strconv"
+
+	"gompax/internal/telemetry"
+)
+
+// MVC telemetry. Process runs once per program event, so the counters
+// it touches are resolved once — per-thread children are cached in a
+// slice parallel to Tracker.threads and per-variable children live on
+// the varClocks entry — leaving a single uncontended atomic add per
+// dimension on the hot path. Update latency needs two time syscalls
+// per event, so it is only measured while a collector is attached
+// (telemetry.Active()).
+var (
+	mEvents = telemetry.Default().NewCounterVec("gompax_mvc_events_total",
+		"Events processed by the MVC instrumentation (Algorithm A), by thread.", "thread")
+	mVarEvents = telemetry.Default().NewCounterVec("gompax_mvc_var_events_total",
+		"Shared-variable accesses processed by Algorithm A, by variable.", "var")
+	mEmitted = telemetry.Default().NewCounter("gompax_mvc_messages_total",
+		"Relevant-event messages <e,i,V_i> emitted to the observer.")
+	mUpdateLatency = telemetry.Default().NewHistogram("gompax_mvc_update_nanoseconds",
+		"Latency of one Algorithm A vector-clock update, in nanoseconds "+
+			"(recorded only while telemetry is active).")
+)
+
+func threadCounter(i int) *telemetry.Counter {
+	return mEvents.With(strconv.Itoa(i))
+}

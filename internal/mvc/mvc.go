@@ -20,8 +20,10 @@ package mvc
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gompax/internal/event"
+	"gompax/internal/telemetry"
 	"gompax/internal/vc"
 )
 
@@ -94,6 +96,7 @@ func (p Policy) Relevant(e event.Event) bool {
 type varClocks struct {
 	access vc.VC // Va_x
 	write  vc.VC // Vw_x
+	events *telemetry.Counter
 }
 
 // Tracker runs Algorithm A. It is not safe for concurrent use; see
@@ -103,6 +106,7 @@ type Tracker struct {
 	sink    Sink
 	threads []vc.VC  // V_i, indexed by thread
 	counts  []uint64 // per-thread event index (k of e_i^k)
+	tallies []*telemetry.Counter
 	vars    map[string]*varClocks
 	seq     uint64 // global position in the observed execution M
 	emitted uint64
@@ -117,10 +121,12 @@ func NewTracker(n int, policy Policy, sink Sink) *Tracker {
 		sink:    sink,
 		threads: make([]vc.VC, n),
 		counts:  make([]uint64, n),
+		tallies: make([]*telemetry.Counter, n),
 		vars:    make(map[string]*varClocks),
 	}
 	for i := range t.threads {
 		t.threads[i] = vc.New(n)
+		t.tallies[i] = threadCounter(i)
 	}
 	return t
 }
@@ -173,6 +179,7 @@ func (t *Tracker) Fork(parent int) int {
 	child := len(t.threads)
 	t.threads = append(t.threads, t.threads[parent].Clone())
 	t.counts = append(t.counts, 0)
+	t.tallies = append(t.tallies, threadCounter(child))
 	// The spawn itself is an event of the parent thread.
 	t.Process(event.Event{Thread: parent, Kind: event.Spawn})
 	return child
@@ -226,7 +233,7 @@ func (t *Tracker) mustThread(i int) {
 func (t *Tracker) clocks(x string) *varClocks {
 	c, ok := t.vars[x]
 	if !ok {
-		c = &varClocks{}
+		c = &varClocks{events: mVarEvents.With(x)}
 		t.vars[x] = c
 	}
 	return c
@@ -238,6 +245,12 @@ func (t *Tracker) clocks(x string) *varClocks {
 func (t *Tracker) Process(e event.Event) event.Event {
 	i := e.Thread
 	t.mustThread(i)
+
+	var start time.Time
+	timed := telemetry.Active()
+	if timed {
+		start = time.Now()
+	}
 
 	t.seq++
 	t.counts[i]++
@@ -256,11 +269,13 @@ func (t *Tracker) Process(e event.Event) event.Event {
 	case e.Kind == event.Read:
 		// Step 2: V_i <- max{V_i, Vw_x}; Va_x <- max{Va_x, V_i}.
 		c := t.clocks(e.Var)
+		c.events.Inc()
 		vi.JoinInto(c.write)
 		c.access.JoinInto(*vi)
 	case e.Kind.IsWrite():
 		// Step 3: Vw_x <- Va_x <- V_i <- max{Va_x, V_i}.
 		c := t.clocks(e.Var)
+		c.events.Inc()
 		vi.JoinInto(c.access)
 		c.access = vi.CloneInto(c.access)
 		c.write = vi.CloneInto(c.write)
@@ -269,9 +284,14 @@ func (t *Tracker) Process(e event.Event) event.Event {
 	// Step 4: if e is relevant, send <e, i, V_i> to the observer.
 	if e.Relevant {
 		t.emitted++
+		mEmitted.Inc()
 		if t.sink != nil {
 			t.sink.Emit(event.Message{Event: e, Clock: vi.Clone()})
 		}
+	}
+	t.tallies[i].Inc()
+	if timed {
+		mUpdateLatency.Observe(uint64(time.Since(start)))
 	}
 	return e
 }

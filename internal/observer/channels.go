@@ -9,6 +9,7 @@ import (
 
 	"gompax/internal/monitor"
 	"gompax/internal/predict"
+	"gompax/internal/telemetry"
 	"gompax/internal/wire"
 )
 
@@ -60,6 +61,9 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 	if len(rs) == 0 {
 		return predict.Result{}, fmt.Errorf("observer: no channels")
 	}
+	mSessions.With("channels").Inc()
+	sp := telemetry.StartSpan("observer.session")
+	defer sp.End()
 
 	var mu sync.Mutex
 	var online *predict.Online
@@ -84,6 +88,7 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 			if online == nil {
 				return fmt.Errorf("observer: message before hello")
 			}
+			mMessagesFed.Inc()
 			return online.Feed(*f.Msg)
 		case wire.FrameThreadDone:
 			if online == nil {
@@ -183,6 +188,9 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 	var err error
 	if stalled > 0 {
 		// A stalled channel means lost frames: finish tolerantly.
+		mStalledChannels.Add(uint64(stalled))
+		olog.Warn("abandoning stalled channels; finishing lossy", "stalled", stalled)
+		telemetry.SetHealth("observer", fmt.Sprintf("%d stalled channel(s)", stalled))
 		res, err = online.CloseLossy()
 		res.Degrade().StalledChannels = stalled
 	} else {

@@ -15,6 +15,7 @@ import (
 	"gompax/internal/lattice"
 	"gompax/internal/monitor"
 	"gompax/internal/predict"
+	"gompax/internal/telemetry"
 	"gompax/internal/wire"
 )
 
@@ -34,6 +35,9 @@ type Session struct {
 // Drain reads a whole session (through Bye or EOF) and returns its
 // content. Frames may arrive in any order after the Hello.
 func Drain(r *wire.Receiver) (*Session, error) {
+	mSessions.With("drain").Inc()
+	sp := telemetry.StartSpan("observer.drain")
+	defer sp.End()
 	var s *Session
 	for {
 		f, err := r.Next()
@@ -99,9 +103,14 @@ func attachWireStats(res *predict.Result, rs ...*wire.Receiver) {
 // or a strict-mode session inconsistency — the partial result computed
 // so far is returned alongside the error, never discarded.
 func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (predict.Result, error) {
+	mSessions.With("online").Inc()
+	sp := telemetry.StartSpan("observer.analyze")
+	defer sp.End()
 	var online *predict.Online
 	// partial salvages the work done so far when the session dies.
 	partial := func(err error) (predict.Result, error) {
+		mSessionErrors.Inc()
+		olog.Warn("session ended with error; salvaging partial result", "err", err)
 		if online == nil {
 			return predict.Result{}, err
 		}
@@ -141,6 +150,7 @@ func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (pre
 			if online == nil {
 				return predict.Result{}, fmt.Errorf("observer: message before hello")
 			}
+			mMessagesFed.Inc()
 			if err := online.Feed(*f.Msg); err != nil {
 				return partial(err)
 			}

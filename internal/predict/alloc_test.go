@@ -1,0 +1,79 @@
+package predict
+
+import (
+	"testing"
+	"unsafe"
+
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+)
+
+// TestReserveLevelsSingleAllocation: the LevelWidths profile must be
+// preallocated once from the computation's known level count, not
+// regrown by append — on deep lattices repeated doubling both
+// reallocates and copies quadratically.
+func TestReserveLevelsSingleAllocation(t *testing.T) {
+	const levels = 4096
+	allocs := testing.AllocsPerRun(20, func() {
+		var s Stats
+		s.reserveLevels(levels + 1)
+		for i := 0; i < levels; i++ {
+			s.addLevel(1, 1)
+		}
+	})
+	// One allocation: the reserveLevels make. Any append-driven regrowth
+	// shows up as additional allocations per run.
+	if allocs > 1 {
+		t.Fatalf("appending %d level widths cost %v allocations per run, want 1 (preallocation regressed)", levels, allocs)
+	}
+}
+
+// TestReserveLevelsStableBacking: addLevel must never move the backing
+// array once reserved.
+func TestReserveLevelsStableBacking(t *testing.T) {
+	var s Stats
+	s.reserveLevels(128)
+	s.addLevel(1, 1)
+	p0 := unsafe.Pointer(&s.LevelWidths[0])
+	for i := 0; i < 127; i++ {
+		s.addLevel(i, i)
+	}
+	if unsafe.Pointer(&s.LevelWidths[0]) != p0 {
+		t.Fatal("LevelWidths backing array moved despite reservation")
+	}
+}
+
+// TestReserveLevelsPreservesPrefix: reserving after widths were
+// already recorded must keep them.
+func TestReserveLevelsPreservesPrefix(t *testing.T) {
+	var s Stats
+	s.addLevel(3, 4)
+	s.addLevel(5, 6)
+	s.reserveLevels(64)
+	if len(s.LevelWidths) != 2 || s.LevelWidths[0] != 3 || s.LevelWidths[1] != 5 {
+		t.Fatalf("prefix lost: %v", s.LevelWidths)
+	}
+	if cap(s.LevelWidths) < 64 {
+		t.Fatalf("cap %d, want >= 64", cap(s.LevelWidths))
+	}
+}
+
+// TestAnalyzePreallocatesLevelWidths: the offline explorers hint the
+// exact level count (total events + 1).
+func TestAnalyzePreallocatesLevelWidths(t *testing.T) {
+	comp, _ := gridComputation(t, 2, 4)
+	prog := monitor.MustCompile(logic.MustParseFormula("g0 < 100"))
+	for _, workers := range []int{0, 4} {
+		res, err := Analyze(prog, comp, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2 threads × 4 events → 9 levels exactly.
+		if len(res.Stats.LevelWidths) != 9 {
+			t.Fatalf("workers=%d: %d levels, want 9", workers, len(res.Stats.LevelWidths))
+		}
+		if cap(res.Stats.LevelWidths) != 9 {
+			t.Errorf("workers=%d: LevelWidths cap %d, want exactly the hinted 9", workers, cap(res.Stats.LevelWidths))
+		}
+	}
+}

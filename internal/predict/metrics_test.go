@@ -1,0 +1,210 @@
+package predict
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gompax/internal/event"
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/telemetry"
+)
+
+// counterTotals snapshots the lattice counters whose totals must be a
+// pure function of (computation, formula) — identical however the
+// exploration is scheduled.
+type counterTotals struct {
+	cuts, pairs, edges, dedup, levels, viols uint64
+}
+
+func snapshotTotals() counterTotals {
+	return counterTotals{
+		cuts:   mCuts.Value(),
+		pairs:  mPairs.Value(),
+		edges:  mEdges.Value(),
+		dedup:  mDedupHits.Value(),
+		levels: mLevels.Value(),
+		viols:  mViolations.Value(),
+	}
+}
+
+func (a counterTotals) sub(b counterTotals) counterTotals {
+	return counterTotals{
+		cuts:   a.cuts - b.cuts,
+		pairs:  a.pairs - b.pairs,
+		edges:  a.edges - b.edges,
+		dedup:  a.dedup - b.dedup,
+		levels: a.levels - b.levels,
+		viols:  a.viols - b.viols,
+	}
+}
+
+// gridMessages builds the k-threads × n-events grid computation's
+// message list (no cross-thread causality: the widest lattice for its
+// size, so dedup hits are plentiful).
+func gridMessages(threads, perThread int) ([]event.Message, logic.State) {
+	im := map[string]int64{}
+	for i := 0; i < threads; i++ {
+		im[fmt.Sprintf("g%d", i)] = 0
+	}
+	var msgs []event.Message
+	for i := 0; i < threads; i++ {
+		for k := 1; k <= perThread; k++ {
+			clock := make([]uint64, threads)
+			clock[i] = uint64(k)
+			msgs = append(msgs, event.Message{
+				Event: event.Event{Thread: i, Kind: event.Write, Var: fmt.Sprintf("g%d", i), Value: int64(k), Relevant: true},
+				Clock: clock,
+			})
+		}
+	}
+	return msgs, logic.StateFromMap(im)
+}
+
+// runOnlineMode drives the online analyzer over msgs in delivery order
+// and returns its final result.
+func runOnlineMode(t *testing.T, prog *monitor.Program, initial logic.State, threads int, msgs []event.Message, workers int) Result {
+	t.Helper()
+	o, err := NewOnline(prog, initial, threads, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if err := o.Feed(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < threads; i++ {
+		if err := o.FinishThread(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := o.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCounterTotalsIdenticalAcrossModes: all four explorer modes
+// (offline/online × sequential/parallel) must flush identical counter
+// totals for the same trace — cuts, pairs, edges, dedup hits, levels
+// and violating pairs are properties of the computation, not of the
+// schedule. Deliberately not parallel: it reads deltas of the
+// process-wide counters, and Go runs non-parallel tests exclusively.
+func TestCounterTotalsIdenticalAcrossModes(t *testing.T) {
+	type fixture struct {
+		name    string
+		msgs    []event.Message
+		initial logic.State
+		threads int
+		prog    *monitor.Program
+	}
+	gm, gi := gridMessages(3, 3)
+	crossingMsgs := []event.Message{
+		msg(0, "x", 0, 1, 0),
+		msg(1, "z", 1, 1, 1),
+		msg(0, "y", 1, 2, 0),
+		msg(1, "x", 1, 1, 2),
+	}
+	fixtures := []fixture{
+		{"grid3x3", gm, gi, 3, monitor.MustCompile(logic.MustParseFormula("g0 < 3"))},
+		{"crossing", crossingMsgs, logic.StateFromMap(map[string]int64{"x": -1, "y": 0, "z": 0}), 2, crossingProp},
+	}
+
+	for _, fx := range fixtures {
+		comp, err := lattice.NewComputation(fx.initial, fx.threads, fx.msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var baseline *counterTotals
+		var baselineStats Stats
+		runMode := func(mode string, f func() Result) {
+			before := snapshotTotals()
+			res := f()
+			delta := snapshotTotals().sub(before)
+
+			// Internal consistency against the result's own Stats.
+			if delta.cuts != uint64(res.Stats.Cuts) || delta.pairs != uint64(res.Stats.Pairs) || delta.levels != uint64(res.Stats.Levels) {
+				t.Errorf("%s/%s: counter deltas %+v disagree with Stats %+v", fx.name, mode, delta, res.Stats)
+			}
+			// Every edge either interned a new cut or merged into one.
+			if delta.dedup != delta.edges-(delta.cuts-1) {
+				t.Errorf("%s/%s: dedup %d != edges %d - new cuts %d", fx.name, mode, delta.dedup, delta.edges, delta.cuts-1)
+			}
+			if baseline == nil {
+				baseline = &delta
+				baselineStats = res.Stats
+				return
+			}
+			if delta != *baseline {
+				t.Errorf("%s/%s: counter totals %+v differ from first mode's %+v", fx.name, mode, delta, *baseline)
+			}
+			if !reflect.DeepEqual(res.Stats, baselineStats) {
+				t.Errorf("%s/%s: stats %+v differ from first mode's %+v", fx.name, mode, res.Stats, baselineStats)
+			}
+		}
+
+		runMode("offline/sequential", func() Result {
+			res, err := Analyze(fx.prog, comp, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		})
+		runMode("offline/parallel", func() Result {
+			res, err := Analyze(fx.prog, comp, Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		})
+		runMode("online/sequential", func() Result {
+			return runOnlineMode(t, fx.prog, fx.initial, fx.threads, fx.msgs, 0)
+		})
+		runMode("online/parallel", func() Result {
+			return runOnlineMode(t, fx.prog, fx.initial, fx.threads, fx.msgs, 4)
+		})
+
+		if fx.name == "crossing" && baseline.viols == 0 {
+			t.Errorf("crossing fixture flushed no violating pairs")
+		}
+	}
+}
+
+// TestModeCountersLabelled: each explorer mode increments its own
+// (mode, explorer) series of gompax_predict_analyses_total.
+func TestModeCountersLabelled(t *testing.T) {
+	comp, _ := gridComputation(t, 2, 2)
+	prog := monitor.MustCompile(logic.MustParseFormula("g0 >= 0"))
+
+	series := map[string]*telemetry.Counter{}
+	for _, mode := range []string{"offline", "online"} {
+		for _, explorer := range []string{"sequential", "parallel"} {
+			series[mode+"/"+explorer] = mAnalyses.With(mode, explorer)
+		}
+	}
+	before := map[string]uint64{}
+	for k, c := range series {
+		before[k] = c.Value()
+	}
+
+	if _, err := Analyze(prog, comp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, comp, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, ginit := gridMessages(2, 2)
+	runOnlineMode(t, prog, ginit, 2, msgs, 0)
+	runOnlineMode(t, prog, ginit, 2, msgs, 2)
+
+	for k, c := range series {
+		if got := c.Value() - before[k]; got != 1 {
+			t.Errorf("analyses counter %s advanced by %d, want 1", k, got)
+		}
+	}
+}

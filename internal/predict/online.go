@@ -75,7 +75,12 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 	if err != nil {
 		return nil, err
 	}
+	mAnalyses.With("online", explorerLabel(o.workers)).Inc()
 	o.result.Stats = Stats{Cuts: 1, Pairs: 1, Levels: 1, MaxWidth: 1, MaxPairWidth: 1, LevelWidths: []int{1}}
+	// The stream length is unknown up front; seed a capacity that
+	// covers most sessions and let append double beyond it.
+	o.result.Stats.reserveLevels(64)
+	flushRootTelemetry(verdict == monitor.Violated)
 	root := lattice.NewCut(vc.New(threads), initial)
 	if verdict == monitor.Violated {
 		viol := Violation{Cut: root, State: initial, Level: 0}
@@ -211,6 +216,7 @@ func (o *Online) Close() (Result, error) {
 		}
 		o.result.Degrade().Stalled = true
 	}
+	finishTelemetry(&o.result)
 	return o.result, nil
 }
 
@@ -312,14 +318,9 @@ func (o *Online) advance() error {
 			return fmt.Errorf("predict: exceeded MaxCuts=%d", o.maxCuts)
 		}
 		o.result.Stats.Pairs += out.pairs
-		o.result.Stats.Levels++
-		o.result.Stats.LevelWidths = append(o.result.Stats.LevelWidths, len(out.next))
-		if len(out.next) > o.result.Stats.MaxWidth {
-			o.result.Stats.MaxWidth = len(out.next)
-		}
-		if out.pairWidth > o.result.Stats.MaxPairWidth {
-			o.result.Stats.MaxPairWidth = out.pairWidth
-		}
+		o.result.Stats.addLevel(len(out.next), out.pairWidth)
+		flushLevelTelemetry(len(out.next), out.pairWidth, out.newCuts, out.pairs, out.edges, out.violated)
+		publishStatus(&o.result, false)
 		o.frontier = make(map[string]*pentry, len(out.next))
 		for _, e := range out.next {
 			o.frontier[e.key] = e
@@ -382,6 +383,7 @@ func (o *Online) expandLevelSequential() (levelOut, error) {
 			if stepErr != nil {
 				return
 			}
+			out.edges++
 			key := counts.Key()
 			tgt := next[key]
 			if tgt == nil {
@@ -425,6 +427,7 @@ func (o *Online) expandLevelSequential() (levelOut, error) {
 		out.pairWidth += len(e.keys)
 	}
 	sort.Slice(out.next, func(i, j int) bool { return out.next[i].key < out.next[j].key })
+	out.violated = len(out.viols)
 	sortLevelViolations(out.viols)
 	out.viols = dedupLevelViolations(out.viols)
 	return out, nil

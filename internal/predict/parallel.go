@@ -73,6 +73,8 @@ type levelOut struct {
 	newCuts   int // distinct cuts interned this level
 	pairs     int // (cut, monitor state) pairs stepped
 	pairWidth int // pairs alive in the sealed level
+	edges     int // successor edges expanded (edges-newCuts = dedup hits)
+	violated  int // violating pairs found, before per-level dedup
 }
 
 // normalizeWorkers maps the Options.Workers knob to a pool size:
@@ -97,6 +99,10 @@ func expandLevelParallel(prog *monitor.Program, entries []*pentry, succs succFn,
 		workers = 1
 	}
 	table := lattice.NewSharded[*pentry](workers * 8)
+	// Live queue depth: parents not yet claimed in the level being
+	// expanded. One atomic add per parent entry, not per edge.
+	mWorkerQueue.Set(int64(len(entries)))
+	defer mWorkerQueue.Set(0)
 
 	outs := make([]levelOut, workers)
 	errs := make([]error, workers)
@@ -111,8 +117,10 @@ func expandLevelParallel(prog *monitor.Program, entries []*pentry, succs succFn,
 				if errs[w] != nil {
 					return
 				}
+				mWorkerQueue.Add(-1)
 				ent := entries[idx]
 				succs(ent, func(thread, index int, counts vc.VC, state logic.State) {
+					out.edges++
 					key := counts.Key()
 					tgt, created := table.GetOrCreate(counts.Hash(), key, func() *pentry {
 						return &pentry{counts: counts, key: key, state: state, keys: map[uint64][]int{}}
@@ -164,6 +172,7 @@ func expandLevelParallel(prog *monitor.Program, entries []*pentry, succs succFn,
 		}
 		out.newCuts += outs[w].newCuts
 		out.pairs += outs[w].pairs
+		out.edges += outs[w].edges
 		out.viols = append(out.viols, outs[w].viols...)
 	}
 
@@ -174,6 +183,7 @@ func expandLevelParallel(prog *monitor.Program, entries []*pentry, succs succFn,
 	for _, e := range out.next {
 		out.pairWidth += len(e.keys)
 	}
+	out.violated = len(out.viols)
 	sortLevelViolations(out.viols)
 	out.viols = dedupLevelViolations(out.viols)
 	return out, nil
@@ -235,10 +245,13 @@ func dedupLevelViolations(vs []levelViolation) []levelViolation {
 // deduplicated through the sharded table. It is selected by
 // Options.Workers (see Analyze).
 func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Options, workers int) (Result, error) {
+	mAnalyses.With("offline", "parallel").Inc()
 	res, root, rootKeys, done, err := analyzeRoot(prog, comp, opts)
+	defer func() { finishTelemetry(&res) }()
 	if done || err != nil {
 		return res, err
 	}
+	res.Stats.reserveLevels(totalLevels(comp))
 
 	frontier := []*pentry{{counts: root.Counts(), key: root.Key(), state: root.State(), keys: rootKeys}}
 	succs := func(ent *pentry, yield func(thread, index int, counts vc.VC, state logic.State)) {
@@ -269,14 +282,9 @@ func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Opti
 		}
 		res.Stats.Pairs += out.pairs
 		if len(out.next) > 0 {
-			res.Stats.Levels++
-			res.Stats.LevelWidths = append(res.Stats.LevelWidths, len(out.next))
-			if len(out.next) > res.Stats.MaxWidth {
-				res.Stats.MaxWidth = len(out.next)
-			}
-			if out.pairWidth > res.Stats.MaxPairWidth {
-				res.Stats.MaxPairWidth = out.pairWidth
-			}
+			res.Stats.addLevel(len(out.next), out.pairWidth)
+			flushLevelTelemetry(len(out.next), out.pairWidth, out.newCuts, out.pairs, out.edges, out.violated)
+			publishStatus(&res, false)
 		}
 		if reportViolations(&res, out.viols, reported, opts,
 			func(ids []int) lattice.Run { return buildRun(comp, ids) }) {
@@ -329,6 +337,7 @@ func analyzeRoot(prog *monitor.Program, comp *lattice.Computation, opts Options)
 		return res, root, nil, false, err
 	}
 	res.Stats = Stats{Cuts: 1, Pairs: 1, Levels: 1, MaxWidth: 1, MaxPairWidth: 1, LevelWidths: []int{1}}
+	flushRootTelemetry(v0 == monitor.Violated)
 	if v0 == monitor.Violated {
 		viol := Violation{Cut: root, State: root.State(), Level: 0}
 		if opts.Counterexamples {

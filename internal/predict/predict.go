@@ -101,6 +101,43 @@ type Stats struct {
 	LevelWidths []int
 }
 
+// reserveLevels preallocates LevelWidths for an analysis expected to
+// traverse at most n levels. A computation with E relevant events has
+// at most E+1 levels, so the offline analyzers size the slice exactly
+// and deep lattices append without ever reallocating; the online
+// analyzer, which cannot know E up front, seeds a generous initial
+// capacity and lets append double from there.
+func (s *Stats) reserveLevels(n int) {
+	if n <= cap(s.LevelWidths) {
+		return
+	}
+	w := make([]int, len(s.LevelWidths), n)
+	copy(w, s.LevelWidths)
+	s.LevelWidths = w
+}
+
+// addLevel seals one lattice level into the statistics.
+func (s *Stats) addLevel(width, pairWidth int) {
+	s.Levels++
+	s.LevelWidths = append(s.LevelWidths, width)
+	if width > s.MaxWidth {
+		s.MaxWidth = width
+	}
+	if pairWidth > s.MaxPairWidth {
+		s.MaxPairWidth = pairWidth
+	}
+}
+
+// totalLevels bounds the number of levels the computation's lattice
+// can have: one per relevant event, plus the root.
+func totalLevels(comp *lattice.Computation) int {
+	total := 1
+	for i := 0; i < comp.Threads(); i++ {
+		total += comp.Count(i)
+	}
+	return total
+}
+
 // Result is the outcome of a predictive analysis.
 type Result struct {
 	Violations []Violation
@@ -232,13 +269,16 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 	if w := normalizeWorkers(opts.Workers); w > 1 {
 		return analyzeParallel(prog, comp, opts, w)
 	}
+	mAnalyses.With("offline", "sequential").Inc()
 	res, root, rootKeys, done, err := analyzeRoot(prog, comp, opts)
+	defer func() { finishTelemetry(&res) }()
 	if done || err != nil {
 		// A violated monitor state is not propagated: the property is a
 		// safety property, every extension of a violating run prefix is
 		// already reported at its shortest witness.
 		return res, err
 	}
+	res.Stats.reserveLevels(totalLevels(comp))
 
 	frontier := map[string]*entry{
 		root.Key(): {cut: root, keys: rootKeys},
@@ -250,6 +290,7 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 
 	for len(frontier) > 0 {
 		next := map[string]*entry{}
+		levelEdges, cutsBefore, pairsBefore := 0, res.Stats.Cuts, res.Stats.Pairs
 		// Deterministic iteration keeps the explored order stable run to
 		// run; the violations themselves are canonicalized per level
 		// below, exactly like the parallel explorer's barrier.
@@ -263,6 +304,7 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 		for _, fk := range keys {
 			ent := frontier[fk]
 			for _, succ := range comp.Successors(ent.cut) {
+				levelEdges++
 				sk := succ.Cut.Key()
 				tgt := next[sk]
 				if tgt == nil {
@@ -305,18 +347,14 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 		// early return carries the level the violation lives on (the
 		// parallel explorer does the same at its barrier).
 		if len(next) > 0 {
-			res.Stats.Levels++
-			res.Stats.LevelWidths = append(res.Stats.LevelWidths, len(next))
-			if len(next) > res.Stats.MaxWidth {
-				res.Stats.MaxWidth = len(next)
-			}
 			pairs := 0
 			for _, e := range next {
 				pairs += len(e.keys)
 			}
-			if pairs > res.Stats.MaxPairWidth {
-				res.Stats.MaxPairWidth = pairs
-			}
+			res.Stats.addLevel(len(next), pairs)
+			flushLevelTelemetry(len(next), pairs,
+				res.Stats.Cuts-cutsBefore, res.Stats.Pairs-pairsBefore, levelEdges, len(levelViols))
+			publishStatus(&res, false)
 		}
 		sortLevelViolations(levelViols)
 		if reportViolations(&res, dedupLevelViolations(levelViols), reported, opts,

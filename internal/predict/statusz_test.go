@@ -1,0 +1,68 @@
+package predict
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/progs"
+	"gompax/internal/telemetry"
+	"gompax/internal/trace"
+)
+
+// TestStatuszGoldenFig6 pins the /statusz JSON produced after
+// analyzing the paper's Fig. 6 trace: the snapshot must carry the full
+// lattice geometry (7 cuts over 5 levels, widths 1-1-2-2-1) and the
+// single predicted violation. Regenerate with GOMPAX_UPDATE_GOLDEN=1.
+// Deliberately not parallel: it flips the global telemetry-active flag
+// and reads the process-wide status registry.
+func TestStatuszGoldenFig6(t *testing.T) {
+	f, err := os.Open("../../testdata/crossing_fig6.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	msgs, err := trace.ReadMessages(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := logic.StateFromMap(map[string]int64{"x": -1, "y": 0, "z": 0})
+	comp, err := lattice.NewComputation(initial, 2, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := monitor.MustCompile(logic.MustParseFormula(progs.CrossingProperty))
+
+	telemetry.SetActive(true)
+	defer telemetry.SetActive(false)
+	defer telemetry.ClearStatus("analysis")
+
+	if _, err := Analyze(prog, comp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := telemetry.StatuszJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(bytes.TrimRight(got, "\n"), '\n')
+
+	const golden = "../../testdata/fig6_statusz.json"
+	if os.Getenv("GOMPAX_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("statusz snapshot drifted from %s:\n got: %s\nwant: %s", golden, got, want)
+	}
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format
+// (version 0.0.4) for a Registry: HELP/TYPE headers, label escaping,
+// deterministic family and series ordering, and cumulative histogram
+// buckets with the canonical _bucket/_sum/_count triple.
+
+// escapeHelp escapes a HELP string: backslash and newline.
+var escapeHelp = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeLabelValue escapes a label value: backslash, double quote,
+// newline.
+var escapeLabelValue = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// writeLabels renders {k1="v1",k2="v2"} pairing names with values;
+// extra appends additional pre-rendered pairs (used for histogram le).
+func writeLabels(b *strings.Builder, names, values []string, extra string) {
+	if len(names) == 0 && extra == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue.Replace(values[i]))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+}
+
+// formatBound renders a histogram upper bound the way Prometheus
+// expects: integers without a decimal point, +Inf for the last bucket.
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the registry in Prometheus text exposition format.
+// Families are ordered by name and series by label values, so the
+// output is deterministic for a fixed metric state.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp.Replace(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range children {
+			switch f.kind {
+			case kindCounter:
+				b.WriteString(f.name)
+				writeLabels(&b, f.labels, c.labelValues, "")
+				fmt.Fprintf(&b, " %d\n", c.counter.Value())
+			case kindGauge:
+				b.WriteString(f.name)
+				writeLabels(&b, f.labels, c.labelValues, "")
+				fmt.Fprintf(&b, " %d\n", c.gauge.Value())
+			case kindHistogram:
+				bounds, cumulative := c.histogram.snapshot()
+				for i := range bounds {
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, f.labels, c.labelValues, `le="`+formatBound(bounds[i])+`"`)
+					fmt.Fprintf(&b, " %d\n", cumulative[i])
+				}
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, f.labels, c.labelValues, "")
+				fmt.Fprintf(&b, " %d\n", c.histogram.Sum())
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, f.labels, c.labelValues, "")
+				fmt.Fprintf(&b, " %d\n", c.histogram.Count())
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Expose renders the registry as a string (convenience for tests and
+// the /metrics handler).
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}

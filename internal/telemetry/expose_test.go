@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_requests_total", "Requests.")
+	c.Add(41)
+	c.Inc()
+	g := r.NewGauge("t_depth", "Depth.")
+	g.Set(7)
+	g.Add(-2)
+
+	got := r.Expose()
+	for _, want := range []string{
+		"# HELP t_depth Depth.\n",
+		"# TYPE t_depth gauge\n",
+		"t_depth 5\n",
+		"# HELP t_requests_total Requests.\n",
+		"# TYPE t_requests_total counter\n",
+		"t_requests_total 42\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// Families must be ordered by name: t_depth before t_requests_total.
+	if strings.Index(got, "t_depth") > strings.Index(got, "t_requests_total") {
+		t.Errorf("families not sorted by name:\n%s", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	cases := []struct {
+		value string
+		want  string // the rendered label pair
+	}{
+		{"plain", `var="plain"`},
+		{`back\slash`, `var="back\\slash"`},
+		{`dou"ble`, `var="dou\"ble"`},
+		{"new\nline", `var="new\nline"`},
+		{`all\"` + "\n", `var="all\\\"\n"`},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.NewCounterVec("t_events_total", "Events.", "var").With(tc.value).Inc()
+		got := r.Expose()
+		if !strings.Contains(got, "t_events_total{"+tc.want+"} 1\n") {
+			t.Errorf("value %q: want pair %s in:\n%s", tc.value, tc.want, got)
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("t_x_total", "line one\nline two \\ done").Inc()
+	got := r.Expose()
+	if !strings.Contains(got, `# HELP t_x_total line one\nline two \\ done`+"\n") {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+}
+
+func TestSeriesOrderedByLabelValues(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("t_modes_total", "Modes.", "mode", "explorer")
+	// Created in deliberately unsorted order.
+	v.With("online", "sequential").Inc()
+	v.With("offline", "parallel").Inc()
+	v.With("offline", "sequential").Inc()
+	got := r.Expose()
+	i1 := strings.Index(got, `t_modes_total{mode="offline",explorer="parallel"}`)
+	i2 := strings.Index(got, `t_modes_total{mode="offline",explorer="sequential"}`)
+	i3 := strings.Index(got, `t_modes_total{mode="online",explorer="sequential"}`)
+	if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+		t.Errorf("series not sorted by label values (%d, %d, %d):\n%s", i1, i2, i3, got)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_latency_ns", "Latency.")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 100, 1 << 45} {
+		h.Observe(v)
+	}
+	got := r.Expose()
+
+	if !strings.Contains(got, "# TYPE t_latency_ns histogram\n") {
+		t.Fatalf("missing TYPE histogram:\n%s", got)
+	}
+	// Spot-check bucket placement: values <= 1 land in le="1",
+	// 2 in le="2", 3 and 4 in le="4", 5 in le="8".
+	for _, want := range []string{
+		`t_latency_ns_bucket{le="1"} 2` + "\n",
+		`t_latency_ns_bucket{le="2"} 3` + "\n",
+		`t_latency_ns_bucket{le="4"} 5` + "\n",
+		`t_latency_ns_bucket{le="8"} 6` + "\n",
+		`t_latency_ns_bucket{le="128"} 7` + "\n",
+		`t_latency_ns_bucket{le="+Inf"} 8` + "\n",
+		"t_latency_ns_count 8\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	if h.Sum() != 0+1+2+3+4+5+100+1<<45 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+}
+
+// TestHistogramBucketsCumulative asserts the le buckets are
+// non-decreasing and end at the total count, for a spread of values
+// crossing every bucket boundary.
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := &Histogram{}
+	n := uint64(0)
+	for shift := 0; shift < 64; shift += 3 {
+		h.Observe(1 << shift)
+		h.Observe((1 << shift) + 1)
+		n += 2
+	}
+	_, cumulative := h.snapshot()
+	prev := uint64(0)
+	for i, c := range cumulative {
+		if c < prev {
+			t.Fatalf("bucket %d not cumulative: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	if cumulative[len(cumulative)-1] != n {
+		t.Fatalf("+Inf bucket = %d, want total %d", cumulative[len(cumulative)-1], n)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 38, 38}, {1<<38 + 1, 39}, {1 << 63, histogramBuckets - 1}, {^uint64(0), histogramBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.SetMax(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Value() != 7999 {
+		t.Fatalf("SetMax high-water mark = %d, want 7999", g.Value())
+	}
+}
+
+func TestSchemaConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("t_thing_total", "Thing.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind did not panic")
+		}
+	}()
+	r.NewGauge("t_thing_total", "Thing.")
+}
+
+func TestLabelKeyNoCollisions(t *testing.T) {
+	// Values engineered so a naive join would collide.
+	a := labelKey([]string{"x\x1f", "y"})
+	b := labelKey([]string{"x", "\x1fy"})
+	if a == b {
+		t.Fatalf("labelKey collision: %q", a)
+	}
+}
+
+func TestEmptyFamiliesOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("t_unused_total", "Never used.", "k")
+	if got := r.Expose(); strings.Contains(got, "t_unused_total") {
+		t.Errorf("family with no children should not be exposed:\n%s", got)
+	}
+}

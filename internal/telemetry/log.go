@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// Structured logging for the pipeline: one shared slog handler whose
+// level can be adjusted at runtime, with per-component child loggers
+// (Logger("wire"), Logger("observer"), ...) that tag every record with
+// component=<name>. The default configuration writes human-readable
+// logs to stderr at Warn, so library users and the CLI stay quiet
+// unless something degrades; gompax's -log-level/-log-json flags
+// reconfigure it via InitLogging.
+
+// logLevel is the shared, runtime-adjustable level gate.
+var logLevel = func() *slog.LevelVar {
+	v := &slog.LevelVar{}
+	v.Set(slog.LevelWarn)
+	return v
+}()
+
+// rootLogger holds the current *slog.Logger; swapped atomically by
+// InitLogging so concurrent Logger calls never race.
+var rootLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	rootLogger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel})))
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn", "warning":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return 0, false
+}
+
+// InitLogging reconfigures the shared logger: minimum level, JSON or
+// text encoding, and destination (nil keeps stderr).
+func InitLogging(level slog.Level, json bool, w io.Writer) {
+	if w == nil {
+		w = os.Stderr
+	}
+	logLevel.Set(level)
+	opts := &slog.HandlerOptions{Level: logLevel}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	rootLogger.Store(slog.New(h))
+}
+
+// SetLogLevel adjusts the minimum level without replacing the handler.
+func SetLogLevel(level slog.Level) { logLevel.Set(level) }
+
+// Logger returns the shared logger tagged with a component name.
+// Components are the pipeline layers: instrument, mvc, wire, observer,
+// predict, monitor, driver, cli.
+func Logger(component string) *slog.Logger {
+	return rootLogger.Load().With("component", component)
+}

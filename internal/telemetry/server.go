@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The introspection server: a plain net/http mux serving
+//
+//	/metrics       Prometheus text exposition of the Default registry
+//	/healthz       200 ok / 503 degraded, JSON body with reasons
+//	/statusz       merged JSON status document (live analysis stats)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// Serve starts it on an address and flips the Active flag so gated
+// telemetry (latency timing, spans) turns on exactly when somebody can
+// look at the results — the pull-based "nearly free when no collector
+// is attached" design.
+
+// Handler returns the introspection mux for a registry.
+func Handler(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteTo(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		rep, ok := Healthz()
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		buf, err := StatuszJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(buf)
+	w.Write([]byte("\n"))
+}
+
+// Server is a running introspection server.
+type Server struct {
+	Addr string // the bound address (useful with ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve binds addr (e.g. ":9090"), activates gated telemetry, and
+// serves the introspection endpoints in a background goroutine until
+// Close.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	SetActive(true)
+	srv := &http.Server{Handler: Handler(Default()), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go srv.Serve(ln)
+	Logger("telemetry").Info("introspection server listening", "addr", s.Addr)
+	return s, nil
+}
+
+// Close stops the server and deactivates gated telemetry.
+func (s *Server) Close() error {
+	SetActive(false)
+	return s.srv.Close()
+}

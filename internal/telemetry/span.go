@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Lightweight pipeline spans: a Span marks one stage of the pipeline
+// (instrument → wire session → observer ingest → lattice level
+// exploration → monitor checks) with a start/end pair, a measured
+// duration, and linkage to a parent stage. Ending a span feeds the
+// gompax_span_duration_nanoseconds histogram (labeled span/parent) and
+// emits a debug log record.
+//
+// Spans honor the Active flag: when telemetry is inactive StartSpan
+// returns nil and every method on a nil *Span is a no-op, so the
+// disabled cost is one atomic load and a branch.
+
+var (
+	spanDurations = Default().NewHistogramVec("gompax_span_duration_nanoseconds",
+		"Duration of pipeline spans in nanoseconds.", "span", "parent")
+	spansTotal = Default().NewCounterVec("gompax_spans_total",
+		"Completed pipeline spans.", "span", "parent")
+)
+
+// Span is one timed pipeline stage.
+type Span struct {
+	name   string
+	parent string
+	start  time.Time
+}
+
+// StartSpan opens a root span. Returns nil (a no-op span) when
+// telemetry is inactive.
+func StartSpan(name string) *Span {
+	if !Active() {
+		return nil
+	}
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child opens a sub-span linked to s. A child of a nil span is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name, parent: s.name, start: time.Now()}
+}
+
+// End closes the span, recording its duration. Safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	spanDurations.With(s.name, s.parent).Observe(uint64(d.Nanoseconds()))
+	spansTotal.With(s.name, s.parent).Inc()
+	if l := Logger("span"); l.Enabled(nil, slog.LevelDebug) {
+		l.Debug("span end", "span", s.name, "parent", s.parent, "duration", d)
+	}
+}

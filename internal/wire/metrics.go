@@ -1,0 +1,38 @@
+package wire
+
+import "gompax/internal/telemetry"
+
+// Wire telemetry. Receivers flush their SessionStats deltas inside
+// publish() — which already runs once per completed Next call — so the
+// per-byte resync scan touches only plain ints and the global counters
+// aggregate correctly across any number of concurrent per-thread
+// channels. Per-kind counters are cached in arrays indexed by
+// FrameKind, avoiding the labeled-family lookup on the per-frame path.
+var (
+	mSent = telemetry.Default().NewCounterVec("gompax_wire_frames_sent_total",
+		"Frames written to the wire, by kind.", "kind")
+	mRecv = telemetry.Default().NewCounterVec("gompax_wire_frames_received_total",
+		"Valid frames delivered to the observer, by kind.", "kind")
+	mCorrupt = telemetry.Default().NewCounter("gompax_wire_corrupt_frames_total",
+		"Frame candidates rejected by checksum or payload validation (resync mode).")
+	mSkipped = telemetry.Default().NewCounter("gompax_wire_skipped_bytes_total",
+		"Bytes scanned past while resynchronizing to a frame boundary.")
+	mDuplicates = telemetry.Default().NewCounter("gompax_wire_duplicate_frames_total",
+		"Valid frames dropped because their sequence number was already delivered.")
+	mGapsOpened = telemetry.Default().NewCounter("gompax_wire_gaps_opened_total",
+		"Sequence numbers first observed as missing (lost-frame candidates).")
+	mGapsFilled = telemetry.Default().NewCounter("gompax_wire_gaps_filled_total",
+		"Missing sequence numbers later delivered by a late gap-filler frame.")
+	mOpenGaps = telemetry.Default().NewGauge("gompax_wire_open_gaps",
+		"Sequence numbers currently missing, summed over live channels.")
+
+	sentByKind [FrameBye + 1]*telemetry.Counter
+	recvByKind [FrameBye + 1]*telemetry.Counter
+)
+
+func init() {
+	for k := FrameHello; k <= FrameBye; k++ {
+		sentByKind[k] = mSent.With(k.String())
+		recvByKind[k] = mRecv.With(k.String())
+	}
+}

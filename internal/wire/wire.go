@@ -280,6 +280,7 @@ func NewSender(w io.Writer) *Sender {
 
 func (s *Sender) frame(kind FrameKind, payload []byte) error {
 	s.seq++
+	sentByKind[kind].Inc()
 	s.hdr = append(s.hdr[:0], frameMagic, byte(kind))
 	s.hdr = binary.AppendUvarint(s.hdr, s.seq)
 	s.hdr = binary.AppendUvarint(s.hdr, uint64(len(payload)))
@@ -384,6 +385,15 @@ type Receiver struct {
 	snapMu     sync.Mutex
 	snap       SessionStats
 	snapSawBye bool
+
+	// Telemetry bookkeeping: the stats state as of the last publish
+	// (for delta flushes) and monotone gap tallies.
+	flushed           SessionStats
+	gapsOpened        uint64
+	gapsFilled        uint64
+	flushedGapsOpened uint64
+	flushedGapsFilled uint64
+	flushedOpenGaps   int
 }
 
 // NewReceiver wraps a reader in strict mode: corruption is an error.
@@ -417,13 +427,26 @@ func (r *Receiver) SawBye() bool {
 	return r.snapSawBye
 }
 
-// publish copies the live counters into the concurrent-read snapshot.
+// publish copies the live counters into the concurrent-read snapshot
+// and flushes their deltas into the process-wide wire metrics — one
+// batched flush per completed Next call, whatever the fault density.
 func (r *Receiver) publish() {
 	r.snapMu.Lock()
 	r.snap = r.stats
 	r.snap.Gaps = len(r.missing)
 	r.snapSawBye = r.sawBye
 	r.snapMu.Unlock()
+
+	mCorrupt.Add(uint64(r.stats.CorruptFrames - r.flushed.CorruptFrames))
+	mSkipped.Add(uint64(r.stats.SkippedBytes - r.flushed.SkippedBytes))
+	mDuplicates.Add(uint64(r.stats.Duplicates - r.flushed.Duplicates))
+	mGapsOpened.Add(r.gapsOpened - r.flushedGapsOpened)
+	mGapsFilled.Add(r.gapsFilled - r.flushedGapsFilled)
+	mOpenGaps.Add(int64(len(r.missing) - r.flushedOpenGaps))
+	r.flushed = r.stats
+	r.flushedGapsOpened = r.gapsOpened
+	r.flushedGapsFilled = r.gapsFilled
+	r.flushedOpenGaps = len(r.missing)
 }
 
 // ErrClosed is returned by Next after a Bye frame.
@@ -544,11 +567,13 @@ func (r *Receiver) Next() (Frame, error) {
 		case f.Seq > r.maxSeq+1:
 			for s := r.maxSeq + 1; s < f.Seq; s++ {
 				r.missing[s] = struct{}{}
+				r.gapsOpened++
 			}
 			r.maxSeq = f.Seq
 		default: // f.Seq <= r.maxSeq: late gap-filler or duplicate
 			if _, gap := r.missing[f.Seq]; gap {
 				delete(r.missing, f.Seq)
+				r.gapsFilled++
 			} else {
 				r.stats.Duplicates++
 				r.skip(size)
@@ -557,6 +582,7 @@ func (r *Receiver) Next() (Frame, error) {
 		}
 		r.skip(size)
 		r.stats.Frames++
+		recvByKind[f.Kind].Inc()
 		if f.Kind == FrameBye {
 			r.sawBye = true
 			return f, ErrClosed
