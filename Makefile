@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice telemetry-gate verify
+.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice telemetry-gate serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -45,4 +45,10 @@ bench-lattice:
 telemetry-gate:
 	GOMPAX_TELEMETRY_GATE=1 $(GO) test -count=1 -run TestTelemetryOverheadGate -v .
 
-verify: build vet race fuzz-smoke telemetry-gate
+# Daemon smoke: boot gompaxd on an ephemeral port, drive the Fig. 6
+# crossing and Peterson examples through real client connections, and
+# require a clean SIGTERM drain with both verdicts in the store.
+serve-smoke:
+	GO=$(GO) bash scripts/serve_smoke.sh
+
+verify: build vet race fuzz-smoke telemetry-gate serve-smoke

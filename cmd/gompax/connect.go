@@ -1,0 +1,155 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gompax/internal/instrument"
+	"gompax/internal/logic"
+	"gompax/internal/mtl"
+	"gompax/internal/sched"
+	"gompax/internal/serve"
+	"gompax/internal/wire"
+)
+
+// clientConfig is the gompax client mode: ship a session to a gompaxd
+// daemon (-connect) or capture one to a file (-capture) instead of
+// analyzing locally.
+type clientConfig struct {
+	addr        string // daemon address; a path means a unix socket
+	spec        string // daemon spec name ("" = daemon default)
+	progFile    string
+	prop        string
+	sessionFile string // captured session to send instead of executing
+	captureFile string // write the session here instead of connecting
+	seed        int64
+	maxEvents   uint64
+	chaos       float64
+	chaosSeed   int64
+}
+
+// streamInto executes the instrumented program and writes the session
+// byte stream to w, through the fault injector when chaos is set.
+func (c clientConfig) streamInto(w io.Writer) error {
+	src, err := os.ReadFile(c.progFile)
+	if err != nil {
+		return err
+	}
+	p, err := mtl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	code, err := mtl.Compile(p)
+	if err != nil {
+		return err
+	}
+	formula, err := logic.ParseFormula(c.prop)
+	if err != nil {
+		return err
+	}
+	policy := instrument.PolicyFor(formula)
+	initial, err := instrument.InitialState(code.Prog, formula)
+	if err != nil {
+		return err
+	}
+	if c.chaos > 0 {
+		fw := wire.NewFaultWriter(w, wire.FaultPlan{
+			Seed:       c.chaosSeed,
+			Drop:       c.chaos,
+			Corrupt:    c.chaos,
+			Duplicate:  c.chaos,
+			Delay:      c.chaos,
+			MaxDelay:   4,
+			SpareHello: true,
+		})
+		if err := instrument.RunStreaming(code, policy, initial, sched.NewRandom(c.seed), c.maxEvents, fw); err != nil {
+			return err
+		}
+		return fw.Close()
+	}
+	return instrument.RunStreaming(code, policy, initial, sched.NewRandom(c.seed), c.maxEvents, w)
+}
+
+// runCapture writes one instrumented session to a file, to be replayed
+// later with -connect -session.
+func runCapture(stdout, stderr io.Writer, c clientConfig) int {
+	f, err := os.Create(c.captureFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "gompax:", err)
+		return exitError
+	}
+	if err := c.streamInto(f); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, "gompax:", err)
+		return exitError
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "gompax:", err)
+		return exitError
+	}
+	fmt.Fprintf(stdout, "captured session (seed %d) to %s\n", c.seed, c.captureFile)
+	return exitClean
+}
+
+// runConnect ships one session — live from an instrumented execution,
+// or previously captured with -capture — to a gompaxd daemon and maps
+// the daemon's verdict onto the usual exit codes.
+func runConnect(stdout, stderr io.Writer, c clientConfig) int {
+	network := "tcp"
+	if strings.Contains(c.addr, "/") {
+		network = "unix"
+	}
+	cl, err := serve.DialSession(network, c.addr, c.spec)
+	if err != nil {
+		var rej *serve.RejectError
+		if errors.As(err, &rej) {
+			fmt.Fprintf(stderr, "gompax: daemon rejected the session: %s\n", rej.Reason)
+		} else {
+			fmt.Fprintln(stderr, "gompax:", err)
+		}
+		return exitError
+	}
+
+	if c.sessionFile != "" {
+		raw, err := os.ReadFile(c.sessionFile)
+		if err != nil {
+			cl.Close()
+			fmt.Fprintln(stderr, "gompax:", err)
+			return exitError
+		}
+		if _, err := cl.Conn().Write(raw); err != nil {
+			cl.Close()
+			fmt.Fprintln(stderr, "gompax: sending session:", err)
+			return exitError
+		}
+	} else if err := c.streamInto(cl.Conn()); err != nil {
+		cl.Close()
+		fmt.Fprintln(stderr, "gompax: streaming session:", err)
+		return exitError
+	}
+	// Half-close so the daemon sees EOF even if the chaos injector ate
+	// the Bye frame.
+	if cw, ok := cl.Conn().(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+
+	v, err := cl.Finish(2 * time.Minute)
+	if err != nil {
+		fmt.Fprintln(stderr, "gompax:", err)
+		return exitError
+	}
+	fmt.Fprintf(stdout, "session %s: verdict=%s violations=%d cuts=%d degraded=%t\n",
+		v.ID, v.Verdict, v.Violations, v.Cuts, v.Degraded)
+	switch v.Verdict {
+	case serve.VerdictViolation:
+		return exitViolated
+	case serve.VerdictOK:
+		return exitClean
+	default:
+		return exitError
+	}
+}

@@ -27,6 +27,11 @@
 //	               and analyze it in lossy resync mode
 //	-chaos-seed n  fault injector seed (default 1)
 //	-workers n     lattice exploration worker pool
+//	-connect addr  ship the session to a gompaxd daemon instead of
+//	               analyzing locally (host:port, or a unix socket path)
+//	-spec name     daemon spec to check against with -connect
+//	-session file  with -connect: send a session captured with -capture
+//	-capture file  write the session byte stream to a file and exit
 //	-telemetry-addr a  serve /metrics, /healthz, /statusz and
 //	               /debug/pprof on address a (e.g. :9090)
 //	-log-level l   structured log level: debug, info, warn, error
@@ -87,6 +92,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chaos := fs.Float64("chaos", 0, "per-frame fault rate: stream through the fault injector and analyze in lossy resync mode")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault injector seed")
 	workers := fs.Int("workers", 0, "lattice exploration worker pool (0 or 1 = sequential, -1 = GOMAXPROCS)")
+	connect := fs.String("connect", "", "ship the session to a gompaxd daemon at this address (host:port, or a unix socket path) instead of analyzing locally")
+	specName := fs.String("spec", "", "daemon spec name to check against with -connect (daemon default when empty)")
+	sessionFile := fs.String("session", "", "with -connect: send a session file captured with -capture instead of executing a program")
+	capture := fs.String("capture", "", "write the instrumented session byte stream to this file instead of analyzing")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address (e.g. :9090)")
 	logLevel := fs.String("log-level", "warn", "structured log level: debug, info, warn, error")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON")
@@ -94,17 +103,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitError
 	}
 
-	if *progFile == "" || *prop == "" {
-		fmt.Fprintln(stderr, "gompax: -prog and -prop are required")
-		fs.Usage()
-		return exitError
-	}
 	lvl, ok := telemetry.ParseLevel(*logLevel)
 	if !ok {
 		fmt.Fprintf(stderr, "gompax: unknown -log-level %q (want debug, info, warn or error)\n", *logLevel)
 		return exitError
 	}
 	telemetry.InitLogging(lvl, *logJSON, stderr)
+
+	// Client modes: capture a session to a file, or ship one to a
+	// gompaxd daemon, instead of analyzing locally.
+	cc := clientConfig{
+		addr: *connect, spec: *specName,
+		progFile: *progFile, prop: *prop,
+		sessionFile: *sessionFile, captureFile: *capture,
+		seed: *seed, maxEvents: *maxEvents,
+		chaos: *chaos, chaosSeed: *chaosSeed,
+	}
+	if *capture != "" {
+		if *progFile == "" || *prop == "" {
+			fmt.Fprintln(stderr, "gompax: -capture needs -prog and -prop (the instrumentation is property-driven)")
+			return exitError
+		}
+		return runCapture(stdout, stderr, cc)
+	}
+	if *connect != "" {
+		if *sessionFile == "" && (*progFile == "" || *prop == "") {
+			fmt.Fprintln(stderr, "gompax: -connect needs either -session, or -prog and -prop to stream live")
+			return exitError
+		}
+		return runConnect(stdout, stderr, cc)
+	}
+
+	if *progFile == "" || *prop == "" {
+		fmt.Fprintln(stderr, "gompax: -prog and -prop are required")
+		fs.Usage()
+		return exitError
+	}
 	if *telemetryAddr != "" {
 		srv, err := telemetry.Serve(*telemetryAddr)
 		if err != nil {

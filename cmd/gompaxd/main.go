@@ -1,0 +1,214 @@
+// Command gompaxd is the multi-session predictive-analysis daemon: it
+// listens on TCP and/or a unix socket, accepts many concurrent wire
+// sessions (each a full Hello→Messages→Bye stream from an instrumented
+// program), analyzes every session against a named property spec with
+// a bounded shared worker pool, and appends each verdict to a durable
+// JSONL results store queryable over HTTP.
+//
+// Usage:
+//
+//	gompaxd -spec crossing='(x > 0) -> [y = 0, y > z)' [flags]
+//
+// Flags:
+//
+//	-spec name=formula   register a property spec (repeatable; required)
+//	-default-spec name   spec for sessions that name none
+//	-listen addr         TCP session listener (default 127.0.0.1:7931,
+//	                     "" to disable)
+//	-unix path           unix-socket session listener
+//	-http addr           HTTP address for /sessions, /summary and the
+//	                     telemetry endpoints ("" to disable)
+//	-store file          JSONL results store ("" = memory only)
+//	-max-sessions n      analysis worker pool size (default 4)
+//	-queue n             admission queue depth (default 16)
+//	-queue-timeout d     max time queued before reject (default 10s)
+//	-max-cuts n          per-session cut budget (0 = unlimited)
+//	-max-width n         per-session level-width budget (0 = unlimited)
+//	-workers n           per-session lattice exploration workers
+//	-idle-timeout d      abandon a silent session after d (default 30s)
+//	-counterexamples     store a violating run per violation (default true)
+//	-grace d             drain grace period on SIGTERM/SIGINT (default 30s)
+//	-addr-file file      write the bound TCP address here (for scripts
+//	                     using -listen 127.0.0.1:0)
+//	-log-level l         structured log level: debug, info, warn, error
+//	-log-json            emit logs as JSON
+//
+// The daemon exits 0 after a clean drain (SIGTERM or SIGINT), 2 on
+// configuration or startup errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"gompax/internal/httpx"
+	"gompax/internal/serve"
+	"gompax/internal/telemetry"
+)
+
+const (
+	exitClean = 0
+	exitError = 2
+)
+
+// specsFlag collects repeated -spec name=formula flags.
+type specsFlag map[string]string
+
+func (s specsFlag) String() string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+func (s specsFlag) Set(v string) error {
+	name, formula, ok := strings.Cut(v, "=")
+	if !ok || name == "" || formula == "" {
+		return fmt.Errorf("want name=formula, got %q", v)
+	}
+	if _, dup := s[name]; dup {
+		return fmt.Errorf("spec %q registered twice", name)
+	}
+	s[name] = formula
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its environment abstracted. ready, when non-nil,
+// receives the bound TCP address once the daemon is serving — the
+// in-process tests use it the way scripts use -addr-file.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("gompaxd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specs := specsFlag{}
+	fs.Var(specs, "spec", "property spec as name=formula (repeatable)")
+	defaultSpec := fs.String("default-spec", "", "spec used by sessions that name none")
+	listen := fs.String("listen", "127.0.0.1:7931", "TCP session listener address (empty to disable)")
+	unixSock := fs.String("unix", "", "unix-socket session listener path")
+	httpAddr := fs.String("http", "", "HTTP address for the results API and telemetry endpoints")
+	storePath := fs.String("store", "", "JSONL results store path (empty = memory only)")
+	maxSessions := fs.Int("max-sessions", 0, "analysis worker pool size")
+	queueDepth := fs.Int("queue", 0, "admission queue depth")
+	queueTimeout := fs.Duration("queue-timeout", 0, "max time a connection may wait in the admission queue")
+	maxCuts := fs.Int("max-cuts", 0, "per-session predictive analysis cut budget (0 = unlimited)")
+	maxWidth := fs.Int("max-width", 0, "per-session lattice level-width budget (0 = unlimited)")
+	workers := fs.Int("workers", 0, "per-session lattice exploration workers")
+	idleTimeout := fs.Duration("idle-timeout", 0, "abandon a session whose transport goes silent for this long")
+	counterexamples := fs.Bool("counterexamples", true, "store a violating run per violation")
+	grace := fs.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
+	addrFile := fs.String("addr-file", "", "write the bound TCP address to this file")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, error")
+	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+
+	lvl, ok := telemetry.ParseLevel(*logLevel)
+	if !ok {
+		fmt.Fprintf(stderr, "gompaxd: unknown -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		return exitError
+	}
+	telemetry.InitLogging(lvl, *logJSON, stderr)
+
+	if len(specs) == 0 {
+		fmt.Fprintln(stderr, "gompaxd: at least one -spec name=formula is required")
+		fs.Usage()
+		return exitError
+	}
+	if *listen == "" && *unixSock == "" {
+		fmt.Fprintln(stderr, "gompaxd: nothing to listen on (-listen and -unix both empty)")
+		return exitError
+	}
+
+	d, err := serve.New(serve.Config{
+		Specs:           specs,
+		DefaultSpec:     *defaultSpec,
+		MaxSessions:     *maxSessions,
+		QueueDepth:      *queueDepth,
+		QueueTimeout:    *queueTimeout,
+		MaxCuts:         *maxCuts,
+		MaxWidth:        *maxWidth,
+		Workers:         *workers,
+		IdleTimeout:     *idleTimeout,
+		Counterexamples: *counterexamples,
+		StorePath:       *storePath,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "gompaxd:", err)
+		return exitError
+	}
+
+	var tcpAddr string
+	if *listen != "" {
+		addr, err := d.ListenTCP(*listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "gompaxd:", err)
+			return exitError
+		}
+		tcpAddr = addr.String()
+		fmt.Fprintf(stdout, "gompaxd: sessions on tcp %s (specs: %s)\n", tcpAddr, specs)
+	}
+	if *unixSock != "" {
+		if _, err := d.ListenUnix(*unixSock); err != nil {
+			fmt.Fprintln(stderr, "gompaxd:", err)
+			return exitError
+		}
+		defer os.Remove(*unixSock)
+		fmt.Fprintf(stdout, "gompaxd: sessions on unix %s\n", *unixSock)
+	}
+	if *addrFile != "" && tcpAddr != "" {
+		if err := os.WriteFile(*addrFile, []byte(tcpAddr+"\n"), 0o644); err != nil {
+			fmt.Fprintln(stderr, "gompaxd:", err)
+			return exitError
+		}
+	}
+
+	var hsrv *httpx.Server
+	if *httpAddr != "" {
+		mux := telemetry.Handler(telemetry.Default())
+		d.Mount(mux)
+		hsrv, err = httpx.Serve(*httpAddr, mux)
+		if err != nil {
+			fmt.Fprintln(stderr, "gompaxd:", err)
+			return exitError
+		}
+		telemetry.SetActive(true)
+		fmt.Fprintf(stdout, "gompaxd: results API and telemetry on http://%s\n", hsrv.Addr)
+	}
+	if ready != nil {
+		ready <- tcpAddr
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	s := <-sig
+	signal.Stop(sig)
+	fmt.Fprintf(stdout, "gompaxd: %s received, draining (grace %s)\n", s, *grace)
+
+	code := exitClean
+	if err := d.Drain(*grace); err != nil {
+		fmt.Fprintln(stderr, "gompaxd: drain:", err)
+		code = exitError
+	}
+	if hsrv != nil {
+		if err := hsrv.Shutdown(5 * time.Second); err != nil {
+			fmt.Fprintln(stderr, "gompaxd: http shutdown:", err)
+			code = exitError
+		}
+		telemetry.SetActive(false)
+	}
+	fmt.Fprintln(stdout, "gompaxd: drained")
+	return code
+}

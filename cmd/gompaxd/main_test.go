@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"gompax/internal/serve"
+)
+
+const crossingProp = "(x > 0) -> [y = 0, y > z)"
+
+// TestDaemonLifecycle boots the daemon through main's run, checks the
+// flag plumbing end to end (spec registry, addr file, store path), and
+// drains it with a real SIGTERM.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	storePath := filepath.Join(dir, "results.jsonl")
+
+	var out, errb bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-spec", "crossing=" + crossingProp,
+			"-spec", "clean=x < 100",
+			"-listen", "127.0.0.1:0",
+			"-store", storePath,
+			"-addr-file", addrFile,
+			"-max-sessions", "2",
+			"-log-level", "warn",
+		}, &out, &errb, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never came up\nstdout: %s\nstderr: %s", out.String(), errb.String())
+	}
+	if addr == "" {
+		t.Fatalf("no TCP address bound\nstderr: %s", errb.String())
+	}
+
+	// The addr file must hold the same bound address.
+	fileAddr, err := os.ReadFile(addrFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(fileAddr)); got != addr {
+		t.Fatalf("addr file %q != bound address %q", got, addr)
+	}
+
+	// One real session against the registered spec.
+	c, err := serve.DialSession("tcp", addr, "crossing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // abandon immediately; the daemon must still store a record
+
+	// SIGTERM drains with exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != exitClean {
+			t.Fatalf("daemon exit %d, want %d\nstderr: %s", code, exitClean, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never drained\nstdout: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("missing drain message:\n%s", out.String())
+	}
+
+	// The abandoned session left a durable record.
+	s, err := serve.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 1 {
+		t.Fatalf("store has %d records, want 1", s.Len())
+	}
+}
+
+func TestDaemonUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-listen", "127.0.0.1:0"}, &out, &errb, nil); code != exitError {
+		t.Errorf("no specs: exit %d, want %d", code, exitError)
+	}
+	if !strings.Contains(errb.String(), "-spec") {
+		t.Errorf("no specs stderr: %q", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-spec", "bad=((((", "-listen", "127.0.0.1:0"}, &out, &errb, nil); code != exitError {
+		t.Errorf("bad formula: exit %d, want %d", code, exitError)
+	}
+	errb.Reset()
+	if code := run([]string{"-spec", "nameonly", "-listen", "127.0.0.1:0"}, &out, &errb, nil); code != exitError {
+		t.Errorf("malformed -spec: exit %d, want %d", code, exitError)
+	}
+	errb.Reset()
+	if code := run([]string{"-spec", "a=x = 0", "-listen", "", "-unix", ""}, &out, &errb, nil); code != exitError {
+		t.Errorf("no listeners: exit %d, want %d", code, exitError)
+	}
+}

@@ -1,0 +1,90 @@
+// Package httpx provides the one HTTP server lifecycle the repo's
+// serving surfaces share: bind a listener, serve a handler in the
+// background, and shut down gracefully under a deadline. The telemetry
+// introspection endpoint and the gompaxd daemon both mount their muxes
+// on it instead of each reimplementing listen/serve/shutdown.
+//
+// The package deliberately depends only on the standard library so
+// every other internal package (telemetry included) can import it.
+package httpx
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server is a running HTTP server bound to one listener.
+type Server struct {
+	// Addr is the bound address — useful when the configured address
+	// was ":0".
+	Addr string
+
+	srv  *http.Server
+	ln   net.Listener
+	once sync.Once
+	done chan struct{}
+	err  error // outcome of srv.Serve, set before done closes
+}
+
+// Serve binds addr (e.g. ":9090", "127.0.0.1:0") and serves h in a
+// background goroutine until Shutdown or Close.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ServeListener(ln, h), nil
+}
+
+// ServeListener serves h on an already-bound listener (any network,
+// including unix sockets) in a background goroutine.
+func ServeListener(ln net.Listener, h http.Handler) *Server {
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln, done: make(chan struct{})}
+	go func() {
+		err := srv.Serve(ln)
+		if err != http.ErrServerClosed {
+			s.err = err
+		}
+		close(s.done)
+	}()
+	return s
+}
+
+// Shutdown stops accepting connections and waits up to timeout for
+// in-flight requests to finish; past the deadline the remaining
+// connections are closed forcefully. Safe to call more than once.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	var err error
+	s.once.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		err = s.srv.Shutdown(ctx)
+		if err != nil {
+			// The deadline passed with requests still in flight: cut
+			// them off rather than hang the caller's own shutdown.
+			s.srv.Close()
+		}
+		<-s.done
+		if err == nil {
+			err = s.err
+		}
+	})
+	return err
+}
+
+// Close stops the server immediately, dropping in-flight requests.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		err = s.srv.Close()
+		<-s.done
+		if err == nil {
+			err = s.err
+		}
+	})
+	return err
+}

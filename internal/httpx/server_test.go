@@ -1,0 +1,113 @@
+package httpx_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"gompax/internal/httpx"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeAndShutdown(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	s, err := httpx.Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(t, "http://"+s.Addr+"/ping"); code != 200 || body != "pong" {
+		t.Fatalf("got %d %q", code, body)
+	}
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Idempotent: a second shutdown (or close) is a no-op.
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr + "/ping"); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}
+
+func TestShutdownWaitsForInflight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	s, err := httpx.Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	var body string
+	go func() {
+		defer wg.Done()
+		code, body = get(t, "http://"+s.Addr+"/slow")
+	}()
+	<-entered
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	if err := s.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	if code != 200 || body != "done" {
+		t.Fatalf("in-flight request not completed: %d %q", code, body)
+	}
+}
+
+func TestShutdownDeadlineForcesClose(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/wedge", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-block
+	})
+	s, err := httpx.Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get("http://" + s.Addr + "/wedge")
+	<-entered
+	start := time.Now()
+	err = s.Shutdown(50 * time.Millisecond)
+	close(block)
+	if err == nil {
+		t.Fatal("shutdown with a wedged handler should report the deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown hung for %v despite the deadline", elapsed)
+	}
+}

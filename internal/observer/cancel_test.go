@@ -1,0 +1,128 @@
+package observer_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/observer"
+	"gompax/internal/predict"
+	"gompax/internal/progs"
+	"gompax/internal/wire"
+)
+
+// TestAnalyzeSessionCancellation is the regression test for the
+// daemon's abort path: a session whose transport has gone quiet (no
+// Bye, no more frames, no EOF) must return promptly when its context
+// is cancelled — with the partial result salvaged — and, once the
+// caller closes the transport, every goroutine the session spawned
+// must be reclaimed.
+func TestAnalyzeSessionCancellation(t *testing.T) {
+	raw := streamSession(t, 1)
+	prog := monitor.MustCompile(logic.MustParseFormula(progs.LandingProperty))
+
+	before := runtime.NumGoroutine()
+
+	// Serve the session over an in-process pipe: write everything
+	// except the final Bye, then go silent so the analysis blocks
+	// waiting for more frames.
+	client, server := net.Pipe()
+	go func() {
+		// Withhold the tail so the session can never complete.
+		client.Write(raw[:len(raw)-4])
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res predict.Result
+	var err error
+	go func() {
+		defer close(done)
+		r := wire.NewResyncReceiver(server)
+		res, err = observer.AnalyzeSession([]*wire.Receiver{r}, prog,
+			observer.SessionOptions{Predict: predict.Options{Lossy: true}, Ctx: ctx})
+	}()
+
+	// Give the consumer a moment to ingest the frames, then abort.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled session did not return within 5s")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled session returned err=%v, want context.Canceled", err)
+	}
+	if res.Stats.Cuts == 0 {
+		t.Fatalf("cancelled session salvaged no partial result: %+v", res.Stats)
+	}
+
+	// Closing the transport unblocks the pump goroutine's read; after
+	// that the session must leave no goroutines behind.
+	server.Close()
+	client.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after cancel+close: %d > %d\n%s",
+				runtime.NumGoroutine(), before, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAnalyzeSessionPreCancelled: a context that is already done
+// aborts the session before any frame is consumed.
+func TestAnalyzeSessionPreCancelled(t *testing.T) {
+	raw := streamSession(t, 1)
+	prog := monitor.MustCompile(logic.MustParseFormula(progs.LandingProperty))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := wire.NewResyncReceiver(bytes.NewReader(raw))
+	_, err := observer.AnalyzeSession([]*wire.Receiver{r}, prog,
+		observer.SessionOptions{Predict: predict.Options{Lossy: true}, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled session returned err=%v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeSessionUncancelledUnaffected: passing a live context does
+// not change a clean session's outcome.
+func TestAnalyzeSessionUncancelledUnaffected(t *testing.T) {
+	raw := landingSessionWithLanding(t)
+	prog := monitor.MustCompile(logic.MustParseFormula(progs.LandingProperty))
+
+	plain := func() predict.Result {
+		r := wire.NewReceiver(bytes.NewReader(raw))
+		res, err := observer.AnalyzeSession([]*wire.Receiver{r}, prog, observer.SessionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	withCtx := func() predict.Result {
+		r := wire.NewReceiver(bytes.NewReader(raw))
+		res, err := observer.AnalyzeSession([]*wire.Receiver{r}, prog,
+			observer.SessionOptions{Ctx: context.Background()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	if plain.Stats.Cuts != withCtx.Stats.Cuts || len(plain.Violations) != len(withCtx.Violations) {
+		t.Fatalf("context-carrying session diverged: %+v vs %+v", plain.Stats, withCtx.Stats)
+	}
+}

@@ -1,6 +1,7 @@
 package observer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -21,11 +22,24 @@ type SessionOptions struct {
 	// the next frame on each channel. A channel that stays silent past
 	// the deadline is declared stalled: it is abandoned, the session
 	// finishes as lossy (partial result + Degraded report), and the
-	// merge returns instead of hanging forever. The reader goroutine
-	// blocked on the dead channel is leaked by necessity — a plain
-	// io.Reader cannot be interrupted — so the deadline should only
-	// fire on genuinely wedged transports.
+	// merge returns instead of hanging forever.
 	IdleTimeout time.Duration
+	// Ctx, when non-nil, gives the caller an external cancellation
+	// path: the moment the context is done every channel consumer
+	// returns, the session is closed with the partial result computed
+	// so far, and the analysis error is the context's error. A serving
+	// layer uses this to abort a stuck or over-budget session without
+	// waiting for its transport.
+	//
+	// Goroutine accounting: after cancellation (or an idle timeout)
+	// each channel's pump goroutine may still be blocked in a read on
+	// the transport — a plain io.Reader cannot be interrupted — but it
+	// no longer holds any session state and exits as soon as that read
+	// returns. Callers that own the transport (e.g. a net.Conn) should
+	// close it after cancelling; then every goroutine of the session is
+	// reclaimed promptly, which is what the daemon does and what the
+	// cancellation regression test asserts.
+	Ctx context.Context
 }
 
 // AnalyzeChannels consumes a session that was split across several
@@ -99,6 +113,13 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 		return nil
 	}
 
+	// cancel is closed when opts.Ctx is done; a nil channel (no Ctx)
+	// never fires in the selects below.
+	var cancel <-chan struct{}
+	if opts.Ctx != nil {
+		cancel = opts.Ctx.Done()
+	}
+
 	ends := make(chan channelEnd, len(rs))
 	var wg sync.WaitGroup
 	for _, r := range rs {
@@ -106,38 +127,51 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 		go func(r *wire.Receiver) {
 			defer wg.Done()
 			// The pump isolates the blocking Next() calls so the
-			// consumer below can enforce the idle deadline. It leaks
-			// if the channel stalls permanently (see SessionOptions).
+			// consumer below can enforce the idle deadline and the
+			// cancellation context. stop lets the consumer abandon the
+			// channel without stranding the pump on its send: once the
+			// transport read returns, the pump exits instead of
+			// blocking forever on a channel nobody drains (see the
+			// goroutine-accounting note on SessionOptions.Ctx).
 			frames := make(chan frameOrErr, 1)
+			stop := make(chan struct{})
+			defer close(stop)
 			go func() {
 				for {
 					f, err := r.Next()
-					frames <- frameOrErr{f, err}
+					select {
+					case frames <- frameOrErr{f, err}:
+					case <-stop:
+						return
+					}
 					if err != nil {
 						return
 					}
 				}
 			}()
 			var timer *time.Timer
+			var timeout <-chan time.Time
 			if opts.IdleTimeout > 0 {
 				timer = time.NewTimer(opts.IdleTimeout)
 				defer timer.Stop()
+				timeout = timer.C
 			}
 			for {
 				var fe frameOrErr
-				if timer == nil {
-					fe = <-frames
-				} else {
-					select {
-					case fe = <-frames:
+				select {
+				case fe = <-frames:
+					if timer != nil {
 						if !timer.Stop() {
 							<-timer.C
 						}
 						timer.Reset(opts.IdleTimeout)
-					case <-timer.C:
-						ends <- channelEnd{stalled: true}
-						return
 					}
+				case <-timeout:
+					ends <- channelEnd{stalled: true}
+					return
+				case <-cancel:
+					ends <- channelEnd{err: opts.Ctx.Err()}
+					return
 				}
 				if fe.err != nil {
 					if errors.Is(fe.err, wire.ErrClosed) || errors.Is(fe.err, io.EOF) {

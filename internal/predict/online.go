@@ -40,6 +40,7 @@ type Online struct {
 	frontier map[string]*pentry
 	result   Result
 	maxCuts  int
+	maxWidth int
 	paths    bool
 	lossy    bool
 	workers  int
@@ -63,6 +64,7 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 		announced: make([]bool, threads),
 		frontier:  map[string]*pentry{},
 		maxCuts:   opts.MaxCuts,
+		maxWidth:  opts.MaxWidth,
 		paths:     opts.Counterexamples,
 		lossy:     opts.Lossy,
 		workers:   normalizeWorkers(opts.Workers),
@@ -314,13 +316,13 @@ func (o *Online) advance() error {
 		// One event of each path is consumed per level.
 		o.applied++
 		o.result.Stats.Cuts += out.newCuts
-		if o.maxCuts > 0 && o.result.Stats.Cuts > o.maxCuts {
-			return fmt.Errorf("predict: exceeded MaxCuts=%d", o.maxCuts)
-		}
 		o.result.Stats.Pairs += out.pairs
 		o.result.Stats.addLevel(len(out.next), out.pairWidth)
 		flushLevelTelemetry(len(out.next), out.pairWidth, out.newCuts, out.pairs, out.edges, out.violated)
 		publishStatus(&o.result, false)
+		if err := checkBudget(Options{MaxCuts: o.maxCuts, MaxWidth: o.maxWidth}, &o.result.Stats, len(out.next)); err != nil {
+			return err
+		}
 		o.frontier = make(map[string]*pentry, len(out.next))
 		for _, e := range out.next {
 			o.frontier[e.key] = e

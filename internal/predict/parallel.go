@@ -277,14 +277,14 @@ func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Opti
 			return res, err
 		}
 		res.Stats.Cuts += out.newCuts
-		if opts.MaxCuts > 0 && res.Stats.Cuts > opts.MaxCuts {
-			return res, fmt.Errorf("predict: exceeded MaxCuts=%d", opts.MaxCuts)
-		}
 		res.Stats.Pairs += out.pairs
 		if len(out.next) > 0 {
 			res.Stats.addLevel(len(out.next), out.pairWidth)
 			flushLevelTelemetry(len(out.next), out.pairWidth, out.newCuts, out.pairs, out.edges, out.violated)
 			publishStatus(&res, false)
+		}
+		if err := checkBudget(opts, &res.Stats, len(out.next)); err != nil {
+			return res, err
 		}
 		if reportViolations(&res, out.viols, reported, opts,
 			func(ids []int) lattice.Run { return buildRun(comp, ids) }) {

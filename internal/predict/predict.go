@@ -21,6 +21,7 @@
 package predict
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -31,11 +32,25 @@ import (
 	"gompax/internal/wire"
 )
 
+// ErrBudget is wrapped by analyses aborted for exceeding a configured
+// budget (MaxCuts or MaxWidth), so a serving layer can tell a budget
+// kill apart from a session inconsistency. The partial result computed
+// up to the kill is still returned alongside the error.
+var ErrBudget = errors.New("analysis budget exceeded")
+
 // Options configures Analyze.
 type Options struct {
 	// MaxCuts aborts the analysis if more than this many distinct cuts
-	// are explored (0 = unlimited).
+	// are explored (0 = unlimited). The abort is an ErrBudget.
 	MaxCuts int
+	// MaxWidth bounds the analyzer's live memory: the analysis aborts
+	// with an ErrBudget when a sealed lattice level holds more than
+	// this many distinct cuts (0 = unlimited). Because only two
+	// adjacent levels are ever alive, MaxWidth is a direct cap on the
+	// analyzer's working set — the per-session memory budget a serving
+	// layer imposes on untrusted clients. All three explorers (offline
+	// sequential, offline parallel, online) honor it.
+	MaxWidth int
 	// Counterexamples, when true, tracks one representative path per
 	// (cut, monitor state) pair so violations carry a full run. This
 	// costs extra memory (paths are O(depth)); with it off the analyzer
@@ -126,6 +141,20 @@ func (s *Stats) addLevel(width, pairWidth int) {
 	if pairWidth > s.MaxPairWidth {
 		s.MaxPairWidth = pairWidth
 	}
+}
+
+// checkBudget enforces the per-analysis budget after a level seal:
+// width is the number of distinct cuts on the level just sealed. Every
+// explorer calls it at the same point (its level barrier), so a budget
+// kill happens at the same level whichever explorer ran.
+func checkBudget(opts Options, stats *Stats, width int) error {
+	if opts.MaxCuts > 0 && stats.Cuts > opts.MaxCuts {
+		return fmt.Errorf("predict: %w: explored %d cuts (MaxCuts=%d)", ErrBudget, stats.Cuts, opts.MaxCuts)
+	}
+	if opts.MaxWidth > 0 && width > opts.MaxWidth {
+		return fmt.Errorf("predict: %w: level %d holds %d cuts (MaxWidth=%d)", ErrBudget, stats.Levels-1, width, opts.MaxWidth)
+	}
+	return nil
 }
 
 // totalLevels bounds the number of levels the computation's lattice
@@ -311,9 +340,6 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 					tgt = &entry{cut: succ.Cut, keys: map[uint64][]int{}}
 					next[sk] = tgt
 					res.Stats.Cuts++
-					if opts.MaxCuts > 0 && res.Stats.Cuts > opts.MaxCuts {
-						return res, fmt.Errorf("predict: exceeded MaxCuts=%d", opts.MaxCuts)
-					}
 				}
 				for mkey, path := range ent.keys {
 					scratch.Restore(mkey)
@@ -355,6 +381,9 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 			flushLevelTelemetry(len(next), pairs,
 				res.Stats.Cuts-cutsBefore, res.Stats.Pairs-pairsBefore, levelEdges, len(levelViols))
 			publishStatus(&res, false)
+		}
+		if err := checkBudget(opts, &res.Stats, len(next)); err != nil {
+			return res, err
 		}
 		sortLevelViolations(levelViols)
 		if reportViolations(&res, dedupLevelViolations(levelViols), reported, opts,

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"gompax/internal/wire"
+)
+
+// The daemon's HTTP JSON API, mounted next to the telemetry
+// introspection endpoints (/metrics, /healthz, /statusz):
+//
+//	GET /sessions             all stored session summaries
+//	                          (?spec=, ?verdict= filter)
+//	GET /sessions/{id}        one full session record
+//	GET /summary              daemon + store aggregates
+//
+// The API serves from the store's in-memory index; every record it
+// can return is already durable on disk (Append writes before it
+// indexes).
+
+// SessionSummary is the /sessions list entry: the record without its
+// bulky fields, plus the per-session wire health (satellite: degraded
+// ingestion must be visible per client, not only in aggregate).
+type SessionSummary struct {
+	ID         string            `json:"id"`
+	Spec       string            `json:"spec"`
+	Verdict    string            `json:"verdict"`
+	Violations int               `json:"violations"`
+	Degraded   bool              `json:"degraded"`
+	Start      time.Time         `json:"start"`
+	End        time.Time         `json:"end"`
+	Wire       wire.SessionStats `json:"wire"`
+}
+
+// Summary is the /summary document.
+type Summary struct {
+	Specs     []string       `json:"specs"`
+	Sessions  int            `json:"sessions"`
+	ByVerdict map[string]int `json:"by_verdict"`
+	BySpec    map[string]int `json:"by_spec"`
+	// Violations is the sum of per-session violation counts; the
+	// stress test cross-checks it against the per-session records.
+	Violations int               `json:"violations"`
+	Degraded   int               `json:"degraded"`
+	Accepted   uint64            `json:"accepted"`
+	Completed  uint64            `json:"completed"`
+	Rejected   map[string]uint64 `json:"rejected"`
+	Cancelled  uint64            `json:"cancelled"`
+	Active     int64             `json:"active"`
+	Queued     int64             `json:"queued"`
+	Draining   bool              `json:"draining"`
+	StoreBytes int64             `json:"store_bytes"`
+}
+
+// Mount registers the daemon's API on a mux (typically the telemetry
+// introspection mux, so one HTTP address serves both).
+func (d *Daemon) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/sessions", d.handleSessions)
+	mux.HandleFunc("/sessions/", d.handleSession)
+	mux.HandleFunc("/summary", d.handleSummary)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	w.Write([]byte("\n"))
+}
+
+func (d *Daemon) handleSessions(w http.ResponseWriter, r *http.Request) {
+	specFilter := r.URL.Query().Get("spec")
+	verdictFilter := r.URL.Query().Get("verdict")
+	recs := d.store.List()
+	out := make([]SessionSummary, 0, len(recs))
+	for _, rec := range recs {
+		if specFilter != "" && rec.Spec != specFilter {
+			continue
+		}
+		if verdictFilter != "" && rec.Verdict != verdictFilter {
+			continue
+		}
+		out = append(out, SessionSummary{
+			ID:         rec.ID,
+			Spec:       rec.Spec,
+			Verdict:    rec.Verdict,
+			Violations: rec.Violations,
+			Degraded:   rec.Degraded.Any(),
+			Start:      rec.Start,
+			End:        rec.End,
+			Wire:       rec.Wire,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (d *Daemon) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/sessions/")
+	if id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	rec, ok := d.store.Get(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, rec)
+}
+
+func (d *Daemon) handleSummary(w http.ResponseWriter, r *http.Request) {
+	recs := d.store.List()
+	s := Summary{
+		Specs:      d.SpecNames(),
+		Sessions:   len(recs),
+		ByVerdict:  map[string]int{},
+		BySpec:     map[string]int{},
+		Accepted:   d.accepted.Load(),
+		Completed:  d.completed.Load(),
+		Cancelled:  d.cancelled.Load(),
+		Rejected:   map[string]uint64{},
+		Active:     d.active.Load(),
+		Queued:     d.queued.Load(),
+		Draining:   d.draining.Load(),
+		StoreBytes: d.store.Bytes(),
+	}
+	for _, rec := range recs {
+		s.ByVerdict[rec.Verdict]++
+		s.BySpec[rec.Spec]++
+		s.Violations += rec.Violations
+		if rec.Degraded.Any() {
+			s.Degraded++
+		}
+	}
+	d.rejMu.Lock()
+	for reason, n := range d.rejects {
+		s.Rejected[reason] = n
+	}
+	d.rejMu.Unlock()
+	writeJSON(w, s)
+}

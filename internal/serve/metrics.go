@@ -1,0 +1,31 @@
+package serve
+
+import "gompax/internal/telemetry"
+
+// Daemon telemetry: session lifecycle counters (one increment per
+// session, never per frame — the wire and predict layers already cover
+// the hot path), admission gauges, and results-store growth.
+var (
+	dlog = telemetry.Logger("serve")
+
+	mAccepted = telemetry.Default().NewCounter("gompaxd_sessions_accepted_total",
+		"Sessions admitted past admission control.")
+	mRejected = telemetry.Default().NewCounterVec("gompaxd_sessions_rejected_total",
+		"Sessions refused with an explicit reject, by reason.", "reason")
+	mCompleted = telemetry.Default().NewCounterVec("gompaxd_sessions_completed_total",
+		"Sessions analyzed to a stored verdict, by verdict.", "verdict")
+	mActive = telemetry.Default().NewGauge("gompaxd_sessions_active",
+		"Sessions currently being analyzed by the worker pool.")
+	mQueuedGauge = telemetry.Default().NewGauge("gompaxd_sessions_queued",
+		"Connections waiting in the admission queue.")
+	mDrains = telemetry.Default().NewCounter("gompaxd_drains_total",
+		"Graceful drains initiated.")
+	mCancelled = telemetry.Default().NewCounter("gompaxd_sessions_cancelled_total",
+		"In-flight sessions cancelled because the drain deadline passed.")
+	mStoreRecords = telemetry.Default().NewCounter("gompaxd_store_records_total",
+		"Records appended to the results store.")
+	mStoreBytes = telemetry.Default().NewCounter("gompaxd_store_bytes_total",
+		"Bytes appended to the results store.")
+	mStoreTorn = telemetry.Default().NewCounter("gompaxd_store_torn_lines_total",
+		"Undecodable lines skipped while replaying the results store.")
+)

@@ -1,0 +1,513 @@
+// Package serve is gompaxd's serving layer: a long-running daemon
+// that accepts many concurrent wire sessions (each a full
+// Hello→Messages→Bye stream from an instrumented program), analyzes
+// each against a named spec with the online predictive analyzer, and
+// records every outcome in a durable JSONL results store queryable
+// over HTTP.
+//
+// The paper's architecture (Fig. 4) is one instrumented program
+// feeding one observer; this package is the centralized-collector
+// generalization: N programs feeding one observer process through
+// admission control.
+//
+// # Admission control
+//
+// Sessions are analyzed by a bounded worker pool (Config.MaxSessions
+// workers), so the daemon's analysis goroutine count is independent
+// of how many clients connect. A connection that arrives while every
+// worker is busy waits in a bounded queue (Config.QueueDepth) without
+// consuming a goroutine; the client blocks on the admission response.
+// When the queue is full, or a queued connection waits longer than
+// Config.QueueTimeout, or the daemon is draining, the client gets an
+// explicit REJECT line (see proto.go) instead of a hang or a silent
+// close.
+//
+// # Per-session limits
+//
+// Each admitted session runs with the fault-tolerant machinery from
+// the lower layers: a resync wire receiver, lossy online analysis,
+// an idle timeout for stalled transports, a MaxCuts/MaxWidth budget
+// (predict.ErrBudget kills runaway lattices while keeping the partial
+// result), and an external cancellation context so a drain deadline
+// can abort stuck sessions without leaking their goroutines.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/observer"
+	"gompax/internal/predict"
+	"gompax/internal/wire"
+)
+
+// Config configures a Daemon.
+type Config struct {
+	// Specs maps spec names to property formulas. Every session names
+	// a spec (or relies on DefaultSpec).
+	Specs map[string]string
+	// DefaultSpec is the spec used by sessions that name none. Empty
+	// with exactly one spec registered means that spec.
+	DefaultSpec string
+	// MaxSessions sizes the analysis worker pool — the maximum number
+	// of sessions analyzed concurrently. Default 4.
+	MaxSessions int
+	// QueueDepth bounds the admission queue of connections waiting
+	// for a worker. Default 16.
+	QueueDepth int
+	// QueueTimeout bounds how long a connection may wait in the
+	// admission queue before being rejected. Default 10s.
+	QueueTimeout time.Duration
+	// MaxCuts and MaxWidth are the per-session analysis budget
+	// (predict.Options); 0 = unlimited.
+	MaxCuts  int
+	MaxWidth int
+	// Workers is the per-session lattice exploration pool size
+	// (predict.Options.Workers). Sessions already run concurrently, so
+	// the default 0 (sequential per session) is usually right.
+	Workers int
+	// IdleTimeout abandons a session whose transport goes silent.
+	// Default 30s.
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the client greeting after a
+	// worker picks the connection up. Default 5s.
+	HandshakeTimeout time.Duration
+	// Counterexamples records a violating run per violation (stored in
+	// the session record).
+	Counterexamples bool
+	// StorePath is the JSONL results store ("" = memory-only).
+	StorePath string
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+}
+
+// spec is a compiled property registered under a name.
+type spec struct {
+	name    string
+	formula string
+	prog    *monitor.Program
+}
+
+// pending is one connection in the admission queue. claimed arbitrates
+// between the worker that pops it and the queue-timeout timer: exactly
+// one of them owns the connection.
+type pending struct {
+	conn    net.Conn
+	enq     time.Time
+	timer   *time.Timer
+	claimed atomic.Bool
+}
+
+func (p *pending) claim() bool { return p.claimed.CompareAndSwap(false, true) }
+
+// Daemon is a running multi-session analysis daemon.
+type Daemon struct {
+	cfg   Config
+	specs map[string]*spec
+	store *Store
+
+	queue     chan *pending
+	listeners []net.Listener
+	lnMu      sync.Mutex
+	lnWG      sync.WaitGroup // accept loops
+	workWG    sync.WaitGroup // analysis workers
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainErr  error
+	ctx       context.Context // cancelled to abort in-flight sessions
+	cancel    context.CancelFunc
+
+	// Daemon-local tallies for /summary (the telemetry counters are
+	// process-global and would mix daemons in one process, e.g. tests).
+	accepted  atomic.Uint64
+	completed atomic.Uint64
+	cancelled atomic.Uint64
+	active    atomic.Int64
+	queued    atomic.Int64
+	rejMu     sync.Mutex
+	rejects   map[string]uint64
+}
+
+// New compiles the spec registry, opens the results store, and starts
+// the analysis worker pool. Listeners are attached with ListenTCP /
+// ListenUnix / ServeListener.
+func New(cfg Config) (*Daemon, error) {
+	cfg.fillDefaults()
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("serve: no specs configured")
+	}
+	specs := make(map[string]*spec, len(cfg.Specs))
+	for name, formula := range cfg.Specs {
+		f, err := logic.ParseFormula(formula)
+		if err != nil {
+			return nil, fmt.Errorf("serve: spec %q: %w", name, err)
+		}
+		prog, err := monitor.Compile(f)
+		if err != nil {
+			return nil, fmt.Errorf("serve: spec %q: %w", name, err)
+		}
+		specs[name] = &spec{name: name, formula: formula, prog: prog}
+	}
+	if cfg.DefaultSpec == "" && len(specs) == 1 {
+		for name := range specs {
+			cfg.DefaultSpec = name
+		}
+	}
+	if cfg.DefaultSpec != "" && specs[cfg.DefaultSpec] == nil {
+		return nil, fmt.Errorf("serve: default spec %q not registered", cfg.DefaultSpec)
+	}
+	store, err := OpenStore(cfg.StorePath)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		cfg:     cfg,
+		specs:   specs,
+		store:   store,
+		queue:   make(chan *pending, cfg.QueueDepth),
+		ctx:     ctx,
+		cancel:  cancel,
+		rejects: map[string]uint64{},
+	}
+	for i := 0; i < cfg.MaxSessions; i++ {
+		d.workWG.Add(1)
+		go d.worker()
+	}
+	return d, nil
+}
+
+// Store exposes the results store (read-only use expected).
+func (d *Daemon) Store() *Store { return d.store }
+
+// SpecNames returns the registered spec names, sorted.
+func (d *Daemon) SpecNames() []string {
+	names := make([]string, 0, len(d.specs))
+	for name := range d.specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ListenTCP binds a TCP address (":0" for an ephemeral port) and
+// starts accepting sessions on it. Returns the bound address.
+func (d *Daemon) ListenTCP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d.ServeListener(ln)
+	return ln.Addr(), nil
+}
+
+// ListenUnix binds a unix socket path and starts accepting sessions.
+func (d *Daemon) ListenUnix(path string) (net.Addr, error) {
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return nil, err
+	}
+	d.ServeListener(ln)
+	return ln.Addr(), nil
+}
+
+// ServeListener starts accepting sessions on an already-bound
+// listener. The daemon owns it from here on.
+func (d *Daemon) ServeListener(ln net.Listener) {
+	d.lnMu.Lock()
+	d.listeners = append(d.listeners, ln)
+	d.lnMu.Unlock()
+	d.lnWG.Add(1)
+	go d.acceptLoop(ln)
+}
+
+func (d *Daemon) acceptLoop(ln net.Listener) {
+	defer d.lnWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (drain) or fatal
+		}
+		d.admit(conn)
+	}
+}
+
+// admit routes a fresh connection through admission control: reject
+// while draining, enqueue with a timeout when a slot may open, reject
+// as overloaded when the queue is full. A queued connection costs no
+// goroutine — only the pending entry and its timer.
+func (d *Daemon) admit(conn net.Conn) {
+	if d.draining.Load() {
+		d.reject(conn, ReasonDraining)
+		return
+	}
+	it := &pending{conn: conn, enq: time.Now()}
+	it.timer = time.AfterFunc(d.cfg.QueueTimeout, func() {
+		if it.claim() {
+			d.reject(conn, ReasonQueueTimeout)
+		}
+	})
+	select {
+	case d.queue <- it:
+		d.queued.Add(1)
+		mQueuedGauge.Add(1)
+	default:
+		if it.claim() {
+			it.timer.Stop()
+			d.reject(conn, ReasonOverloaded)
+		}
+	}
+}
+
+// reject sends the explicit reject line and closes the connection.
+func (d *Daemon) reject(conn net.Conn, reason string) {
+	mRejected.With(reason).Inc()
+	d.rejMu.Lock()
+	d.rejects[reason]++
+	d.rejMu.Unlock()
+	dlog.Info("session rejected", "reason", reason, "remote", remoteOf(conn))
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(conn, "REJECT reason=%s\n", reason)
+	conn.Close()
+}
+
+func remoteOf(conn net.Conn) string {
+	if a := conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return ""
+}
+
+func (d *Daemon) worker() {
+	defer d.workWG.Done()
+	for it := range d.queue {
+		d.queued.Add(-1)
+		mQueuedGauge.Add(-1)
+		if !it.claim() {
+			continue // the queue-timeout timer already rejected it
+		}
+		it.timer.Stop()
+		d.handle(it.conn)
+	}
+}
+
+// handle runs one admitted session end to end: greeting, spec lookup,
+// OK line, wire stream analysis, stored record, verdict trailer.
+func (d *Daemon) handle(conn net.Conn) {
+	defer conn.Close()
+
+	conn.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+	line, err := readLine(conn, handshakeMax)
+	if err != nil {
+		d.reject(conn, ReasonBadHandshake)
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != protoGreeting {
+		d.reject(conn, ReasonBadHandshake)
+		return
+	}
+	kv := parseKV(fields[1:])
+	specName := kv["spec"]
+	if specName == "" {
+		specName = d.cfg.DefaultSpec
+	}
+	sp := d.specs[specName]
+	if sp == nil {
+		d.reject(conn, ReasonUnknownSpec)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	id := d.store.NextID()
+	if _, err := fmt.Fprintf(conn, "OK id=%s\n", id); err != nil {
+		dlog.Warn("session lost before admission reply", "id", id, "err", err)
+		return
+	}
+	d.accepted.Add(1)
+	mAccepted.Inc()
+	d.active.Add(1)
+	mActive.Add(1)
+	defer func() {
+		d.active.Add(-1)
+		mActive.Add(-1)
+	}()
+
+	// The session context aborts the analysis (drain deadline, daemon
+	// stop); closing the connection when it fires unblocks the pump
+	// goroutine's read so nothing leaks — the contract documented on
+	// observer.SessionOptions.Ctx.
+	sctx, cancel := context.WithCancel(d.ctx)
+	defer cancel()
+	unwatch := context.AfterFunc(sctx, func() { conn.Close() })
+	defer unwatch()
+
+	start := time.Now()
+	r := wire.NewResyncReceiver(conn)
+	res, aerr := observer.AnalyzeSession([]*wire.Receiver{r}, sp.prog, observer.SessionOptions{
+		Predict: predict.Options{
+			Lossy:           true,
+			MaxCuts:         d.cfg.MaxCuts,
+			MaxWidth:        d.cfg.MaxWidth,
+			Workers:         d.cfg.Workers,
+			Counterexamples: d.cfg.Counterexamples,
+		},
+		IdleTimeout: d.cfg.IdleTimeout,
+		Ctx:         sctx,
+	})
+
+	rec := buildRecord(id, sp, remoteOf(conn), start, res, aerr, r.Stats())
+	if err := d.store.Append(rec); err != nil {
+		dlog.Error("results store append failed", "id", id, "err", err)
+	}
+	d.completed.Add(1)
+	mCompleted.With(rec.Verdict).Inc()
+	dlog.Info("session complete", "id", id, "spec", sp.name, "verdict", rec.Verdict,
+		"violations", rec.Violations, "cuts", rec.Stats.Cuts)
+
+	// Detach the context watcher before the trailer write so a drain
+	// cancellation between the two cannot race the final line; the
+	// record is already durable either way.
+	unwatch()
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(conn, "VERDICT id=%s verdict=%s violations=%d cuts=%d degraded=%t\n",
+		id, rec.Verdict, rec.Violations, rec.Stats.Cuts, rec.Degraded.Any())
+}
+
+// verdictFor classifies a finished analysis. Violations take
+// precedence: a session that predicted a violation and then blew its
+// budget is a violation (with the error preserved in the record).
+func verdictFor(res predict.Result, err error) string {
+	switch {
+	case res.Violated():
+		return VerdictViolation
+	case errors.Is(err, predict.ErrBudget):
+		return VerdictBudget
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return VerdictCancelled
+	case err != nil:
+		return VerdictError
+	case res.Degraded.Any():
+		return VerdictDegraded
+	default:
+		return VerdictOK
+	}
+}
+
+// buildRecord folds one session's outcome into a store record.
+func buildRecord(id string, sp *spec, remote string, start time.Time, res predict.Result, aerr error, ws wire.SessionStats) Record {
+	rec := Record{
+		ID:         id,
+		Spec:       sp.name,
+		Formula:    sp.formula,
+		Remote:     remote,
+		Start:      start.UTC(),
+		End:        time.Now().UTC(),
+		Verdict:    verdictFor(res, aerr),
+		Violations: len(res.Violations),
+		Stats:      res.Stats,
+		Degraded:   res.Degraded,
+		Wire:       ws,
+	}
+	if aerr != nil {
+		rec.Error = aerr.Error()
+	}
+	if len(res.Violations) > 0 && res.Violations[0].Run != nil {
+		for _, st := range res.Violations[0].Run.States {
+			rec.Counterexample = append(rec.Counterexample, st.String())
+		}
+	}
+	return rec
+}
+
+// Drain gracefully shuts the daemon down: stop accepting, reject
+// everything still queued, let in-flight analyses finish within the
+// grace period, then cancel whatever remains. Idempotent.
+func (d *Daemon) Drain(grace time.Duration) error {
+	d.drainOnce.Do(func() { d.drainErr = d.drain(grace) })
+	return d.drainErr
+}
+
+func (d *Daemon) drain(grace time.Duration) error {
+	d.draining.Store(true)
+	mDrains.Inc()
+	dlog.Info("draining", "grace", grace, "active", d.active.Load(), "queued", d.queued.Load())
+
+	d.lnMu.Lock()
+	lns := d.listeners
+	d.listeners = nil
+	d.lnMu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	// Accept loops run admit synchronously, so once they have exited
+	// nothing can send on the queue again and closing it is safe.
+	d.lnWG.Wait()
+
+	// Reject queued connections with the explicit draining reason.
+rejectQueued:
+	for {
+		select {
+		case it := <-d.queue:
+			d.queued.Add(-1)
+			mQueuedGauge.Add(-1)
+			if it.claim() {
+				it.timer.Stop()
+				d.reject(it.conn, ReasonDraining)
+			}
+		default:
+			break rejectQueued
+		}
+	}
+	close(d.queue)
+
+	done := make(chan struct{})
+	go func() {
+		d.workWG.Wait()
+		close(done)
+	}()
+	var cancelled bool
+	select {
+	case <-done:
+	case <-time.After(grace):
+		cancelled = true
+		n := d.active.Load()
+		d.cancelled.Add(uint64(n))
+		mCancelled.Add(uint64(n))
+		dlog.Warn("drain grace period expired; cancelling in-flight sessions", "active", n)
+		d.cancel()
+		<-done
+	}
+	d.cancel() // release the context either way
+	err := d.store.Close()
+	dlog.Info("drained", "cancelled_sessions", cancelled)
+	return err
+}
+
+// Close aborts everything immediately: Drain with no grace.
+func (d *Daemon) Close() error { return d.Drain(0) }

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gompax/internal/predict"
+	"gompax/internal/wire"
+)
+
+// Record is one completed session in the results store: the durable,
+// queryable outcome of one client's predictive analysis. Records are
+// written as one JSON object per line to an append-only file, so the
+// store survives daemon restarts and stays greppable.
+type Record struct {
+	// ID is the daemon-assigned session id (unique across restarts).
+	ID string `json:"id"`
+	// Spec names the property the session was checked against.
+	Spec string `json:"spec"`
+	// Formula is the spec's property text, denormalized into every
+	// record so a store outlives spec renames.
+	Formula string `json:"formula,omitempty"`
+	// Remote is the client's address (best effort).
+	Remote string `json:"remote,omitempty"`
+	// Start and End bound the session wall-clock.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Verdict classifies the outcome: ok, violation, degraded, budget,
+	// cancelled or error (see verdictFor for the precedence).
+	Verdict string `json:"verdict"`
+	// Violations is the number of distinct predicted violations.
+	Violations int `json:"violations"`
+	// Error carries the analysis error for budget/cancelled/error
+	// verdicts (violations predicted before the failure are kept).
+	Error string `json:"error,omitempty"`
+	// Stats is the analyzer's work report.
+	Stats predict.Stats `json:"stats"`
+	// Degraded is the analysis degradation report, nil when clean.
+	Degraded *predict.Degraded `json:"degraded,omitempty"`
+	// Wire is the session's wire-level health (frames, corrupt
+	// frames, skipped bytes, sequence gaps, duplicates) — always
+	// recorded, even when zero, so degraded ingestion is visible per
+	// client rather than only in aggregate metrics.
+	Wire wire.SessionStats `json:"wire"`
+	// Counterexample is the state sequence of the first predicted
+	// violation's run, when the analysis tracked one.
+	Counterexample []string `json:"counterexample,omitempty"`
+}
+
+// Session verdict classes.
+const (
+	VerdictOK        = "ok"
+	VerdictViolation = "violation"
+	VerdictDegraded  = "degraded"
+	VerdictBudget    = "budget"
+	VerdictCancelled = "cancelled"
+	VerdictError     = "error"
+)
+
+// Store is the append-only JSONL results store with an in-memory
+// index for the query API. A Store with an empty path is memory-only.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	path  string
+	byID  map[string]int
+	order []Record
+	bytes int64
+	maxID uint64
+}
+
+// OpenStore opens (creating if needed) the JSONL store at path and
+// loads the existing records into the index. Lines that fail to parse
+// are counted and skipped, never fatal: a torn final line from a crash
+// must not brick the daemon. path == "" yields a memory-only store.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, byID: map[string]int{}}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	torn := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			torn++
+			continue
+		}
+		s.index(rec)
+		s.bytes += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: reading store %s: %w", path, err)
+	}
+	if torn > 0 {
+		mStoreTorn.Add(uint64(torn))
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// index inserts a record into the in-memory view, tracking the highest
+// numeric id suffix so new ids never collide with loaded ones.
+func (s *Store) index(rec Record) {
+	if i, dup := s.byID[rec.ID]; dup {
+		s.order[i] = rec // last writer wins, like a log replay
+	} else {
+		s.byID[rec.ID] = len(s.order)
+		s.order = append(s.order, rec)
+	}
+	if n, ok := strings.CutPrefix(rec.ID, "s-"); ok {
+		if v, err := strconv.ParseUint(n, 10, 64); err == nil && v > s.maxID {
+			s.maxID = v
+		}
+	}
+}
+
+// NextID mints the next session id.
+func (s *Store) NextID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxID++
+	return fmt.Sprintf("s-%06d", s.maxID)
+}
+
+// Append durably appends one record (written and flushed before the
+// index is updated, so a record the API can see is already on disk).
+func (s *Store) Append(rec Record) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		if _, err := s.w.Write(buf); err != nil {
+			return err
+		}
+		if err := s.w.WriteByte('\n'); err != nil {
+			return err
+		}
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+	}
+	s.bytes += int64(len(buf)) + 1
+	s.index(rec)
+	mStoreRecords.Inc()
+	mStoreBytes.Add(uint64(len(buf) + 1))
+	return nil
+}
+
+// Get returns the record with the given id.
+func (s *Store) Get(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.byID[id]
+	if !ok {
+		return Record{}, false
+	}
+	return s.order[i], true
+}
+
+// List returns a copy of every record in append order.
+func (s *Store) List() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.order...)
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Bytes returns the store's on-disk size in bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Close flushes and closes the backing file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	err := s.f.Close()
+	s.f, s.w = nil, nil
+	return err
+}

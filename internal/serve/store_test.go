@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gompax/internal/predict"
+	"gompax/internal/wire"
+)
+
+func testRecord(id, verdict string, violations int) Record {
+	return Record{
+		ID:         id,
+		Spec:       "crossing",
+		Formula:    "(x > 0) -> [y = 0, y > z)",
+		Start:      time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		End:        time.Date(2026, 8, 5, 12, 0, 1, 0, time.UTC),
+		Verdict:    verdict,
+		Violations: violations,
+		Stats:      predict.Stats{Cuts: 9, Levels: 5, LevelWidths: []int{1, 2, 3, 2, 1}},
+		Wire:       wire.SessionStats{Frames: 12, Gaps: 1},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{s.NextID(), s.NextID(), s.NextID()}
+	if ids[0] != "s-000001" || ids[2] != "s-000003" {
+		t.Fatalf("unexpected id sequence %v", ids)
+	}
+	for i, id := range ids {
+		if err := s.Append(testRecord(id, VerdictOK, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := s.Get(ids[1]); !ok || got.Violations != 1 {
+		t.Fatalf("Get(%s) = %+v, %v", ids[1], got, ok)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: records replay, ids keep counting past the loaded max.
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 3 {
+		t.Fatalf("reloaded Len() = %d, want 3", s2.Len())
+	}
+	rec, ok := s2.Get(ids[0])
+	if !ok {
+		t.Fatalf("record %s lost across reload", ids[0])
+	}
+	if rec.Wire.Gaps != 1 || rec.Stats.Cuts != 9 || len(rec.Stats.LevelWidths) != 5 {
+		t.Fatalf("record fields lost across reload: %+v", rec)
+	}
+	if next := s2.NextID(); next != "s-000004" {
+		t.Fatalf("NextID after reload = %s, want s-000004", next)
+	}
+}
+
+func TestStoreTornTailSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord("s-000001", VerdictViolation, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, undecodable final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"s-000002","ver`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("torn tail bricked the store: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("Len() = %d after torn tail, want 1", s2.Len())
+	}
+	// The store stays appendable after the torn line.
+	if err := s2.Append(testRecord(s2.NextID(), VerdictOK, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	s, err := OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord(s.NextID(), VerdictOK, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("memory-only store Len() = %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

