@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice telemetry-gate serve-smoke verify
+.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice bench-clock telemetry-gate serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ fuzz-smoke:
 bench-lattice:
 	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchmem -benchtime 5x .
 
+# Clock substrate gate: the BenchmarkPipelineClocks workloads on the
+# interned clock.Ref pipeline must allocate at least 20% less per op
+# than the legacy vc.VC pipeline. Regenerates BENCH_clock.json from
+# the measured numbers (alloc counts are deterministic, so this gate
+# is safe on shared hardware).
+bench-clock:
+	GOMPAX_CLOCK_GATE=1 $(GO) test -count=1 -run TestClockAllocGate -v .
+
 # Telemetry overhead gate: the BenchmarkExploreSequential workload with
 # telemetry active must stay within 5% of the inactive run (baseline
 # and budget in BENCH_telemetry.json).
@@ -51,4 +59,4 @@ telemetry-gate:
 serve-smoke:
 	GO=$(GO) bash scripts/serve_smoke.sh
 
-verify: build vet race fuzz-smoke telemetry-gate serve-smoke
+verify: build vet race fuzz-smoke bench-clock telemetry-gate serve-smoke

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"gompax/internal/causality"
+	"gompax/internal/clock"
 	"gompax/internal/driver"
 	"gompax/internal/event"
 	"gompax/internal/instrument"
@@ -34,7 +35,6 @@ import (
 	"gompax/internal/replay"
 	"gompax/internal/sched"
 	"gompax/internal/trace"
-	"gompax/internal/vc"
 	"gompax/internal/wire"
 )
 
@@ -285,11 +285,9 @@ func hypercube(k int) (*lattice.Computation, *monitor.Program, error) {
 	for i := 0; i < k; i++ {
 		name := trace.VarName(i)
 		m[name] = 0
-		clock := make(vc.VC, k)
-		clock[i] = 1
 		msgs = append(msgs, event.Message{
 			Event: event.Event{Thread: i, Index: 1, Kind: event.Write, Var: name, Value: 1, Relevant: true},
-			Clock: clock,
+			Clock: clock.Global().Tick(clock.Ref{}, i),
 		})
 	}
 	comp, err := lattice.NewComputation(logic.StateFromMap(m), k, msgs)
@@ -334,11 +332,11 @@ func benchGrid(threads, perThread int) (*lattice.Computation, *monitor.Program, 
 		name := trace.VarName(i)
 		m[name] = 0
 		for k := 1; k <= perThread; k++ {
-			clock := make(vc.VC, threads)
-			clock[i] = uint64(k)
+			comps := make([]uint64, threads)
+			comps[i] = uint64(k)
 			msgs = append(msgs, event.Message{
 				Event: event.Event{Thread: i, Index: uint64(k), Kind: event.Write, Var: name, Value: int64(k), Relevant: true},
-				Clock: clock,
+				Clock: clock.Global().Intern(comps),
 			})
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"gompax/internal/clock"
 	"gompax/internal/deadlock"
 	"gompax/internal/driver"
 	"gompax/internal/event"
@@ -33,7 +34,6 @@ import (
 	"gompax/internal/race"
 	"gompax/internal/sched"
 	"gompax/internal/trace"
-	"gompax/internal/vc"
 	"gompax/internal/wire"
 )
 
@@ -207,11 +207,9 @@ func experimentC4() {
 		for i := 0; i < k; i++ {
 			name := trace.VarName(i)
 			m[name] = 0
-			clock := make(vc.VC, k)
-			clock[i] = 1
 			msgs = append(msgs, event.Message{
 				Event: event.Event{Thread: i, Index: 1, Kind: event.Write, Var: name, Value: 1, Relevant: true},
-				Clock: clock,
+				Clock: clock.Global().Tick(clock.Ref{}, i),
 			})
 		}
 		comp, err := lattice.NewComputation(logic.StateFromMap(m), k, msgs)

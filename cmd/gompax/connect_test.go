@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"gompax/internal/observer"
 	"gompax/internal/serve"
+	"gompax/internal/wire"
 )
 
 func startDaemon(t *testing.T) string {
@@ -86,6 +89,74 @@ func TestCaptureAndReplay(t *testing.T) {
 	if replayCode != liveCode {
 		t.Fatalf("replayed capture exits %d but live seed exits %d (out %q stderr %q)",
 			replayCode, liveCode, out, stderr)
+	}
+}
+
+// TestV2CaptureReplay pins wire backward compatibility end to end: a
+// session transcoded to frame v2 (full clocks, no delta mode byte)
+// must replay through `gompax -connect -session` to the same verdict
+// as the v3 capture it came from.
+func TestV2CaptureReplay(t *testing.T) {
+	addr := startDaemon(t)
+	capture := filepath.Join(t.TempDir(), "session.bin")
+
+	code, _, stderr := runCLI("-capture", capture,
+		"-prog", "../../testdata/crossing.mtl", "-prop", crossingProp, "-seed", "1")
+	if code != exitClean {
+		t.Fatalf("capture: exit %d stderr %q", code, stderr)
+	}
+
+	// Transcode the v3 capture into a v2 one: decode the session, then
+	// re-frame it with the v2 sender an old client would have used.
+	data, err := os.ReadFile(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := observer.Drain(wire.NewReceiver(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	s := wire.NewSenderV2(&v2)
+	if err := s.SendHello(sess.Hello); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sess.Messages {
+		if err := s.SendMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, done := range sess.Done {
+		if done {
+			if err := s.SendThreadDone(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.SendBye(); err != nil {
+		t.Fatal(err)
+	}
+	v2capture := filepath.Join(t.TempDir(), "session-v2.bin")
+	if err := os.WriteFile(v2capture, v2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	v3Code, v3Out, _ := runCLI("-connect", addr, "-spec", "crossing", "-session", capture)
+	v2Code, v2Out, stderr := runCLI("-connect", addr, "-spec", "crossing", "-session", v2capture)
+	if v2Code != v3Code {
+		t.Fatalf("v2 capture exits %d but v3 capture exits %d (out %q stderr %q)",
+			v2Code, v3Code, v2Out, stderr)
+	}
+	verdict := func(out string) string {
+		for _, f := range strings.Fields(out) {
+			if strings.HasPrefix(f, "verdict=") {
+				return f
+			}
+		}
+		return ""
+	}
+	if v := verdict(v2Out); v == "" || v != verdict(v3Out) {
+		t.Fatalf("v2 capture verdict %q differs from v3 %q", verdict(v2Out), verdict(v3Out))
 	}
 }
 

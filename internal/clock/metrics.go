@@ -1,0 +1,66 @@
+package clock
+
+import (
+	"encoding/json"
+	"sync/atomic"
+
+	"gompax/internal/telemetry"
+)
+
+// Interning telemetry. Table operations already take a shard lock, so
+// one uncontended atomic add per intern outcome is within the §9
+// hot-path budget (no time syscalls, no allocation, not gated). The
+// gauges track process-wide live state: entries count interned nodes
+// across all tables, tables counts tables created. Tables are scoped
+// to sessions and reclaimed by GC with their nodes, so the gauges are
+// high-water views of what the process has built, matching when the
+// memory is actually released only as precisely as GC does.
+var (
+	mInterned = telemetry.Default().NewCounter("gompax_clock_interned_total",
+		"Distinct clock values interned across all clock tables.")
+	mHits = telemetry.Default().NewCounter("gompax_clock_intern_hits_total",
+		"Intern lookups that found an existing canonical clock node.")
+	mEntries = telemetry.Default().NewGauge("gompax_clock_intern_entries",
+		"Clock nodes currently interned across all live clock tables.")
+	mTables = telemetry.Default().NewGauge("gompax_clock_intern_tables",
+		"Clock interning tables created by the process.")
+)
+
+// liveEntries mirrors mEntries for the /statusz snapshot.
+var liveEntries, liveTables atomic.Int64
+
+func nodeInterned() {
+	mInterned.Inc()
+	mEntries.Add(1)
+	liveEntries.Add(1)
+}
+
+func tableCreated(t *Table) {
+	mTables.Add(1)
+	liveTables.Add(1)
+}
+
+// statusSection marshals live interning state at scrape time, so the
+// /statusz "clock" section is always current with zero cost on the
+// interning path.
+type statusSection struct{}
+
+func (statusSection) MarshalJSON() ([]byte, error) {
+	interned := mInterned.Value()
+	hits := mHits.Value()
+	ratio := 0.0
+	if total := interned + hits; total > 0 {
+		ratio = float64(hits) / float64(total)
+	}
+	return json.Marshal(map[string]any{
+		"interned_total":    interned,
+		"intern_hits_total": hits,
+		"hit_ratio":         ratio,
+		"entries":           liveEntries.Load(),
+		"tables":            liveTables.Load(),
+	})
+}
+
+func init() {
+	telemetry.PublishStatus("clock", statusSection{})
+}

@@ -8,7 +8,7 @@ package event
 import (
 	"fmt"
 
-	"gompax/internal/vc"
+	"gompax/internal/clock"
 )
 
 // Kind classifies an event in a multithreaded execution (§2.1). The
@@ -118,10 +118,12 @@ func (e Event) String() string {
 
 // Message is the observer message <e, i, V> of Algorithm A step 4: a
 // relevant event, its generating thread, and the thread's MVC at the
-// moment the event was processed.
+// moment the event was processed. The clock is an immutable interned
+// Ref, so emitting a message shares the tracker's clock instead of
+// cloning it.
 type Message struct {
 	Event Event
-	Clock vc.VC
+	Clock clock.Ref
 }
 
 // Precedes implements Theorem 3 on messages: m ⊲ m' iff m.Clock[i] ≤
@@ -130,7 +132,7 @@ func (m Message) Precedes(other Message) bool {
 	if m.Event.Thread == other.Event.Thread && m.Event.Index == other.Event.Index {
 		return false
 	}
-	return vc.Precedes(m.Clock, m.Event.Thread, other.Clock)
+	return clock.Precedes(m.Clock, m.Event.Thread, other.Clock)
 }
 
 // Concurrent reports m || m' (neither precedes the other).

@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"gompax/internal/vc"
+	"gompax/internal/clock"
 )
 
 func TestKindString(t *testing.T) {
@@ -73,10 +73,10 @@ func TestEventString(t *testing.T) {
 func TestMessagePrecedes(t *testing.T) {
 	// Paper Fig. 6 messages: e1:<x=0,T1,(1,0)>, e2:<z=1,T2,(1,1)>,
 	// e3:<y=1,T1,(2,0)>, e4:<x=1,T2,(1,2)>.
-	e1 := Message{Event: Event{Thread: 0, Index: 1, Var: "x", Value: 0, Kind: Write, Relevant: true}, Clock: vc.VC{1, 0}}
-	e2 := Message{Event: Event{Thread: 1, Index: 1, Var: "z", Value: 1, Kind: Write, Relevant: true}, Clock: vc.VC{1, 1}}
-	e3 := Message{Event: Event{Thread: 0, Index: 2, Var: "y", Value: 1, Kind: Write, Relevant: true}, Clock: vc.VC{2, 0}}
-	e4 := Message{Event: Event{Thread: 1, Index: 2, Var: "x", Value: 1, Kind: Write, Relevant: true}, Clock: vc.VC{1, 2}}
+	e1 := Message{Event: Event{Thread: 0, Index: 1, Var: "x", Value: 0, Kind: Write, Relevant: true}, Clock: clock.Of(1, 0)}
+	e2 := Message{Event: Event{Thread: 1, Index: 1, Var: "z", Value: 1, Kind: Write, Relevant: true}, Clock: clock.Of(1, 1)}
+	e3 := Message{Event: Event{Thread: 0, Index: 2, Var: "y", Value: 1, Kind: Write, Relevant: true}, Clock: clock.Of(2, 0)}
+	e4 := Message{Event: Event{Thread: 1, Index: 2, Var: "x", Value: 1, Kind: Write, Relevant: true}, Clock: clock.Of(1, 2)}
 
 	if !e1.Precedes(e2) || !e1.Precedes(e3) || !e1.Precedes(e4) {
 		t.Fatalf("e1 must precede e2,e3,e4")
@@ -99,7 +99,7 @@ func TestMessagePrecedes(t *testing.T) {
 }
 
 func TestMessageString(t *testing.T) {
-	m := Message{Event: Event{Thread: 1, Index: 1, Var: "z", Value: 1}, Clock: vc.VC{1, 1}}
+	m := Message{Event: Event{Thread: 1, Index: 1, Var: "z", Value: 1}, Clock: clock.Of(1, 1)}
 	if m.String() != "<z=1, T2, (1,1)>" {
 		t.Fatalf("String = %q", m.String())
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/instrument"
 	"gompax/internal/logic"
@@ -13,7 +14,6 @@ import (
 	"gompax/internal/observer"
 	"gompax/internal/progs"
 	"gompax/internal/sched"
-	"gompax/internal/vc"
 	"gompax/internal/wire"
 )
 
@@ -96,7 +96,7 @@ func TestInstrumentorImplementsHooks(t *testing.T) {
 		t.Fatalf("messages = %v", col.Messages)
 	}
 	// The write is the thread's first relevant event.
-	if !vc.Equal(col.Messages[0].Clock, vc.VC{1, 0}) {
+	if !clock.Equal(col.Messages[0].Clock, clock.Of(1)) {
 		t.Fatalf("clock = %v", col.Messages[0].Clock)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/logic"
 	"gompax/internal/vc"
@@ -43,6 +44,12 @@ type Computation struct {
 	initial   logic.State
 	perThread [][]event.Message
 	total     int
+	// table interns every cut-count clock of the computation, so cut
+	// Refs built through Advance are canonical: equal cuts carry the
+	// identical Ref, and explorers key their frontiers on it directly.
+	// The table is internally sharded, so concurrent Advance calls
+	// from parallel explorer workers do not serialize.
+	table *clock.Table
 }
 
 // NewComputation indexes messages by thread and per-thread position.
@@ -65,7 +72,9 @@ func NewComputation(initial logic.State, threads int, msgs []event.Message) (*Co
 		for len(per[i]) <= idx {
 			per[i] = append(per[i], event.Message{})
 		}
-		if per[i][idx].Clock != nil {
+		// A stored message always has a nonzero own component (checked
+		// above), so a zero clock marks an unfilled slot.
+		if !per[i][idx].Clock.IsZero() {
 			return nil, fmt.Errorf("lattice: duplicate message for thread %d position %d", i, k)
 		}
 		per[i][idx] = m
@@ -73,15 +82,19 @@ func NewComputation(initial logic.State, threads int, msgs []event.Message) (*Co
 	total := 0
 	for i, list := range per {
 		for k, m := range list {
-			if m.Clock == nil {
+			if m.Clock.IsZero() {
 				return nil, fmt.Errorf("lattice: missing message for thread %d position %d", i, k+1)
 			}
 		}
 		total += len(list)
 	}
 	mComputations.Inc()
-	return &Computation{initial: initial, perThread: per, total: total}, nil
+	return &Computation{initial: initial, perThread: per, total: total, table: clock.NewTable()}, nil
 }
+
+// Table returns the computation's clock interning table. Cut counts
+// produced by Advance are canonical within it.
+func (c *Computation) Table() *clock.Table { return c.table }
 
 // Initial returns the initial global state.
 func (c *Computation) Initial() logic.State { return c.initial }
@@ -102,18 +115,25 @@ func (c *Computation) Message(thread, k int) event.Message {
 
 // Cut is a consistent global state of the computation: counts[i]
 // relevant events of thread i have been applied to the initial state.
+// The counts are an interned clock Ref: within one computation, equal
+// cuts carry the identical Ref.
 type Cut struct {
-	counts vc.VC
+	counts clock.Ref
 	state  logic.State
 }
 
-// Root returns the bottom cut: no events applied, initial state.
+// Root returns the bottom cut: no events applied, initial state. Its
+// counts are the zero clock.
 func (c *Computation) Root() Cut {
-	return Cut{counts: vc.New(len(c.perThread)), state: c.initial}
+	return Cut{state: c.initial}
 }
 
-// Counts returns a copy of the cut's per-thread event counts.
-func (cut Cut) Counts() vc.VC { return cut.counts.Clone() }
+// Counts materializes the cut's per-thread event counts as a mutable
+// vector (trailing zero counts normalized away).
+func (cut Cut) Counts() vc.VC { return cut.counts.VC() }
+
+// Clock returns the cut's counts as the interned Ref itself.
+func (cut Cut) Clock() clock.Ref { return cut.counts }
 
 // State returns the global state of the cut. It is well defined
 // independently of the path taken to the cut: concurrent relevant
@@ -125,23 +145,27 @@ func (cut Cut) State() logic.State { return cut.state }
 // Level returns the lattice level (total events applied).
 func (cut Cut) Level() int { return int(cut.counts.Sum()) }
 
-// Key identifies the cut within its computation.
+// Key identifies the cut within its computation (trailing zeros
+// normalized away).
 func (cut Cut) Key() string { return cut.counts.Key() }
 
-// Hash returns a hash of the cut's clock vector, consistent with Key
-// (equal cuts hash identically). The parallel explorer uses it to pick
-// the shard a cut is interned in.
-func (cut Cut) Hash() uint64 { return cut.counts.Hash() }
+// Hash returns the precomputed digest of the cut's clock, consistent
+// with Key (equal cuts hash identically). The parallel explorer uses
+// it to pick the shard a cut is interned in; unlike the seed's
+// re-hash-per-lookup it is a field read.
+func (cut Cut) Hash() uint64 { return cut.counts.Digest() }
 
-// String renders the cut like the paper's S_{c1,c2,...} labels.
+// String renders the cut like the paper's S_{c1,c2,...} labels, with
+// trailing zero counts normalized away (the root is "S").
 func (cut Cut) String() string {
 	var b strings.Builder
 	b.WriteString("S")
-	for i, x := range cut.counts {
+	n := cut.counts.Len()
+	for i := 0; i < n; i++ {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%d", x)
+		fmt.Fprintf(&b, "%d", cut.counts.Get(i))
 	}
 	return b.String()
 }
@@ -185,8 +209,7 @@ func (c *Computation) Advance(cut Cut, thread int) Succ {
 	}
 	next := int(cut.counts.Get(thread)) + 1
 	m := c.perThread[thread][next-1]
-	counts := cut.counts.Clone()
-	counts.Set(thread, uint64(next))
+	counts := c.table.Tick(cut.counts, thread)
 	return Succ{
 		Thread: thread,
 		Msg:    m,
@@ -257,7 +280,9 @@ func Build(c *Computation, maxNodes int) (*Lattice, error) {
 	l := &Lattice{comp: c}
 	root := c.Root()
 	l.nodes = append(l.nodes, Node{ID: 0, Cut: root})
-	index := map[string]int{root.Key(): 0}
+	// Cut counts are interned in the computation's table, so the Ref
+	// itself is the dedup key — no string materialization per cut.
+	index := map[clock.Ref]int{root.Clock(): 0}
 	level := []int{0}
 	l.levels = append(l.levels, level)
 	for len(level) > 0 {
@@ -265,7 +290,7 @@ func Build(c *Computation, maxNodes int) (*Lattice, error) {
 		for _, id := range level {
 			cut := l.nodes[id].Cut
 			for _, s := range c.Successors(cut) {
-				key := s.Cut.Key()
+				key := s.Cut.Clock()
 				to, ok := index[key]
 				if !ok {
 					to = len(l.nodes)
@@ -425,7 +450,9 @@ func (l *Lattice) StateTuples(varOrder []string) []string {
 // NewCut assembles a Cut from explicit counts and state. It is
 // intended for incremental analyzers (predict.Online) that maintain
 // cut frontiers themselves; counts and state must be mutually
-// consistent for the computation the cut will be used with.
-func NewCut(counts vc.VC, state logic.State) Cut {
+// consistent for the computation the cut will be used with, and the
+// counts Ref should be interned in that computation's Table so cut
+// Refs stay canonical.
+func NewCut(counts clock.Ref, state logic.State) Cut {
 	return Cut{counts: counts, state: state}
 }

@@ -10,13 +10,13 @@ import (
 	"gompax/internal/logic"
 	"gompax/internal/mvc"
 	"gompax/internal/trace"
-	"gompax/internal/vc"
+	"gompax/internal/clock"
 )
 
-func msg(thread int, varName string, value int64, clock ...uint64) event.Message {
+func msg(thread int, varName string, value int64, comps ...uint64) event.Message {
 	return event.Message{
 		Event: event.Event{Thread: thread, Kind: event.Write, Var: varName, Value: value, Relevant: true},
-		Clock: vc.VC(clock),
+		Clock: clock.Of(comps...),
 	}
 }
 
@@ -371,7 +371,7 @@ func TestAdvancePanicsWhenInconsistent(t *testing.T) {
 			t.Fatalf("expected panic")
 		}
 	}()
-	bad := Cut{counts: vc.VC{2, 0}, state: c.Initial()}
+	bad := Cut{counts: clock.Of(2, 0), state: c.Initial()}
 	_ = bad
 	// Advancing thread 1 from root twice: only one event exists.
 	s := c.Advance(root, 1)
@@ -382,11 +382,11 @@ func TestCutStringAndLevel(t *testing.T) {
 	t.Parallel()
 	c := fig6(t)
 	root := c.Root()
-	if root.String() != "S0,0" {
+	if root.String() != "S" {
 		t.Errorf("root = %q", root)
 	}
 	s := c.Advance(root, 0)
-	if s.Cut.String() != "S1,0" || s.Cut.Level() != 1 {
+	if s.Cut.String() != "S1" || s.Cut.Level() != 1 {
 		t.Errorf("cut = %q level %d", s.Cut, s.Cut.Level())
 	}
 }

@@ -28,6 +28,8 @@ type Case struct {
 	// Relevant is the subset of variables whose writes became messages;
 	// the generated formula only mentions these.
 	Relevant []string
+	// Events are the completed events in execution order.
+	Events []event.Event
 	// Msgs are the emitted relevant-write messages, in emission order.
 	Msgs []event.Message
 	// Initial maps every relevant variable to 0.
@@ -63,7 +65,7 @@ func Random(rng *rand.Rand) (Case, error) {
 		c.Relevant = append(c.Relevant, trace.VarName(rng.Intn(vars)))
 	}
 
-	_, c.Msgs = trace.Execute(c.Ops, c.Threads, mvc.WritesOf(c.Relevant...))
+	c.Events, c.Msgs = trace.Execute(c.Ops, c.Threads, mvc.WritesOf(c.Relevant...))
 
 	im := map[string]int64{}
 	for _, v := range c.Relevant {

@@ -5,22 +5,23 @@ import "sync"
 // Sharded is a hash-sharded interning table for deduplicating cuts
 // while several workers expand one lattice level concurrently. Cuts
 // are identified by their clock vector: shard selection uses the
-// clock's Hash (so workers expanding causally unrelated cuts rarely
-// contend on the same shard) and exact identity uses the clock's
-// collision-free Key.
+// clock's precomputed digest (so workers expanding causally unrelated
+// cuts rarely contend on the same shard) and exact identity uses a
+// comparable key — for cuts, the interned clock Ref itself, which is
+// collision-free within one computation.
 //
 // The table intentionally does NOT protect the values it stores: a
 // worker that loses the GetOrCreate race for a cut must synchronize on
 // the value itself (the predict package keeps a mutex per frontier
 // entry) before merging monitor states into it.
-type Sharded[V any] struct {
+type Sharded[K comparable, V any] struct {
 	mask   uint64
-	shards []tableShard[V]
+	shards []tableShard[K, V]
 }
 
-type tableShard[V any] struct {
+type tableShard[K comparable, V any] struct {
 	mu sync.Mutex
-	m  map[string]V
+	m  map[K]V
 	// Pad each shard to its own cache line so uncontended locks on
 	// neighbouring shards do not false-share.
 	_ [40]byte
@@ -28,14 +29,14 @@ type tableShard[V any] struct {
 
 // NewSharded returns a table with at least n shards (rounded up to a
 // power of two, minimum 1).
-func NewSharded[V any](n int) *Sharded[V] {
+func NewSharded[K comparable, V any](n int) *Sharded[K, V] {
 	size := 1
 	for size < n {
 		size <<= 1
 	}
-	s := &Sharded[V]{mask: uint64(size - 1), shards: make([]tableShard[V], size)}
+	s := &Sharded[K, V]{mask: uint64(size - 1), shards: make([]tableShard[K, V], size)}
 	for i := range s.shards {
-		s.shards[i].m = make(map[string]V)
+		s.shards[i].m = make(map[K]V)
 	}
 	return s
 }
@@ -45,7 +46,7 @@ func NewSharded[V any](n int) *Sharded[V] {
 // whether this call created the value — exactly one concurrent caller
 // per key observes true, which is how the parallel explorer counts
 // distinct cuts without double-counting merges.
-func (s *Sharded[V]) GetOrCreate(hash uint64, key string, create func() V) (V, bool) {
+func (s *Sharded[K, V]) GetOrCreate(hash uint64, key K, create func() V) (V, bool) {
 	sh := &s.shards[hash&s.mask]
 	sh.mu.Lock()
 	v, ok := sh.m[key]
@@ -59,7 +60,7 @@ func (s *Sharded[V]) GetOrCreate(hash uint64, key string, create func() V) (V, b
 
 // Len returns the number of interned values. It takes every shard lock
 // and is meant for the level barrier, not the hot path.
-func (s *Sharded[V]) Len() int {
+func (s *Sharded[K, V]) Len() int {
 	n := 0
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
@@ -72,7 +73,7 @@ func (s *Sharded[V]) Len() int {
 // Range calls fn for every interned (key, value) pair, holding the
 // corresponding shard lock. Iteration order is unspecified; callers
 // that need determinism must sort what they collect.
-func (s *Sharded[V]) Range(fn func(key string, v V)) {
+func (s *Sharded[K, V]) Range(fn func(key K, v V)) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()

@@ -3,13 +3,13 @@ package liveness
 import (
 	"testing"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/instrument"
 	"gompax/internal/lattice"
 	"gompax/internal/logic"
 	"gompax/internal/mtl"
 	"gompax/internal/sched"
-	"gompax/internal/vc"
 )
 
 func st(pairs map[string]int64) logic.State { return logic.StateFromMap(pairs) }
@@ -78,10 +78,10 @@ func TestEvalLassoErrors(t *testing.T) {
 }
 
 // msg builds a relevant write message.
-func msg(thread int, name string, value int64, clock ...uint64) event.Message {
+func msg(thread int, name string, value int64, comps ...uint64) event.Message {
 	return event.Message{
 		Event: event.Event{Thread: thread, Kind: event.Write, Var: name, Value: value, Relevant: true},
-		Clock: vc.VC(clock),
+		Clock: clock.Of(comps...),
 	}
 }
 

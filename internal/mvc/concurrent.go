@@ -3,8 +3,8 @@ package mvc
 import (
 	"sync"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
-	"gompax/internal/vc"
 )
 
 // ConcurrentTracker is a mutex-guarded Tracker safe for direct use from
@@ -68,8 +68,8 @@ func (c *ConcurrentTracker) Fork(parent int) int {
 	return c.t.Fork(parent)
 }
 
-// ThreadClock returns a copy of V_i.
-func (c *ConcurrentTracker) ThreadClock(i int) vc.VC {
+// ThreadClock returns V_i.
+func (c *ConcurrentTracker) ThreadClock(i int) clock.Ref {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.t.ThreadClock(i)

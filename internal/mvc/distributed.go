@@ -1,6 +1,7 @@
 package mvc
 
 import (
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/vc"
 )
@@ -32,7 +33,8 @@ import (
 type DistInterp struct {
 	policy  Policy
 	sink    Sink
-	threads []vc.VC // thread process clocks
+	table   *clock.Table // interns emitted clocks; internals stay on vc
+	threads []vc.VC      // thread process clocks
 	counts  []uint64
 	access  map[string]*vc.VC // xa process clocks
 	write   map[string]*vc.VC // xw process clocks
@@ -40,10 +42,14 @@ type DistInterp struct {
 }
 
 // NewDistInterp mirrors NewTracker for the message-passing semantics.
+// The protocol internals deliberately stay on the mutable vc reference
+// clocks (this type exists to validate the paper's §3.2 claim, not to
+// be fast); only the emitted messages intern into a table.
 func NewDistInterp(n int, policy Policy, sink Sink) *DistInterp {
 	d := &DistInterp{
 		policy:  policy,
 		sink:    sink,
+		table:   clock.NewTable(),
 		threads: make([]vc.VC, n),
 		counts:  make([]uint64, n),
 		access:  map[string]*vc.VC{},
@@ -111,7 +117,7 @@ func (d *DistInterp) Process(e event.Event) event.Event {
 	}
 
 	if e.Relevant && d.sink != nil {
-		d.sink.Emit(event.Message{Event: e, Clock: d.threads[i].Clone()})
+		d.sink.Emit(event.Message{Event: e, Clock: d.table.Intern(d.threads[i])})
 	}
 	return e
 }

@@ -39,17 +39,17 @@ func TestDistributedInterpretationEquivalence(t *testing.T) {
 			}
 			// Clock-for-clock agreement after every event.
 			for i := 0; i < threads; i++ {
-				if !vc.Equal(tr.ThreadClock(i), di.ThreadClock(i)) {
+				if !vc.Equal(tr.ThreadClock(i).VC(), di.ThreadClock(i)) {
 					t.Fatalf("iter %d after %v: thread %d clock %v vs %v",
 						iter, ea, i, tr.ThreadClock(i), di.ThreadClock(i))
 				}
 			}
 			for _, x := range tr.Vars() {
-				if !vc.Equal(tr.AccessClock(x), di.AccessClock(x)) {
+				if !vc.Equal(tr.AccessClock(x).VC(), di.AccessClock(x)) {
 					t.Fatalf("iter %d after %v: Va_%s %v vs %v",
 						iter, ea, x, tr.AccessClock(x), di.AccessClock(x))
 				}
-				if !vc.Equal(tr.WriteClock(x), di.WriteClock(x)) {
+				if !vc.Equal(tr.WriteClock(x).VC(), di.WriteClock(x)) {
 					t.Fatalf("iter %d after %v: Vw_%s %v vs %v",
 						iter, ea, x, tr.WriteClock(x), di.WriteClock(x))
 				}

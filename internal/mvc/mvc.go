@@ -22,9 +22,9 @@ import (
 	"sort"
 	"time"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/telemetry"
-	"gompax/internal/vc"
 )
 
 // Sink receives the messages Algorithm A emits for relevant events.
@@ -94,18 +94,23 @@ func (p Policy) Relevant(e event.Event) bool {
 }
 
 type varClocks struct {
-	access vc.VC // Va_x
-	write  vc.VC // Vw_x
+	access clock.Ref // Va_x
+	write  clock.Ref // Vw_x
 	events *telemetry.Counter
 }
 
-// Tracker runs Algorithm A. It is not safe for concurrent use; see
-// ConcurrentTracker.
+// Tracker runs Algorithm A on the interned clock substrate: every
+// vector-clock value lives in the tracker's clock.Table, step 1 is a
+// persistent Tick, steps 2-3 are persistent Joins (the write step's
+// V_w = V_a = V_i is pure handle sharing), and step 4 emits the
+// thread's Ref itself — no clone per message. Tracker is not safe for
+// concurrent use; see ConcurrentTracker.
 type Tracker struct {
 	policy  Policy
 	sink    Sink
-	threads []vc.VC  // V_i, indexed by thread
-	counts  []uint64 // per-thread event index (k of e_i^k)
+	table   *clock.Table
+	threads []clock.Ref // V_i, indexed by thread
+	counts  []uint64    // per-thread event index (k of e_i^k)
 	tallies []*telemetry.Counter
 	vars    map[string]*varClocks
 	seq     uint64 // global position in the observed execution M
@@ -119,17 +124,22 @@ func NewTracker(n int, policy Policy, sink Sink) *Tracker {
 	t := &Tracker{
 		policy:  policy,
 		sink:    sink,
-		threads: make([]vc.VC, n),
+		table:   clock.NewTable(),
+		threads: make([]clock.Ref, n), // zero Refs: all-zero clocks
 		counts:  make([]uint64, n),
 		tallies: make([]*telemetry.Counter, n),
 		vars:    make(map[string]*varClocks),
 	}
 	for i := range t.threads {
-		t.threads[i] = vc.New(n)
 		t.tallies[i] = threadCounter(i)
 	}
 	return t
 }
+
+// Table returns the tracker's interning table. All clocks the tracker
+// emits are canonical within it, so Refs taken from one tracker are
+// directly comparable and usable as map keys.
+func (t *Tracker) Table() *clock.Table { return t.table }
 
 // Threads returns the number of registered threads.
 func (t *Tracker) Threads() int { return len(t.threads) }
@@ -141,23 +151,23 @@ func (t *Tracker) Emitted() uint64 { return t.emitted }
 // observed execution M).
 func (t *Tracker) Seq() uint64 { return t.seq }
 
-// ThreadClock returns a copy of V_i.
-func (t *Tracker) ThreadClock(i int) vc.VC { return t.threads[i].Clone() }
+// ThreadClock returns V_i. Refs are immutable, so no copy is needed.
+func (t *Tracker) ThreadClock(i int) clock.Ref { return t.threads[i] }
 
-// AccessClock returns a copy of Va_x (zero clock if x never accessed).
-func (t *Tracker) AccessClock(x string) vc.VC {
+// AccessClock returns Va_x (zero clock if x never accessed).
+func (t *Tracker) AccessClock(x string) clock.Ref {
 	if c, ok := t.vars[x]; ok {
-		return c.access.Clone()
+		return c.access
 	}
-	return nil
+	return clock.Ref{}
 }
 
-// WriteClock returns a copy of Vw_x (zero clock if x never written).
-func (t *Tracker) WriteClock(x string) vc.VC {
+// WriteClock returns Vw_x (zero clock if x never written).
+func (t *Tracker) WriteClock(x string) clock.Ref {
 	if c, ok := t.vars[x]; ok {
-		return c.write.Clone()
+		return c.write
 	}
-	return nil
+	return clock.Ref{}
 }
 
 // Vars returns the sorted names of shared variables seen so far.
@@ -170,14 +180,16 @@ func (t *Tracker) Vars() []string {
 	return out
 }
 
-// Fork registers a new thread whose clock starts as a copy of the
-// parent's, establishing causal precedence of all the parent's prior
-// events over all of the child's events. It returns the child thread
-// id. This realizes the dynamic thread creation extension (§2).
+// Fork registers a new thread whose clock starts as the parent's,
+// establishing causal precedence of all the parent's prior events over
+// all of the child's events. It returns the child thread id. This
+// realizes the dynamic thread creation extension (§2); with interned
+// clocks the child shares the parent's clock structurally — Spawn
+// allocates nothing.
 func (t *Tracker) Fork(parent int) int {
 	t.mustThread(parent)
 	child := len(t.threads)
-	t.threads = append(t.threads, t.threads[parent].Clone())
+	t.threads = append(t.threads, t.threads[parent])
 	t.counts = append(t.counts, 0)
 	t.tallies = append(t.tallies, threadCounter(child))
 	// The spawn itself is an event of the parent thread.
@@ -258,11 +270,11 @@ func (t *Tracker) Process(e event.Event) event.Event {
 	e.Index = t.counts[i]
 	e.Relevant = t.policy.Relevant(e)
 
-	vi := &t.threads[i]
+	vi := t.threads[i]
 
 	// Step 1: if e is relevant then V_i[i] <- V_i[i] + 1.
 	if e.Relevant {
-		vi.Inc(i)
+		vi = t.table.Tick(vi, i)
 	}
 
 	switch {
@@ -270,23 +282,26 @@ func (t *Tracker) Process(e event.Event) event.Event {
 		// Step 2: V_i <- max{V_i, Vw_x}; Va_x <- max{Va_x, V_i}.
 		c := t.clocks(e.Var)
 		c.events.Inc()
-		vi.JoinInto(c.write)
-		c.access.JoinInto(*vi)
+		vi = t.table.Join(vi, c.write)
+		c.access = t.table.Join(c.access, vi)
 	case e.Kind.IsWrite():
-		// Step 3: Vw_x <- Va_x <- V_i <- max{Va_x, V_i}.
+		// Step 3: Vw_x <- Va_x <- V_i <- max{Va_x, V_i}. With
+		// immutable clocks the three-way assignment is handle sharing.
 		c := t.clocks(e.Var)
 		c.events.Inc()
-		vi.JoinInto(c.access)
-		c.access = vi.CloneInto(c.access)
-		c.write = vi.CloneInto(c.write)
+		vi = t.table.Join(vi, c.access)
+		c.access = vi
+		c.write = vi
 	}
+	t.threads[i] = vi
 
-	// Step 4: if e is relevant, send <e, i, V_i> to the observer.
+	// Step 4: if e is relevant, send <e, i, V_i> to the observer. The
+	// emitted clock is the interned value itself — nothing to clone.
 	if e.Relevant {
 		t.emitted++
 		mEmitted.Inc()
 		if t.sink != nil {
-			t.sink.Emit(event.Message{Event: e, Clock: vi.Clone()})
+			t.sink.Emit(event.Message{Event: e, Clock: vi})
 		}
 	}
 	t.tallies[i].Inc()

@@ -5,10 +5,10 @@ import (
 	"testing"
 
 	"gompax/internal/causality"
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/mvc"
 	"gompax/internal/trace"
-	"gompax/internal/vc"
 )
 
 // TestFig6Example replays the paper's Example 2 execution and checks
@@ -41,21 +41,21 @@ func TestFig6Example(t *testing.T) {
 		varName string
 		value   int64
 		thread  int
-		clock   vc.VC
+		clk     clock.Ref
 	}
 	wants := []want{
-		{"x", 0, 0, vc.VC{1, 0}},
-		{"z", 1, 1, vc.VC{1, 1}},
-		{"x", 1, 1, vc.VC{1, 2}},
-		{"y", 1, 0, vc.VC{2, 0}},
+		{"x", 0, 0, clock.Of(1)},
+		{"z", 1, 1, clock.Of(1, 1)},
+		{"x", 1, 1, clock.Of(1, 2)},
+		{"y", 1, 0, clock.Of(2)},
 	}
 	for i, w := range wants {
 		m := col.Messages[i]
 		if m.Event.Var != w.varName || m.Event.Value != w.value || m.Event.Thread != w.thread {
 			t.Errorf("message %d = %v, want %s=%d by T%d", i, m, w.varName, w.value, w.thread+1)
 		}
-		if !vc.Equal(m.Clock, w.clock) {
-			t.Errorf("message %d clock = %v, want %v", i, m.Clock, w.clock)
+		if !clock.Equal(m.Clock, w.clk) {
+			t.Errorf("message %d clock = %v, want %v", i, m.Clock, w.clk)
 		}
 	}
 
@@ -212,7 +212,7 @@ func TestVwLeqVa(t *testing.T) {
 	for _, op := range ops {
 		tr.Process(event.Event{Thread: op.Thread, Kind: op.Kind, Var: op.Var, Value: op.Value})
 		for _, x := range tr.Vars() {
-			if !vc.LEQ(tr.WriteClock(x), tr.AccessClock(x)) {
+			if !clock.Leq(tr.WriteClock(x), tr.AccessClock(x)) {
 				t.Fatalf("Vw_%s = %v not ≤ Va_%s = %v", x, tr.WriteClock(x), x, tr.AccessClock(x))
 			}
 		}
@@ -256,8 +256,8 @@ func TestTheorem3(t *testing.T) {
 				ma, mb := msgs[a], msgs[b]
 				ia, ib := pos[ma.Event.ID()], pos[mb.Event.ID()]
 				want := gt.Precedes(ia, ib)
-				gotComponent := vc.Precedes(ma.Clock, ma.Event.Thread, mb.Clock)
-				gotLess := vc.Less(ma.Clock, mb.Clock)
+				gotComponent := clock.Precedes(ma.Clock, ma.Event.Thread, mb.Clock)
+				gotLess := clock.Less(ma.Clock, mb.Clock)
 				if gotComponent != want {
 					t.Fatalf("iter %d: V[i]≤V'[i] = %v but ground truth %v for %v vs %v",
 						iter, gotComponent, want, ma, mb)
@@ -284,7 +284,7 @@ func TestRequirementA(t *testing.T) {
 		// Drive the tracker op by op, snapshotting V_i after each event.
 		tr := mvc.NewTracker(threads, policy, nil)
 		var events []event.Event
-		var clocks []vc.VC
+		var clocks []clock.Ref
 		for _, op := range ops {
 			e := tr.Process(event.Event{Thread: op.Thread, Kind: op.Kind, Var: op.Var, Value: op.Value})
 			events = append(events, e)
@@ -315,12 +315,12 @@ func TestRequirementsBC(t *testing.T) {
 		policy := mvc.WritesOf(trace.VarName(0), trace.VarName(1))
 		tr := mvc.NewTracker(threads, policy, nil)
 		var events []event.Event
-		type snap struct{ access, write map[string]vc.VC }
+		type snap struct{ access, write map[string]clock.Ref }
 		var snaps []snap
 		for _, op := range ops {
 			e := tr.Process(event.Event{Thread: op.Thread, Kind: op.Kind, Var: op.Var, Value: op.Value})
 			events = append(events, e)
-			s := snap{access: map[string]vc.VC{}, write: map[string]vc.VC{}}
+			s := snap{access: map[string]clock.Ref{}, write: map[string]clock.Ref{}}
 			for _, x := range tr.Vars() {
 				s.access[x] = tr.AccessClock(x)
 				s.write[x] = tr.WriteClock(x)
@@ -423,8 +423,8 @@ func TestTrackerAccessors(t *testing.T) {
 	if tr.Seq() != 2 || tr.Emitted() != 2 {
 		t.Fatalf("Seq=%d Emitted=%d", tr.Seq(), tr.Emitted())
 	}
-	if tr.AccessClock("zzz") != nil {
-		t.Fatalf("unknown var should have nil access clock")
+	if !tr.AccessClock("zzz").IsZero() {
+		t.Fatalf("unknown var should have a zero access clock")
 	}
 }
 

@@ -103,7 +103,7 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 				return fmt.Errorf("observer: message before hello")
 			}
 			mMessagesFed.Inc()
-			return online.Feed(*f.Msg)
+			return online.Feed(f.Msg)
 		case wire.FrameThreadDone:
 			if online == nil {
 				return fmt.Errorf("observer: thread-done before hello")

@@ -62,7 +62,7 @@ func Drain(r *wire.Receiver) (*Session, error) {
 			if s == nil {
 				return nil, fmt.Errorf("observer: message before hello")
 			}
-			s.Messages = append(s.Messages, *f.Msg)
+			s.Messages = append(s.Messages, f.Msg)
 		case wire.FrameThreadDone:
 			if s == nil {
 				return nil, fmt.Errorf("observer: thread-done before hello")
@@ -151,7 +151,7 @@ func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (pre
 				return predict.Result{}, fmt.Errorf("observer: message before hello")
 			}
 			mMessagesFed.Inc()
-			if err := online.Feed(*f.Msg); err != nil {
+			if err := online.Feed(f.Msg); err != nil {
 				return partial(err)
 			}
 		case wire.FrameThreadDone:

@@ -6,6 +6,7 @@ import (
 	"net"
 	"testing"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/instrument"
 	"gompax/internal/lattice"
@@ -16,7 +17,6 @@ import (
 	"gompax/internal/predict"
 	"gompax/internal/progs"
 	"gompax/internal/sched"
-	"gompax/internal/vc"
 	"gompax/internal/wire"
 )
 
@@ -268,7 +268,7 @@ func TestDrainErrors(t *testing.T) {
 func sampleMsg() event.Message {
 	return event.Message{
 		Event: event.Event{Thread: 0, Index: 1, Kind: event.Write, Var: "x", Value: 1, Relevant: true},
-		Clock: vc.VC{1},
+		Clock: clock.Of(1),
 	}
 }
 

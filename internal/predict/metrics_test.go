@@ -2,6 +2,7 @@ package predict
 
 import (
 	"fmt"
+	"gompax/internal/clock"
 	"reflect"
 	"testing"
 
@@ -52,11 +53,11 @@ func gridMessages(threads, perThread int) ([]event.Message, logic.State) {
 	var msgs []event.Message
 	for i := 0; i < threads; i++ {
 		for k := 1; k <= perThread; k++ {
-			clock := make([]uint64, threads)
-			clock[i] = uint64(k)
+			comps := make([]uint64, threads)
+			comps[i] = uint64(k)
 			msgs = append(msgs, event.Message{
 				Event: event.Event{Thread: i, Kind: event.Write, Var: fmt.Sprintf("g%d", i), Value: int64(k), Relevant: true},
-				Clock: clock,
+				Clock: clock.Global().Intern(comps),
 			})
 		}
 	}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/lattice"
 	"gompax/internal/logic"
 	"gompax/internal/monitor"
-	"gompax/internal/vc"
 )
 
 // Online is the incremental analyzer of §4: "one can buffer [events]
@@ -34,10 +34,13 @@ type Online struct {
 	announced []bool                     // thread-done notice received
 	applied   int                        // events consumed into the frontier
 
-	// frontier maps cut keys to frontier entries (the shared pentry of
+	// table interns the cut clocks the analysis mints, so frontier Refs
+	// compare by identity and Ticks share structure with their parents.
+	table *clock.Table
+	// frontier maps cut clocks to frontier entries (the shared pentry of
 	// parallel.go; each entry's keys map each reachable monitor state
 	// to one representative path, nil unless Counterexamples was set).
-	frontier map[string]*pentry
+	frontier map[clock.Ref]*pentry
 	result   Result
 	maxCuts  int
 	maxWidth int
@@ -62,7 +65,8 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 		pending:   make([]map[uint64]event.Message, threads),
 		final:     make([]bool, threads),
 		announced: make([]bool, threads),
-		frontier:  map[string]*pentry{},
+		table:     clock.NewTable(),
+		frontier:  map[clock.Ref]*pentry{},
 		maxCuts:   opts.MaxCuts,
 		maxWidth:  opts.MaxWidth,
 		paths:     opts.Counterexamples,
@@ -83,7 +87,7 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 	// covers most sessions and let append double beyond it.
 	o.result.Stats.reserveLevels(64)
 	flushRootTelemetry(verdict == monitor.Violated)
-	root := lattice.NewCut(vc.New(threads), initial)
+	root := lattice.NewCut(clock.Ref{}, initial)
 	if verdict == monitor.Violated {
 		viol := Violation{Cut: root, State: initial, Level: 0}
 		if o.paths {
@@ -92,7 +96,7 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 		o.result.Violations = append(o.result.Violations, viol)
 		return o, nil
 	}
-	o.frontier[root.Key()] = &pentry{counts: vc.New(threads), key: root.Key(), state: initial, keys: map[uint64][]int{m.Key(): nil}}
+	o.frontier[root.Clock()] = &pentry{counts: root.Clock(), state: initial, keys: map[uint64][]int{m.Key(): nil}}
 	return o, nil
 }
 
@@ -309,7 +313,7 @@ func (o *Online) advance() error {
 			// Frontier entries have no available successors at all:
 			// analysis of delivered events is complete.
 			if o.allFinal() {
-				o.frontier = map[string]*pentry{}
+				o.frontier = map[clock.Ref]*pentry{}
 			}
 			return nil
 		}
@@ -323,9 +327,9 @@ func (o *Online) advance() error {
 		if err := checkBudget(Options{MaxCuts: o.maxCuts, MaxWidth: o.maxWidth}, &o.result.Stats, len(out.next)); err != nil {
 			return err
 		}
-		o.frontier = make(map[string]*pentry, len(out.next))
+		o.frontier = make(map[clock.Ref]*pentry, len(out.next))
 		for _, e := range out.next {
-			o.frontier[e.key] = e
+			o.frontier[e.counts] = e
 		}
 		for _, vr := range out.viols {
 			cut := lattice.NewCut(vr.counts, vr.state)
@@ -348,7 +352,7 @@ func (o *Online) advance() error {
 // of one frontier entry from the delivered per-thread event prefixes.
 // It is the online succFn: safe for concurrent calls with distinct
 // entries because the event buffers are not mutated during a level.
-func (o *Online) expandSuccessors(ent *pentry, yield func(thread, index int, counts vc.VC, state logic.State)) {
+func (o *Online) expandSuccessors(ent *pentry, yield func(thread, index int, counts clock.Ref, state logic.State)) {
 	for i := 0; i < o.threads; i++ {
 		need := int(ent.counts.Get(i)) + 1
 		if need > len(o.events[i]) {
@@ -358,8 +362,7 @@ func (o *Online) expandSuccessors(ent *pentry, yield func(thread, index int, cou
 		if !consistentExtension(msg.Clock, ent.counts, i) {
 			continue
 		}
-		counts := ent.counts.Clone()
-		counts.Set(i, uint64(need))
+		counts := o.table.Tick(ent.counts, i)
 		yield(i, need, counts, ent.state.With(msg.Event.Var, msg.Event.Value))
 	}
 }
@@ -377,20 +380,19 @@ func (o *Online) expandLevelWorkers() (levelOut, error) {
 // lock-free — the path existing callers (Workers == 0) get.
 func (o *Online) expandLevelSequential() (levelOut, error) {
 	var out levelOut
-	next := map[string]*pentry{}
+	next := map[clock.Ref]*pentry{}
 	scratch := o.prog.NewMonitor()
 	for _, ent := range o.frontier {
 		var stepErr error
-		o.expandSuccessors(ent, func(thread, index int, counts vc.VC, state logic.State) {
+		o.expandSuccessors(ent, func(thread, index int, counts clock.Ref, state logic.State) {
 			if stepErr != nil {
 				return
 			}
 			out.edges++
-			key := counts.Key()
-			tgt := next[key]
+			tgt := next[counts]
 			if tgt == nil {
-				tgt = &pentry{counts: counts, key: key, state: state, keys: map[uint64][]int{}}
-				next[key] = tgt
+				tgt = &pentry{counts: counts, state: state, keys: map[uint64][]int{}}
+				next[counts] = tgt
 				out.newCuts++
 			}
 			for mkey, path := range ent.keys {
@@ -428,7 +430,7 @@ func (o *Online) expandLevelSequential() (levelOut, error) {
 		out.next = append(out.next, e)
 		out.pairWidth += len(e.keys)
 	}
-	sort.Slice(out.next, func(i, j int) bool { return out.next[i].key < out.next[j].key })
+	sort.Slice(out.next, func(i, j int) bool { return clock.Compare(out.next[i].counts, out.next[j].counts) < 0 })
 	out.violated = len(out.viols)
 	sortLevelViolations(out.viols)
 	out.viols = dedupLevelViolations(out.viols)
@@ -445,10 +447,14 @@ func (o *Online) allFinal() bool {
 }
 
 func (o *Online) dedupViolations() {
-	seen := map[string]bool{}
+	type cutState struct {
+		counts clock.Ref
+		state  string
+	}
+	seen := map[cutState]bool{}
 	out := o.result.Violations[:0]
 	for _, v := range o.result.Violations {
-		k := v.Cut.Key() + "|" + v.State.Key()
+		k := cutState{counts: v.Cut.Clock(), state: v.State.Key()}
 		if seen[k] {
 			continue
 		}
@@ -480,12 +486,14 @@ func (o *Online) buildRun(ids []int) lattice.Run {
 
 // consistentExtension checks the consistent-cut condition: every
 // causal predecessor of the event (per its clock) is inside the cut.
-func consistentExtension(clock vc.VC, counts vc.VC, thread int) bool {
-	for j := 0; j < len(counts); j++ {
+// Normalized Refs carry no trailing zeros, so components at or beyond
+// clk.Len() are zero and trivially inside the cut.
+func consistentExtension(clk clock.Ref, counts clock.Ref, thread int) bool {
+	for j := 0; j < clk.Len(); j++ {
 		if j == thread {
 			continue
 		}
-		if clock.Get(j) > counts.Get(j) {
+		if clk.Get(j) > counts.Get(j) {
 			return false
 		}
 	}

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"gompax/internal/clock"
 	"math/rand"
 	"testing"
 
@@ -183,7 +184,7 @@ func TestOnlineErrors(t *testing.T) {
 	if err := o.Feed(msg(2, "a", 1, 0, 0, 1)); err == nil {
 		t.Errorf("unknown thread accepted")
 	}
-	if err := o.Feed(event.Message{Event: event.Event{Thread: 0, Var: "a"}, Clock: nil}); err == nil {
+	if err := o.Feed(event.Message{Event: event.Event{Thread: 0, Var: "a"}, Clock: clock.Ref{}}); err == nil {
 		t.Errorf("zero clock accepted")
 	}
 	if err := o.Feed(msg(0, "a", 1, 1)); err != nil {

@@ -1,15 +1,14 @@
 package predict
 
 import (
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
+	"gompax/internal/clock"
 	"gompax/internal/lattice"
 	"gompax/internal/logic"
 	"gompax/internal/monitor"
-	"gompax/internal/vc"
 )
 
 // This file implements the parallel level-by-level lattice explorer.
@@ -43,8 +42,7 @@ import (
 // mutex serializes concurrent merges by parallel workers; the
 // sequential paths never lock it.
 type pentry struct {
-	counts vc.VC
-	key    string // counts.Key(), computed once at creation
+	counts clock.Ref
 	state  logic.State
 	mu     sync.Mutex
 	keys   map[uint64][]int
@@ -53,14 +51,16 @@ type pentry struct {
 // succFn enumerates the consistent single-event extensions of one
 // frontier entry. For each extension it yields the advancing thread,
 // the 1-based index of the applied event within that thread, and the
-// successor's freshly allocated counts and state. Implementations must
-// be safe for concurrent calls with distinct entries.
-type succFn func(ent *pentry, yield func(thread, index int, counts vc.VC, state logic.State))
+// successor's interned counts and state. Implementations must be safe
+// for concurrent calls with distinct entries. All counts yielded within
+// one analysis must come from one interning table, so Refs compare by
+// identity everywhere below.
+type succFn func(ent *pentry, yield func(thread, index int, counts clock.Ref, state logic.State))
 
 // levelViolation is a violating (cut, monitor state) pair found while
 // expanding one level, before deduplication and reporting.
 type levelViolation struct {
-	counts vc.VC
+	counts clock.Ref
 	state  logic.State
 	mkey   uint64
 	path   []int
@@ -98,7 +98,7 @@ func expandLevelParallel(prog *monitor.Program, entries []*pentry, succs succFn,
 	if workers < 1 {
 		workers = 1
 	}
-	table := lattice.NewSharded[*pentry](workers * 8)
+	table := lattice.NewSharded[clock.Ref, *pentry](workers * 8)
 	// Live queue depth: parents not yet claimed in the level being
 	// expanded. One atomic add per parent entry, not per edge.
 	mWorkerQueue.Set(int64(len(entries)))
@@ -119,11 +119,10 @@ func expandLevelParallel(prog *monitor.Program, entries []*pentry, succs succFn,
 				}
 				mWorkerQueue.Add(-1)
 				ent := entries[idx]
-				succs(ent, func(thread, index int, counts vc.VC, state logic.State) {
+				succs(ent, func(thread, index int, counts clock.Ref, state logic.State) {
 					out.edges++
-					key := counts.Key()
-					tgt, created := table.GetOrCreate(counts.Hash(), key, func() *pentry {
-						return &pentry{counts: counts, key: key, state: state, keys: map[uint64][]int{}}
+					tgt, created := table.GetOrCreate(counts.Digest(), counts, func() *pentry {
+						return &pentry{counts: counts, state: state, keys: map[uint64][]int{}}
 					})
 					if created {
 						out.newCuts++
@@ -178,8 +177,8 @@ func expandLevelParallel(prog *monitor.Program, entries []*pentry, succs succFn,
 
 	// Seal the level: collect and order the new frontier, count the
 	// surviving pairs, and canonicalize the violation list.
-	table.Range(func(_ string, e *pentry) { out.next = append(out.next, e) })
-	sort.Slice(out.next, func(i, j int) bool { return out.next[i].key < out.next[j].key })
+	table.Range(func(_ clock.Ref, e *pentry) { out.next = append(out.next, e) })
+	sort.Slice(out.next, func(i, j int) bool { return clock.Compare(out.next[i].counts, out.next[j].counts) < 0 })
 	for _, e := range out.next {
 		out.pairWidth += len(e.keys)
 	}
@@ -212,12 +211,12 @@ func lessPath(a, b []int) bool {
 }
 
 // sortLevelViolations orders a level's violations canonically: by cut
-// key, then monitor key, then representative path.
+// clock (component-lexicographic), then monitor key, then
+// representative path.
 func sortLevelViolations(vs []levelViolation) {
 	sort.Slice(vs, func(i, j int) bool {
-		ki, kj := vs[i].counts.Key(), vs[j].counts.Key()
-		if ki != kj {
-			return ki < kj
+		if c := clock.Compare(vs[i].counts, vs[j].counts); c != 0 {
+			return c < 0
 		}
 		if vs[i].mkey != vs[j].mkey {
 			return vs[i].mkey < vs[j].mkey
@@ -232,7 +231,7 @@ func sortLevelViolations(vs []levelViolation) {
 func dedupLevelViolations(vs []levelViolation) []levelViolation {
 	out := vs[:0]
 	for i, v := range vs {
-		if i > 0 && vs[i-1].mkey == v.mkey && vs[i-1].counts.Key() == v.counts.Key() {
+		if i > 0 && vs[i-1].mkey == v.mkey && clock.Equal(vs[i-1].counts, v.counts) {
 			continue
 		}
 		out = append(out, v)
@@ -253,8 +252,9 @@ func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Opti
 	}
 	res.Stats.reserveLevels(totalLevels(comp))
 
-	frontier := []*pentry{{counts: root.Counts(), key: root.Key(), state: root.State(), keys: rootKeys}}
-	succs := func(ent *pentry, yield func(thread, index int, counts vc.VC, state logic.State)) {
+	frontier := []*pentry{{counts: root.Clock(), state: root.State(), keys: rootKeys}}
+	table := comp.Table()
+	succs := func(ent *pentry, yield func(thread, index int, counts clock.Ref, state logic.State)) {
 		for i := 0; i < comp.Threads(); i++ {
 			next := int(ent.counts.Get(i)) + 1
 			if next > comp.Count(i) {
@@ -264,13 +264,12 @@ func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Opti
 			if !consistentExtension(m.Clock, ent.counts, i) {
 				continue
 			}
-			counts := ent.counts.Clone()
-			counts.Set(i, uint64(next))
+			counts := table.Tick(ent.counts, i)
 			yield(i, next, counts, ent.state.With(m.Event.Var, m.Event.Value))
 		}
 	}
 
-	reported := map[string]bool{}
+	reported := map[violKey]bool{}
 	for len(frontier) > 0 {
 		out, err := expandLevelParallel(prog, frontier, succs, workers, opts.Counterexamples)
 		if err != nil {
@@ -295,15 +294,23 @@ func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Opti
 	return res, nil
 }
 
+// violKey identifies a reported (cut, monitor state) pair. Because
+// every counts Ref of one analysis is interned in one table, the Ref
+// itself is a comparable identity — no string formatting needed.
+type violKey struct {
+	counts clock.Ref
+	mkey   uint64
+}
+
 // reportViolations converts a sealed level's canonical violations into
 // Result entries, deduplicating against previously reported (cut,
 // monitor state) pairs across levels. mkRun reconstructs a
 // counterexample run from an encoded path; it is only called when
 // Options.Counterexamples is set. The return value reports that
 // Options.FirstOnly stops the analysis here.
-func reportViolations(res *Result, viols []levelViolation, reported map[string]bool, opts Options, mkRun func([]int) lattice.Run) bool {
+func reportViolations(res *Result, viols []levelViolation, reported map[violKey]bool, opts Options, mkRun func([]int) lattice.Run) bool {
 	for _, vr := range viols {
-		vk := fmt.Sprintf("%s|%d", vr.counts.Key(), vr.mkey)
+		vk := violKey{counts: vr.counts, mkey: vr.mkey}
 		if reported[vk] {
 			continue
 		}

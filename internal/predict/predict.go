@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/lattice"
 	"gompax/internal/logic"
@@ -309,32 +310,33 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 	}
 	res.Stats.reserveLevels(totalLevels(comp))
 
-	frontier := map[string]*entry{
-		root.Key(): {cut: root, keys: rootKeys},
+	frontier := map[clock.Ref]*entry{
+		root.Clock(): {cut: root, keys: rootKeys},
 	}
 	scratch := prog.NewMonitor()
 	// The same violating (cut, monitor state) pair is typically reachable
 	// from several parents; report it once.
-	reported := map[string]bool{}
+	reported := map[violKey]bool{}
 
 	for len(frontier) > 0 {
-		next := map[string]*entry{}
+		next := map[clock.Ref]*entry{}
 		levelEdges, cutsBefore, pairsBefore := 0, res.Stats.Cuts, res.Stats.Pairs
 		// Deterministic iteration keeps the explored order stable run to
 		// run; the violations themselves are canonicalized per level
 		// below, exactly like the parallel explorer's barrier.
-		keys := make([]string, 0, len(frontier))
-		for k := range frontier {
-			keys = append(keys, k)
+		ents := make([]*entry, 0, len(frontier))
+		for _, e := range frontier {
+			ents = append(ents, e)
 		}
-		sort.Strings(keys)
+		sort.Slice(ents, func(i, j int) bool {
+			return clock.Compare(ents[i].cut.Clock(), ents[j].cut.Clock()) < 0
+		})
 
 		var levelViols []levelViolation
-		for _, fk := range keys {
-			ent := frontier[fk]
+		for _, ent := range ents {
 			for _, succ := range comp.Successors(ent.cut) {
 				levelEdges++
-				sk := succ.Cut.Key()
+				sk := succ.Cut.Clock()
 				tgt := next[sk]
 				if tgt == nil {
 					tgt = &entry{cut: succ.Cut, keys: map[uint64][]int{}}
@@ -350,7 +352,7 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 					res.Stats.Pairs++
 					if verdict == monitor.Violated {
 						levelViols = append(levelViols, levelViolation{
-							counts: succ.Cut.Counts(), state: succ.Cut.State(), mkey: mkey,
+							counts: succ.Cut.Clock(), state: succ.Cut.State(), mkey: mkey,
 							path: appendPath(opts, path, succ),
 						})
 						continue // do not propagate violated monitor states

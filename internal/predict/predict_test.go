@@ -4,19 +4,19 @@ import (
 	"math/rand"
 	"testing"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/lattice"
 	"gompax/internal/logic"
 	"gompax/internal/monitor"
 	"gompax/internal/mvc"
 	"gompax/internal/trace"
-	"gompax/internal/vc"
 )
 
-func msg(thread int, varName string, value int64, clock ...uint64) event.Message {
+func msg(thread int, varName string, value int64, comps ...uint64) event.Message {
 	return event.Message{
 		Event: event.Event{Thread: thread, Kind: event.Write, Var: varName, Value: value, Relevant: true},
-		Clock: vc.VC(clock),
+		Clock: clock.Of(comps...),
 	}
 }
 

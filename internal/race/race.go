@@ -18,8 +18,8 @@ import (
 	"fmt"
 	"sort"
 
+	"gompax/internal/clock"
 	"gompax/internal/interp"
-	"gompax/internal/vc"
 )
 
 // Access is one data-variable access with its sync-only vector clock.
@@ -27,7 +27,7 @@ type Access struct {
 	Thread int
 	Var    string
 	Write  bool
-	Clock  vc.VC
+	Clock  clock.Ref
 	Seq    uint64 // position in the observed execution
 }
 
@@ -50,13 +50,17 @@ func (r Report) String() string {
 }
 
 type syncClocks struct {
-	access vc.VC
-	write  vc.VC
+	access clock.Ref
+	write  clock.Ref
 }
 
-// Detector accumulates accesses and predicts races online.
+// Detector accumulates accesses and predicts races online. Clocks are
+// interned in a per-detector table, so recording an access shares the
+// thread's current clock node instead of cloning it, and the pairwise
+// concurrency checks hit the interned fast paths.
 type Detector struct {
-	clocks   []vc.VC // per-thread sync-only MVCs
+	table    *clock.Table
+	clocks   []clock.Ref // per-thread sync-only MVCs
 	syncVars map[string]*syncClocks
 	accesses map[string][]Access
 	races    []Report
@@ -70,16 +74,13 @@ type Detector struct {
 
 // NewDetector creates a detector for the given number of threads.
 func NewDetector(threads int) *Detector {
-	d := &Detector{
-		clocks:   make([]vc.VC, threads),
+	return &Detector{
+		table:    clock.NewTable(),
+		clocks:   make([]clock.Ref, threads),
 		syncVars: map[string]*syncClocks{},
 		accesses: map[string][]Access{},
 		seen:     map[string]bool{},
 	}
-	for i := range d.clocks {
-		d.clocks[i] = vc.New(threads)
-	}
-	return d
 }
 
 // Races returns the predicted races in detection order.
@@ -122,7 +123,7 @@ func PredictRaces(accesses []Access) []Report {
 				if a.Thread == b.Thread || (!a.Write && !b.Write) {
 					continue
 				}
-				if vc.Concurrent(a.Clock, b.Clock) {
+				if clock.Concurrent(a.Clock, b.Clock) {
 					key := raceKey(name, a, b)
 					if !seen[key] {
 						seen[key] = true
@@ -152,7 +153,7 @@ func (d *Detector) RacyVars() []string {
 // tick advances a thread's clock for a new event of its own.
 func (d *Detector) tick(tid int) {
 	d.seq++
-	d.clocks[tid].Inc(tid)
+	d.clocks[tid] = d.table.Tick(d.clocks[tid], tid)
 }
 
 // syncWrite applies the paper's lock encoding (§3.1): a write of the
@@ -164,17 +165,17 @@ func (d *Detector) syncWrite(tid int, name string) {
 		c = &syncClocks{}
 		d.syncVars[name] = c
 	}
-	vi := &d.clocks[tid]
-	vi.JoinInto(c.access)
-	c.access = vi.CloneInto(c.access)
-	c.write = vi.CloneInto(c.write)
+	vi := d.table.Join(d.clocks[tid], c.access)
+	d.clocks[tid] = vi
+	c.access = vi
+	c.write = vi
 }
 
 // dataAccess records an access and checks it against prior conflicting
 // accesses of the same variable.
 func (d *Detector) dataAccess(tid int, name string, write bool) {
 	d.tick(tid)
-	a := Access{Thread: tid, Var: name, Write: write, Clock: d.clocks[tid].Clone(), Seq: d.seq}
+	a := Access{Thread: tid, Var: name, Write: write, Clock: d.clocks[tid], Seq: d.seq}
 	for _, prev := range d.accesses[name] {
 		if prev.Thread == tid {
 			continue // program order
@@ -182,7 +183,7 @@ func (d *Detector) dataAccess(tid int, name string, write bool) {
 		if !prev.Write && !write {
 			continue // read-read never races
 		}
-		if vc.Concurrent(prev.Clock, a.Clock) {
+		if clock.Concurrent(prev.Clock, a.Clock) {
 			key := raceKey(name, prev, a)
 			if !d.seen[key] {
 				d.seen[key] = true
@@ -230,13 +231,14 @@ func (d *Detector) Internal(tid int) { d.tick(tid) }
 
 // Spawn implements interp.Hooks: the child's sync-only clock inherits
 // the parent's, ordering everything the parent did before the spawn
-// before everything the child does.
+// before everything the child does. The child's clock is the parent's
+// interned node — pure handle sharing, no copy.
 func (d *Detector) Spawn(parent, child int) {
 	d.tick(parent)
 	for len(d.clocks) <= child {
-		d.clocks = append(d.clocks, nil)
+		d.clocks = append(d.clocks, clock.Ref{})
 	}
-	d.clocks[child] = d.clocks[parent].Clone()
+	d.clocks[child] = d.clocks[parent]
 }
 
 var _ interp.Hooks = (*Detector)(nil)

@@ -7,8 +7,8 @@ import (
 	"strconv"
 	"strings"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
-	"gompax/internal/vc"
 )
 
 // WriteMessages serializes observer messages in a line-oriented text
@@ -75,11 +75,11 @@ func ReadMessages(r io.Reader) ([]event.Message, error) {
 				Value:    nums[4],
 			},
 		}
-		clock := vc.New(len(nums) - 5)
+		comps := make([]uint64, len(nums)-5)
 		for i, v := range nums[5:] {
-			clock.Set(i, uint64(v))
+			comps[i] = uint64(v)
 		}
-		m.Clock = clock
+		m.Clock = clock.Global().Intern(comps)
 		out = append(out, m)
 	}
 	return out, sc.Err()

@@ -8,7 +8,7 @@ import (
 
 	"gompax/internal/event"
 	"gompax/internal/mvc"
-	"gompax/internal/vc"
+	"gompax/internal/clock"
 )
 
 func TestRandomOpsShape(t *testing.T) {
@@ -110,7 +110,7 @@ func TestGoldenRoundTrip(t *testing.T) {
 		if got[i].Event != msgs[i].Event {
 			t.Fatalf("message %d event: %+v vs %+v", i, got[i].Event, msgs[i].Event)
 		}
-		if !vc.Equal(got[i].Clock, msgs[i].Clock) {
+		if !clock.Equal(got[i].Clock, msgs[i].Clock) {
 			t.Fatalf("message %d clock: %v vs %v", i, got[i].Clock, msgs[i].Clock)
 		}
 	}
@@ -155,7 +155,7 @@ func TestGoldenErrors(t *testing.T) {
 func TestGoldenEmptyVarEscaping(t *testing.T) {
 	msgs := []event.Message{{
 		Event: event.Event{Kind: event.Internal, Thread: 0, Index: 1, Seq: 1},
-		Clock: vc.VC{1},
+		Clock: clock.Of(1),
 	}}
 	var buf bytes.Buffer
 	if err := WriteMessages(&buf, msgs); err != nil {

@@ -290,3 +290,57 @@ func fromBytes(xs []uint8) VC {
 	}
 	return v
 }
+
+// TestJoinZeroSides pins the aliasing contract of Join around nil and
+// all-zero operands: the zero side contributes nothing, nil results
+// stay nil, and the result never aliases either input.
+func TestJoinZeroSides(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		a, b VC
+		want VC
+	}{
+		{"nil-nil", nil, nil, nil},
+		{"nil-empty", nil, VC{}, nil},
+		{"zeros-zeros", VC{0, 0}, VC{0, 0, 0}, nil},
+		{"nil-right", VC{1, 2}, nil, VC{1, 2}},
+		{"nil-left", nil, VC{3}, VC{3}},
+		{"zeros-right", VC{1, 2}, VC{0, 0, 0}, VC{1, 2}},
+		{"zeros-left", VC{0, 0}, VC{4, 0, 5}, VC{4, 0, 5}},
+		{"both", VC{1, 5}, VC{4, 0, 5}, VC{4, 5, 5}},
+	}
+	for _, tc := range cases {
+		got := Join(tc.a, tc.b)
+		if !Equal(got, tc.want) {
+			t.Errorf("%s: Join(%v,%v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+		if len(tc.want) == 0 && got != nil {
+			t.Errorf("%s: Join of zero clocks = %v, want nil", tc.name, got)
+		}
+		if got != nil {
+			got[0]++ // must not write through to either input
+			if len(tc.a) > 0 && tc.a[0] == got[0] && &got[0] == &tc.a[0] {
+				t.Errorf("%s: result aliases a", tc.name)
+			}
+			if len(tc.b) > 0 && tc.b[0] == got[0] && &got[0] == &tc.b[0] {
+				t.Errorf("%s: result aliases b", tc.name)
+			}
+		}
+	}
+}
+
+// TestCloneNil pins that cloning a nil (or effectively empty) clock
+// stays nil instead of materializing an empty slice.
+func TestCloneNil(t *testing.T) {
+	t.Parallel()
+	if got := VC(nil).Clone(); got != nil {
+		t.Fatalf("Clone(nil) = %v, want nil", got)
+	}
+	if got := (VC{}).Clone(); got != nil {
+		t.Fatalf("Clone(empty) = %v, want nil", got)
+	}
+	if got := (VC{1}).Clone(); got == nil || got[0] != 1 {
+		t.Fatalf("Clone({1}) = %v", got)
+	}
+}

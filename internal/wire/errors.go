@@ -26,6 +26,15 @@ var (
 	ErrUnknownKind = fmt.Errorf("%w: unknown frame kind", ErrBadFrame)
 	// ErrVersion: the Hello carries an unsupported protocol version.
 	ErrVersion = fmt.Errorf("%w: protocol version mismatch", ErrBadFrame)
+	// ErrBadClockMode: a v3 message's clock mode byte is unknown.
+	ErrBadClockMode = fmt.Errorf("%w: unknown clock mode", ErrBadFrame)
+	// ErrDeltaChain: a delta-encoded clock does not chain to the last
+	// delivered message of its thread (the predecessor was lost,
+	// corrupt, or the frame is a stale duplicate).
+	ErrDeltaChain = fmt.Errorf("%w: delta clock chain broken", ErrBadFrame)
+	// ErrDeltaContext: a delta-encoded clock was decoded statelessly
+	// (DecodeMessage); only a Receiver carries the chain state.
+	ErrDeltaContext = fmt.Errorf("%w: delta clock needs stream context", ErrBadFrame)
 )
 
 // FrameError reports where and how a frame failed to decode. Offset is

@@ -21,6 +21,24 @@
 // corrupt frame; the checksum rejects damaged frames; the sequence
 // numbers expose gaps (lost frames) and duplicates, reported in
 // SessionStats.
+//
+// # Clock encoding (protocol versions)
+//
+// Version 2 message frames carry the full vector clock of every
+// message: uvarint component count followed by the components.
+// Version 3 prefixes the clock with a mode byte and adds a delta mode:
+// because a thread's message clocks are pointwise monotone (each
+// message's clock dominates the thread's previous one — Algorithm A
+// only ticks and joins), a v3 sender usually encodes only the
+// components that changed since the thread's previous message on the
+// channel, as (index-gap, increment) pairs, chained to the previous
+// clock by the thread's own component value. Every deltaRefresh-th
+// message per thread is sent with a full clock so a resync receiver
+// that discarded frames regains its footing; a delta frame whose
+// chain check fails (its predecessor was lost or corrupted) counts as
+// a corrupt frame and is skipped until the next full clock arrives.
+// Receivers decode either version, selected by the Hello; senders
+// default to 3 and can be pinned to 2 for old peers (NewSenderV2).
 package wire
 
 import (
@@ -34,9 +52,9 @@ import (
 	"sort"
 	"sync"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/logic"
-	"gompax/internal/vc"
 )
 
 // FrameKind tags a frame on the wire.
@@ -68,8 +86,26 @@ func (k FrameKind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// ProtocolVersion is the wire protocol version carried in every Hello.
-const ProtocolVersion = 2
+// ProtocolVersion is the current wire protocol version carried in
+// every Hello. Version 3 adds delta-encoded clocks; version 2 (full
+// clocks only) is still accepted by receivers.
+const ProtocolVersion = 3
+
+// ProtocolVersionV2 is the previous protocol version, kept encodable
+// (NewSenderV2) and decodable so old captures and old clients keep
+// working against new observers.
+const ProtocolVersionV2 = 2
+
+// Clock encoding modes inside a v3 message payload.
+const (
+	clockFull  = 0 // uvarint count + components
+	clockDelta = 1 // uvarint prevOwn + uvarint count + (gap, increment) pairs
+)
+
+// deltaRefresh bounds how much a resync receiver can lose after a
+// broken delta chain: every deltaRefresh-th message of a thread is
+// sent with a full clock even when a delta would be smaller.
+const deltaRefresh = 32
 
 // frameMagic opens every frame; resync scans for it after corruption.
 const frameMagic = 0xA7
@@ -80,15 +116,21 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 type Hello struct {
 	Threads int
 	Initial logic.State
+	// Version is the protocol version negotiated for the session
+	// (filled on decode; ignored on send — the Sender writes its own).
+	Version int
 }
 
-// Frame is a decoded wire frame.
+// Frame is a decoded wire frame. Msg is a value, not a pointer: the
+// receiver decodes straight into it, so delivering a message frame
+// allocates nothing beyond the interned clock node (and not even that
+// when the value was seen before).
 type Frame struct {
 	Kind   FrameKind
 	Seq    uint64 // per-channel sequence number (1-based)
 	Hello  *Hello
-	Msg    *event.Message
-	Thread int // FrameThreadDone
+	Msg    event.Message // valid iff Kind == FrameMessage
+	Thread int           // FrameThreadDone
 }
 
 // maxFrameLen guards against corrupt length prefixes.
@@ -120,8 +162,12 @@ func msgErr(off int, field string, err error) error {
 	return &FrameError{Kind: FrameMessage, Offset: int64(off), Field: field, Err: err}
 }
 
-// AppendMessage encodes an observer message (without framing).
-func AppendMessage(buf []byte, m event.Message) []byte {
+// maxClockComponents guards clock lengths against corrupt counts.
+const maxClockComponents = 1 << 20
+
+// appendEventFields encodes the event portion of a message, shared by
+// both protocol versions.
+func appendEventFields(buf []byte, m event.Message) []byte {
 	buf = append(buf, byte(m.Event.Kind))
 	buf = binary.AppendUvarint(buf, uint64(m.Event.Thread))
 	buf = binary.AppendUvarint(buf, m.Event.Index)
@@ -134,14 +180,42 @@ func AppendMessage(buf []byte, m event.Message) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(m.Event.Var)))
 	buf = append(buf, m.Event.Var...)
 	buf = binary.AppendVarint(buf, m.Event.Value)
-	buf = vc.AppendEncode(buf, m.Clock)
 	return buf
 }
 
-// DecodeMessage decodes a message produced by AppendMessage, returning
-// the bytes consumed. Failures are *FrameError values wrapping the
-// package sentinels, with Offset relative to the start of buf.
-func DecodeMessage(buf []byte) (event.Message, int, error) {
+// appendClockFull encodes a full clock: uvarint component count
+// followed by the components. This is the entire clock encoding of
+// protocol v2 and the full mode of v3.
+func appendClockFull(buf []byte, r clock.Ref) []byte {
+	n := r.Len()
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for i := 0; i < n; i++ {
+		buf = binary.AppendUvarint(buf, r.Get(i))
+	}
+	return buf
+}
+
+// AppendMessage encodes an observer message (without framing) in
+// protocol v3 with a full clock — the stateless form, decodable
+// without stream context. Senders use the stateful delta form.
+func AppendMessage(buf []byte, m event.Message) []byte {
+	buf = appendEventFields(buf, m)
+	buf = append(buf, clockFull)
+	return appendClockFull(buf, m.Clock)
+}
+
+// AppendMessageV2 encodes an observer message in legacy protocol v2
+// (full clock, no mode byte), byte-identical to what a v2 sender
+// produces. It exists for cross-version tests and for writing captures
+// an old observer can replay.
+func AppendMessageV2(buf []byte, m event.Message) []byte {
+	buf = appendEventFields(buf, m)
+	return appendClockFull(buf, m.Clock)
+}
+
+// decodeEventFields decodes the event portion of a message, returning
+// the offset where the clock encoding starts.
+func decodeEventFields(buf []byte) (event.Message, int, error) {
 	var m event.Message
 	if len(buf) < 1 {
 		return m, 0, msgErr(0, "kind", ErrTruncated)
@@ -186,17 +260,85 @@ func DecodeMessage(buf []byte) (event.Message, int, error) {
 	}
 	m.Event.Value = v
 	off += n
-	clock, n, err := vc.Decode(buf[off:])
-	if err != nil {
-		return m, 0, msgErr(off, "clock", fmt.Errorf("%w: %w", ErrTruncated, err))
-	}
-	m.Clock = clock
-	off += n
 	return m, off, nil
 }
 
-func appendHello(buf []byte, h Hello) []byte {
-	buf = append(buf, ProtocolVersion)
+// decodeClockFull decodes a full clock into scratch (reused across
+// calls), returning the components, bytes consumed, and the new
+// scratch capacity.
+func decodeClockFull(buf []byte, off int, scratch []uint64) (comps []uint64, n int, err error) {
+	count, cn, err := getUvarint(buf[off:])
+	if err != nil {
+		return nil, 0, msgErr(off, "clock length", err)
+	}
+	if count > maxClockComponents {
+		return nil, 0, msgErr(off, "clock length", ErrBadLength)
+	}
+	pos := off + cn
+	if cap(scratch) < int(count) {
+		scratch = make([]uint64, count)
+	}
+	scratch = scratch[:count]
+	for i := range scratch {
+		x, xn, err := getUvarint(buf[pos:])
+		if err != nil {
+			return nil, 0, msgErr(pos, "clock component", err)
+		}
+		scratch[i] = x
+		pos += xn
+	}
+	return scratch, pos - off, nil
+}
+
+// DecodeMessage decodes a protocol v3 message produced by
+// AppendMessage, returning the bytes consumed. Delta-mode clocks need
+// the per-thread stream state a Receiver carries and are rejected here
+// with ErrDeltaContext. Failures are *FrameError values wrapping the
+// package sentinels, with Offset relative to the start of buf. The
+// clock is interned into the process-wide table; receivers use a
+// session-scoped table instead.
+func DecodeMessage(buf []byte) (event.Message, int, error) {
+	m, off, err := decodeEventFields(buf)
+	if err != nil {
+		return m, 0, err
+	}
+	if off >= len(buf) {
+		return m, 0, msgErr(off, "clock mode", ErrTruncated)
+	}
+	mode := buf[off]
+	off++
+	switch mode {
+	case clockFull:
+		comps, n, err := decodeClockFull(buf, off, nil)
+		if err != nil {
+			return m, 0, err
+		}
+		m.Clock = clock.Global().Intern(comps)
+		return m, off + n, nil
+	case clockDelta:
+		return m, 0, msgErr(off-1, "clock mode", ErrDeltaContext)
+	default:
+		return m, 0, msgErr(off-1, "clock mode", ErrBadClockMode)
+	}
+}
+
+// DecodeMessageV2 decodes a legacy protocol v2 message produced by
+// AppendMessageV2, returning the bytes consumed.
+func DecodeMessageV2(buf []byte) (event.Message, int, error) {
+	m, off, err := decodeEventFields(buf)
+	if err != nil {
+		return m, 0, err
+	}
+	comps, n, err := decodeClockFull(buf, off, nil)
+	if err != nil {
+		return m, 0, err
+	}
+	m.Clock = clock.Global().Intern(comps)
+	return m, off + n, nil
+}
+
+func appendHello(buf []byte, h Hello, version byte) []byte {
+	buf = append(buf, version)
 	buf = binary.AppendUvarint(buf, uint64(h.Threads))
 	vars := h.Initial.Vars()
 	buf = binary.AppendUvarint(buf, uint64(len(vars)))
@@ -218,9 +360,10 @@ func decodeHello(buf []byte) (Hello, error) {
 	if len(buf) < 1 {
 		return h, helloErr(0, "version", ErrTruncated)
 	}
-	if buf[0] != ProtocolVersion {
-		return h, helloErr(0, "version", fmt.Errorf("%w: got %d, want %d", ErrVersion, buf[0], ProtocolVersion))
+	if buf[0] != ProtocolVersion && buf[0] != ProtocolVersionV2 {
+		return h, helloErr(0, "version", fmt.Errorf("%w: got %d, want %d or %d", ErrVersion, buf[0], ProtocolVersionV2, ProtocolVersion))
 	}
+	h.Version = int(buf[0])
 	off := 1
 	u, n, err := getUvarint(buf[off:])
 	if err != nil {
@@ -266,16 +409,38 @@ func decodeHello(buf []byte) (Hello, error) {
 // give each thread channel its own Sender (that is the multi-channel
 // deployment the paper mentions). Each Sender numbers its frames with
 // its own sequence counter: one Sender = one wire channel.
+//
+// A v3 sender keeps, per thread, the clock of that thread's previous
+// message on this channel and delta-encodes against it, refreshing
+// with a full clock every deltaRefresh messages.
 type Sender struct {
-	w   *bufio.Writer
-	buf []byte
-	hdr []byte
-	seq uint64
+	w       *bufio.Writer
+	buf     []byte
+	hdr     []byte
+	seq     uint64
+	version int
+	prev    map[int]clock.Ref // thread -> clock of its previous message
+	fresh   map[int]int       // thread -> messages since last full clock
+	dIdx    []int             // delta scratch: changed component indexes
+	dInc    []uint64          // delta scratch: increments
 }
 
-// NewSender wraps a writer.
+// NewSender wraps a writer in the current protocol version.
 func NewSender(w io.Writer) *Sender {
-	return &Sender{w: bufio.NewWriter(w)}
+	return &Sender{
+		w:       bufio.NewWriter(w),
+		version: ProtocolVersion,
+		prev:    map[int]clock.Ref{},
+		fresh:   map[int]int{},
+	}
+}
+
+// NewSenderV2 wraps a writer pinned to legacy protocol v2 (full clock
+// per message): the shape of an old client talking to a new observer.
+func NewSenderV2(w io.Writer) *Sender {
+	s := NewSender(w)
+	s.version = ProtocolVersionV2
+	return s
 }
 
 func (s *Sender) frame(kind FrameKind, payload []byte) error {
@@ -298,16 +463,62 @@ func (s *Sender) frame(kind FrameKind, payload []byte) error {
 	return err
 }
 
-// SendHello opens the session.
+// SendHello opens the session, announcing the sender's protocol
+// version.
 func (s *Sender) SendHello(h Hello) error {
-	s.buf = appendHello(s.buf[:0], h)
+	s.buf = appendHello(s.buf[:0], h, byte(s.version))
 	return s.frame(FrameHello, s.buf)
 }
 
-// SendMessage emits one observer message.
+// SendMessage emits one observer message. In v3 the clock is delta
+// encoded against the thread's previous message whenever the chain
+// allows it and a refresh is not due.
 func (s *Sender) SendMessage(m event.Message) error {
-	s.buf = AppendMessage(s.buf[:0], m)
+	if s.version == ProtocolVersionV2 {
+		s.buf = AppendMessageV2(s.buf[:0], m)
+		return s.frame(FrameMessage, s.buf)
+	}
+	thread := m.Event.Thread
+	prev, chained := s.prev[thread]
+	if chained && s.fresh[thread] < deltaRefresh-1 && s.tryDelta(prev, m) {
+		s.fresh[thread]++
+	} else {
+		s.buf = AppendMessage(s.buf[:0], m)
+		s.fresh[thread] = 0
+	}
+	s.prev[thread] = m.Clock
 	return s.frame(FrameMessage, s.buf)
+}
+
+// tryDelta encodes m with a delta clock against prev into s.buf and
+// reports whether it succeeded; it fails only when m.Clock does not
+// dominate prev (which Algorithm A never produces, but arbitrary
+// callers can).
+func (s *Sender) tryDelta(prev clock.Ref, m event.Message) bool {
+	s.dIdx, s.dInc = s.dIdx[:0], s.dInc[:0]
+	ok := clock.Diff(prev, m.Clock, func(i int, inc uint64) {
+		s.dIdx = append(s.dIdx, i)
+		s.dInc = append(s.dInc, inc)
+	})
+	if !ok {
+		return false
+	}
+	buf := appendEventFields(s.buf[:0], m)
+	buf = append(buf, clockDelta)
+	buf = binary.AppendUvarint(buf, prev.Get(m.Event.Thread))
+	buf = binary.AppendUvarint(buf, uint64(len(s.dIdx)))
+	last := 0
+	for k, i := range s.dIdx {
+		gap := i - last
+		if k == 0 {
+			gap = i
+		}
+		buf = binary.AppendUvarint(buf, uint64(gap))
+		buf = binary.AppendUvarint(buf, s.dInc[k])
+		last = i + 1
+	}
+	s.buf = buf
+	return true
 }
 
 // SendThreadDone announces a completed thread.
@@ -378,6 +589,18 @@ type Receiver struct {
 	maxSeq  uint64
 	missing map[uint64]struct{}
 
+	// Clock decoding state. version is what the Hello announced (until
+	// one arrives, the current version is assumed). table interns every
+	// clock of the session, so equal clock values decode to the same
+	// node; last holds, per thread, the clock of the last *delivered*
+	// message — the base a v3 delta chains to. It is committed only on
+	// delivery (in Next), never during candidate parsing, so corrupt or
+	// duplicate frames cannot poison the chain.
+	version    int
+	table      *clock.Table
+	last       map[int]clock.Ref
+	clkScratch []uint64
+
 	// snap is the stats snapshot published at the end of each Next
 	// call, so Stats and SawBye stay safe to call while another
 	// goroutine is blocked inside Next (e.g. after an idle-timeout
@@ -398,7 +621,13 @@ type Receiver struct {
 
 // NewReceiver wraps a reader in strict mode: corruption is an error.
 func NewReceiver(r io.Reader) *Receiver {
-	return &Receiver{r: r, missing: map[uint64]struct{}{}}
+	return &Receiver{
+		r:       r,
+		missing: map[uint64]struct{}{},
+		version: ProtocolVersion,
+		table:   clock.NewTable(),
+		last:    map[int]clock.Ref{},
+	}
 }
 
 // NewResyncReceiver wraps a reader in resync mode: corruption is
@@ -542,7 +771,7 @@ func (r *Receiver) Next() (Frame, error) {
 			}
 			return Frame{}, r.frameErr(0, 0, "magic", ErrBadMagic)
 		}
-		f, size, corrupt, err := r.parseCandidate()
+		f, payload, size, corrupt, err := r.parseCandidate()
 		if err != nil {
 			if !r.resync {
 				return Frame{}, err
@@ -580,78 +809,195 @@ func (r *Receiver) Next() (Frame, error) {
 				continue
 			}
 		}
+		if f.Kind == FrameMessage {
+			// Decode the payload only after the duplicate check, so a
+			// duplicated delta frame counts as a duplicate — never as a
+			// corrupt frame, and never against the delta chain. The
+			// frame's CRC already validated, so a decode failure here
+			// (broken delta chain, malformed clock) condemns this frame
+			// alone: skip it whole rather than rescanning byte by byte.
+			m, merr := r.decodeMessage(payload)
+			if merr != nil {
+				merr = r.wrapPayloadErr(merr, size-len(payload))
+				if !r.resync {
+					return Frame{}, merr
+				}
+				r.stats.CorruptFrames++
+				r.skip(size)
+				continue
+			}
+			f.Msg = m
+		}
 		r.skip(size)
 		r.stats.Frames++
 		recvByKind[f.Kind].Inc()
-		if f.Kind == FrameBye {
+		switch f.Kind {
+		case FrameBye:
 			r.sawBye = true
 			return f, ErrClosed
+		case FrameHello:
+			r.version = f.Hello.Version
+		case FrameMessage:
+			// Commit the delta base only on delivery: a rejected frame
+			// never advances the chain.
+			r.last[f.Msg.Event.Thread] = f.Msg.Clock
 		}
 		return f, nil
 	}
 }
 
 // parseCandidate parses a frame at the window start (which holds the
-// magic byte). It consumes nothing; on success it returns the frame
-// and its total encoded size. corrupt marks failures where a complete
-// candidate was read but its checksum or payload did not validate —
-// resync mode counts those as CorruptFrames rather than stray bytes.
-func (r *Receiver) parseCandidate() (f Frame, size int, corrupt bool, err error) {
+// magic byte). It consumes nothing; on success it returns the frame,
+// its payload slice (valid until the next fill/skip) and its total
+// encoded size. corrupt marks failures where a complete candidate was
+// read but its checksum or payload did not validate — resync mode
+// counts those as CorruptFrames rather than stray bytes. Message
+// payloads are NOT decoded here: delta-encoded clocks consult the
+// delivery chain state, so Next decodes them only after the frame
+// passed sequence deduplication.
+func (r *Receiver) parseCandidate() (f Frame, payload []byte, size int, corrupt bool, err error) {
 	if err := r.fill(2); err != nil {
-		return Frame{}, 0, false, r.frameErr(0, 1, "kind", err)
+		return Frame{}, nil, 0, false, r.frameErr(0, 1, "kind", err)
 	}
 	kind := FrameKind(r.buf[r.start+1])
 	if kind < FrameHello || kind > FrameBye {
-		return Frame{}, 0, false, r.frameErr(kind, 1, "kind", ErrUnknownKind)
+		return Frame{}, nil, 0, false, r.frameErr(kind, 1, "kind", ErrUnknownKind)
 	}
 	seq, sn, err := r.uvarint(2)
 	if err != nil {
-		return Frame{}, 0, false, r.frameErr(kind, 2, "seq", err)
+		return Frame{}, nil, 0, false, r.frameErr(kind, 2, "seq", err)
 	}
 	lenOff := 2 + sn
 	plen, ln, err := r.uvarint(lenOff)
 	if err != nil {
-		return Frame{}, 0, false, r.frameErr(kind, lenOff, "length", err)
+		return Frame{}, nil, 0, false, r.frameErr(kind, lenOff, "length", err)
 	}
 	if plen > maxFrameLen {
-		return Frame{}, 0, false, r.frameErr(kind, lenOff, "length", ErrBadLength)
+		return Frame{}, nil, 0, false, r.frameErr(kind, lenOff, "length", ErrBadLength)
 	}
 	crcOff := lenOff + ln
 	size = crcOff + 4 + int(plen)
 	if err := r.fill(size); err != nil {
-		return Frame{}, 0, false, r.frameErr(kind, r.end-r.start, "payload", err)
+		return Frame{}, nil, 0, false, r.frameErr(kind, r.end-r.start, "payload", err)
 	}
 	head := r.buf[r.start+1 : r.start+crcOff]
-	payload := r.buf[r.start+crcOff+4 : r.start+size]
+	payload = r.buf[r.start+crcOff+4 : r.start+size]
 	want := binary.LittleEndian.Uint32(r.buf[r.start+crcOff:])
 	got := crc32.Update(0, castagnoli, head)
 	got = crc32.Update(got, castagnoli, payload)
 	if got != want {
-		return Frame{}, 0, true, r.frameErr(kind, crcOff, "checksum", ErrBadChecksum)
+		return Frame{}, nil, 0, true, r.frameErr(kind, crcOff, "checksum", ErrBadChecksum)
 	}
 	f = Frame{Kind: kind, Seq: seq}
 	switch kind {
 	case FrameHello:
 		h, err := decodeHello(payload)
 		if err != nil {
-			return Frame{}, 0, true, r.wrapPayloadErr(err, crcOff+4)
+			return Frame{}, nil, 0, true, r.wrapPayloadErr(err, crcOff+4)
 		}
 		f.Hello = &h
 	case FrameMessage:
-		m, _, err := DecodeMessage(payload)
-		if err != nil {
-			return Frame{}, 0, true, r.wrapPayloadErr(err, crcOff+4)
-		}
-		f.Msg = &m
+		// Deferred to Next (see above).
 	case FrameThreadDone:
 		u, _, err := getUvarint(payload)
 		if err != nil {
-			return Frame{}, 0, true, r.frameErr(kind, crcOff+4, "thread", err)
+			return Frame{}, nil, 0, true, r.frameErr(kind, crcOff+4, "thread", err)
 		}
 		f.Thread = int(u)
 	case FrameBye:
 	}
-	return f, size, false, nil
+	return f, payload, size, false, nil
+}
+
+// decodeMessage decodes a message payload under the session's
+// negotiated protocol version, interning the clock into the session
+// table. Delta clocks are applied against the last delivered message
+// of the same thread; a broken chain (the predecessor was lost,
+// corrupted, or this frame is a stale duplicate) fails with
+// ErrDeltaChain, which resync mode counts as a corrupt frame — the
+// thread's messages then skip until the sender's next full clock.
+func (r *Receiver) decodeMessage(payload []byte) (event.Message, error) {
+	m, off, err := decodeEventFields(payload)
+	if err != nil {
+		return m, err
+	}
+	if r.version == ProtocolVersionV2 {
+		comps, _, err := decodeClockFull(payload, off, r.clkScratch)
+		if err != nil {
+			return m, err
+		}
+		r.clkScratch = comps
+		m.Clock = r.table.Intern(comps)
+		return m, nil
+	}
+	if off >= len(payload) {
+		return m, msgErr(off, "clock mode", ErrTruncated)
+	}
+	mode := payload[off]
+	off++
+	switch mode {
+	case clockFull:
+		comps, _, err := decodeClockFull(payload, off, r.clkScratch)
+		if err != nil {
+			return m, err
+		}
+		r.clkScratch = comps
+		m.Clock = r.table.Intern(comps)
+		return m, nil
+	case clockDelta:
+		prevOwn, n, err := getUvarint(payload[off:])
+		if err != nil {
+			return m, msgErr(off, "clock delta base", err)
+		}
+		off += n
+		prev := r.last[m.Event.Thread]
+		if prev.Get(m.Event.Thread) != prevOwn {
+			return m, msgErr(off, "clock delta base", fmt.Errorf("%w: thread %d chained to own component %d, have %d",
+				ErrDeltaChain, m.Event.Thread, prevOwn, prev.Get(m.Event.Thread)))
+		}
+		count, n, err := getUvarint(payload[off:])
+		if err != nil {
+			return m, msgErr(off, "clock delta count", err)
+		}
+		if count > maxClockComponents {
+			return m, msgErr(off, "clock delta count", ErrBadLength)
+		}
+		off += n
+		comps := r.clkScratch[:0]
+		for i, pn := 0, prev.Len(); i < pn; i++ {
+			comps = append(comps, prev.Get(i))
+		}
+		idx := -1
+		for k := uint64(0); k < count; k++ {
+			gap, n, err := getUvarint(payload[off:])
+			if err != nil {
+				return m, msgErr(off, "clock delta index", err)
+			}
+			off += n
+			inc, n, err := getUvarint(payload[off:])
+			if err != nil {
+				return m, msgErr(off, "clock delta increment", err)
+			}
+			off += n
+			if k == 0 {
+				idx = int(gap)
+			} else {
+				idx += int(gap) + 1
+			}
+			if idx > maxClockComponents {
+				return m, msgErr(off, "clock delta index", ErrBadLength)
+			}
+			for len(comps) <= idx {
+				comps = append(comps, 0)
+			}
+			comps[idx] += inc
+		}
+		r.clkScratch = comps
+		m.Clock = r.table.Intern(comps)
+		return m, nil
+	default:
+		return m, msgErr(off-1, "clock mode", ErrBadClockMode)
+	}
 }
 
 // wrapPayloadErr lifts a payload-relative *FrameError to an absolute

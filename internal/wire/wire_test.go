@@ -10,17 +10,17 @@ import (
 	"strings"
 	"testing"
 
+	"gompax/internal/clock"
 	"gompax/internal/event"
 	"gompax/internal/logic"
-	"gompax/internal/vc"
 )
 
 func sampleMessages() []event.Message {
 	return []event.Message{
-		{Event: event.Event{Seq: 1, Thread: 0, Index: 1, Kind: event.Write, Var: "x", Value: -3, Relevant: true}, Clock: vc.VC{1, 0}},
-		{Event: event.Event{Seq: 4, Thread: 1, Index: 1, Kind: event.Write, Var: "longer_name", Value: 1 << 40, Relevant: true}, Clock: vc.VC{1, 1}},
-		{Event: event.Event{Seq: 9, Thread: 1, Index: 2, Kind: event.Acquire, Var: "m", Value: 0, Relevant: true}, Clock: vc.VC{1, 2}},
-		{Event: event.Event{Seq: 12, Thread: 2, Index: 1, Kind: event.Read, Var: "y", Value: 0, Relevant: false}, Clock: vc.VC{0, 0, 7}},
+		{Event: event.Event{Seq: 1, Thread: 0, Index: 1, Kind: event.Write, Var: "x", Value: -3, Relevant: true}, Clock: clock.Of(1, 0)},
+		{Event: event.Event{Seq: 4, Thread: 1, Index: 1, Kind: event.Write, Var: "longer_name", Value: 1 << 40, Relevant: true}, Clock: clock.Of(1, 1)},
+		{Event: event.Event{Seq: 9, Thread: 1, Index: 2, Kind: event.Acquire, Var: "m", Value: 0, Relevant: true}, Clock: clock.Of(1, 2)},
+		{Event: event.Event{Seq: 12, Thread: 2, Index: 1, Kind: event.Read, Var: "y", Value: 0, Relevant: false}, Clock: clock.Of(0, 0, 7)},
 	}
 }
 
@@ -34,7 +34,7 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 		if n != len(buf) {
 			t.Fatalf("consumed %d of %d", n, len(buf))
 		}
-		if got.Event != m.Event || !vc.Equal(got.Clock, m.Clock) {
+		if got.Event != m.Event || !clock.Equal(got.Clock, m.Clock) {
 			t.Fatalf("round trip: %+v vs %+v", got, m)
 		}
 	}
@@ -240,10 +240,15 @@ func TestResyncRecoversFromStrayBytes(t *testing.T) {
 
 func TestSequenceGapsAndDuplicates(t *testing.T) {
 	frames := splitFrames(t, sessionBytes(t))
-	// Drop the third frame and duplicate the fourth.
+	// Drop frame 4 (thread 2's only message, always sent with a full
+	// clock) and duplicate frame 3. Frame 3 is delta-encoded against
+	// frame 2, but the duplicate must be recognized by sequence number
+	// *before* its payload is re-decoded, so it still counts as a
+	// duplicate rather than a broken delta chain. Dropping a delta's
+	// base frame is exercised separately in the corrupted-delta tests.
 	var spliced []byte
 	for i, f := range frames {
-		if i == 2 {
+		if i == 4 {
 			continue
 		}
 		spliced = append(spliced, f...)
@@ -267,9 +272,12 @@ func TestSequenceGapsAndDuplicates(t *testing.T) {
 
 func TestLateGapFillerClearsGap(t *testing.T) {
 	frames := splitFrames(t, sessionBytes(t))
-	// Deliver frame 2 late: 0,1,3,2,4,...
-	order := []int{0, 1, 3, 2}
-	for i := 4; i < len(frames); i++ {
+	// Deliver frame 3 late: 0,1,2,4,3,5,... Frame 4 carries a full
+	// clock (thread 2's first message) and frame 3's delta base (frame
+	// 2) has already been delivered, so the reorder exercises pure
+	// transport accounting without breaking any delta chain.
+	order := []int{0, 1, 2, 4, 3}
+	for i := 5; i < len(frames); i++ {
 		order = append(order, i)
 	}
 	var spliced []byte
@@ -360,7 +368,7 @@ func TestSplitAndInterleaveChannels(t *testing.T) {
 		th := rng.Intn(3)
 		msgs = append(msgs, event.Message{
 			Event: event.Event{Thread: th, Index: uint64(i), Var: "x", Kind: event.Write},
-			Clock: vc.VC{uint64(i + 1)},
+			Clock: clock.Of(uint64(i + 1)),
 		})
 	}
 	chans := SplitByThread(msgs)
