@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice bench-clock telemetry-gate serve-smoke verify
+.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice bench-clock telemetry-gate serve-smoke crash-gate verify
 
 build:
 	$(GO) build ./...
@@ -59,4 +59,11 @@ telemetry-gate:
 serve-smoke:
 	GO=$(GO) bash scripts/serve_smoke.sh
 
-verify: build vet race fuzz-smoke bench-clock telemetry-gate serve-smoke
+# Crash durability gate: kill gompaxd at each deterministic crash
+# point (and once externally with kill -9) under a 200-session mixed
+# load, restart it on the same store, and require zero acked verdicts
+# lost and every orphaned session reported as interrupted.
+crash-gate:
+	GO=$(GO) bash scripts/crash_smoke.sh
+
+verify: build vet race fuzz-smoke bench-clock telemetry-gate serve-smoke crash-gate

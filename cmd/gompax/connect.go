@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"gompax/internal/instrument"
@@ -22,6 +25,8 @@ import (
 type clientConfig struct {
 	addr        string // daemon address; a path means a unix socket
 	spec        string // daemon spec name ("" = daemon default)
+	tenant      string // admission tenant ("" = the daemon's default)
+	retries     int    // re-submissions after a retryable refusal
 	progFile    string
 	prop        string
 	sessionFile string // captured session to send instead of executing
@@ -95,15 +100,54 @@ func runCapture(stdout, stderr io.Writer, c clientConfig) int {
 	return exitClean
 }
 
+// dialWithRetry dials the daemon, re-submitting after retryable
+// refusals (overloaded, queue-timeout, quota-exceeded) and transport
+// errors with jittered exponential backoff that honors the daemon's
+// RETRY-AFTER hint. ctx cancellation (SIGINT/SIGTERM) aborts the wait.
+func dialWithRetry(ctx context.Context, stderr io.Writer, c clientConfig, network string) (*serve.Client, error) {
+	bo := serve.NewBackoff(time.Now().UnixNano())
+	for attempt := 0; ; attempt++ {
+		cl, err := serve.Dial(network, c.addr, serve.SessionRequest{Spec: c.spec, Tenant: c.tenant})
+		if err == nil {
+			return cl, nil
+		}
+		var hint time.Duration
+		var rej *serve.RejectError
+		if errors.As(err, &rej) {
+			if !rej.Retryable() {
+				return nil, err
+			}
+			hint = rej.RetryAfter
+		}
+		// Plain dial errors (daemon restarting after a crash) are
+		// retryable too; protocol-level refusals were filtered above.
+		if attempt >= c.retries {
+			return nil, err
+		}
+		delay := bo.Delay(attempt, hint)
+		fmt.Fprintf(stderr, "gompax: %v; retrying in %s (%d/%d)\n",
+			err, delay.Round(time.Millisecond), attempt+1, c.retries)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
 // runConnect ships one session — live from an instrumented execution,
 // or previously captured with -capture — to a gompaxd daemon and maps
-// the daemon's verdict onto the usual exit codes.
+// the daemon's verdict onto the usual exit codes. The session id is
+// printed even on post-admission failure, so a supervising harness can
+// correlate this client with the daemon's store.
 func runConnect(stdout, stderr io.Writer, c clientConfig) int {
 	network := "tcp"
 	if strings.Contains(c.addr, "/") {
 		network = "unix"
 	}
-	cl, err := serve.DialSession(network, c.addr, c.spec)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cl, err := dialWithRetry(ctx, stderr, c, network)
 	if err != nil {
 		var rej *serve.RejectError
 		if errors.As(err, &rej) {
@@ -113,6 +157,7 @@ func runConnect(stdout, stderr io.Writer, c clientConfig) int {
 		}
 		return exitError
 	}
+	fmt.Fprintf(stdout, "session %s: admitted\n", cl.ID())
 
 	if c.sessionFile != "" {
 		raw, err := os.ReadFile(c.sessionFile)
@@ -123,12 +168,12 @@ func runConnect(stdout, stderr io.Writer, c clientConfig) int {
 		}
 		if _, err := cl.Conn().Write(raw); err != nil {
 			cl.Close()
-			fmt.Fprintln(stderr, "gompax: sending session:", err)
+			fmt.Fprintf(stderr, "gompax: session %s: sending session: %v\n", cl.ID(), err)
 			return exitError
 		}
 	} else if err := c.streamInto(cl.Conn()); err != nil {
 		cl.Close()
-		fmt.Fprintln(stderr, "gompax: streaming session:", err)
+		fmt.Fprintf(stderr, "gompax: session %s: streaming session: %v\n", cl.ID(), err)
 		return exitError
 	}
 	// Half-close so the daemon sees EOF even if the chaos injector ate
@@ -139,7 +184,7 @@ func runConnect(stdout, stderr io.Writer, c clientConfig) int {
 
 	v, err := cl.Finish(2 * time.Minute)
 	if err != nil {
-		fmt.Fprintln(stderr, "gompax:", err)
+		fmt.Fprintf(stderr, "gompax: session %s: %v\n", cl.ID(), err)
 		return exitError
 	}
 	fmt.Fprintf(stdout, "session %s: verdict=%s violations=%d cuts=%d degraded=%t\n",

@@ -30,6 +30,12 @@
 //	-connect addr  ship the session to a gompaxd daemon instead of
 //	               analyzing locally (host:port, or a unix socket path)
 //	-spec name     daemon spec to check against with -connect
+//	-tenant name   admission tenant to account the session to
+//	-retry n       with -connect: re-submit up to n times after a
+//	               retryable reject (overloaded, queue-timeout,
+//	               quota-exceeded) or a dial failure, with jittered
+//	               exponential backoff honoring the daemon's
+//	               retry-after hint
 //	-session file  with -connect: send a session captured with -capture
 //	-capture file  write the session byte stream to a file and exit
 //	-telemetry-addr a  serve /metrics, /healthz, /statusz and
@@ -94,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "lattice exploration worker pool (0 or 1 = sequential, -1 = GOMAXPROCS)")
 	connect := fs.String("connect", "", "ship the session to a gompaxd daemon at this address (host:port, or a unix socket path) instead of analyzing locally")
 	specName := fs.String("spec", "", "daemon spec name to check against with -connect (daemon default when empty)")
+	tenant := fs.String("tenant", "", "admission tenant to account the session to with -connect")
+	retries := fs.Int("retry", 0, "with -connect: re-submissions after retryable rejects or dial failures, with jittered backoff honoring the daemon's retry-after hint")
 	sessionFile := fs.String("session", "", "with -connect: send a session file captured with -capture instead of executing a program")
 	capture := fs.String("capture", "", "write the instrumented session byte stream to this file instead of analyzing")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address (e.g. :9090)")
@@ -114,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// gompaxd daemon, instead of analyzing locally.
 	cc := clientConfig{
 		addr: *connect, spec: *specName,
+		tenant: *tenant, retries: *retries,
 		progFile: *progFile, prop: *prop,
 		sessionFile: *sessionFile, captureFile: *capture,
 		seed: *seed, maxEvents: *maxEvents,

@@ -2,8 +2,8 @@
 // listens on TCP and/or a unix socket, accepts many concurrent wire
 // sessions (each a full Hello→Messages→Bye stream from an instrumented
 // program), analyzes every session against a named property spec with
-// a bounded shared worker pool, and appends each verdict to a durable
-// JSONL results store queryable over HTTP.
+// a bounded shared worker pool, and journals each verdict in a durable
+// segmented results store queryable over HTTP.
 //
 // Usage:
 //
@@ -18,9 +18,20 @@
 //	-unix path           unix-socket session listener
 //	-http addr           HTTP address for /sessions, /summary and the
 //	                     telemetry endpoints ("" to disable)
-//	-store file          JSONL results store ("" = memory only)
+//	-store dir           segmented results store directory ("" = memory
+//	                     only; a legacy single-file store there is
+//	                     migrated in place)
+//	-segment-bytes n     store segment rotation size (default 4MiB)
+//	-fsync policy        store fsync policy: always, interval or never
+//	                     (default interval)
+//	-fsync-interval d    interval-policy fsync cadence (default 100ms)
+//	-verify-store        open -store, verify its index against a full
+//	                     segment rescan, print stats, exit 0/2
+//	-tenant name=r:b:i   admission quota for a tenant: token rate per
+//	                     second, burst, max inflight (repeatable;
+//	                     empty parts = unlimited)
 //	-max-sessions n      analysis worker pool size (default 4)
-//	-queue n             admission queue depth (default 16)
+//	-queue n             per-tenant admission queue depth (default 16)
 //	-queue-timeout d     max time queued before reject (default 10s)
 //	-max-cuts n          per-session cut budget (0 = unlimited)
 //	-max-width n         per-session level-width budget (0 = unlimited)
@@ -33,8 +44,11 @@
 //	-log-level l         structured log level: debug, info, warn, error
 //	-log-json            emit logs as JSON
 //
-// The daemon exits 0 after a clean drain (SIGTERM or SIGINT), 2 on
-// configuration or startup errors.
+// On startup the daemon runs crash recovery on the store: sessions
+// whose admission intent was journaled but whose verdict never landed
+// (the daemon died while they were in flight) are reported as verdict
+// "interrupted". The daemon exits 0 after a clean drain (SIGTERM or
+// SIGINT), 2 on configuration or startup errors.
 package main
 
 import (
@@ -44,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -82,6 +97,56 @@ func (s specsFlag) Set(v string) error {
 	return nil
 }
 
+// tenantsFlag collects repeated -tenant name=rate:burst:inflight flags.
+type tenantsFlag map[string]serve.TenantLimits
+
+func (t tenantsFlag) String() string {
+	names := make([]string, 0, len(t))
+	for name := range t {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+func (t tenantsFlag) Set(v string) error {
+	name, quota, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=rate:burst:inflight, got %q", v)
+	}
+	if _, dup := t[name]; dup {
+		return fmt.Errorf("tenant %q configured twice", name)
+	}
+	parts := strings.Split(quota, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("tenant %q: want rate:burst:inflight, got %q", name, quota)
+	}
+	var l serve.TenantLimits
+	if parts[0] != "" {
+		rate, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil || rate < 0 {
+			return fmt.Errorf("tenant %q: bad rate %q", name, parts[0])
+		}
+		l.Rate = rate
+	}
+	if parts[1] != "" {
+		burst, err := strconv.Atoi(parts[1])
+		if err != nil || burst < 0 {
+			return fmt.Errorf("tenant %q: bad burst %q", name, parts[1])
+		}
+		l.Burst = burst
+	}
+	if parts[2] != "" {
+		inflight, err := strconv.Atoi(parts[2])
+		if err != nil || inflight < 0 {
+			return fmt.Errorf("tenant %q: bad inflight %q", name, parts[2])
+		}
+		l.Inflight = inflight
+	}
+	t[name] = l
+	return nil
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
 }
@@ -98,9 +163,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	listen := fs.String("listen", "127.0.0.1:7931", "TCP session listener address (empty to disable)")
 	unixSock := fs.String("unix", "", "unix-socket session listener path")
 	httpAddr := fs.String("http", "", "HTTP address for the results API and telemetry endpoints")
-	storePath := fs.String("store", "", "JSONL results store path (empty = memory only)")
+	storePath := fs.String("store", "", "segmented results store directory (empty = memory only)")
+	segmentBytes := fs.Int64("segment-bytes", 0, "store segment rotation size in bytes (0 = default 4MiB)")
+	fsyncPolicy := fs.String("fsync", "", "store fsync policy: always, interval or never (default interval)")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "fsync cadence for the interval policy (0 = default 100ms)")
+	verifyStore := fs.Bool("verify-store", false, "verify the -store index against a full segment rescan and exit")
+	tenants := tenantsFlag{}
+	fs.Var(tenants, "tenant", "admission quota as name=rate:burst:inflight (repeatable)")
 	maxSessions := fs.Int("max-sessions", 0, "analysis worker pool size")
-	queueDepth := fs.Int("queue", 0, "admission queue depth")
+	queueDepth := fs.Int("queue", 0, "per-tenant admission queue depth")
 	queueTimeout := fs.Duration("queue-timeout", 0, "max time a connection may wait in the admission queue")
 	maxCuts := fs.Int("max-cuts", 0, "per-session predictive analysis cut budget (0 = unlimited)")
 	maxWidth := fs.Int("max-width", 0, "per-session lattice level-width budget (0 = unlimited)")
@@ -121,6 +192,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return exitError
 	}
 	telemetry.InitLogging(lvl, *logJSON, stderr)
+
+	if *verifyStore {
+		return runVerifyStore(*storePath, stdout, stderr)
+	}
 
 	if len(specs) == 0 {
 		fmt.Fprintln(stderr, "gompaxd: at least one -spec name=formula is required")
@@ -144,10 +219,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		IdleTimeout:     *idleTimeout,
 		Counterexamples: *counterexamples,
 		StorePath:       *storePath,
+		SegmentBytes:    *segmentBytes,
+		Fsync:           *fsyncPolicy,
+		FsyncInterval:   *fsyncInterval,
+		Tenants:         tenants,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "gompaxd:", err)
 		return exitError
+	}
+	if n := d.Store().RecoveredOrphans(); n > 0 {
+		fmt.Fprintf(stdout, "gompaxd: recovered %d interrupted session(s) from an unclean stop\n", n)
 	}
 
 	var tcpAddr string
@@ -211,4 +293,30 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	fmt.Fprintln(stdout, "gompaxd: drained")
 	return code
+}
+
+// runVerifyStore implements -verify-store: recovery-open the store
+// (which itself repairs torn tails and journals orphans), check the
+// rebuilt index against a full byte-for-byte segment rescan, and
+// report the store's shape.
+func runVerifyStore(dir string, stdout, stderr io.Writer) int {
+	if dir == "" {
+		fmt.Fprintln(stderr, "gompaxd: -verify-store requires -store")
+		return exitError
+	}
+	s, err := serve.OpenStore(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "gompaxd: verify-store:", err)
+		return exitError
+	}
+	defer s.Close()
+	if err := s.VerifyIndex(); err != nil {
+		fmt.Fprintln(stderr, "gompaxd: verify-store: index mismatch:", err)
+		return exitError
+	}
+	st := s.StoreStats()
+	fmt.Fprintf(stdout,
+		"gompaxd: store %s verified: %d records (%d live entries, %d superseded), %d segment(s), %d bytes, %d orphan(s) recovered this open, %d torn line(s) repaired\n",
+		dir, s.Len(), st.Live, st.Superseded, st.Segments, st.Bytes, s.RecoveredOrphans(), st.Torn)
+	return exitClean
 }

@@ -110,4 +110,62 @@ func TestDaemonUsageErrors(t *testing.T) {
 	if code := run([]string{"-spec", "a=x = 0", "-listen", "", "-unix", ""}, &out, &errb, nil); code != exitError {
 		t.Errorf("no listeners: exit %d, want %d", code, exitError)
 	}
+	errb.Reset()
+	if code := run([]string{"-spec", "a=x = 0", "-tenant", "acme=fast:1:1"}, &out, &errb, nil); code != exitError {
+		t.Errorf("bad tenant rate: exit %d, want %d", code, exitError)
+	}
+	errb.Reset()
+	if code := run([]string{"-spec", "a=x = 0", "-tenant", "acme=1:2"}, &out, &errb, nil); code != exitError {
+		t.Errorf("malformed tenant quota: exit %d, want %d", code, exitError)
+	}
+	errb.Reset()
+	if code := run([]string{"-verify-store"}, &out, &errb, nil); code != exitError {
+		t.Errorf("verify-store without -store: exit %d, want %d", code, exitError)
+	}
+}
+
+func TestTenantsFlagParsing(t *testing.T) {
+	tf := tenantsFlag{}
+	if err := tf.Set("acme=2.5:10:4"); err != nil {
+		t.Fatal(err)
+	}
+	if l := tf["acme"]; l.Rate != 2.5 || l.Burst != 10 || l.Inflight != 4 {
+		t.Fatalf("parsed limits = %+v", l)
+	}
+	// Empty parts mean unlimited for that dimension.
+	if err := tf.Set("free=::"); err != nil {
+		t.Fatal(err)
+	}
+	if l := tf["free"]; l.Rate != 0 || l.Burst != 0 || l.Inflight != 0 {
+		t.Fatalf("unlimited limits = %+v", l)
+	}
+	if err := tf.Set("acme=1:1:1"); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+}
+
+// TestVerifyStore exercises -verify-store against a real store: a
+// clean one verifies with exit 0 and reports an orphan it recovered;
+// a missing path fails.
+func TestVerifyStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	s, err := serve.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.NextID()
+	if err := s.Accepted(serve.AcceptedInfo{ID: id, Spec: "a", Start: time.Now().UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-verify-store", "-store", dir}, &out, &errb, nil); code != exitClean {
+		t.Fatalf("verify-store exit %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "verified") || !strings.Contains(out.String(), "1 orphan(s) recovered") {
+		t.Fatalf("verify-store output: %q", out.String())
+	}
 }

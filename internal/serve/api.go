@@ -27,6 +27,7 @@ import (
 type SessionSummary struct {
 	ID         string            `json:"id"`
 	Spec       string            `json:"spec"`
+	Tenant     string            `json:"tenant,omitempty"`
 	Verdict    string            `json:"verdict"`
 	Violations int               `json:"violations"`
 	Degraded   bool              `json:"degraded"`
@@ -45,6 +46,7 @@ type Summary struct {
 	// stress test cross-checks it against the per-session records.
 	Violations int               `json:"violations"`
 	Degraded   int               `json:"degraded"`
+	ByTenant   map[string]int    `json:"by_tenant"`
 	Accepted   uint64            `json:"accepted"`
 	Completed  uint64            `json:"completed"`
 	Rejected   map[string]uint64 `json:"rejected"`
@@ -53,6 +55,10 @@ type Summary struct {
 	Queued     int64             `json:"queued"`
 	Draining   bool              `json:"draining"`
 	StoreBytes int64             `json:"store_bytes"`
+	// Crash-recovery and segmented-store visibility.
+	RecoveredOrphans int    `json:"recovered_orphans"`
+	StoreSegments    int    `json:"store_segments"`
+	StoreCompactions uint64 `json:"store_compactions"`
 }
 
 // Mount registers the daemon's API on a mux (typically the telemetry
@@ -77,6 +83,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (d *Daemon) handleSessions(w http.ResponseWriter, r *http.Request) {
 	specFilter := r.URL.Query().Get("spec")
 	verdictFilter := r.URL.Query().Get("verdict")
+	tenantFilter := r.URL.Query().Get("tenant")
 	recs := d.store.List()
 	out := make([]SessionSummary, 0, len(recs))
 	for _, rec := range recs {
@@ -86,9 +93,13 @@ func (d *Daemon) handleSessions(w http.ResponseWriter, r *http.Request) {
 		if verdictFilter != "" && rec.Verdict != verdictFilter {
 			continue
 		}
+		if tenantFilter != "" && rec.Tenant != tenantFilter {
+			continue
+		}
 		out = append(out, SessionSummary{
 			ID:         rec.ID,
 			Spec:       rec.Spec,
+			Tenant:     rec.Tenant,
 			Verdict:    rec.Verdict,
 			Violations: rec.Violations,
 			Degraded:   rec.Degraded.Any(),
@@ -117,22 +128,31 @@ func (d *Daemon) handleSession(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleSummary(w http.ResponseWriter, r *http.Request) {
 	recs := d.store.List()
 	s := Summary{
-		Specs:      d.SpecNames(),
-		Sessions:   len(recs),
-		ByVerdict:  map[string]int{},
-		BySpec:     map[string]int{},
-		Accepted:   d.accepted.Load(),
-		Completed:  d.completed.Load(),
-		Cancelled:  d.cancelled.Load(),
-		Rejected:   map[string]uint64{},
-		Active:     d.active.Load(),
-		Queued:     d.queued.Load(),
-		Draining:   d.draining.Load(),
-		StoreBytes: d.store.Bytes(),
+		Specs:            d.SpecNames(),
+		Sessions:         len(recs),
+		ByVerdict:        map[string]int{},
+		BySpec:           map[string]int{},
+		ByTenant:         map[string]int{},
+		Accepted:         d.accepted.Load(),
+		Completed:        d.completed.Load(),
+		Cancelled:        d.cancelled.Load(),
+		Rejected:         map[string]uint64{},
+		Active:           d.active.Load(),
+		Queued:           int64(d.adm.queuedLen()),
+		Draining:         d.draining.Load(),
+		StoreBytes:       d.store.Bytes(),
+		RecoveredOrphans: d.store.RecoveredOrphans(),
+		StoreSegments:    d.store.Segments(),
+		StoreCompactions: d.store.Compactions(),
 	}
 	for _, rec := range recs {
 		s.ByVerdict[rec.Verdict]++
 		s.BySpec[rec.Spec]++
+		tenant := rec.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		s.ByTenant[tenant]++
 		s.Violations += rec.Violations
 		if rec.Degraded.Any() {
 			s.Degraded++

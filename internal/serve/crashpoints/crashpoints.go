@@ -1,0 +1,150 @@
+// Package crashpoints is the daemon's deterministic fault-injection
+// harness: named points on the durability-critical paths (store
+// append, segment seal, compaction rename, verdict journaling) where
+// the process can be made to die *exactly there*, with kill -9
+// semantics — no deferred cleanup, no buffered-writer flush, no
+// graceful drain.
+//
+// A crashpoint is armed through the environment:
+//
+//	GOMPAXD_CRASHPOINT=<name>        die on the first hit of <name>
+//	GOMPAXD_CRASHPOINT=<name>:<n>    die on the n-th hit of <name>
+//
+// When the armed point is hit for the n-th time the process exits
+// immediately with status 137 (the wait status a real kill -9 would
+// produce), so a supervising harness cannot tell the difference.
+// Everything the process had handed to the kernel survives;
+// everything still in user-space buffers is lost — which is precisely
+// the failure window the segmented store's recovery protocol must
+// cover. scripts/crash_smoke.sh iterates the catalogue below under a
+// mixed 200-session load and asserts zero acknowledged verdicts lost.
+//
+// Hit sites cost one atomic load when nothing is armed, so the
+// crashpoints stay compiled into production binaries (the same
+// philosophy as wire.FaultWriter: the fault path is the tested path).
+package crashpoints
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// The crashpoint catalogue. Every name passed to Hit anywhere in the
+// tree is listed here so the smoke harness can enumerate them.
+const (
+	// StoreAppendPreSync: a record reached the kernel but the fsync
+	// that would make it power-loss durable has not run.
+	StoreAppendPreSync = "segstore.append.pre-sync"
+	// StoreSealPreFooter: a segment hit the rotation size but dies
+	// before the CRC32C footer is written — reopened as an unsealed
+	// (active) segment.
+	StoreSealPreFooter = "segstore.seal.pre-footer"
+	// StoreCompactPreRename: the compacted segment is fully written
+	// to its .tmp file but the rename never happens — the leftover
+	// .tmp must be discarded on open and the originals still win.
+	StoreCompactPreRename = "segstore.compact.pre-rename"
+	// StoreCompactPostRename: the compacted segment is renamed into
+	// place but the superseded source segments are not yet deleted —
+	// replay must tolerate the duplicated records.
+	StoreCompactPostRename = "segstore.compact.post-rename"
+	// ServeAcceptedJournaled: a session's accepted intent record is
+	// durable but the client has not been told OK yet.
+	ServeAcceptedJournaled = "serve.accepted.journaled"
+	// ServeVerdictPreJournal: the analysis finished but its verdict
+	// record was never journaled — the session must come back as
+	// interrupted, and the client must not have seen an ack.
+	ServeVerdictPreJournal = "serve.verdict.pre-journal"
+	// ServeVerdictPostJournal: the verdict is durable but the VERDICT
+	// trailer was never sent — the client sees a dead connection, yet
+	// a retry would find the result already stored.
+	ServeVerdictPostJournal = "serve.verdict.post-journal"
+)
+
+// Catalogue lists every named crashpoint, for harness enumeration.
+func Catalogue() []string {
+	return []string{
+		StoreAppendPreSync,
+		StoreSealPreFooter,
+		StoreCompactPreRename,
+		StoreCompactPostRename,
+		ServeAcceptedJournaled,
+		ServeVerdictPreJournal,
+		ServeVerdictPostJournal,
+	}
+}
+
+// armed is the active crashpoint, nil when disarmed (the common
+// case: one atomic pointer load per Hit).
+var armed atomic.Pointer[point]
+
+type point struct {
+	name string
+	nth  int64 // die on this hit (1-based)
+	hits atomic.Int64
+}
+
+// exit is swapped out by tests; production dies with kill -9's status.
+var exit func(int) = os.Exit
+
+func init() {
+	ArmFromEnv(os.Getenv("GOMPAXD_CRASHPOINT"))
+}
+
+// ArmFromEnv arms from a "name" or "name:n" spec; empty disarms.
+func ArmFromEnv(spec string) {
+	if spec == "" {
+		Disarm()
+		return
+	}
+	name, nstr, hasN := strings.Cut(spec, ":")
+	n := int64(1)
+	if hasN {
+		if v, err := strconv.ParseInt(nstr, 10, 64); err == nil && v > 0 {
+			n = v
+		}
+	}
+	Arm(name, n)
+}
+
+// Arm sets the active crashpoint: the process dies on the nth Hit of
+// name (n < 1 means first).
+func Arm(name string, nth int64) {
+	if nth < 1 {
+		nth = 1
+	}
+	armed.Store(&point{name: name, nth: nth})
+}
+
+// Disarm clears the active crashpoint.
+func Disarm() { armed.Store(nil) }
+
+// Armed reports the active crashpoint name ("" when disarmed).
+func Armed() string {
+	if p := armed.Load(); p != nil {
+		return p.name
+	}
+	return ""
+}
+
+// Hit marks one pass through the named crashpoint. When that point is
+// armed and this is its fatal hit, the process exits with status 137
+// immediately — the caller never regains control.
+func Hit(name string) {
+	p := armed.Load()
+	if p == nil || p.name != name {
+		return
+	}
+	if p.hits.Add(1) == p.nth {
+		exit(137)
+	}
+}
+
+// SetExitForTest replaces the process-exit hook and returns a restore
+// function. Tests use it to observe the fatal hit without dying.
+func SetExitForTest(f func(int)) (restore func()) {
+	prev := exit
+	exit = f
+	return func() { exit = prev }
+}

@@ -1,0 +1,88 @@
+package crashpoints
+
+import "testing"
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	Disarm()
+	called := false
+	defer SetExitForTest(func(int) { called = true })()
+	Hit(StoreAppendPreSync)
+	if called {
+		t.Fatal("disarmed crashpoint fired")
+	}
+	if Armed() != "" {
+		t.Fatalf("Armed() = %q after Disarm", Armed())
+	}
+}
+
+func TestNthHitFires(t *testing.T) {
+	defer Disarm()
+	var codes []int
+	defer SetExitForTest(func(c int) { codes = append(codes, c) })()
+
+	Arm(ServeVerdictPreJournal, 3)
+	Hit(ServeVerdictPreJournal)
+	Hit(ServeVerdictPostJournal) // different point: not counted
+	Hit(ServeVerdictPreJournal)
+	if len(codes) != 0 {
+		t.Fatalf("crashpoint fired before the 3rd hit: %v", codes)
+	}
+	Hit(ServeVerdictPreJournal)
+	if len(codes) != 1 || codes[0] != 137 {
+		t.Fatalf("exit calls = %v, want one exit(137)", codes)
+	}
+	// Later hits do not fire again (the process would already be dead).
+	Hit(ServeVerdictPreJournal)
+	if len(codes) != 1 {
+		t.Fatalf("crashpoint re-fired after the fatal hit: %v", codes)
+	}
+}
+
+func TestArmFromEnvSpecs(t *testing.T) {
+	defer Disarm()
+	var fired int
+	defer SetExitForTest(func(int) { fired++ })()
+
+	ArmFromEnv(StoreSealPreFooter + ":2")
+	if Armed() != StoreSealPreFooter {
+		t.Fatalf("Armed() = %q", Armed())
+	}
+	Hit(StoreSealPreFooter)
+	if fired != 0 {
+		t.Fatal("fired on hit 1 with :2 spec")
+	}
+	Hit(StoreSealPreFooter)
+	if fired != 1 {
+		t.Fatalf("fired = %d after 2 hits", fired)
+	}
+
+	ArmFromEnv("")
+	if Armed() != "" {
+		t.Fatalf("empty spec did not disarm: %q", Armed())
+	}
+
+	// Bare name means first hit; a junk count falls back to 1.
+	ArmFromEnv(StoreCompactPreRename + ":zero")
+	Hit(StoreCompactPreRename)
+	if fired != 2 {
+		t.Fatalf("bad count spec: fired = %d, want 2", fired)
+	}
+}
+
+func TestCatalogueCoversConstants(t *testing.T) {
+	want := map[string]bool{
+		StoreAppendPreSync: true, StoreSealPreFooter: true,
+		StoreCompactPreRename: true, StoreCompactPostRename: true,
+		ServeAcceptedJournaled: true, ServeVerdictPreJournal: true,
+		ServeVerdictPostJournal: true,
+	}
+	got := Catalogue()
+	if len(got) != len(want) {
+		t.Fatalf("catalogue has %d entries, want %d", len(got), len(want))
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Fatalf("catalogue lists unknown point %q", name)
+		}
+	}
+}

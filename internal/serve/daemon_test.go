@@ -332,7 +332,7 @@ func TestDaemonAdmissionControl(t *testing.T) {
 	}
 	defer queued.Close()
 	fmt.Fprintf(queued, "%s spec=clean\n", protoGreeting)
-	waitFor(t, func() bool { return d.queued.Load() == 1 })
+	waitFor(t, func() bool { return d.adm.queuedLen() == 1 })
 
 	// Queue full: the next connection is rejected as overloaded.
 	if _, err := DialSession("tcp", addr, "clean"); !isReject(err, ReasonOverloaded) {
@@ -385,7 +385,7 @@ func TestDaemonDrain(t *testing.T) {
 	}
 	defer queued.Close()
 	fmt.Fprintf(queued, "%s spec=clean\n", protoGreeting)
-	waitFor(t, func() bool { return d.queued.Load() == 1 })
+	waitFor(t, func() bool { return d.adm.queuedLen() == 1 })
 
 	start := time.Now()
 	if err := d.Drain(200 * time.Millisecond); err != nil {

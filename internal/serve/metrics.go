@@ -4,7 +4,8 @@ import "gompax/internal/telemetry"
 
 // Daemon telemetry: session lifecycle counters (one increment per
 // session, never per frame — the wire and predict layers already cover
-// the hot path), admission gauges, and results-store growth.
+// the hot path) and admission gauges. Store growth metrics live in
+// internal/serve/segstore with the segmented store itself.
 var (
 	dlog = telemetry.Logger("serve")
 
@@ -12,6 +13,8 @@ var (
 		"Sessions admitted past admission control.")
 	mRejected = telemetry.Default().NewCounterVec("gompaxd_sessions_rejected_total",
 		"Sessions refused with an explicit reject, by reason.", "reason")
+	mRejectedTenant = telemetry.Default().NewCounterVec("gompaxd_admission_rejects_total",
+		"Admission rejects by reason and tenant.", "reason", "tenant")
 	mCompleted = telemetry.Default().NewCounterVec("gompaxd_sessions_completed_total",
 		"Sessions analyzed to a stored verdict, by verdict.", "verdict")
 	mActive = telemetry.Default().NewGauge("gompaxd_sessions_active",
@@ -22,10 +25,8 @@ var (
 		"Graceful drains initiated.")
 	mCancelled = telemetry.Default().NewCounter("gompaxd_sessions_cancelled_total",
 		"In-flight sessions cancelled because the drain deadline passed.")
-	mStoreRecords = telemetry.Default().NewCounter("gompaxd_store_records_total",
-		"Records appended to the results store.")
-	mStoreBytes = telemetry.Default().NewCounter("gompaxd_store_bytes_total",
-		"Bytes appended to the results store.")
-	mStoreTorn = telemetry.Default().NewCounter("gompaxd_store_torn_lines_total",
-		"Undecodable lines skipped while replaying the results store.")
+	mRecoveredOrphans = telemetry.Default().NewCounter("gompaxd_recovered_orphans_total",
+		"Sessions recovered as interrupted from the admission-intent journal after an unclean stop.")
+	mAdmissionWait = telemetry.Default().NewHistogramVec("gompaxd_admission_wait_nanoseconds",
+		"Nanoseconds between enqueue and worker pickup, by tenant.", "tenant")
 )

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gompax/internal/telemetry"
+)
+
+// TestMetricsExposition pins the Prometheus exposition names and label
+// shapes the dashboards depend on: the segmented-store gauges and
+// counters, the per-tenant admission rejects, and the crash-recovery
+// counter all surface through the default registry.
+func TestMetricsExposition(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+
+	// Drive a store through rotation + compaction so the gauges move.
+	s, err := OpenStoreOptions(StoreOptions{Dir: dir, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		id := s.NextID()
+		if err := s.Accepted(AcceptedInfo{ID: id, Spec: "crossing", Start: time.Now().UTC()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(testRecord(id, VerdictOK, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Leave an orphan so the recovery counter moves on reopen.
+	orphan := s.NextID()
+	if err := s.Accepted(AcceptedInfo{ID: orphan, Spec: "crossing", Start: time.Now().UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.RecoveredOrphans() != 1 {
+		t.Fatalf("recovered = %d, want 1", s2.RecoveredOrphans())
+	}
+
+	// A tenant-labeled admission reject.
+	mRejectedTenant.With(ReasonQuotaExceeded, "acme").Inc()
+
+	out := telemetry.Default().Expose()
+	for _, want := range []string{
+		"# TYPE gompaxd_store_segments gauge",
+		"gompaxd_store_segments ",
+		"# TYPE gompaxd_store_compactions_total counter",
+		"# TYPE gompaxd_store_records_total counter",
+		"# TYPE gompaxd_recovered_orphans_total counter",
+		"# TYPE gompaxd_admission_rejects_total counter",
+		`gompaxd_admission_rejects_total{reason="quota-exceeded",tenant="acme"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+
+	// The counters are process-global and cumulative, so assert floors
+	// rather than exact values (other tests share the registry).
+	for _, counter := range []string{
+		"gompaxd_store_compactions_total",
+		"gompaxd_recovered_orphans_total",
+	} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, counter+" ") {
+				found = true
+				val := strings.TrimPrefix(line, counter+" ")
+				if val == "0" {
+					t.Errorf("%s still zero after the scenario above", counter)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s has no sample line", counter)
+		}
+	}
+}

@@ -14,9 +14,9 @@ import (
 // final verdict travel on the same connection as the frame stream
 // without touching the wire frame format.
 //
-//	client → GOMPAXD/1 spec=<name>\n
+//	client → GOMPAXD/1 spec=<name> tenant=<tenant>\n
 //	daemon → OK id=<session-id>\n                           (admitted)
-//	daemon → REJECT reason=<reason>\n                       (refused)
+//	daemon → REJECT reason=<reason> retry-after=<dur>\n     (refused)
 //	client → <wire frames: Hello, Messages, ThreadDone, Bye>
 //	daemon → VERDICT id=<id> verdict=<v> violations=<n> cuts=<n> degraded=<bool>\n
 //
@@ -24,6 +24,12 @@ import (
 // it before streaming gets natural backpressure from the daemon's
 // admission queue. The REJECT line is the explicit reject frame the
 // overloaded daemon sends instead of silently dropping the connection.
+//
+// Both handshake keys are optional: spec defaults to the daemon's
+// default spec, tenant to the "default" admission tenant. A REJECT may
+// carry a retry-after hint (a Go duration) telling the client when a
+// retry could succeed; rejects without the hint (draining,
+// bad-handshake, unknown-spec) are not worth retrying.
 const (
 	protoGreeting = "GOMPAXD/1"
 	// handshakeMax bounds the greeting line; anything longer is not a
@@ -36,15 +42,31 @@ const (
 	ReasonOverloaded   = "overloaded"    // admission queue full
 	ReasonQueueTimeout = "queue-timeout" // queued past Config.QueueTimeout
 	ReasonDraining     = "draining"      // daemon is shutting down
-	ReasonBadHandshake = "bad-handshake" // greeting missing or malformed
-	ReasonUnknownSpec  = "unknown-spec"  // spec name not registered
+	ReasonBadHandshake  = "bad-handshake"  // greeting missing or malformed
+	ReasonUnknownSpec   = "unknown-spec"   // spec name not registered
+	ReasonQuotaExceeded = "quota-exceeded" // tenant token bucket empty
 )
 
 // RejectError is returned by the client when the daemon refuses the
-// session.
-type RejectError struct{ Reason string }
+// session. RetryAfter, when positive, is the daemon's hint for when a
+// retry could succeed.
+type RejectError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
 
 func (e *RejectError) Error() string { return "serve: session rejected: " + e.Reason }
+
+// Retryable reports whether retrying the session later could help:
+// transient pressure (overload, queue timeout, quota) is retryable,
+// protocol and configuration errors and a draining daemon are not.
+func (e *RejectError) Retryable() bool {
+	switch e.Reason {
+	case ReasonOverloaded, ReasonQueueTimeout, ReasonQuotaExceeded:
+		return true
+	}
+	return false
+}
 
 // Verdict is the parsed daemon trailer line.
 type Verdict struct {
@@ -92,18 +114,35 @@ type Client struct {
 	id   string
 }
 
+// SessionRequest names what the client is asking the daemon for.
+type SessionRequest struct {
+	// Spec is the property to check against ("" = daemon default).
+	Spec string
+	// Tenant is the admission tenant to account the session to
+	// ("" = the "default" tenant).
+	Tenant string
+}
+
 // DialSession connects to a daemon, requests a session against the
 // named spec (empty = the daemon's default spec), and waits for
 // admission. A refusal comes back as a *RejectError.
 func DialSession(network, addr, spec string) (*Client, error) {
+	return Dial(network, addr, SessionRequest{Spec: spec})
+}
+
+// Dial is DialSession with the full request (spec and tenant).
+func Dial(network, addr string, req SessionRequest) (*Client, error) {
 	conn, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{conn: conn}
 	line := protoGreeting
-	if spec != "" {
-		line += " spec=" + spec
+	if req.Spec != "" {
+		line += " spec=" + req.Spec
+	}
+	if req.Tenant != "" {
+		line += " tenant=" + req.Tenant
 	}
 	if _, err := io.WriteString(conn, line+"\n"); err != nil {
 		conn.Close()
@@ -126,7 +165,11 @@ func DialSession(network, addr, spec string) (*Client, error) {
 		return c, nil
 	case "REJECT":
 		conn.Close()
-		return nil, &RejectError{Reason: kv["reason"]}
+		re := &RejectError{Reason: kv["reason"]}
+		if d, err := time.ParseDuration(kv["retry-after"]); err == nil && d > 0 {
+			re.RetryAfter = d
+		}
+		return nil, re
 	default:
 		conn.Close()
 		return nil, fmt.Errorf("serve: unexpected admission response %q", resp)

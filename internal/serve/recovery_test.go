@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDaemonSurfacesRecoveredOrphans is the recovery protocol seen
+// from the API: a daemon opening a store left behind by an unclean
+// stop (accepted intents with no verdicts) reports those sessions as
+// interrupted through /sessions and counts them in /summary — and
+// keeps serving new sessions against the same store.
+func TestDaemonSurfacesRecoveredOrphans(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+
+	// Fabricate the crash remains: one finished session, two accepted
+	// intents whose verdicts never landed.
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := s.NextID()
+	if err := s.Append(testRecord(done, VerdictOK, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Accepted(AcceptedInfo{
+			ID: s.NextID(), Spec: "crossing", Tenant: "acme",
+			Remote: "10.0.0.9:999", Start: time.Now().UTC(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, addr := newTestDaemon(t, Config{StorePath: dir, IdleTimeout: 20 * time.Second})
+	if n := d.Store().RecoveredOrphans(); n != 2 {
+		t.Fatalf("daemon recovered %d orphans, want 2", n)
+	}
+
+	mux := http.NewServeMux()
+	d.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var interrupted []SessionSummary
+	getJSON(t, srv.URL+"/sessions?verdict=interrupted", &interrupted)
+	if len(interrupted) != 2 {
+		t.Fatalf("/sessions?verdict=interrupted = %d entries, want 2", len(interrupted))
+	}
+	for _, ss := range interrupted {
+		if ss.Tenant != "acme" || ss.Spec != "crossing" {
+			t.Fatalf("interrupted session lost intent fields: %+v", ss)
+		}
+	}
+	var byTenant []SessionSummary
+	getJSON(t, srv.URL+"/sessions?tenant=acme", &byTenant)
+	if len(byTenant) != 2 {
+		t.Fatalf("/sessions?tenant=acme = %d entries, want 2", len(byTenant))
+	}
+
+	var sum Summary
+	getJSON(t, srv.URL+"/summary", &sum)
+	if sum.RecoveredOrphans != 2 {
+		t.Fatalf("/summary recovered_orphans = %d, want 2", sum.RecoveredOrphans)
+	}
+	if sum.ByVerdict[VerdictInterrupted] != 2 || sum.ByVerdict[VerdictOK] != 1 {
+		t.Fatalf("/summary by_verdict = %v", sum.ByVerdict)
+	}
+
+	// The recovered store still takes new sessions, with ids counting
+	// past everything the crashed daemon minted.
+	v, id, err := runSession(addr, "clean", crossingBlob(t, cleanProp, 1), nil)
+	if err != nil || v.Verdict != VerdictOK {
+		t.Fatalf("post-recovery session: %+v, %v", v, err)
+	}
+	if id != "s-000004" {
+		t.Fatalf("post-recovery id = %s, want s-000004", id)
+	}
+	if err := d.Store().VerifyIndex(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays for clients that
+// were rejected with a retryable reason. The delay for attempt k is
+// drawn uniformly from [d/2, d] where d = min(Cap, Base<<k) — "equal
+// jitter", so retries never synchronize into a thundering herd yet
+// never collapse to zero. A daemon-supplied RETRY-AFTER hint raises
+// the lower bound: the client never retries before the daemon said it
+// could help.
+type Backoff struct {
+	// Base is the attempt-0 nominal delay. Default 200ms.
+	Base time.Duration
+	// Cap bounds the nominal delay growth. Default 10s.
+	Cap time.Duration
+
+	rng *rand.Rand
+}
+
+// NewBackoff returns a Backoff with the given seed (deterministic for
+// tests; callers wanting spread pass e.g. time.Now().UnixNano()).
+func NewBackoff(seed int64) *Backoff {
+	return &Backoff{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the wait before retry number attempt (0-based), never
+// earlier than hint (the daemon's RETRY-AFTER; 0 = none).
+func (b *Backoff) Delay(attempt int, hint time.Duration) time.Duration {
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 10 * time.Second
+	}
+	d := cap
+	if attempt < 30 { // past 1<<30 the shift alone exceeds any sane cap
+		if shifted := base << uint(attempt); shifted < cap {
+			d = shifted
+		}
+	}
+	lo := d / 2
+	if hint > lo {
+		lo = hint
+	}
+	hi := lo + d/2
+	return lo + time.Duration(b.rng.Int63n(int64(hi-lo)+1))
+}

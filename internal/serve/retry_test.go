@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds pins the equal-jitter envelope with a seeded
+// RNG: every delay for attempt k lands in [d/2, d] for the nominal
+// d = min(Cap, Base<<k), delays never collapse to zero, and growth
+// stops at the cap.
+func TestBackoffJitterBounds(t *testing.T) {
+	b := NewBackoff(42)
+	b.Base = 200 * time.Millisecond
+	b.Cap = 10 * time.Second
+	for attempt := 0; attempt < 12; attempt++ {
+		nominal := b.Cap
+		if shifted := b.Base << uint(attempt); shifted < b.Cap {
+			nominal = shifted
+		}
+		for trial := 0; trial < 200; trial++ {
+			d := b.Delay(attempt, 0)
+			if d < nominal/2 || d > nominal {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, nominal/2, nominal)
+			}
+		}
+	}
+}
+
+// TestBackoffHonorsHint checks the daemon's RETRY-AFTER raises the
+// lower bound: the client never retries before the daemon said a
+// retry could succeed, but jitter still spreads the retries out.
+func TestBackoffHonorsHint(t *testing.T) {
+	b := NewBackoff(7)
+	b.Base = 200 * time.Millisecond
+	b.Cap = 10 * time.Second
+	hint := 3 * time.Second
+	for trial := 0; trial < 200; trial++ {
+		d := b.Delay(0, hint) // nominal d=200ms, far below the hint
+		if d < hint {
+			t.Fatalf("delay %v below the daemon's retry-after %v", d, hint)
+		}
+		if d > hint+100*time.Millisecond {
+			t.Fatalf("delay %v overshoots hint %v + half-nominal jitter", d, hint)
+		}
+	}
+}
+
+// TestBackoffDeterministicPerSeed: same seed, same sequence — what
+// makes the jitter testable at all; different seeds diverge.
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		b := NewBackoff(seed)
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			out = append(out, b.Delay(i, 0))
+		}
+		return out
+	}
+	a1, a2, b1 := mk(1), mk(1), mk(2)
+	same := true
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("seed 1 diverged from itself at %d: %v vs %v", i, a1[i], a2[i])
+		}
+		if a1[i] != b1[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+// TestBackoffDefaultsAndOverflow: zero-value Backoff still works, and
+// absurd attempt numbers clamp at the cap instead of overflowing.
+func TestBackoffDefaultsAndOverflow(t *testing.T) {
+	b := NewBackoff(3)
+	for _, attempt := range []int{0, 31, 63, 1000} {
+		d := b.Delay(attempt, 0)
+		if d <= 0 || d > 10*time.Second {
+			t.Fatalf("attempt %d: delay %v outside (0, 10s]", attempt, d)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package segstore
+
+import "gompax/internal/telemetry"
+
+// Store telemetry. The record/byte/torn counters moved here from
+// internal/serve when the single-file store became segmented; the
+// names are unchanged so dashboards survive the migration.
+var (
+	mRecords = telemetry.Default().NewCounter("gompaxd_store_records_total",
+		"Records appended to the results store.")
+	mBytes = telemetry.Default().NewCounter("gompaxd_store_bytes_total",
+		"Bytes appended to the results store.")
+	mTorn = telemetry.Default().NewCounter("gompaxd_store_torn_lines_total",
+		"Torn or undecodable lines repaired while replaying the results store.")
+	mSegments = telemetry.Default().NewGauge("gompaxd_store_segments",
+		"Segment files in the results store, active segment included.")
+	mCompactions = telemetry.Default().NewCounter("gompaxd_store_compactions_total",
+		"Compaction passes that rewrote the sealed segments.")
+)

@@ -1,0 +1,860 @@
+// Package segstore is gompaxd's crash-safe results store: a directory
+// of size-rotated JSONL segments with CRC32C-sealed history, an index
+// rebuilt by replay on open, torn-tail truncation, and background
+// compaction of superseded records.
+//
+// # On-disk format
+//
+// A store is a directory of segment files named results-%08d.jsonl,
+// numbered from 1 and replayed in numeric order. Each line is one
+// JSON entry {"kind","id","data"}. The highest-numbered segment is
+// the active one and is append-only; when it reaches
+// Options.SegmentBytes it is sealed — a footer line
+// {"kind":"_seal","records":N,"crc":C} is appended, where C is the
+// CRC32C (Castagnoli) of every byte of the segment before the footer
+// line — and a new active segment is created. Sealed segments are
+// immutable except for compaction.
+//
+// # Crash windows
+//
+// Every failure mode a kill -9 can produce maps to a recovery rule
+// applied on Open:
+//
+//   - torn tail: the active segment's final line has no newline or
+//     does not decode. The file is physically truncated back to the
+//     last good line, so the next append starts on a clean boundary.
+//   - torn compaction rename: a leftover results-*.jsonl.tmp from a
+//     crash between tmp-write and rename is discarded; the source
+//     segments it was replacing are still intact and win.
+//   - crash after rename, before source deletion: the compacted
+//     segment and its sources coexist and hold duplicate records;
+//     replay is last-writer-wins per (kind, id), and the original
+//     append order guarantees the surviving version is the newest.
+//   - unsealed rotation: a crash before the footer reopens the
+//     segment as active; sealing is retried at the next rotation.
+//
+// A sealed segment whose footer CRC or record count disagrees with
+// its contents is counted (Stats.SealErrors, the torn-lines metric)
+// but still replayed — degradation over death, as everywhere else in
+// the pipeline.
+//
+// # Supersession
+//
+// Replay keeps the last entry per (kind, id) key. Additionally a
+// "verdict" entry supersedes the "accepted" entry with the same id:
+// the accepted record is the admission intent journaled by the
+// daemon, and once the verdict lands the intent is dead weight.
+// Compaction rewrites the sealed segments, dropping every superseded
+// entry, into a single segment renamed atomically into place.
+//
+// # Durability policy
+//
+// Appends always reach the kernel (the line buffer is flushed) before
+// Append returns, so a kill -9 cannot lose an acknowledged record.
+// The fsync policy only widens that to power loss: "always" fsyncs
+// every append, "interval" fsyncs on a timer (default 100ms), and
+// "never" leaves it to the OS. Sealing and compaction fsync
+// unconditionally — segment boundaries are durability points.
+package segstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gompax/internal/serve/crashpoints"
+)
+
+// Entry kinds. KindVerdict supersedes KindAccepted for the same id.
+const (
+	KindAccepted = "accepted"
+	KindVerdict  = "verdict"
+	kindSeal     = "_seal"
+)
+
+// Fsync policies.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncNever    = "never"
+)
+
+// Entry is one journaled record: the daemon's accepted-intent and
+// verdict records both travel in this envelope.
+type Entry struct {
+	Kind string          `json:"kind"`
+	ID   string          `json:"id"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// sealFooter is the line that closes a sealed segment.
+type sealFooter struct {
+	Kind    string `json:"kind"`
+	Records int    `json:"records"`
+	CRC     uint32 `json:"crc"`
+}
+
+// Options configures a Log. The zero value of every field gets a
+// sensible default from Open.
+type Options struct {
+	// Dir is the segment directory (created if needed). Required.
+	Dir string
+	// SegmentBytes is the rotation threshold. Default 4 MiB.
+	SegmentBytes int64
+	// Fsync is the fsync policy: always, interval or never.
+	// Default interval.
+	Fsync string
+	// FsyncInterval is the timer period for the interval policy.
+	// Default 100ms.
+	FsyncInterval time.Duration
+	// CompactMinDead is the number of superseded records in sealed
+	// segments that arms compaction. Default 64; negative disables
+	// background compaction (explicit Compact still works).
+	CompactMinDead int
+}
+
+func (o *Options) fillDefaults() error {
+	if o.Dir == "" {
+		return fmt.Errorf("segstore: empty dir")
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	switch o.Fsync {
+	case "":
+		o.Fsync = FsyncInterval
+	case FsyncAlways, FsyncInterval, FsyncNever:
+	default:
+		return fmt.Errorf("segstore: unknown fsync policy %q (want %s, %s or %s)",
+			o.Fsync, FsyncAlways, FsyncInterval, FsyncNever)
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.CompactMinDead == 0 {
+		o.CompactMinDead = 64
+	}
+	return nil
+}
+
+// Stats is a point-in-time view of the store's shape.
+type Stats struct {
+	Dir         string
+	Segments    int    // segment files on disk, active included
+	Live        int    // entries the index serves
+	Superseded  int    // dead entries still on disk, compaction fodder
+	Bytes       int64  // total on-disk bytes across segments
+	Torn        int    // lines truncated or skipped on open
+	TmpRemoved  int    // leftover .tmp files discarded on open
+	SealErrors  int    // sealed segments failing their footer check
+	Compactions uint64 // compaction passes completed by this Log
+}
+
+// rawEntry is one decoded line, kept with its exact on-disk bytes so
+// the index can be verified byte-for-byte against a rescan.
+type rawEntry struct {
+	kind, id string
+	seg      uint64
+	line     []byte // without the trailing newline
+}
+
+func entryKey(kind, id string) string { return kind + "\x00" + id }
+
+// Log is an open segmented store.
+type Log struct {
+	mu   sync.Mutex
+	opts Options
+	dirF *os.File
+
+	seg        *os.File
+	segW       *bufio.Writer
+	segNum     uint64
+	segSize    int64
+	segCRC     uint32
+	segRecords int
+
+	segSizes map[uint64]int64
+	entries  []rawEntry
+	live     map[string]int // entryKey -> index into entries
+
+	torn       int
+	tmpRemoved int
+	sealErrors int
+	compacts   uint64
+	closed     bool
+
+	compactCh chan struct{}
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func segName(n uint64) string { return fmt.Sprintf("results-%08d.jsonl", n) }
+
+// parseSegName extracts the segment number from a results-*.jsonl
+// file name.
+func parseSegName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "results-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".jsonl")
+	if !ok || len(rest) == 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open opens (creating if needed) the segmented store in opts.Dir,
+// applies crash repairs, rebuilds the index by replaying every
+// segment in order, and starts the background fsync and compaction
+// loops.
+func Open(opts Options) (*Log, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	dirF, err := os.Open(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		opts:      opts,
+		dirF:      dirF,
+		segSizes:  map[uint64]int64{},
+		live:      map[string]int{},
+		compactCh: make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+	}
+	sc, err := scanDir(opts.Dir)
+	if err != nil {
+		dirF.Close()
+		return nil, err
+	}
+	// Repairs: discard torn compaction leftovers, truncate torn tails.
+	for _, tmp := range sc.tmps {
+		if err := os.Remove(tmp); err != nil {
+			dirF.Close()
+			return nil, fmt.Errorf("segstore: removing leftover %s: %w", tmp, err)
+		}
+		l.tmpRemoved++
+	}
+	for path, off := range sc.truncate {
+		if err := os.Truncate(path, off); err != nil {
+			dirF.Close()
+			return nil, fmt.Errorf("segstore: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	l.entries = sc.entries
+	l.live = sc.live
+	l.segSizes = sc.segSizes
+	l.torn = sc.torn
+	l.sealErrors = sc.sealErrors
+	if l.torn > 0 {
+		mTorn.Add(uint64(l.torn))
+	}
+
+	// Pick or create the active segment.
+	switch {
+	case len(sc.nums) == 0:
+		if err := l.createSegment(1); err != nil {
+			dirF.Close()
+			return nil, err
+		}
+	case sc.lastSealed:
+		if err := l.createSegment(sc.nums[len(sc.nums)-1] + 1); err != nil {
+			dirF.Close()
+			return nil, err
+		}
+	default:
+		n := sc.nums[len(sc.nums)-1]
+		f, err := os.OpenFile(filepath.Join(opts.Dir, segName(n)), os.O_RDWR, 0o644)
+		if err != nil {
+			dirF.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(0, 2); err != nil {
+			f.Close()
+			dirF.Close()
+			return nil, err
+		}
+		l.seg, l.segW = f, bufio.NewWriter(f)
+		l.segNum = n
+		l.segSize = sc.lastSize
+		l.segCRC = sc.lastCRC
+		l.segRecords = sc.lastRecords
+	}
+	mSegments.Set(int64(len(l.segSizes)))
+
+	if opts.Fsync == FsyncInterval {
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	if opts.CompactMinDead >= 0 {
+		l.wg.Add(1)
+		go l.compactLoop()
+	}
+	return l, nil
+}
+
+// createSegment opens a brand-new active segment and makes its
+// directory entry durable. Caller holds the lock (or is Open).
+func (l *Log) createSegment(n uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(n)), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	l.seg, l.segW = f, bufio.NewWriter(f)
+	l.segNum = n
+	l.segSize, l.segCRC, l.segRecords = 0, 0, 0
+	l.segSizes[n] = 0
+	l.dirF.Sync()
+	mSegments.Set(int64(len(l.segSizes)))
+	return nil
+}
+
+// Dir returns the store directory.
+func (l *Log) Dir() string { return l.opts.Dir }
+
+// Append journals one entry: the line reaches the kernel before
+// Append returns, then the index is updated, then the segment is
+// sealed and rotated if it crossed the size threshold.
+func (l *Log) Append(e Entry) error {
+	if e.Kind != KindAccepted && e.Kind != KindVerdict {
+		return fmt.Errorf("segstore: bad entry kind %q", e.Kind)
+	}
+	if e.ID == "" {
+		return fmt.Errorf("segstore: entry without id")
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("segstore: append to closed store")
+	}
+	if _, err := l.segW.Write(line); err != nil {
+		return err
+	}
+	if err := l.segW.WriteByte('\n'); err != nil {
+		return err
+	}
+	if err := l.segW.Flush(); err != nil {
+		return err
+	}
+	crashpoints.Hit(crashpoints.StoreAppendPreSync)
+	if l.opts.Fsync == FsyncAlways {
+		if err := l.seg.Sync(); err != nil {
+			return err
+		}
+	}
+	l.segCRC = crc32.Update(l.segCRC, castagnoli, line)
+	l.segCRC = crc32.Update(l.segCRC, castagnoli, []byte{'\n'})
+	l.segSize += int64(len(line)) + 1
+	l.segSizes[l.segNum] = l.segSize
+	l.segRecords++
+	l.index(rawEntry{kind: e.Kind, id: e.ID, seg: l.segNum, line: line})
+	mRecords.Inc()
+	mBytes.Add(uint64(len(line) + 1))
+
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.seal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// index applies one entry to the last-writer-wins view. Caller holds
+// the lock.
+func (l *Log) index(re rawEntry) {
+	l.entries = append(l.entries, re)
+	l.live[entryKey(re.kind, re.id)] = len(l.entries) - 1
+	if re.kind == KindVerdict {
+		// The verdict supersedes the admission intent.
+		delete(l.live, entryKey(KindAccepted, re.id))
+	}
+}
+
+// seal closes the active segment with a CRC32C footer and rolls to a
+// fresh one. Caller holds the lock.
+func (l *Log) seal() error {
+	crashpoints.Hit(crashpoints.StoreSealPreFooter)
+	footer, err := json.Marshal(sealFooter{Kind: kindSeal, Records: l.segRecords, CRC: l.segCRC})
+	if err != nil {
+		return err
+	}
+	if _, err := l.segW.Write(footer); err != nil {
+		return err
+	}
+	if err := l.segW.WriteByte('\n'); err != nil {
+		return err
+	}
+	if err := l.segW.Flush(); err != nil {
+		return err
+	}
+	// Sealing is a durability point regardless of the fsync policy.
+	if err := l.seg.Sync(); err != nil {
+		return err
+	}
+	l.segSizes[l.segNum] = l.segSize + int64(len(footer)) + 1
+	if err := l.seg.Close(); err != nil {
+		return err
+	}
+	if err := l.createSegment(l.segNum + 1); err != nil {
+		return err
+	}
+	if dead, _ := l.sealedDead(); l.opts.CompactMinDead >= 0 && dead >= l.opts.CompactMinDead {
+		select {
+		case l.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// sealedDead counts superseded entries sitting in sealed segments,
+// and the number of sealed segments. Caller holds the lock.
+func (l *Log) sealedDead() (dead, sealedSegs int) {
+	for n := range l.segSizes {
+		if n != l.segNum {
+			sealedSegs++
+		}
+	}
+	for i, re := range l.entries {
+		if re.seg == l.segNum {
+			continue
+		}
+		if j, ok := l.live[entryKey(re.kind, re.id)]; !ok || j != i {
+			dead++
+		}
+	}
+	return dead, sealedSegs
+}
+
+// Compact rewrites every sealed segment into one, dropping superseded
+// records: live lines are written to a .tmp file, sealed with a
+// footer, fsynced, renamed over the lowest sealed segment number, and
+// the remaining sources are deleted. Safe against a crash at any
+// point (see the package comment's crash-window table). The active
+// segment is never touched.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("segstore: compact on closed store")
+	}
+	dead, sealedSegs := l.sealedDead()
+	if sealedSegs == 0 || (dead == 0 && sealedSegs <= 1) {
+		return nil // nothing to gain
+	}
+	target := l.segNum
+	for n := range l.segSizes {
+		if n < target {
+			target = n
+		}
+	}
+
+	// Gather the surviving sealed entries in replay order.
+	kept := make([]rawEntry, 0, len(l.entries))
+	active := make([]rawEntry, 0, len(l.entries))
+	for i, re := range l.entries {
+		if re.seg == l.segNum {
+			active = append(active, re)
+			continue
+		}
+		if j, ok := l.live[entryKey(re.kind, re.id)]; ok && j == i {
+			kept = append(kept, re)
+		}
+	}
+
+	tmpPath := filepath.Join(l.opts.Dir, segName(target)+".tmp")
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	var crc uint32
+	var size int64
+	records := 0
+	for _, re := range kept {
+		if _, err := w.Write(re.line); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			f.Close()
+			return err
+		}
+		crc = crc32.Update(crc, castagnoli, re.line)
+		crc = crc32.Update(crc, castagnoli, []byte{'\n'})
+		size += int64(len(re.line)) + 1
+		records++
+	}
+	footer, err := json.Marshal(sealFooter{Kind: kindSeal, Records: records, CRC: crc})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := w.Write(append(footer, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	crashpoints.Hit(crashpoints.StoreCompactPreRename)
+	if err := os.Rename(tmpPath, filepath.Join(l.opts.Dir, segName(target))); err != nil {
+		return err
+	}
+	l.dirF.Sync()
+	crashpoints.Hit(crashpoints.StoreCompactPostRename)
+	for n := range l.segSizes {
+		if n == target || n == l.segNum {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.opts.Dir, segName(n))); err != nil {
+			return err
+		}
+		delete(l.segSizes, n)
+	}
+	l.dirF.Sync()
+	l.segSizes[target] = size + int64(len(footer)) + 1
+
+	// Rebuild the in-memory view: compacted survivors, then the
+	// active segment's entries, preserving replay order.
+	rebuilt := make([]rawEntry, 0, len(kept)+len(active))
+	for _, re := range kept {
+		re.seg = target
+		rebuilt = append(rebuilt, re)
+	}
+	rebuilt = append(rebuilt, active...)
+	l.entries = rebuilt
+	l.live = make(map[string]int, len(rebuilt))
+	for i, re := range rebuilt {
+		l.live[entryKey(re.kind, re.id)] = i
+		if re.kind == KindVerdict {
+			delete(l.live, entryKey(KindAccepted, re.id))
+		}
+	}
+	l.compacts++
+	mCompactions.Inc()
+	mSegments.Set(int64(len(l.segSizes)))
+	return nil
+}
+
+func (l *Log) compactLoop() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case <-l.compactCh:
+			l.Compact() // best effort; errors surface via Stats/Verify
+		}
+	}
+}
+
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case <-t.C:
+			l.Sync()
+		}
+	}
+}
+
+// Sync flushes and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.seg == nil {
+		return nil
+	}
+	if err := l.segW.Flush(); err != nil {
+		return err
+	}
+	return l.seg.Sync()
+}
+
+// Live returns the surviving entries in replay order: for each
+// (kind, id) the newest version, minus accepted intents superseded by
+// their verdicts.
+func (l *Log) Live() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, 0, len(l.live))
+	for i, re := range l.entries {
+		if j, ok := l.live[entryKey(re.kind, re.id)]; !ok || j != i {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(re.line, &e); err != nil {
+			continue // cannot happen: the line decoded once already
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Stats reports the store's current shape.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, sz := range l.segSizes {
+		total += sz
+	}
+	return Stats{
+		Dir:         l.opts.Dir,
+		Segments:    len(l.segSizes),
+		Live:        len(l.live),
+		Superseded:  len(l.entries) - len(l.live),
+		Bytes:       total,
+		Torn:        l.torn,
+		TmpRemoved:  l.tmpRemoved,
+		SealErrors:  l.sealErrors,
+		Compactions: l.compacts,
+	}
+}
+
+// Verify checks the in-memory index against an independent full
+// rescan of the segment files: every live (kind, id) must resolve to
+// byte-identical line content, with no extras on either side and no
+// pending crash repairs. Used by `gompaxd -verify-store` and the
+// crash gate.
+func (l *Log) Verify() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg != nil {
+		if err := l.segW.Flush(); err != nil {
+			return err
+		}
+	}
+	sc, err := scanDir(l.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("segstore: verify rescan: %w", err)
+	}
+	if len(sc.tmps) > 0 || len(sc.truncate) > 0 {
+		return fmt.Errorf("segstore: verify found pending repairs: %d tmp files, %d torn tails",
+			len(sc.tmps), len(sc.truncate))
+	}
+	if len(sc.live) != len(l.live) {
+		return fmt.Errorf("segstore: index has %d live entries, rescan found %d", len(l.live), len(sc.live))
+	}
+	for key, i := range l.live {
+		j, ok := sc.live[key]
+		if !ok {
+			kind, id, _ := strings.Cut(key, "\x00")
+			return fmt.Errorf("segstore: indexed entry (%s, %s) missing from rescan", kind, id)
+		}
+		if !bytes.Equal(l.entries[i].line, sc.entries[j].line) {
+			kind, id, _ := strings.Cut(key, "\x00")
+			return fmt.Errorf("segstore: entry (%s, %s) differs between index and disk:\n  index: %s\n  disk:  %s",
+				kind, id, l.entries[i].line, sc.entries[j].line)
+		}
+	}
+	return nil
+}
+
+// Close stops the background loops, flushes and fsyncs the active
+// segment, and closes the files. The active segment is left unsealed;
+// the next Open resumes appending to it.
+func (l *Log) Close() error {
+	l.stopOnce.Do(func() { close(l.stopCh) })
+	l.wg.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	var err error
+	if l.seg != nil {
+		if ferr := l.segW.Flush(); ferr != nil {
+			err = ferr
+		}
+		if serr := l.seg.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := l.seg.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.seg, l.segW = nil, nil
+	}
+	if l.dirF != nil {
+		l.dirF.Close()
+		l.dirF = nil
+	}
+	return err
+}
+
+// segScan is the result of one pass over a store directory.
+type segScan struct {
+	nums        []uint64
+	entries     []rawEntry
+	live        map[string]int
+	segSizes    map[uint64]int64
+	torn        int
+	sealErrors  int
+	lastSealed  bool
+	lastSize    int64
+	lastCRC     uint32
+	lastRecords int
+	truncate    map[string]int64 // repair: truncate file to offset
+	tmps        []string         // repair: leftover tmp files to remove
+}
+
+// scanDir replays every segment in dir without modifying anything,
+// recording the repairs Open would apply.
+func scanDir(dir string) (*segScan, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sc := &segScan{
+		live:     map[string]int{},
+		segSizes: map[uint64]int64{},
+		truncate: map[string]int64{},
+	}
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			if _, ok := parseSegName(strings.TrimSuffix(name, ".tmp")); ok {
+				sc.tmps = append(sc.tmps, filepath.Join(dir, name))
+			}
+			continue
+		}
+		if n, ok := parseSegName(name); ok {
+			sc.nums = append(sc.nums, n)
+		}
+	}
+	sort.Slice(sc.nums, func(i, j int) bool { return sc.nums[i] < sc.nums[j] })
+	for i, n := range sc.nums {
+		if err := sc.loadSegment(dir, n, i == len(sc.nums)-1); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// loadSegment replays one segment file into the scan.
+func (sc *segScan) loadSegment(dir string, n uint64, last bool) error {
+	path := filepath.Join(dir, segName(n))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var crc uint32
+	off, records := 0, 0
+	sealed := false
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Torn tail: a partial final line with no newline.
+			sc.torn++
+			if last {
+				sc.truncate[path] = int64(off)
+				data = data[:off]
+			}
+			break
+		}
+		line := data[off : off+nl]
+		lineEnd := off + nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			crc = crc32.Update(crc, castagnoli, data[off:lineEnd])
+			off = lineEnd
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Kind == "" {
+			// Undecodable line. In the last (active) segment this is
+			// a crash artifact: truncate it and everything after. In
+			// a sealed segment, skip it and keep replaying.
+			sc.torn++
+			if last {
+				sc.truncate[path] = int64(off)
+				data = data[:off]
+				break
+			}
+			crc = crc32.Update(crc, castagnoli, data[off:lineEnd])
+			off = lineEnd
+			continue
+		}
+		if e.Kind == kindSeal {
+			var f sealFooter
+			if err := json.Unmarshal(line, &f); err != nil || f.CRC != crc || f.Records != records {
+				sc.sealErrors++
+			}
+			sealed = true
+			if rest := len(data) - lineEnd; rest > 0 {
+				// Bytes after a footer should not exist; drop them.
+				sc.torn++
+				if last {
+					sc.truncate[path] = int64(lineEnd)
+				}
+			}
+			off = lineEnd
+			break
+		}
+		if e.ID == "" {
+			sc.torn++
+			crc = crc32.Update(crc, castagnoli, data[off:lineEnd])
+			off = lineEnd
+			continue
+		}
+		sc.entries = append(sc.entries, rawEntry{
+			kind: e.Kind, id: e.ID, seg: n,
+			line: append([]byte(nil), line...),
+		})
+		sc.live[entryKey(e.Kind, e.ID)] = len(sc.entries) - 1
+		if e.Kind == KindVerdict {
+			delete(sc.live, entryKey(KindAccepted, e.ID))
+		}
+		crc = crc32.Update(crc, castagnoli, data[off:lineEnd])
+		off = lineEnd
+		records++
+	}
+	size := int64(len(data))
+	if tr, ok := sc.truncate[path]; ok {
+		size = tr
+	}
+	sc.segSizes[n] = size
+	if last {
+		sc.lastSealed = sealed
+		sc.lastSize = size
+		sc.lastCRC = crc
+		sc.lastRecords = records
+	}
+	return nil
+}

@@ -1,0 +1,502 @@
+package segstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func entry(kind, id, payload string) Entry {
+	return Entry{Kind: kind, ID: id, Data: json.RawMessage(fmt.Sprintf(`{"p":%q}`, payload))}
+}
+
+func openTest(t *testing.T, opts Options) *Log {
+	t.Helper()
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func liveIDs(l *Log) map[string]string {
+	out := map[string]string{}
+	for _, e := range l.Live() {
+		out[e.Kind+"/"+e.ID] = string(e.Data)
+	}
+	return out
+}
+
+func TestRoundTripAndSupersession(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir})
+
+	// accepted → verdict for s-1: the verdict supersedes the intent.
+	if err := l.Append(entry(KindAccepted, "s-1", "intent")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(entry(KindVerdict, "s-1", "ok")); err != nil {
+		t.Fatal(err)
+	}
+	// s-2 stays an orphaned intent.
+	if err := l.Append(entry(KindAccepted, "s-2", "intent")); err != nil {
+		t.Fatal(err)
+	}
+	// s-3's verdict is rewritten; the last version wins.
+	if err := l.Append(entry(KindVerdict, "s-3", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(entry(KindVerdict, "s-3", "v2")); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]string{
+		"verdict/s-1":  `{"p":"ok"}`,
+		"accepted/s-2": `{"p":"intent"}`,
+		"verdict/s-3":  `{"p":"v2"}`,
+	}
+	check := func(l *Log, when string) {
+		t.Helper()
+		got := liveIDs(l)
+		if len(got) != len(want) {
+			t.Fatalf("%s: live = %v, want %v", when, got, want)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%s: live[%s] = %q, want %q", when, k, got[k], v)
+			}
+		}
+		if err := l.Verify(); err != nil {
+			t.Fatalf("%s: %v", when, err)
+		}
+	}
+	check(l, "before reopen")
+	st := l.Stats()
+	if st.Live != 3 || st.Superseded != 2 || st.Segments != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, Options{Dir: dir})
+	check(l2, "after reopen")
+	if st := l2.Stats(); st.Torn != 0 || st.TmpRemoved != 0 || st.SealErrors != 0 {
+		t.Fatalf("clean reopen reported repairs: %+v", st)
+	}
+}
+
+func TestRotationSealsWithFooter(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, SegmentBytes: 256, CompactMinDead: -1})
+	for i := 0; i < 20; i++ {
+		if err := l.Append(entry(KindVerdict, fmt.Sprintf("s-%d", i), strings.Repeat("x", 40))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("no rotation: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every non-last segment ends with a valid footer line.
+	sealed := 0
+	for n := uint64(1); n < uint64(st.Segments); n++ {
+		data, err := os.ReadFile(filepath.Join(dir, segName(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		var f sealFooter
+		if err := json.Unmarshal([]byte(lines[len(lines)-1]), &f); err != nil || f.Kind != kindSeal {
+			t.Fatalf("segment %d last line is not a footer: %q", n, lines[len(lines)-1])
+		}
+		if f.Records != len(lines)-1 {
+			t.Fatalf("segment %d footer records=%d, lines=%d", n, f.Records, len(lines)-1)
+		}
+		sealed++
+	}
+	if sealed == 0 {
+		t.Fatal("no sealed segments")
+	}
+
+	l2 := openTest(t, Options{Dir: dir})
+	if got := len(l2.Live()); got != 20 {
+		t.Fatalf("reopened live = %d, want 20", got)
+	}
+	if st := l2.Stats(); st.SealErrors != 0 || st.Torn != 0 {
+		t.Fatalf("reopen repairs on a clean store: %+v", st)
+	}
+	if err := l2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTailEveryOffset is the regression for crash-mid-append: the
+// last record torn at EVERY byte offset must truncate cleanly back to
+// the previous record, never brick the store, and leave it appendable.
+func TestTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	l := openTest(t, Options{Dir: master})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(entry(KindVerdict, fmt.Sprintf("s-%d", i), "payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(master, segName(1))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the byte range of the last record line (incl. its newline).
+	body := strings.TrimRight(string(data), "\n")
+	lastStart := strings.LastIndexByte(body, '\n') + 1
+
+	for cut := lastStart; cut < len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lt, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut at %d bricked the store: %v", cut, err)
+		}
+		live := lt.Live()
+		wantLive := 2
+		if cut == lastStart {
+			// The whole last line is gone cleanly; nothing is torn,
+			// but only when the cut leaves zero partial bytes.
+			if len(live) != 2 {
+				t.Fatalf("cut at %d: live = %d, want 2", cut, len(live))
+			}
+		} else if len(live) != wantLive {
+			t.Fatalf("cut at %d: live = %d, want %d", cut, len(live), wantLive)
+		}
+		if cut > lastStart {
+			if st := lt.Stats(); st.Torn != 1 {
+				t.Fatalf("cut at %d: torn = %d, want 1", cut, st.Torn)
+			}
+		}
+		// The file was physically truncated to the last good line.
+		if fi, err := os.Stat(filepath.Join(dir, segName(1))); err != nil || fi.Size() != int64(lastStart) {
+			t.Fatalf("cut at %d: file size %d, want %d (%v)", cut, fi.Size(), lastStart, err)
+		}
+		// The store is appendable and consistent after the repair.
+		if err := lt.Append(entry(KindVerdict, "s-new", "after-crash")); err != nil {
+			t.Fatalf("cut at %d: append after repair: %v", cut, err)
+		}
+		if err := lt.Verify(); err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		lt.Close()
+	}
+}
+
+// TestTornRenameLeftoverTmp is the crash-between-tmp-write-and-rename
+// regression: a stale .tmp in the directory is discarded on open and
+// the real segments win untouched.
+func TestTornRenameLeftoverTmp(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir})
+	if err := l.Append(entry(KindVerdict, "s-1", "kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A torn compaction output: partial, no footer, never renamed.
+	tmp := filepath.Join(dir, segName(1)+".tmp")
+	if err := os.WriteFile(tmp, []byte(`{"kind":"verdict","id":"s-ghost"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, Options{Dir: dir})
+	if st := l2.Stats(); st.TmpRemoved != 1 {
+		t.Fatalf("tmp not discarded: %+v", st)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover tmp still on disk: %v", err)
+	}
+	got := liveIDs(l2)
+	if len(got) != 1 || got["verdict/s-1"] == "" {
+		t.Fatalf("live after tmp discard = %v", got)
+	}
+	if err := l2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionDropsSuperseded(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, SegmentBytes: 512, CompactMinDead: -1})
+	// accepted+verdict pairs: every accepted intent dies as soon as
+	// its verdict lands, so sealed segments fill with dead weight.
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("s-%d", i)
+		if err := l.Append(entry(KindAccepted, id, "intent-"+strings.Repeat("x", 30))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(entry(KindVerdict, id, "done-"+strings.Repeat("y", 30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats()
+	if before.Segments < 3 || before.Superseded == 0 {
+		t.Fatalf("setup did not rotate with dead entries: %+v", before)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.Compactions != 1 {
+		t.Fatalf("compactions = %d", after.Compactions)
+	}
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("compaction did not shrink the store: %d -> %d bytes", before.Bytes, after.Bytes)
+	}
+	if after.Live != 30 {
+		t.Fatalf("live after compaction = %d, want 30", after.Live)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, Options{Dir: dir})
+	if got := len(l2.Live()); got != 30 {
+		t.Fatalf("reopen after compaction: live = %d, want 30", got)
+	}
+	for _, e := range l2.Live() {
+		if e.Kind != KindVerdict {
+			t.Fatalf("superseded %s/%s survived compaction", e.Kind, e.ID)
+		}
+	}
+	if err := l2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundCompactionTriggers(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, SegmentBytes: 512, CompactMinDead: 4})
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("s-%d", i)
+		if err := l.Append(entry(KindAccepted, id, strings.Repeat("a", 40))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(entry(KindVerdict, id, strings.Repeat("b", 40))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Stats().Compactions > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := l.Stats(); st.Compactions == 0 {
+		t.Fatalf("background compaction never ran: %+v", st)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Live()); got != 40 {
+		t.Fatalf("live = %d, want 40", got)
+	}
+}
+
+func TestSealErrorCountedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, SegmentBytes: 128, CompactMinDead: -1})
+	for i := 0; i < 10; i++ {
+		if err := l.Append(entry(KindVerdict, fmt.Sprintf("s-%d", i), strings.Repeat("z", 30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the first (sealed) segment: the
+	// footer CRC no longer matches, but replay must keep going.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.Index(string(data), "zzz")
+	if i < 0 {
+		t.Fatal("payload not found in sealed segment")
+	}
+	data[i] = 'Z'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, Options{Dir: dir})
+	if st := l2.Stats(); st.SealErrors != 1 {
+		t.Fatalf("seal errors = %d, want 1 (%+v)", st.SealErrors, st)
+	}
+	if got := len(l2.Live()); got != 10 {
+		t.Fatalf("live = %d after CRC mismatch, want 10", got)
+	}
+}
+
+func TestVerifyDetectsExternalTamper(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, Options{Dir: dir, SegmentBytes: 128, CompactMinDead: -1})
+	for i := 0; i < 10; i++ {
+		if err := l.Append(entry(KindVerdict, fmt.Sprintf("s-%d", i), strings.Repeat("w", 30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper a sealed segment behind the running store's back: the
+	// index no longer matches a rescan byte-for-byte.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "www", "WWW", 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Verify(); err == nil {
+		t.Fatal("Verify missed an on-disk divergence")
+	}
+}
+
+func TestFsyncPolicyValidation(t *testing.T) {
+	if _, err := Open(Options{Dir: t.TempDir(), Fsync: "sometimes"}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+	for _, p := range []string{FsyncAlways, FsyncInterval, FsyncNever} {
+		l, err := Open(Options{Dir: t.TempDir(), Fsync: p, FsyncInterval: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("policy %s: %v", p, err)
+		}
+		if err := l.Append(entry(KindVerdict, "s-1", "x")); err != nil {
+			t.Fatalf("policy %s: %v", p, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("policy %s: %v", p, err)
+		}
+	}
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+// TestCrashAtEveryPoint re-runs this test binary as a child process
+// with each store crashpoint armed, lets the child die mid-operation
+// with kill -9 semantics (exit 137, no cleanup), and asserts the
+// reopened store repaired itself: nothing appended before the crash
+// point is lost, the index verifies against a full rescan, and the
+// store stays appendable.
+func TestCrashAtEveryPoint(t *testing.T) {
+	if os.Getenv("SEGSTORE_CRASH_CHILD") != "" {
+		t.Skip("child entry is TestCrashChildProcess")
+	}
+	points := []string{
+		"segstore.append.pre-sync:20",
+		"segstore.seal.pre-footer:2",
+		"segstore.compact.pre-rename:1",
+		"segstore.compact.post-rename:1",
+	}
+	for _, cp := range points {
+		cp := cp
+		t.Run(cp, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run", "TestCrashChildProcess")
+			cmd.Env = append(os.Environ(),
+				"SEGSTORE_CRASH_CHILD=1",
+				"SEGSTORE_CRASH_DIR="+dir,
+				"GOMPAXD_CRASHPOINT="+cp,
+			)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 137 {
+				t.Fatalf("child did not die at the crashpoint: err=%v out=%s", err, out)
+			}
+
+			l, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			defer l.Close()
+			if err := l.Verify(); err != nil {
+				t.Fatalf("index does not match rescan after crash: %v", err)
+			}
+			// The child journals verdicts s-0..: every id below the
+			// high-water mark it reached must still be there (append
+			// is flush-before-return, so a record the child moved
+			// past is on disk even when the fsync was skipped).
+			live := liveIDs(l)
+			max := -1
+			for key := range live {
+				var n int
+				if _, err := fmt.Sscanf(key, "verdict/s-%d", &n); err == nil && n > max {
+					max = n
+				}
+			}
+			for i := 0; i < max; i++ {
+				if _, ok := live[fmt.Sprintf("verdict/s-%d", i)]; !ok {
+					t.Fatalf("verdict s-%d lost (high-water s-%d)", i, max)
+				}
+			}
+			if err := l.Append(entry(KindVerdict, "s-after-crash", "ok")); err != nil {
+				t.Fatalf("store not appendable after crash: %v", err)
+			}
+			if err := l.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCrashChildProcess is the child body for TestCrashAtEveryPoint:
+// it hammers a small-segment store until the armed crashpoint kills
+// it. Not a real test outside the child environment.
+func TestCrashChildProcess(t *testing.T) {
+	dir := os.Getenv("SEGSTORE_CRASH_DIR")
+	if os.Getenv("SEGSTORE_CRASH_CHILD") == "" || dir == "" {
+		t.Skip("crash-child entry point")
+	}
+	l, err := Open(Options{Dir: dir, SegmentBytes: 512, Fsync: FsyncAlways, CompactMinDead: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("s-%d", i)
+		if err := l.Append(entry(KindAccepted, id, strings.Repeat("p", 40))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(entry(KindVerdict, id, strings.Repeat("q", 40))); err != nil {
+			t.Fatal(err)
+		}
+		if i%20 == 19 {
+			if err := l.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Reaching here means the armed crashpoint never fired.
+	t.Fatal("child survived the crashpoint")
+}

@@ -2,8 +2,8 @@
 // that accepts many concurrent wire sessions (each a full
 // Hello→Messages→Bye stream from an instrumented program), analyzes
 // each against a named spec with the online predictive analyzer, and
-// records every outcome in a durable JSONL results store queryable
-// over HTTP.
+// records every outcome in a durable segmented results store
+// queryable over HTTP.
 //
 // The paper's architecture (Fig. 4) is one instrumented program
 // feeding one observer; this package is the centralized-collector
@@ -12,15 +12,28 @@
 //
 // # Admission control
 //
-// Sessions are analyzed by a bounded worker pool (Config.MaxSessions
-// workers), so the daemon's analysis goroutine count is independent
-// of how many clients connect. A connection that arrives while every
-// worker is busy waits in a bounded queue (Config.QueueDepth) without
-// consuming a goroutine; the client blocks on the admission response.
-// When the queue is full, or a queued connection waits longer than
+// A connection is handshaken first (a short-lived goroutine reads the
+// one-line greeting under Config.HandshakeTimeout), which names the
+// spec and the admission tenant. It then passes the tenant's quota —
+// a token bucket (rate/burst) and an inflight cap from Config.Tenants
+// — and waits in the tenant's bounded queue (Config.QueueDepth per
+// tenant) without consuming a goroutine. Workers (Config.MaxSessions)
+// pull sessions by smooth weighted round-robin across tenants, so one
+// flooding tenant cannot starve the rest. When a quota is exceeded,
+// the queue is full, a queued connection waits past
 // Config.QueueTimeout, or the daemon is draining, the client gets an
-// explicit REJECT line (see proto.go) instead of a hang or a silent
-// close.
+// explicit REJECT line (see proto.go) — with a retry-after hint when
+// retrying could help — instead of a hang or a silent close.
+//
+// # Crash safety
+//
+// Before a client is told OK, its session's accepted intent is
+// journaled in the results store; the verdict record that supersedes
+// it is journaled before the VERDICT trailer is sent. A daemon that
+// dies uncleanly therefore never loses an acknowledged verdict, and
+// every session a client believed was running is reported as
+// interrupted by the next OpenStore (see store.go and the crashpoints
+// package for the fault-injection harness that proves this).
 //
 // # Per-session limits
 //
@@ -47,6 +60,7 @@ import (
 	"gompax/internal/monitor"
 	"gompax/internal/observer"
 	"gompax/internal/predict"
+	"gompax/internal/serve/crashpoints"
 	"gompax/internal/wire"
 )
 
@@ -61,12 +75,15 @@ type Config struct {
 	// MaxSessions sizes the analysis worker pool — the maximum number
 	// of sessions analyzed concurrently. Default 4.
 	MaxSessions int
-	// QueueDepth bounds the admission queue of connections waiting
-	// for a worker. Default 16.
+	// QueueDepth bounds each tenant's admission queue of connections
+	// waiting for a worker. Default 16.
 	QueueDepth int
 	// QueueTimeout bounds how long a connection may wait in the
 	// admission queue before being rejected. Default 10s.
 	QueueTimeout time.Duration
+	// Tenants maps tenant names to admission quotas. Tenants not
+	// listed here (including "default") are unlimited.
+	Tenants map[string]TenantLimits
 	// MaxCuts and MaxWidth are the per-session analysis budget
 	// (predict.Options); 0 = unlimited.
 	MaxCuts  int
@@ -78,14 +95,22 @@ type Config struct {
 	// IdleTimeout abandons a session whose transport goes silent.
 	// Default 30s.
 	IdleTimeout time.Duration
-	// HandshakeTimeout bounds the wait for the client greeting after a
-	// worker picks the connection up. Default 5s.
+	// HandshakeTimeout bounds the wait for the client greeting after
+	// the connection is accepted. Default 5s.
 	HandshakeTimeout time.Duration
 	// Counterexamples records a violating run per violation (stored in
 	// the session record).
 	Counterexamples bool
-	// StorePath is the JSONL results store ("" = memory-only).
+	// StorePath is the segmented results store directory ("" =
+	// memory-only). A pre-existing single-file JSONL store at this
+	// path is migrated in place on open.
 	StorePath string
+	// SegmentBytes, Fsync and FsyncInterval tune the store's segment
+	// rotation size and fsync policy (zero values take the segstore
+	// defaults: 4 MiB segments, interval fsync every 100ms).
+	SegmentBytes  int64
+	Fsync         string
+	FsyncInterval time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -113,14 +138,17 @@ type spec struct {
 	prog    *monitor.Program
 }
 
-// pending is one connection in the admission queue. claimed arbitrates
-// between the worker that pops it and the queue-timeout timer: exactly
-// one of them owns the connection.
+// pending is one handshaken connection in the admission queue. claimed
+// arbitrates between the worker that pops it and the queue-timeout
+// timer: exactly one of them owns the connection.
 type pending struct {
 	conn    net.Conn
+	sp      *spec
+	tenant  string
 	enq     time.Time
 	timer   *time.Timer
 	claimed atomic.Bool
+	ts      *tenantState // set by admitter.next for release
 }
 
 func (p *pending) claim() bool { return p.claimed.CompareAndSwap(false, true) }
@@ -130,11 +158,12 @@ type Daemon struct {
 	cfg   Config
 	specs map[string]*spec
 	store *Store
+	adm   *admitter
 
-	queue     chan *pending
 	listeners []net.Listener
 	lnMu      sync.Mutex
 	lnWG      sync.WaitGroup // accept loops
+	hsWG      sync.WaitGroup // per-connection handshake goroutines
 	workWG    sync.WaitGroup // analysis workers
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -148,14 +177,13 @@ type Daemon struct {
 	completed atomic.Uint64
 	cancelled atomic.Uint64
 	active    atomic.Int64
-	queued    atomic.Int64
 	rejMu     sync.Mutex
 	rejects   map[string]uint64
 }
 
-// New compiles the spec registry, opens the results store, and starts
-// the analysis worker pool. Listeners are attached with ListenTCP /
-// ListenUnix / ServeListener.
+// New compiles the spec registry, opens the results store (running
+// crash recovery), and starts the analysis worker pool. Listeners are
+// attached with ListenTCP / ListenUnix / ServeListener.
 func New(cfg Config) (*Daemon, error) {
 	cfg.fillDefaults()
 	if len(cfg.Specs) == 0 {
@@ -181,16 +209,24 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.DefaultSpec != "" && specs[cfg.DefaultSpec] == nil {
 		return nil, fmt.Errorf("serve: default spec %q not registered", cfg.DefaultSpec)
 	}
-	store, err := OpenStore(cfg.StorePath)
+	store, err := OpenStoreOptions(StoreOptions{
+		Dir:           cfg.StorePath,
+		SegmentBytes:  cfg.SegmentBytes,
+		Fsync:         cfg.Fsync,
+		FsyncInterval: cfg.FsyncInterval,
+	})
 	if err != nil {
 		return nil, err
+	}
+	if n := store.RecoveredOrphans(); n > 0 {
+		dlog.Warn("recovered interrupted sessions from an unclean stop", "orphans", n)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Daemon{
 		cfg:     cfg,
 		specs:   specs,
 		store:   store,
-		queue:   make(chan *pending, cfg.QueueDepth),
+		adm:     newAdmitter(cfg.Tenants, cfg.QueueDepth),
 		ctx:     ctx,
 		cancel:  cancel,
 		rejects: map[string]uint64{},
@@ -253,46 +289,82 @@ func (d *Daemon) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed (drain) or fatal
 		}
-		d.admit(conn)
+		if d.draining.Load() {
+			d.reject(conn, ReasonDraining, "", 0)
+			continue
+		}
+		// The handshake is read before admission (the tenant key lives
+		// in the greeting), in a short-lived goroutine bounded by
+		// HandshakeTimeout so a slow-greeting client cannot stall the
+		// accept loop.
+		d.hsWG.Add(1)
+		go d.handshake(conn)
 	}
 }
 
-// admit routes a fresh connection through admission control: reject
-// while draining, enqueue with a timeout when a slot may open, reject
-// as overloaded when the queue is full. A queued connection costs no
-// goroutine — only the pending entry and its timer.
-func (d *Daemon) admit(conn net.Conn) {
-	if d.draining.Load() {
-		d.reject(conn, ReasonDraining)
+// handshake reads the client greeting, resolves the spec and tenant,
+// and offers the connection to the admission scheduler.
+func (d *Daemon) handshake(conn net.Conn) {
+	defer d.hsWG.Done()
+	conn.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
+	line, err := readLine(conn, handshakeMax)
+	if err != nil {
+		d.reject(conn, ReasonBadHandshake, "", 0)
 		return
 	}
-	it := &pending{conn: conn, enq: time.Now()}
-	it.timer = time.AfterFunc(d.cfg.QueueTimeout, func() {
-		if it.claim() {
-			d.reject(conn, ReasonQueueTimeout)
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != protoGreeting {
+		d.reject(conn, ReasonBadHandshake, "", 0)
+		return
+	}
+	kv := parseKV(fields[1:])
+	specName := kv["spec"]
+	if specName == "" {
+		specName = d.cfg.DefaultSpec
+	}
+	sp := d.specs[specName]
+	if sp == nil {
+		d.reject(conn, ReasonUnknownSpec, kv["tenant"], 0)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	// Normalize the tenant before the timeout timer can read it
+	// concurrently ("" → the default tenant).
+	tenant := kv["tenant"]
+	if tenant == "" {
+		tenant = "default"
+	}
+	p := &pending{conn: conn, sp: sp, tenant: tenant, enq: time.Now()}
+	p.timer = time.AfterFunc(d.cfg.QueueTimeout, func() {
+		if p.claim() {
+			d.reject(conn, ReasonQueueTimeout, p.tenant, 2*time.Second)
 		}
 	})
-	select {
-	case d.queue <- it:
-		d.queued.Add(1)
-		mQueuedGauge.Add(1)
-	default:
-		if it.claim() {
-			it.timer.Stop()
-			d.reject(conn, ReasonOverloaded)
-		}
+	if reason, retryAfter := d.adm.offer(p); reason != "" {
+		p.timer.Stop()
+		d.reject(conn, reason, p.tenant, retryAfter)
 	}
 }
 
-// reject sends the explicit reject line and closes the connection.
-func (d *Daemon) reject(conn net.Conn, reason string) {
+// reject sends the explicit reject line (with a retry-after hint when
+// a retry could help) and closes the connection.
+func (d *Daemon) reject(conn net.Conn, reason, tenant string, retryAfter time.Duration) {
+	if tenant == "" {
+		tenant = "default"
+	}
 	mRejected.With(reason).Inc()
+	mRejectedTenant.With(reason, tenant).Inc()
 	d.rejMu.Lock()
 	d.rejects[reason]++
 	d.rejMu.Unlock()
-	dlog.Info("session rejected", "reason", reason, "remote", remoteOf(conn))
+	dlog.Info("session rejected", "reason", reason, "tenant", tenant, "remote", remoteOf(conn))
 	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-	fmt.Fprintf(conn, "REJECT reason=%s\n", reason)
+	if retryAfter > 0 {
+		fmt.Fprintf(conn, "REJECT reason=%s retry-after=%s\n", reason, retryAfter)
+	} else {
+		fmt.Fprintf(conn, "REJECT reason=%s\n", reason)
+	}
 	conn.Close()
 }
 
@@ -305,49 +377,40 @@ func remoteOf(conn net.Conn) string {
 
 func (d *Daemon) worker() {
 	defer d.workWG.Done()
-	for it := range d.queue {
-		d.queued.Add(-1)
-		mQueuedGauge.Add(-1)
-		if !it.claim() {
-			continue // the queue-timeout timer already rejected it
+	for {
+		p := d.adm.next()
+		if p == nil {
+			return // admitter closed and drained
 		}
-		it.timer.Stop()
-		d.handle(it.conn)
+		mAdmissionWait.With(p.tenant).Observe(uint64(time.Since(p.enq)))
+		d.handle(p)
+		d.adm.release(p.ts)
 	}
 }
 
-// handle runs one admitted session end to end: greeting, spec lookup,
-// OK line, wire stream analysis, stored record, verdict trailer.
-func (d *Daemon) handle(conn net.Conn) {
+// handle runs one admitted session end to end: accepted-intent
+// journal, OK line, wire stream analysis, verdict journal, trailer.
+func (d *Daemon) handle(p *pending) {
+	conn := p.conn
 	defer conn.Close()
 
-	conn.SetReadDeadline(time.Now().Add(d.cfg.HandshakeTimeout))
-	line, err := readLine(conn, handshakeMax)
-	if err != nil {
-		d.reject(conn, ReasonBadHandshake)
-		return
-	}
-	fields := strings.Fields(line)
-	if len(fields) == 0 || fields[0] != protoGreeting {
-		d.reject(conn, ReasonBadHandshake)
-		return
-	}
-	kv := parseKV(fields[1:])
-	specName := kv["spec"]
-	if specName == "" {
-		specName = d.cfg.DefaultSpec
-	}
-	sp := d.specs[specName]
-	if sp == nil {
-		d.reject(conn, ReasonUnknownSpec)
-		return
-	}
-	conn.SetReadDeadline(time.Time{})
-
 	id := d.store.NextID()
+	start := time.Now()
+	// Journal the admission intent BEFORE acking: every session whose
+	// client saw OK is recoverable as interrupted after a crash.
+	if err := d.store.Accepted(AcceptedInfo{
+		ID: id, Spec: p.sp.name, Formula: p.sp.formula,
+		Tenant: p.tenant, Remote: remoteOf(conn), Start: start.UTC(),
+	}); err != nil {
+		dlog.Error("accepted-intent journal failed; refusing session", "id", id, "err", err)
+		d.reject(conn, ReasonOverloaded, p.tenant, time.Second)
+		return
+	}
+	crashpoints.Hit(crashpoints.ServeAcceptedJournaled)
 	if _, err := fmt.Fprintf(conn, "OK id=%s\n", id); err != nil {
 		dlog.Warn("session lost before admission reply", "id", id, "err", err)
-		return
+		// The intent is journaled; the verdict below still lands and
+		// supersedes it, so the dead client leaves no orphan.
 	}
 	d.accepted.Add(1)
 	mAccepted.Inc()
@@ -367,9 +430,8 @@ func (d *Daemon) handle(conn net.Conn) {
 	unwatch := context.AfterFunc(sctx, func() { conn.Close() })
 	defer unwatch()
 
-	start := time.Now()
 	r := wire.NewResyncReceiver(conn)
-	res, aerr := observer.AnalyzeSession([]*wire.Receiver{r}, sp.prog, observer.SessionOptions{
+	res, aerr := observer.AnalyzeSession([]*wire.Receiver{r}, p.sp.prog, observer.SessionOptions{
 		Predict: predict.Options{
 			Lossy:           true,
 			MaxCuts:         d.cfg.MaxCuts,
@@ -381,14 +443,17 @@ func (d *Daemon) handle(conn net.Conn) {
 		Ctx:         sctx,
 	})
 
-	rec := buildRecord(id, sp, remoteOf(conn), start, res, aerr, r.Stats())
+	rec := buildRecord(id, p.sp, remoteOf(conn), start, res, aerr, r.Stats())
+	rec.Tenant = p.tenant
+	crashpoints.Hit(crashpoints.ServeVerdictPreJournal)
 	if err := d.store.Append(rec); err != nil {
 		dlog.Error("results store append failed", "id", id, "err", err)
 	}
+	crashpoints.Hit(crashpoints.ServeVerdictPostJournal)
 	d.completed.Add(1)
 	mCompleted.With(rec.Verdict).Inc()
-	dlog.Info("session complete", "id", id, "spec", sp.name, "verdict", rec.Verdict,
-		"violations", rec.Violations, "cuts", rec.Stats.Cuts)
+	dlog.Info("session complete", "id", id, "spec", p.sp.name, "tenant", p.tenant,
+		"verdict", rec.Verdict, "violations", rec.Violations, "cuts", rec.Stats.Cuts)
 
 	// Detach the context watcher before the trailer write so a drain
 	// cancellation between the two cannot race the final line; the
@@ -456,7 +521,7 @@ func (d *Daemon) Drain(grace time.Duration) error {
 func (d *Daemon) drain(grace time.Duration) error {
 	d.draining.Store(true)
 	mDrains.Inc()
-	dlog.Info("draining", "grace", grace, "active", d.active.Load(), "queued", d.queued.Load())
+	dlog.Info("draining", "grace", grace, "active", d.active.Load(), "queued", d.adm.queuedLen())
 
 	d.lnMu.Lock()
 	lns := d.listeners
@@ -465,26 +530,19 @@ func (d *Daemon) drain(grace time.Duration) error {
 	for _, ln := range lns {
 		ln.Close()
 	}
-	// Accept loops run admit synchronously, so once they have exited
-	// nothing can send on the queue again and closing it is safe.
+	// Once the accept loops have exited no new handshake goroutines
+	// start; once those finish nothing can offer to the admitter
+	// again, so closing it collects the final queue state.
 	d.lnWG.Wait()
+	d.hsWG.Wait()
 
 	// Reject queued connections with the explicit draining reason.
-rejectQueued:
-	for {
-		select {
-		case it := <-d.queue:
-			d.queued.Add(-1)
-			mQueuedGauge.Add(-1)
-			if it.claim() {
-				it.timer.Stop()
-				d.reject(it.conn, ReasonDraining)
-			}
-		default:
-			break rejectQueued
+	for _, p := range d.adm.close() {
+		if p.claim() {
+			p.timer.Stop()
+			d.reject(p.conn, ReasonDraining, p.tenant, 0)
 		}
 	}
-	close(d.queue)
 
 	done := make(chan struct{})
 	go func() {

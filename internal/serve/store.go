@@ -11,13 +11,14 @@ import (
 	"time"
 
 	"gompax/internal/predict"
+	"gompax/internal/serve/segstore"
 	"gompax/internal/wire"
 )
 
 // Record is one completed session in the results store: the durable,
 // queryable outcome of one client's predictive analysis. Records are
-// written as one JSON object per line to an append-only file, so the
-// store survives daemon restarts and stays greppable.
+// journaled as verdict entries in the segmented store (see segstore),
+// so the store survives daemon restarts and stays greppable.
 type Record struct {
 	// ID is the daemon-assigned session id (unique across restarts).
 	ID string `json:"id"`
@@ -26,13 +27,16 @@ type Record struct {
 	// Formula is the spec's property text, denormalized into every
 	// record so a store outlives spec renames.
 	Formula string `json:"formula,omitempty"`
+	// Tenant is the admission tenant the session was accounted to.
+	Tenant string `json:"tenant,omitempty"`
 	// Remote is the client's address (best effort).
 	Remote string `json:"remote,omitempty"`
 	// Start and End bound the session wall-clock.
 	Start time.Time `json:"start"`
 	End   time.Time `json:"end"`
 	// Verdict classifies the outcome: ok, violation, degraded, budget,
-	// cancelled or error (see verdictFor for the precedence).
+	// cancelled, error (see verdictFor for the precedence) or
+	// interrupted for sessions orphaned by a daemon crash.
 	Verdict string `json:"verdict"`
 	// Violations is the number of distinct predicted violations.
 	Violations int `json:"violations"`
@@ -61,64 +65,172 @@ const (
 	VerdictBudget    = "budget"
 	VerdictCancelled = "cancelled"
 	VerdictError     = "error"
+	// VerdictInterrupted marks a session whose accepted intent was
+	// journaled but whose verdict never was: the daemon crashed while
+	// the session was queued for its verdict or in flight. Synthesized
+	// by OpenStore during recovery, never by a live analysis.
+	VerdictInterrupted = "interrupted"
 )
 
-// Store is the append-only JSONL results store with an in-memory
-// index for the query API. A Store with an empty path is memory-only.
-type Store struct {
-	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
-	path  string
-	byID  map[string]int
-	order []Record
-	bytes int64
-	maxID uint64
+// AcceptedInfo is the admission-intent journal entry: everything known
+// about a session the moment it is accepted. If the daemon dies before
+// the verdict lands, recovery folds this into an interrupted Record.
+type AcceptedInfo struct {
+	ID      string    `json:"id"`
+	Spec    string    `json:"spec"`
+	Formula string    `json:"formula,omitempty"`
+	Tenant  string    `json:"tenant,omitempty"`
+	Remote  string    `json:"remote,omitempty"`
+	Start   time.Time `json:"start"`
 }
 
-// OpenStore opens (creating if needed) the JSONL store at path and
-// loads the existing records into the index. Lines that fail to parse
-// are counted and skipped, never fatal: a torn final line from a crash
-// must not brick the daemon. path == "" yields a memory-only store.
-func OpenStore(path string) (*Store, error) {
-	s := &Store{path: path, byID: map[string]int{}}
-	if path == "" {
+// StoreOptions configures the segmented results store under a Store.
+type StoreOptions struct {
+	// Dir is the segment directory ("" = memory-only store).
+	Dir string
+	// SegmentBytes, Fsync and FsyncInterval pass through to
+	// segstore.Options (zero values take the segstore defaults).
+	SegmentBytes  int64
+	Fsync         string
+	FsyncInterval time.Duration
+}
+
+// Store is the daemon's results store: a segmented durable log of
+// accepted intents and verdict records (segstore) under an in-memory
+// index for the query API. A Store with an empty dir is memory-only.
+type Store struct {
+	mu        sync.Mutex
+	log       *segstore.Log // nil = memory-only
+	byID      map[string]int
+	order     []Record
+	bytes     int64 // memory-only accounting; disk stores ask segstore
+	maxID     uint64
+	recovered int
+}
+
+// OpenStore opens (creating if needed) the segmented store rooted at
+// dir with default durability options and runs crash recovery: torn
+// tails are truncated, leftover compaction temporaries discarded, and
+// every accepted-without-verdict session is journaled as interrupted.
+// dir == "" yields a memory-only store.
+func OpenStore(dir string) (*Store, error) {
+	return OpenStoreOptions(StoreOptions{Dir: dir})
+}
+
+// OpenStoreOptions is OpenStore with explicit durability options.
+func OpenStoreOptions(o StoreOptions) (*Store, error) {
+	s := &Store{byID: map[string]int{}}
+	if o.Dir == "" {
 		return s, nil
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err := migrateLegacyStore(o.Dir); err != nil {
+		return nil, err
+	}
+	log, err := segstore.Open(segstore.Options{
+		Dir:           o.Dir,
+		SegmentBytes:  o.SegmentBytes,
+		Fsync:         o.Fsync,
+		FsyncInterval: o.FsyncInterval,
+	})
 	if err != nil {
 		return nil, err
 	}
+	s.log = log
+
+	// Replay the live entries: verdicts become records, accepted
+	// intents that no verdict superseded are crash orphans.
+	var orphans []AcceptedInfo
+	for _, e := range log.Live() {
+		switch e.Kind {
+		case segstore.KindVerdict:
+			var rec Record
+			if err := json.Unmarshal(e.Data, &rec); err != nil {
+				continue // counted as torn by segstore replay policy
+			}
+			s.index(rec)
+		case segstore.KindAccepted:
+			var info AcceptedInfo
+			if err := json.Unmarshal(e.Data, &info); err != nil {
+				continue
+			}
+			s.noteID(info.ID)
+			orphans = append(orphans, info)
+		}
+	}
+
+	// Recovery: every orphaned intent gets a durable interrupted
+	// verdict, so /sessions reports it and the intent entry dies at
+	// the next compaction. Crash-safe itself — if we die mid-loop the
+	// next open finds the remaining orphans still orphaned.
+	for _, info := range orphans {
+		rec := Record{
+			ID:      info.ID,
+			Spec:    info.Spec,
+			Formula: info.Formula,
+			Tenant:  info.Tenant,
+			Remote:  info.Remote,
+			Start:   info.Start,
+			End:     time.Now().UTC(),
+			Verdict: VerdictInterrupted,
+			Error:   "session was in flight when the daemon stopped uncleanly",
+		}
+		if err := s.append(rec); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("serve: journaling recovered orphan %s: %w", info.ID, err)
+		}
+		s.recovered++
+		mRecoveredOrphans.Inc()
+	}
+	return s, nil
+}
+
+// migrateLegacyStore upgrades a pre-segmented single-file JSONL store
+// in place: when dir names a regular file, its records are re-appended
+// into a fresh segment directory at the same path and the original is
+// kept beside it with a .legacy suffix.
+func migrateLegacyStore(dir string) error {
+	fi, err := os.Stat(dir)
+	if err != nil || fi.IsDir() {
+		return nil // nothing there yet, or already a segment directory
+	}
+	legacy := dir + ".legacy"
+	if err := os.Rename(dir, legacy); err != nil {
+		return fmt.Errorf("serve: migrating legacy store: %w", err)
+	}
+	f, err := os.Open(legacy)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := segstore.Open(segstore.Options{Dir: dir, Fsync: segstore.FsyncAlways})
+	if err != nil {
+		return err
+	}
+	defer log.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	torn := 0
+	migrated := 0
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			torn++
-			continue
+		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
+			continue // legacy store tolerated torn lines; so does migration
 		}
-		s.index(rec)
-		s.bytes += int64(len(line)) + 1
+		if err := log.Append(segstore.Entry{
+			Kind: segstore.KindVerdict, ID: rec.ID, Data: append([]byte(nil), line...),
+		}); err != nil {
+			return err
+		}
+		migrated++
 	}
 	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("serve: reading store %s: %w", path, err)
+		return fmt.Errorf("serve: reading legacy store: %w", err)
 	}
-	if torn > 0 {
-		mStoreTorn.Add(uint64(torn))
-	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, err
-	}
-	s.f = f
-	s.w = bufio.NewWriter(f)
-	return s, nil
+	dlog.Info("migrated legacy results store", "path", dir, "records", migrated)
+	return nil
 }
 
 // index inserts a record into the in-memory view, tracking the highest
@@ -130,7 +242,11 @@ func (s *Store) index(rec Record) {
 		s.byID[rec.ID] = len(s.order)
 		s.order = append(s.order, rec)
 	}
-	if n, ok := strings.CutPrefix(rec.ID, "s-"); ok {
+	s.noteID(rec.ID)
+}
+
+func (s *Store) noteID(id string) {
+	if n, ok := strings.CutPrefix(id, "s-"); ok {
 		if v, err := strconv.ParseUint(n, 10, 64); err == nil && v > s.maxID {
 			s.maxID = v
 		}
@@ -145,30 +261,47 @@ func (s *Store) NextID() string {
 	return fmt.Sprintf("s-%06d", s.maxID)
 }
 
-// Append durably appends one record (written and flushed before the
-// index is updated, so a record the API can see is already on disk).
+// Accepted journals a session's admission intent. Called before the
+// client is told OK, so every session a client believes is running is
+// recoverable: a crash after this point surfaces the session as
+// interrupted instead of silently forgetting it.
+func (s *Store) Accepted(info AcceptedInfo) error {
+	if s.log == nil {
+		return nil
+	}
+	buf, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	return s.log.Append(segstore.Entry{
+		Kind: segstore.KindAccepted, ID: info.ID, Data: buf,
+	})
+}
+
+// Append durably appends one record (journaled before the index is
+// updated, so a record the API can see is already on disk). The
+// verdict entry supersedes the session's accepted intent.
 func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(rec)
+}
+
+func (s *Store) append(rec Record) error {
 	buf, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.w != nil {
-		if _, err := s.w.Write(buf); err != nil {
+	if s.log != nil {
+		if err := s.log.Append(segstore.Entry{
+			Kind: segstore.KindVerdict, ID: rec.ID, Data: buf,
+		}); err != nil {
 			return err
 		}
-		if err := s.w.WriteByte('\n'); err != nil {
-			return err
-		}
-		if err := s.w.Flush(); err != nil {
-			return err
-		}
+	} else {
+		s.bytes += int64(len(buf)) + 1
 	}
-	s.bytes += int64(len(buf)) + 1
 	s.index(rec)
-	mStoreRecords.Inc()
-	mStoreBytes.Add(uint64(len(buf) + 1))
 	return nil
 }
 
@@ -201,21 +334,69 @@ func (s *Store) Len() int {
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.log != nil {
+		return s.log.Stats().Bytes
+	}
 	return s.bytes
 }
 
-// Close flushes and closes the backing file.
-func (s *Store) Close() error {
+// Segments returns the number of segment files (0 for memory-only).
+func (s *Store) Segments() int {
+	if s.log == nil {
+		return 0
+	}
+	return s.log.Stats().Segments
+}
+
+// Compactions returns the number of compaction passes this process ran.
+func (s *Store) Compactions() uint64 {
+	if s.log == nil {
+		return 0
+	}
+	return s.log.Stats().Compactions
+}
+
+// RecoveredOrphans reports how many interrupted sessions this open
+// recovered from the admission-intent journal.
+func (s *Store) RecoveredOrphans() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	return s.recovered
+}
+
+// Compact forces a synchronous compaction of the sealed segments.
+func (s *Store) Compact() error {
+	if s.log == nil {
 		return nil
 	}
-	if err := s.w.Flush(); err != nil {
-		s.f.Close()
-		return err
+	return s.log.Compact()
+}
+
+// VerifyIndex checks the in-memory index against a full rescan of the
+// segment files, byte for byte. Memory-only stores trivially verify.
+func (s *Store) VerifyIndex() error {
+	if s.log == nil {
+		return nil
 	}
-	err := s.f.Close()
-	s.f, s.w = nil, nil
-	return err
+	return s.log.Verify()
+}
+
+// StoreStats exposes the underlying segment-store statistics.
+func (s *Store) StoreStats() segstore.Stats {
+	if s.log == nil {
+		return segstore.Stats{}
+	}
+	return s.log.Stats()
+}
+
+// Close flushes and closes the backing segment log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	log := s.log
+	s.log = nil
+	s.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	return log.Close()
 }

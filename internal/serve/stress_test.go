@@ -192,10 +192,12 @@ func TestStressConcurrentSessions(t *testing.T) {
 		}
 	}
 
-	// Goroutine boundedness: the wave adds one goroutine per client
-	// plus O(pool) on the daemon side. A daemon leaking goroutines per
-	// session (e.g. 3 per connection) would exceed this comfortably.
-	bound := int64(baseline + nSessions + 8*pool)
+	// Goroutine boundedness: the wave adds one goroutine per client,
+	// one short-lived handshake goroutine per connection on the daemon
+	// side, plus O(pool) analysis workers. A daemon leaking goroutines
+	// per session for the session's lifetime (e.g. 3 per connection)
+	// would exceed this comfortably.
+	bound := int64(baseline + 2*nSessions + 8*pool)
 	if p := peak.Load(); p > bound {
 		t.Fatalf("goroutine peak %d exceeds bound %d (baseline %d): per-session goroutines?", p, bound, baseline)
 	}

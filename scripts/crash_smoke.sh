@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# Crash smoke gate: kill gompaxd at its deterministic crash points (and
+# once with a plain external kill -9) while a mixed fleet of clients is
+# in flight, restart it on the same store, and prove the durability
+# contract with scripts/crashcheck:
+#
+#   - no verdict a client was already shown is lost or changed;
+#   - every admitted session resolves to a verdict, with in-flight
+#     sessions recovered as "interrupted";
+#   - the rebuilt index passes integrity checks and -verify-store.
+#
+# CRASH_SESSIONS overrides the per-round session count (default 200).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+SESSIONS=${CRASH_SESSIONS:-200}
+PARALLEL=64
+
+tmp=$(mktemp -d)
+daemon=""
+cleanup() {
+    [ -n "$daemon" ] && kill -9 "$daemon" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "crash-smoke: $*" >&2
+    [ -f "$round_dir/daemon1.log" ] && { echo "--- daemon (crashed) ---" >&2; tail -20 "$round_dir/daemon1.log" >&2; }
+    [ -f "$round_dir/daemon2.log" ] && { echo "--- daemon (restarted) ---" >&2; tail -20 "$round_dir/daemon2.log" >&2; }
+    exit 1
+}
+
+CROSSING_PROP='(x > 0) -> [y = 0, y > z)'
+MUTEX_PROP='!(in0 = 1 /\ in1 = 1)'
+
+$GO build -o "$tmp/gompax" ./cmd/gompax
+$GO build -o "$tmp/gompaxd" ./cmd/gompaxd
+$GO build -o "$tmp/crashcheck" ./scripts/crashcheck
+
+# Capture the three session flavors once; every client replays a file,
+# so a round's wall clock is dominated by analysis, not instrumentation.
+"$tmp/gompax" -capture "$tmp/clean.bin" -prog testdata/peterson.mtl -prop "$MUTEX_PROP" -seed 1 >/dev/null
+"$tmp/gompax" -capture "$tmp/viol.bin" -prog testdata/crossing.mtl -prop "$CROSSING_PROP" -seed 1 >/dev/null
+"$tmp/gompax" -capture "$tmp/chaos.bin" -prog testdata/crossing.mtl -prop "$CROSSING_PROP" -seed 1 \
+    -chaos 0.05 -chaos-seed 7 >/dev/null
+
+start_daemon() { # $1 store dir, $2 log file, $3 addr file, $4 crashpoint ("" = none)
+    local env_cp=()
+    [ -n "$4" ] && env_cp=(env "GOMPAXD_CRASHPOINT=$4")
+    "${env_cp[@]}" "$tmp/gompaxd" \
+        -spec "crossing=$CROSSING_PROP" \
+        -spec "mutex=$MUTEX_PROP" \
+        -listen 127.0.0.1:0 \
+        -store "$1" \
+        -addr-file "$3" \
+        -max-sessions 4 \
+        -queue 256 \
+        -queue-timeout 60s \
+        -fsync always \
+        -segment-bytes 16384 \
+        -grace 10s \
+        -log-level warn \
+        >"$2" 2>&1 &
+    daemon=$!
+    # Keep the daemon out of the shell's job table so the client-fleet
+    # `wait` below never reaps it and its death stays quiet.
+    disown "$daemon"
+}
+
+wait_addr() { # $1 addr file, $2 log file
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        kill -0 "$daemon" 2>/dev/null || { daemon=""; fail "daemon died at startup: $(tail -5 "$2")"; }
+        sleep 0.1
+    done
+    fail "daemon never wrote the addr file"
+}
+
+run_client() { # $1 index, $2 addr, $3 log file
+    local spec session
+    case $(( $1 % 3 )) in
+        0) spec=mutex    session="$tmp/clean.bin" ;;
+        1) spec=crossing session="$tmp/viol.bin" ;;
+        *) spec=crossing session="$tmp/chaos.bin" ;;
+    esac
+    "$tmp/gompax" -connect "$2" -spec "$spec" -session "$session" \
+        -tenant "smoke$(( $1 % 3 ))" >"$3" 2>&1 || true
+}
+
+# run_round <name> <crashpoint> <external_kill> <require_recovered>
+run_round() {
+    local name=$1 crashpoint=$2 external_kill=$3 require_recovered=$4
+    round_dir="$tmp/round-$name"
+    mkdir -p "$round_dir/clients"
+    local store="$round_dir/results"
+
+    echo "crash-smoke: round $name: $SESSIONS sessions, crashpoint='${crashpoint:-none}'"
+    start_daemon "$store" "$round_dir/daemon1.log" "$round_dir/addr" "$crashpoint"
+    wait_addr "$round_dir/addr" "$round_dir/daemon1.log"
+    local addr; addr=$(cat "$round_dir/addr")
+
+    # External-kill rounds shoot the daemon from outside once a chunk
+    # of the fleet has been admitted, so the kill lands under real load.
+    if [ "$external_kill" = yes ]; then
+        (
+            for _ in $(seq 1 600); do
+                # || true: pipefail + set -e would kill this subshell
+                # the first time grep finds no client logs yet.
+                n=$(grep -l ': admitted$' "$round_dir"/clients/*.log 2>/dev/null | wc -l || true)
+                [ "$n" -ge $(( SESSIONS / 8 )) ] && break
+                sleep 0.05
+            done
+            kill -9 "$daemon" 2>/dev/null || true
+        ) &
+    fi
+
+    local i inflight=0
+    for i in $(seq 1 "$SESSIONS"); do
+        run_client "$i" "$addr" "$round_dir/clients/c$i.log" &
+        inflight=$((inflight + 1))
+        if [ "$inflight" -ge "$PARALLEL" ]; then
+            wait -n || true
+            inflight=$((inflight - 1))
+        fi
+    done
+    wait  # all clients done (most fail fast once the daemon is gone)
+
+    # The daemon must be dead by now: nothing sends it SIGTERM, so the
+    # only way out is its armed crashpoint or the external kill. A live
+    # daemon means the harness missed.
+    local waited=0
+    while kill -0 "$daemon" 2>/dev/null; do
+        waited=$((waited + 1))
+        [ "$waited" -gt 300 ] && fail "round $name: daemon never crashed"
+        sleep 0.1
+    done
+    daemon=""
+
+    # Ground truth from the client logs: which sessions the daemon
+    # admitted, and which verdicts clients were actually shown.
+    grep -h '^session s-[0-9]*: admitted$' "$round_dir"/clients/*.log 2>/dev/null \
+        | awk '{sub(":", "", $2); print $2}' | sort -u >"$round_dir/admitted" || true
+    grep -h '^session s-[0-9]*: verdict=' "$round_dir"/clients/*.log 2>/dev/null \
+        | awk '{sub(":", "", $2); sub("verdict=", "", $3); print $2, $3}' | sort -u >"$round_dir/acked" || true
+    local admitted acked
+    admitted=$(wc -l <"$round_dir/admitted")
+    acked=$(wc -l <"$round_dir/acked")
+    echo "crash-smoke: round $name: crashed after admitting $admitted, acking $acked"
+    [ "$admitted" -ge 1 ] || fail "round $name: no sessions admitted before the crash"
+
+    # Restart on the same store: recovery must run, and the daemon must
+    # serve new sessions (clients use -retry while it comes back up).
+    start_daemon "$store" "$round_dir/daemon2.log" "$round_dir/addr2" ""
+    wait_addr "$round_dir/addr2" "$round_dir/daemon2.log"
+    addr=$(cat "$round_dir/addr2")
+    if [ "$require_recovered" = yes ] && ! grep -q "recovered .* interrupted" "$round_dir/daemon2.log"; then
+        fail "round $name: restarted daemon reported no recovered orphans"
+    fi
+    for i in 1 2; do
+        "$tmp/gompax" -connect "$addr" -spec mutex -session "$tmp/clean.bin" \
+            -retry 3 >"$round_dir/clients/post$i.log" 2>&1 \
+            || fail "round $name: post-restart session $i failed: $(cat "$round_dir/clients/post$i.log")"
+    done
+    grep -h '^session s-[0-9]*: verdict=' "$round_dir"/clients/post*.log \
+        | awk '{sub(":", "", $2); sub("verdict=", "", $3); print $2, $3}' >>"$round_dir/acked"
+    grep -h '^session s-[0-9]*: admitted$' "$round_dir"/clients/post*.log \
+        | awk '{sub(":", "", $2); print $2}' >>"$round_dir/admitted"
+
+    kill -TERM "$daemon"
+    waited=0
+    while kill -0 "$daemon" 2>/dev/null; do
+        waited=$((waited + 1))
+        [ "$waited" -gt 300 ] && fail "round $name: restarted daemon never drained"
+        sleep 0.1
+    done
+    daemon=""
+    grep -q "drained" "$round_dir/daemon2.log" \
+        || fail "round $name: restarted daemon did not drain cleanly"
+
+    # The store, audited cold, must honor the durability contract.
+    "$tmp/crashcheck" -store "$store" -acked "$round_dir/acked" -admitted "$round_dir/admitted" \
+        || fail "round $name: crashcheck found durability violations"
+    "$tmp/gompaxd" -verify-store -store "$store" >/dev/null \
+        || fail "round $name: -verify-store failed"
+    echo "crash-smoke: round $name: OK"
+}
+
+# Crash points cover both sides of the verdict journal write, the
+# admission intent, and the store's own append path; hit counts scale
+# with the session count so the crash always lands mid-load. The final
+# round kills the daemon from outside with no crashpoint armed at all.
+run_round verdict-pre   "serve.verdict.pre-journal:$(( SESSIONS / 5 ))"  no  yes
+run_round verdict-post  "serve.verdict.post-journal:$(( SESSIONS / 5 ))" no  no
+run_round accepted      "serve.accepted.journaled:$(( SESSIONS * 3 / 10 ))" no  yes
+run_round append-sync   "segstore.append.pre-sync:$(( SESSIONS * 2 / 5 ))"  no  no
+run_round kill9         ""                              yes no
+
+echo "crash-smoke: OK"

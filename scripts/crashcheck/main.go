@@ -1,0 +1,144 @@
+// Command crashcheck audits a gompaxd results store after a crash
+// round of the crash smoke harness (scripts/crash_smoke.sh).
+//
+// The harness records two ground-truth files while driving load:
+//
+//   - an "acked" file of "id verdict" lines, one per verdict a client
+//     actually received before the daemon was killed; and
+//   - an "admitted" file of session ids the daemon acknowledged with
+//     an OK line.
+//
+// crashcheck reopens the store (running the same recovery the daemon
+// would) and enforces the durability contract:
+//
+//  1. every acked verdict is present in the store with the same
+//     verdict string — an acked verdict may never be lost or changed;
+//  2. every admitted session has some verdict — real if it finished,
+//     or "interrupted" if it was in flight at the crash;
+//  3. the rebuilt index passes an integrity re-check.
+//
+// Exit 0 when the store honors the contract, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gompax/internal/serve"
+)
+
+func readLines(path string) ([]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if ln := strings.TrimSpace(sc.Text()); ln != "" {
+			lines = append(lines, ln)
+		}
+	}
+	return lines, sc.Err()
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("crashcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "results store directory to audit")
+	ackedFile := fs.String("acked", "", `file of "id verdict" lines the clients saw before the crash`)
+	admittedFile := fs.String("admitted", "", "file of session ids the daemon admitted before the crash")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(stderr, "crashcheck: -store is required")
+		return 1
+	}
+
+	s, err := serve.OpenStore(*storeDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "crashcheck:", err)
+		return 1
+	}
+	defer s.Close()
+	if err := s.VerifyIndex(); err != nil {
+		fmt.Fprintln(stderr, "crashcheck: index integrity:", err)
+		return 1
+	}
+
+	acked, err := readLines(*ackedFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "crashcheck:", err)
+		return 1
+	}
+	admitted, err := readLines(*admittedFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "crashcheck:", err)
+		return 1
+	}
+
+	bad := 0
+	// 1. No acked verdict may be lost or rewritten.
+	for _, ln := range acked {
+		parts := strings.Fields(ln)
+		if len(parts) != 2 {
+			fmt.Fprintf(stderr, "crashcheck: malformed acked line %q\n", ln)
+			bad++
+			continue
+		}
+		id, want := parts[0], parts[1]
+		rec, ok := s.Get(id)
+		switch {
+		case !ok:
+			fmt.Fprintf(stderr, "crashcheck: LOST acked verdict: session %s (client saw %q)\n", id, want)
+			bad++
+		case rec.Verdict != want:
+			fmt.Fprintf(stderr, "crashcheck: CHANGED verdict: session %s stored %q, client saw %q\n", id, rec.Verdict, want)
+			bad++
+		}
+	}
+
+	// 2. Every admitted session must resolve to some verdict; sessions
+	// in flight at the crash must have been recovered as interrupted.
+	interrupted := 0
+	for _, id := range admitted {
+		rec, ok := s.Get(id)
+		if !ok {
+			fmt.Fprintf(stderr, "crashcheck: ORPHAN: admitted session %s has no verdict\n", id)
+			bad++
+			continue
+		}
+		if rec.Verdict == serve.VerdictInterrupted {
+			interrupted++
+		}
+	}
+
+	// 3. Nothing in the store may still be a dangling intent: recovery
+	// replaced every accepted entry, so live entries == records.
+	st := s.StoreStats()
+	if st.Live != s.Len() {
+		fmt.Fprintf(stderr, "crashcheck: %d live entries but %d records — dangling intents survive recovery\n", st.Live, s.Len())
+		bad++
+	}
+
+	fmt.Fprintf(stdout,
+		"crashcheck: %d records, %d acked verdicts intact, %d admitted sessions resolved (%d interrupted), %d recovered this open, %d segment(s), %d torn line(s)\n",
+		s.Len(), len(acked), len(admitted), interrupted, s.RecoveredOrphans(), st.Segments, st.Torn)
+	if bad > 0 {
+		fmt.Fprintf(stderr, "crashcheck: FAILED with %d violation(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -26,7 +26,7 @@ $GO build -o "$tmp/gompaxd" ./cmd/gompaxd
     -spec "crossing=$CROSSING_PROP" \
     -spec "mutex=$MUTEX_PROP" \
     -listen 127.0.0.1:0 \
-    -store "$tmp/results.jsonl" \
+    -store "$tmp/results" \
     -addr-file "$tmp/addr" \
     -grace 10s \
     -log-level warn \
@@ -90,11 +90,11 @@ if [ "$dcode" -ne 0 ]; then
     exit 1
 fi
 
-# Both verdicts survived in the durable store.
-records=$(grep -c '"verdict"' "$tmp/results.jsonl")
+# Both verdicts survived in the durable segmented store.
+records=$(grep -h '"kind":"verdict"' "$tmp/results"/results-*.jsonl | wc -l)
 if [ "$records" -ne 2 ]; then
-    echo "serve-smoke: results store holds $records records, want 2" >&2
-    cat "$tmp/results.jsonl" >&2
+    echo "serve-smoke: results store holds $records verdict records, want 2" >&2
+    cat "$tmp/results"/results-*.jsonl >&2
     exit 1
 fi
 
