@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice bench-clock telemetry-gate serve-smoke crash-gate verify
+.PHONY: build vet test race chaos fuzz fuzz-smoke bench-lattice bench-clock telemetry-gate serve-smoke crash-gate lab-gate gate verify
 
 build:
 	$(GO) build ./...
@@ -65,5 +65,19 @@ serve-smoke:
 # lost and every orphaned session reported as interrupted.
 crash-gate:
 	GO=$(GO) bash scripts/crash_smoke.sh
+
+# Accuracy gate alone: run the gompaxlab scenario grid and check the
+# precision/recall floors and perf budgets in BENCH_lab.json.
+# LAB_GRID=short switches to the 8-scenario CI grid (scored against
+# BENCH_lab_short.json via scripts/gate.sh, or pass -gate yourself).
+lab-gate:
+	$(GO) run ./cmd/gompaxlab -grid default -out _lab -gate BENCH_lab.json
+
+# The unified release gate: every gate in the catalogue (build,
+# lattice differential, clock allocations, telemetry overhead, daemon
+# smoke, crash durability, scenario-lab accuracy) with one summary
+# table. LAB_GRID=short shrinks the accuracy grid for CI.
+gate:
+	GO=$(GO) bash scripts/gate.sh
 
 verify: build vet race fuzz-smoke bench-clock telemetry-gate serve-smoke crash-gate

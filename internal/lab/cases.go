@@ -1,0 +1,24 @@
+package lab
+
+import (
+	"os"
+	"strconv"
+)
+
+// Cases sizes a deep randomized harness: the GOMPAX_LAB_CASES
+// environment variable overrides everything (so `make gate` can run
+// the deep grid and CI can shrink it without editing tests), otherwise
+// short harnesses (`go test -short`) use shortDef and full runs use
+// def. Shared by the latticecheck differential harnesses, the progs
+// generator tests and the lab's own tests.
+func Cases(def, shortDef int, short bool) int {
+	if s := os.Getenv("GOMPAX_LAB_CASES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	if short {
+		return shortDef
+	}
+	return def
+}

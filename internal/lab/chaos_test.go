@@ -1,0 +1,83 @@
+package lab
+
+import (
+	"testing"
+
+	"gompax/internal/wire"
+)
+
+// TestChaosLossNeverFlipsTruth pins the lab's scoring contract for
+// degraded sessions: ground truth is computed from full traces, so a
+// fault plan — even one that drops every frame — can cost the chaos
+// run recall, but can never flip a ground-truth "violating" scenario
+// to "clean". A lost violation shows up as a false negative, not as a
+// smaller denominator.
+func TestChaosLossNeverFlipsTruth(t *testing.T) {
+	base := build(Violating, 2, 2, 0, 5)
+	chaos := chaosOn(base, wire.FaultPlan{Drop: 1.0, Seed: 99}, "blackout")
+
+	r := &Runner{}
+	baseOut, err := r.RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosOut, err := r.RunScenario(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical program and property: the chaos scenario's truth must
+	// be the very same full-trace truth, violation included.
+	if !chaosOut.Truth.Violating {
+		t.Fatal("total frame loss flipped ground truth to clean")
+	}
+	if chaosOut.Truth.Interleavings != baseOut.Truth.Interleavings ||
+		chaosOut.Truth.ViolatingRuns != baseOut.Truth.ViolatingRuns {
+		t.Fatalf("chaos truth diverged from base truth: %+v vs %+v",
+			chaosOut.Truth, baseOut.Truth)
+	}
+
+	// With every frame dropped nothing can be predicted — and the
+	// scoring must record that as a missed violation (FN), not a clean
+	// scenario.
+	if chaosOut.PredictedViolation {
+		t.Fatal("predicted a violation from a fully dropped session")
+	}
+	s := ScoreOutcomes([]Outcome{chaosOut})
+	if s.Overall.ViolFN != 1 || s.Overall.ViolTP != 0 {
+		t.Fatalf("blackout not scored as a false negative: %+v", s.Overall)
+	}
+	if s.Overall.ViolationRecall != 0 {
+		t.Fatalf("recall = %v after total loss, want 0", s.Overall.ViolationRecall)
+	}
+
+	// Sanity: the same scenario without faults predicts the violation.
+	if !baseOut.PredictedViolation {
+		t.Fatal("base scenario failed to predict its violation")
+	}
+}
+
+// TestChaosPartialLossKeepsPrecision: a lossy-but-not-blackout session
+// may lose recall, never precision — every surviving prediction must
+// still be in the full-trace truth.
+func TestChaosPartialLossKeepsPrecision(t *testing.T) {
+	base := build(Racy, 2, 2, 1, 6)
+	chaos := chaosOn(base, wire.FaultPlan{Drop: 0.3, Corrupt: 0.1, Seed: 17}, "lossy")
+	r := &Runner{}
+	out, err := r.RunScenario(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthSet := map[string]bool{}
+	for _, k := range out.Truth.RaceKeys {
+		truthSet[k] = true
+	}
+	for _, k := range out.PredictedRaceKeys {
+		if !truthSet[k] {
+			t.Errorf("degraded session predicted race %q outside ground truth", k)
+		}
+	}
+	if out.PredictedViolation && !out.Truth.Violating {
+		t.Error("degraded session predicted a violation the truth does not contain")
+	}
+}

@@ -1,0 +1,167 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Floor is one behavior class's declarative accuracy requirements.
+// Nil fields are unchecked, so BENCH_lab.json states exactly the
+// floors it means to enforce.
+type Floor struct {
+	MinViolationRecall    *float64 `json:"min_violation_recall,omitempty"`
+	MinViolationPrecision *float64 `json:"min_violation_precision,omitempty"`
+	MaxViolationFP        *int     `json:"max_violation_false_positives,omitempty"`
+	MinRaceRecall         *float64 `json:"min_race_recall,omitempty"`
+	MinRacePrecision      *float64 `json:"min_race_precision,omitempty"`
+	MaxRaceFP             *int     `json:"max_race_false_positives,omitempty"`
+}
+
+// PerfBudget bounds the lab's own cost so accuracy never regresses by
+// silently shrinking the grid or the analysis exploding in time.
+type PerfBudget struct {
+	// MinScenarios is the floor on grid size (the acceptance grid must
+	// not shrink below it).
+	MinScenarios int `json:"min_scenarios"`
+	// MinCompleteTruth requires this many scenarios with fully
+	// exhausted interleaving enumeration.
+	MinCompleteTruth int `json:"min_complete_truth"`
+	// MaxTotalWallMS bounds the summed analysis wall time (0 = none).
+	MaxTotalWallMS float64 `json:"max_total_wall_ms,omitempty"`
+	// MaxTotalTruthMS bounds the summed ground-truth wall time
+	// (0 = none).
+	MaxTotalTruthMS float64 `json:"max_total_truth_ms,omitempty"`
+}
+
+// Gates is the declarative release gate: per-behavior accuracy floors
+// plus perf budgets, checked in as BENCH_lab.json.
+type Gates struct {
+	Description string           `json:"description"`
+	Command     string           `json:"command"`
+	Floors      map[string]Floor `json:"floors"`
+	Perf        PerfBudget       `json:"perf"`
+}
+
+// LoadGates reads a BENCH_lab.json.
+func LoadGates(path string) (Gates, error) {
+	var g Gates
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return g, err
+	}
+	if err := json.Unmarshal(data, &g); err != nil {
+		return g, fmt.Errorf("lab: parse %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Check is one evaluated gate condition.
+type Check struct {
+	Gate     string `json:"gate"`
+	Budget   string `json:"budget"`
+	Measured string `json:"measured"`
+	Pass     bool   `json:"pass"`
+}
+
+func check(name, budget, measured string, pass bool) Check {
+	return Check{Gate: name, Budget: budget, Measured: measured, Pass: pass}
+}
+
+// Evaluate checks every declared floor and budget against the scored
+// grid. It returns one row per declared condition; Passed reports the
+// conjunction.
+func (g Gates) Evaluate(outcomes []Outcome, scores Scores) []Check {
+	byClass := map[string]Score{}
+	for _, s := range scores.ByBehavior {
+		byClass[s.Behavior] = s
+	}
+	var checks []Check
+	// Stable order: overall perf first, then behaviors sorted (the map
+	// iteration order must not reach the report).
+	if g.Perf.MinScenarios > 0 {
+		checks = append(checks, check("grid-size",
+			fmt.Sprintf("≥ %d scenarios", g.Perf.MinScenarios),
+			fmt.Sprintf("%d", scores.Overall.Scenarios),
+			scores.Overall.Scenarios >= g.Perf.MinScenarios))
+	}
+	if g.Perf.MinCompleteTruth > 0 {
+		complete := 0
+		for _, o := range outcomes {
+			if o.Truth.Complete {
+				complete++
+			}
+		}
+		checks = append(checks, check("truth-complete",
+			fmt.Sprintf("≥ %d exhaustive", g.Perf.MinCompleteTruth),
+			fmt.Sprintf("%d", complete),
+			complete >= g.Perf.MinCompleteTruth))
+	}
+	if g.Perf.MaxTotalWallMS > 0 {
+		checks = append(checks, check("analysis-wall",
+			fmt.Sprintf("≤ %.0f ms", g.Perf.MaxTotalWallMS),
+			fmt.Sprintf("%.0f ms", scores.Overall.WallMS),
+			scores.Overall.WallMS <= g.Perf.MaxTotalWallMS))
+	}
+	if g.Perf.MaxTotalTruthMS > 0 {
+		checks = append(checks, check("truth-wall",
+			fmt.Sprintf("≤ %.0f ms", g.Perf.MaxTotalTruthMS),
+			fmt.Sprintf("%.0f ms", scores.Overall.TruthMS),
+			scores.Overall.TruthMS <= g.Perf.MaxTotalTruthMS))
+	}
+	behaviors := sortedFloorNames(g.Floors)
+	for _, b := range behaviors {
+		f := g.Floors[b]
+		s, ok := byClass[b]
+		if !ok {
+			checks = append(checks, check(b+"/present", "class in grid", "missing", false))
+			continue
+		}
+		add := func(metric, budget, measured string, pass bool) {
+			checks = append(checks, check(b+"/"+metric, budget, measured, pass))
+		}
+		if f.MinViolationRecall != nil {
+			add("violation-recall", fmt.Sprintf("≥ %.2f", *f.MinViolationRecall),
+				fmt.Sprintf("%.2f", s.ViolationRecall), s.ViolationRecall >= *f.MinViolationRecall)
+		}
+		if f.MinViolationPrecision != nil {
+			add("violation-precision", fmt.Sprintf("≥ %.2f", *f.MinViolationPrecision),
+				fmt.Sprintf("%.2f", s.ViolationPrecision), s.ViolationPrecision >= *f.MinViolationPrecision)
+		}
+		if f.MaxViolationFP != nil {
+			add("violation-fp", fmt.Sprintf("≤ %d", *f.MaxViolationFP),
+				fmt.Sprintf("%d", s.ViolFP), s.ViolFP <= *f.MaxViolationFP)
+		}
+		if f.MinRaceRecall != nil {
+			add("race-recall", fmt.Sprintf("≥ %.2f", *f.MinRaceRecall),
+				fmt.Sprintf("%.2f", s.RaceRecall), s.RaceRecall >= *f.MinRaceRecall)
+		}
+		if f.MinRacePrecision != nil {
+			add("race-precision", fmt.Sprintf("≥ %.2f", *f.MinRacePrecision),
+				fmt.Sprintf("%.2f", s.RacePrecision), s.RacePrecision >= *f.MinRacePrecision)
+		}
+		if f.MaxRaceFP != nil {
+			add("race-fp", fmt.Sprintf("≤ %d", *f.MaxRaceFP),
+				fmt.Sprintf("%d", s.RaceFP), s.RaceFP <= *f.MaxRaceFP)
+		}
+	}
+	return checks
+}
+
+// Passed reports whether every check passed.
+func Passed(checks []Check) bool {
+	for _, c := range checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedFloorNames(m map[string]Floor) []string {
+	set := map[string]bool{}
+	for k := range m {
+		set[k] = true
+	}
+	return sortedKeys(set)
+}

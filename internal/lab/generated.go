@@ -1,0 +1,62 @@
+package lab
+
+import (
+	"fmt"
+
+	"gompax/internal/progs"
+)
+
+// GeneratedScenarios draws n random scenarios from progs.Generate and
+// vets each against exhaustive ground truth before admitting it:
+// candidates asked to be violating whose truth turns out clean (e.g.
+// every pulse serialized behind dynamic lock ordering the static check
+// cannot see) are rejected and redrawn from the next seed. This is the
+// dynamic half of the degenerate-program defense — without it,
+// trivially-clean scenarios would score recall 1.0 for free and
+// inflate the class average.
+//
+// Scenarios alternate violating intent (even index) and free intent
+// (odd index), so the generated class exercises both the recall and
+// the precision side. Results are deterministic in (seed, n).
+func GeneratedScenarios(seed int64, n int, truth TruthOptions) ([]Scenario, error) {
+	scenarios := make([]Scenario, 0, n)
+	next := seed
+	for i := 0; i < n; i++ {
+		opts := progs.GenOptions{Violating: i%2 == 0}
+		var sc Scenario
+		admitted := false
+		for attempt := 0; attempt < 32; attempt++ {
+			g, err := progs.Generate(next, opts)
+			next++
+			if err != nil {
+				return nil, fmt.Errorf("lab: generated[%d]: %w", i, err)
+			}
+			sc = Scenario{
+				Name:     fmt.Sprintf("generated-%d-seed%d", i, g.Seed),
+				Behavior: Generated,
+				Threads:  2,
+				Source:   g.Source,
+				Property: g.Property,
+				Seed:     g.Seed,
+				Runs:     2,
+			}
+			if !opts.Violating {
+				admitted = true
+				break
+			}
+			t, err := ComputeTruth(sc, truth)
+			if err != nil {
+				return nil, fmt.Errorf("lab: generated[%d] truth: %w", i, err)
+			}
+			if t.Complete && t.Violating {
+				admitted = true
+				break
+			}
+		}
+		if !admitted {
+			return nil, fmt.Errorf("lab: generated[%d]: no truth-violating candidate found", i)
+		}
+		scenarios = append(scenarios, sc)
+	}
+	return scenarios, nil
+}

@@ -1,0 +1,55 @@
+package lab
+
+import (
+	"testing"
+)
+
+// TestGeneratedScenarios: generation is deterministic, every admitted
+// violating-intent scenario is truth-violating, and predictions over
+// generated programs stay sound (precision 1.0: nothing predicted
+// outside the exhaustive truth).
+func TestGeneratedScenarios(t *testing.T) {
+	n := Cases(6, 4, testing.Short())
+	scs, err := GeneratedScenarios(1000, n, TruthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != n {
+		t.Fatalf("got %d scenarios, want %d", len(scs), n)
+	}
+	again, err := GeneratedScenarios(1000, n, TruthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scs {
+		if scs[i].Source != again[i].Source || scs[i].Name != again[i].Name {
+			t.Fatalf("generated[%d] nondeterministic", i)
+		}
+	}
+
+	r := &Runner{}
+	for i, sc := range scs {
+		out, err := r.RunScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !out.Truth.Complete {
+			t.Errorf("%s: exploration incomplete", sc.Name)
+		}
+		if i%2 == 0 && !out.Truth.Violating {
+			t.Errorf("%s: violating-intent scenario admitted with clean truth", sc.Name)
+		}
+		if out.PredictedViolation && !out.Truth.Violating {
+			t.Errorf("%s: predicted violation outside ground truth", sc.Name)
+		}
+		truthSet := map[string]bool{}
+		for _, k := range out.Truth.RaceKeys {
+			truthSet[k] = true
+		}
+		for _, k := range out.PredictedRaceKeys {
+			if !truthSet[k] {
+				t.Errorf("%s: predicted race %q outside ground truth", sc.Name, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runGolden executes the fixed 4-scenario golden grid and renders the
+// normalized artifacts (volatile wall times and alloc counts zeroed).
+func runGolden(t *testing.T) (Grid, []Outcome, []byte, []byte) {
+	t.Helper()
+	g := GoldenGrid()
+	r := &Runner{}
+	outcomes, err := r.RunGrid(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := Normalize(outcomes)
+	jsonl, err := ResultsJSONL(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := ReportMarkdown(g, norm, ScoreOutcomes(norm), nil)
+	return g, outcomes, jsonl, md
+}
+
+// TestGoldenArtifacts pins the lab's artifact formats: the golden grid
+// is fully deterministic (seeded schedulers, seeded faults, normalized
+// timings), so results.jsonl and report.md must match
+// testdata/lab byte for byte. Regenerate with GOMPAX_UPDATE_GOLDEN=1.
+func TestGoldenArtifacts(t *testing.T) {
+	_, _, jsonl, md := runGolden(t)
+	dir := filepath.Join("..", "..", "testdata", "lab")
+	files := map[string][]byte{
+		"results.jsonl": jsonl,
+		"report.md":     md,
+	}
+	if os.Getenv("GOMPAX_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("updated %s", filepath.Join(dir, name))
+		}
+		return
+	}
+	for name, data := range files {
+		want, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%v (run with GOMPAX_UPDATE_GOLDEN=1 to create)", err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("%s drifted from golden:\n got:\n%s\nwant:\n%s", name, data, want)
+		}
+	}
+}
+
+// TestResultsSchema pins the results.jsonl schema: one JSON object per
+// scenario with the fields downstream tooling keys on. A renamed or
+// dropped field fails here before it breaks a consumer.
+func TestResultsSchema(t *testing.T) {
+	_, _, jsonl, _ := runGolden(t)
+	lines := bytes.Split(bytes.TrimSpace(jsonl), []byte("\n"))
+	if len(lines) != len(GoldenGrid().Scenarios) {
+		t.Fatalf("%d lines for %d scenarios", len(lines), len(GoldenGrid().Scenarios))
+	}
+	for i, line := range lines {
+		var doc map[string]json.RawMessage
+		if err := json.Unmarshal(line, &doc); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		for _, field := range []string{
+			"scenario", "truth", "runs",
+			"predicted_violation", "predicted_race_keys", "observed_violation",
+			"wall_ms", "truth_ms", "allocs",
+		} {
+			if _, ok := doc[field]; !ok {
+				t.Errorf("line %d: missing field %q", i, field)
+			}
+		}
+		var sc map[string]json.RawMessage
+		if err := json.Unmarshal(doc["scenario"], &sc); err != nil {
+			t.Fatalf("line %d scenario: %v", i, err)
+		}
+		for _, field := range []string{"name", "behavior", "property", "seed", "runs"} {
+			if _, ok := sc[field]; !ok {
+				t.Errorf("line %d: scenario missing field %q", i, field)
+			}
+		}
+		if _, ok := sc["source"]; ok {
+			t.Errorf("line %d: scenario leaks program source into results.jsonl", i)
+		}
+		var tr map[string]json.RawMessage
+		if err := json.Unmarshal(doc["truth"], &tr); err != nil {
+			t.Fatalf("line %d truth: %v", i, err)
+		}
+		for _, field := range []string{"interleavings", "complete", "violating", "violating_runs", "race_keys", "deadlocks"} {
+			if _, ok := tr[field]; !ok {
+				t.Errorf("line %d: truth missing field %q", i, field)
+			}
+		}
+	}
+}
+
+// TestGoldenGridDeterminism: two full runs of the golden grid agree on
+// every prediction (the property the golden files depend on).
+func TestGoldenGridDeterminism(t *testing.T) {
+	_, _, a, _ := runGolden(t)
+	_, _, b, _ := runGolden(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("golden grid is nondeterministic across runs")
+	}
+}

@@ -1,0 +1,162 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestViolatingTemplateTruth: the violating template admits violating
+// interleavings, the exploration is complete, and prediction recalls
+// the violation from every observed run (the recall = 1.0 guarantee).
+func TestViolatingTemplateTruth(t *testing.T) {
+	for _, sc := range []Scenario{
+		build(Violating, 2, 1, 0, 1),
+		build(Violating, 2, 2, 1, 2),
+		build(Violating, 3, 1, 1, 3),
+	} {
+		r := &Runner{}
+		out, err := r.RunScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !out.Truth.Complete {
+			t.Errorf("%s: exploration incomplete (%d interleavings)", sc.Name, out.Truth.Interleavings)
+		}
+		if !out.Truth.Violating || out.Truth.ViolatingRuns == 0 {
+			t.Errorf("%s: truth should be violating, got %+v", sc.Name, out.Truth)
+		}
+		if !out.PredictedViolation {
+			t.Errorf("%s: violation not predicted (recall < 1.0)", sc.Name)
+		}
+		for _, ro := range out.Runs {
+			if !ro.PredictedViolation {
+				t.Errorf("%s seed %d: run failed to predict the violation", sc.Name, ro.Seed)
+			}
+		}
+	}
+}
+
+// TestCleanTemplateTruth: the lock-disciplined template is truly clean
+// and the pipeline predicts nothing (zero false positives).
+func TestCleanTemplateTruth(t *testing.T) {
+	for _, sc := range []Scenario{
+		build(Clean, 2, 1, 0, 10),
+		build(Clean, 2, 2, 1, 11),
+	} {
+		r := &Runner{}
+		out, err := r.RunScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !out.Truth.Complete {
+			t.Errorf("%s: exploration incomplete (%d interleavings)", sc.Name, out.Truth.Interleavings)
+		}
+		if out.Truth.Violating {
+			t.Errorf("%s: truth should be clean", sc.Name)
+		}
+		if len(out.Truth.RaceKeys) != 0 {
+			t.Errorf("%s: truth should be race-free, got %v", sc.Name, out.Truth.RaceKeys)
+		}
+		if out.PredictedViolation {
+			t.Errorf("%s: false-positive violation prediction", sc.Name)
+		}
+		if len(out.PredictedRaceKeys) != 0 {
+			t.Errorf("%s: false-positive races %v", sc.Name, out.PredictedRaceKeys)
+		}
+	}
+}
+
+// TestRacyTemplateTruth: the racy template races for real on data (and
+// noise) while the monitored property stays safe, and race prediction
+// finds every true pair from the observed runs.
+func TestRacyTemplateTruth(t *testing.T) {
+	sc := build(Racy, 2, 1, 1, 20)
+	r := &Runner{}
+	out, err := r.RunScenario(sc)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	if !out.Truth.Complete {
+		t.Errorf("%s: exploration incomplete", sc.Name)
+	}
+	if out.Truth.Violating {
+		t.Errorf("%s: property should hold in every interleaving", sc.Name)
+	}
+	if len(out.Truth.RaceKeys) == 0 {
+		t.Fatalf("%s: truth should contain races", sc.Name)
+	}
+	if out.PredictedViolation {
+		t.Errorf("%s: false-positive violation prediction", sc.Name)
+	}
+	truthSet := map[string]bool{}
+	for _, k := range out.Truth.RaceKeys {
+		truthSet[k] = true
+	}
+	for _, k := range out.PredictedRaceKeys {
+		if !truthSet[k] {
+			t.Errorf("%s: predicted race %q not in ground truth %v", sc.Name, k, out.Truth.RaceKeys)
+		}
+	}
+	predSet := map[string]bool{}
+	for _, k := range out.PredictedRaceKeys {
+		predSet[k] = true
+	}
+	for _, k := range out.Truth.RaceKeys {
+		if !predSet[k] {
+			t.Errorf("%s: true race %q not predicted", sc.Name, k)
+		}
+	}
+}
+
+// TestDefaultGridShape: the acceptance grid meets the issue's floor of
+// 24+ scenarios across all four behavior classes.
+func TestDefaultGridShape(t *testing.T) {
+	g := DefaultGrid(1)
+	if len(g.Scenarios) < 24 {
+		t.Fatalf("default grid has %d scenarios, want >= 24", len(g.Scenarios))
+	}
+	byClass := map[Behavior]int{}
+	names := map[string]bool{}
+	for _, sc := range g.Scenarios {
+		byClass[sc.Behavior]++
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.Runs < 1 {
+			t.Errorf("%s: Runs = %d", sc.Name, sc.Runs)
+		}
+		if sc.Behavior == Chaos {
+			if sc.Fault == nil {
+				t.Errorf("%s: chaos scenario without a fault plan", sc.Name)
+			}
+			if sc.Base == "" {
+				t.Errorf("%s: chaos scenario without a base", sc.Name)
+			}
+		}
+	}
+	for _, b := range []Behavior{Clean, Racy, Violating, Chaos} {
+		if byClass[b] == 0 {
+			t.Errorf("grid has no %s scenarios", b)
+		}
+	}
+}
+
+// TestGridByName resolves every published grid and rejects unknowns.
+func TestGridByName(t *testing.T) {
+	for _, name := range []string{"default", "short", "golden"} {
+		g, err := GridByName(name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(g.Scenarios) == 0 {
+			t.Fatalf("%s: empty grid", name)
+		}
+	}
+	if _, err := GridByName("nope", 7); err == nil {
+		t.Fatal("unknown grid accepted")
+	}
+	if !strings.Contains(GoldenGrid().Name, "golden") {
+		t.Fatalf("golden grid name = %q", GoldenGrid().Name)
+	}
+}

@@ -1,0 +1,197 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Provenance records what produced a lab artifact set, following the
+// releasegate convention: everything needed to reproduce or audit a
+// result lands next to the result.
+type Provenance struct {
+	Grid      string `json:"grid"`
+	Seed      int64  `json:"seed"`
+	Scenarios int    `json:"scenarios"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Host      string `json:"host,omitempty"`
+	GitRev    string `json:"git_rev,omitempty"`
+	Date      string `json:"date,omitempty"`
+}
+
+// NewProvenance captures the current environment for a grid run.
+// Volatile fields (host, git revision, date) are best-effort.
+func NewProvenance(g Grid) Provenance {
+	p := Provenance{
+		Grid:      g.Name,
+		Seed:      g.Seed,
+		Scenarios: len(g.Scenarios),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+	if host, err := os.Hostname(); err == nil {
+		p.Host = host
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		p.GitRev = strings.TrimSpace(string(out))
+	}
+	return p
+}
+
+// Normalize zeroes the volatile measurements of a result set — wall
+// times and allocation counts — so golden artifacts stay byte-stable
+// across hosts. Detection results are untouched: they are deterministic
+// by construction (seeded schedulers, seeded faults).
+func Normalize(outcomes []Outcome) []Outcome {
+	out := make([]Outcome, len(outcomes))
+	copy(out, outcomes)
+	for i := range out {
+		out[i].WallMS = 0
+		out[i].TruthMS = 0
+		out[i].Allocs = 0
+	}
+	return out
+}
+
+// ResultsJSONL renders one JSON line per scenario outcome — the
+// machine-readable artifact downstream tooling tails.
+func ResultsJSONL(outcomes []Outcome) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	for _, o := range outcomes {
+		if err := enc.Encode(o); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// ReportMarkdown renders the human-readable report.md: the per-class
+// precision/recall table, the gate checks (when provided), and the
+// per-scenario detail table.
+func ReportMarkdown(g Grid, outcomes []Outcome, scores Scores, checks []Check) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# gompaxlab report — grid %q (seed %d, %d scenarios)\n\n", g.Name, g.Seed, len(outcomes))
+
+	b.WriteString("## Detection quality by behavior class\n\n")
+	b.WriteString("| behavior | scenarios | viol P | viol R | viol TP/FP/FN/TN | baseline detected | race P | race R | race TP/FP/FN |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	rows := append(append([]Score{}, scores.ByBehavior...), scores.Overall)
+	for _, s := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %.2f | %.2f | %d/%d/%d/%d | %d/%d | %.2f | %.2f | %d/%d/%d |\n",
+			s.Behavior, s.Scenarios,
+			s.ViolationPrecision, s.ViolationRecall,
+			s.ViolTP, s.ViolFP, s.ViolFN, s.ViolTN,
+			s.ObservedDetected, s.ViolTP+s.ViolFN,
+			s.RacePrecision, s.RaceRecall,
+			s.RaceTP, s.RaceFP, s.RaceFN)
+	}
+	b.WriteString("\n\"baseline detected\" counts truth-violating scenarios the single-trace monitor caught on an observed run — the paper's ordinary-testing detector, measured against the same exhaustive ground truth the predictor is scored on.\n\n")
+
+	if checks != nil {
+		b.WriteString("## Gate checks\n\n")
+		b.WriteString("| gate | budget | measured | status |\n|---|---|---|---|\n")
+		for _, c := range checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", c.Gate, c.Budget, c.Measured, status)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## Scenarios\n\n")
+	b.WriteString("| scenario | behavior | truth | interleavings | violating runs | predicted | races truth/pred | degraded runs | wall ms | truth ms |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, o := range outcomes {
+		truthLabel := "clean"
+		if o.Truth.Violating {
+			truthLabel = "violating"
+		}
+		if !o.Truth.Complete {
+			truthLabel += " (partial)"
+		}
+		degraded := 0
+		for _, r := range o.Runs {
+			if r.Degraded {
+				degraded++
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %s | %d/%d | %d/%d | %.1f | %.1f |\n",
+			o.Scenario.Name, o.Scenario.Behavior, truthLabel,
+			o.Truth.Interleavings, o.Truth.ViolatingRuns,
+			boolMark(o.PredictedViolation),
+			len(o.Truth.RaceKeys), len(o.PredictedRaceKeys),
+			degraded, len(o.Runs),
+			o.WallMS, o.TruthMS)
+	}
+	b.WriteString("\n")
+	return b.Bytes()
+}
+
+// WriteArtifacts writes results.jsonl, report.md and provenance.json
+// into dir, creating it if needed.
+func WriteArtifacts(dir string, g Grid, outcomes []Outcome, scores Scores, checks []Check, prov Provenance) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jsonl, err := ResultsJSONL(outcomes)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "results.jsonl"), jsonl, 0o644); err != nil {
+		return err
+	}
+	md := ReportMarkdown(g, outcomes, scores, checks)
+	if err := os.WriteFile(filepath.Join(dir, "report.md"), md, 0o644); err != nil {
+		return err
+	}
+	pj, err := json.MarshalIndent(prov, "", "  ")
+	if err != nil {
+		return err
+	}
+	pj = append(pj, '\n')
+	return os.WriteFile(filepath.Join(dir, "provenance.json"), pj, 0o644)
+}
+
+// SummaryTable renders the gate checks as a fixed-width terminal
+// table — the one pass/fail view `make gate` prints.
+func SummaryTable(checks []Check) string {
+	var b strings.Builder
+	w := 0
+	for _, c := range checks {
+		if len(c.Gate) > w {
+			w = len(c.Gate)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-14s  %-14s  %s\n", w, "gate", "budget", "measured", "status")
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-*s  %-14s  %-14s  %s\n", w, c.Gate, c.Budget, c.Measured, status)
+	}
+	return b.String()
+}

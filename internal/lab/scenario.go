@@ -1,0 +1,211 @@
+// Package lab is the declarative scenario laboratory: a seeded grid of
+// generated MTL workloads with known behavior classes, each run through
+// the full gompax pipeline and scored against ground truth computed by
+// the exhaustive scheduler. Where the paper could only say that the
+// probability of detecting a violation is "significantly increased" by
+// predictive analysis (§1 — JMPaX had no ground truth to measure it
+// against), the lab measures per-scenario precision and recall for both
+// violation prediction and race prediction, plus wall-time and
+// allocation costs, and gates them behind declarative floors
+// (BENCH_lab.json) evaluated by `make gate`.
+package lab
+
+import (
+	"fmt"
+
+	"gompax/internal/progs"
+	"gompax/internal/wire"
+)
+
+// Behavior classifies what a scenario is built to exhibit. Scoring
+// floors are declared per behavior class.
+type Behavior string
+
+const (
+	// Clean scenarios are fully lock-disciplined: no consistent run
+	// violates the property and no data race exists. They measure false
+	// positives.
+	Clean Behavior = "clean"
+	// Racy scenarios contain real data races on unsynchronized
+	// variables while the monitored property stays safe.
+	Racy Behavior = "racy"
+	// Violating scenarios admit interleavings that violate the
+	// property, constructed so that the violation is predictable from
+	// every observed execution (the property variables have no
+	// cross-thread conflicts, so their pulses stay concurrent in every
+	// reconstructed computation). Recall below 1.0 here is a bug, not
+	// bad luck.
+	Violating Behavior = "violating"
+	// Chaos scenarios are violating or racy workloads whose observer
+	// session runs through a seeded FaultWriter (drops, corruption,
+	// bounded reordering). They are scored against the full-trace
+	// ground truth: lost events may cost recall, never precision.
+	Chaos Behavior = "chaos"
+	// Generated scenarios come from progs.Generate: random programs
+	// whose behavior label is derived from the computed ground truth
+	// rather than declared up front.
+	Generated Behavior = "generated"
+)
+
+// Scenario is one declarative grid entry: a program, a property, and
+// the seeds that make every run of it reproducible.
+type Scenario struct {
+	// Name is unique within a grid and stable across runs.
+	Name string `json:"name"`
+	// Behavior is the scenario's class (which floors apply).
+	Behavior Behavior `json:"behavior"`
+	// Threads, Pulses and Contention are the scale axes: worker count,
+	// write-pulses per worker, and whether a shared noise variable
+	// entangles the threads' causal pasts.
+	Threads    int `json:"threads"`
+	Pulses     int `json:"pulses"`
+	Contention int `json:"contention"`
+	// Source and Property are the MTL program and safety formula.
+	Source   string `json:"-"`
+	Property string `json:"property"`
+	// Seed derives the observed executions' scheduler seeds.
+	Seed int64 `json:"seed"`
+	// Runs is how many observed executions are collected (≥1).
+	Runs int `json:"runs"`
+	// Fault, when non-nil, routes every observer session of the
+	// scenario through a FaultWriter with this plan (chaos class).
+	Fault *wire.FaultPlan `json:"fault,omitempty"`
+	// Base names the scenario this one was derived from (chaos wraps).
+	Base string `json:"base,omitempty"`
+}
+
+// build materializes one template scenario from the pulse family in
+// internal/progs.
+func build(behavior Behavior, threads, pulses, contention int, seed int64) Scenario {
+	sc := Scenario{
+		Name:       fmt.Sprintf("%s-t%d-p%d-c%d", behavior, threads, pulses, contention),
+		Behavior:   behavior,
+		Threads:    threads,
+		Pulses:     pulses,
+		Contention: contention,
+		Seed:       seed,
+		Runs:       3,
+	}
+	switch behavior {
+	case Clean:
+		sc.Source, sc.Property = progs.PulseClean(threads, pulses, contention), progs.PulseOverlapProperty
+	case Racy:
+		sc.Source, sc.Property = progs.PulseRacy(threads, pulses, contention), progs.PulseRacyProperty
+	case Violating:
+		sc.Source, sc.Property = progs.PulseViolating(threads, pulses, contention), progs.PulseOverlapProperty
+	default:
+		panic("lab: build only materializes template behaviors")
+	}
+	return sc
+}
+
+// chaosOn derives a chaos scenario: the base workload with its
+// observer sessions routed through a FaultWriter. SpareHello keeps the
+// session openable; everything else is fair game.
+func chaosOn(base Scenario, plan wire.FaultPlan, tag string) Scenario {
+	sc := base
+	sc.Behavior = Chaos
+	sc.Base = base.Name
+	sc.Name = fmt.Sprintf("chaos-%s-%s", tag, base.Name)
+	plan.SpareHello = true
+	if plan.Seed == 0 {
+		plan.Seed = base.Seed + 7777
+	}
+	sc.Fault = &plan
+	return sc
+}
+
+// Grid is a named set of scenarios plus the seed they derive from.
+type Grid struct {
+	Name      string
+	Seed      int64
+	Scenarios []Scenario
+}
+
+// scales lists the (threads, pulses, contention) points of the default
+// grid. Sizes are chosen so the exhaustive scheduler fully enumerates
+// every scenario's interleavings (the largest, 2 threads × 7 events,
+// is C(14,7) = 3432 interleavings; 3 threads stay at one pulse).
+var scales = []struct{ threads, pulses, contention int }{
+	{2, 1, 0}, {2, 1, 1}, {2, 2, 0}, {2, 2, 1}, {2, 3, 0}, {2, 3, 1},
+	{3, 1, 0}, {3, 1, 1},
+}
+
+// DefaultGrid is the deep release grid: every template behavior at
+// every scale plus six chaos derivations — 27 scenarios, all with
+// complete exhaustive ground truth.
+func DefaultGrid(seed int64) Grid {
+	g := Grid{Name: "default", Seed: seed}
+	var violating, racy []Scenario
+	for _, s := range scales {
+		v := build(Violating, s.threads, s.pulses, s.contention, seed)
+		c := build(Clean, s.threads, s.pulses, s.contention, seed)
+		g.Scenarios = append(g.Scenarios, v, c)
+		violating = append(violating, v)
+		// Racy pulses are 4 events each; skip the points whose interleaving
+		// count exceeds the exhaustion budget (3 threads × 5 events is
+		// 15!/(5!)^3 ≈ 757k) so every scenario keeps complete truth.
+		if s.pulses <= 2 && !(s.threads == 3 && s.contention == 1) {
+			r := build(Racy, s.threads, s.pulses, s.contention, seed)
+			g.Scenarios = append(g.Scenarios, r)
+			racy = append(racy, r)
+		}
+	}
+	drop := wire.FaultPlan{Drop: 0.15, Seed: seed + 1}
+	mixed := wire.FaultPlan{Drop: 0.1, Corrupt: 0.1, Duplicate: 0.1, Delay: 0.15, MaxDelay: 3, Seed: seed + 2}
+	g.Scenarios = append(g.Scenarios,
+		chaosOn(violating[2], drop, "drop"), // violating-t2-p2-c0
+		chaosOn(violating[3], mixed, "mix"), // violating-t2-p2-c1
+		chaosOn(violating[4], drop, "drop"), // violating-t2-p3-c0
+		chaosOn(violating[6], mixed, "mix"), // violating-t3-p1-c0
+		chaosOn(racy[2], drop, "drop"),      // racy-t2-p2-c0
+		chaosOn(racy[1], mixed, "mix"),      // racy-t2-p1-c1
+	)
+	return g
+}
+
+// ShortGrid is the CI grid: one scenario per behavior at two scales —
+// 8 scenarios, a few seconds of work.
+func ShortGrid(seed int64) Grid {
+	g := Grid{Name: "short", Seed: seed}
+	v1 := build(Violating, 2, 1, 0, seed)
+	v2 := build(Violating, 2, 2, 1, seed)
+	r1 := build(Racy, 2, 1, 0, seed)
+	r2 := build(Racy, 2, 2, 0, seed)
+	c1 := build(Clean, 2, 1, 0, seed)
+	c2 := build(Clean, 3, 1, 1, seed)
+	g.Scenarios = append(g.Scenarios, v1, v2, r1, r2, c1, c2,
+		chaosOn(v2, wire.FaultPlan{Drop: 0.15, Seed: seed + 1}, "drop"),
+		chaosOn(r2, wire.FaultPlan{Drop: 0.1, Corrupt: 0.1, Delay: 0.15, MaxDelay: 3, Seed: seed + 2}, "mix"),
+	)
+	return g
+}
+
+// GoldenGrid is the tiny fixed grid behind the golden artifact test:
+// one scenario per behavior, smallest scale, fixed seed. Changing it
+// invalidates testdata/lab.
+func GoldenGrid() Grid {
+	g := Grid{Name: "golden", Seed: 42}
+	v := build(Violating, 2, 1, 0, 42)
+	g.Scenarios = append(g.Scenarios,
+		v,
+		build(Clean, 2, 1, 0, 42),
+		build(Racy, 2, 1, 0, 42),
+		chaosOn(v, wire.FaultPlan{Drop: 0.2, Seed: 43}, "drop"),
+	)
+	return g
+}
+
+// GridByName resolves a -grid flag value.
+func GridByName(name string, seed int64) (Grid, error) {
+	switch name {
+	case "", "default":
+		return DefaultGrid(seed), nil
+	case "short":
+		return ShortGrid(seed), nil
+	case "golden":
+		return GoldenGrid(), nil
+	default:
+		return Grid{}, fmt.Errorf("lab: unknown grid %q (default, short, golden)", name)
+	}
+}

@@ -1,0 +1,127 @@
+package lab
+
+import "sort"
+
+// Score aggregates detection quality over a set of scenarios — one
+// behavior class, or the whole grid.
+type Score struct {
+	Behavior  string `json:"behavior"`
+	Scenarios int    `json:"scenarios"`
+
+	// Violation classification per scenario: predicted-violating vs
+	// ground-truth-violating.
+	ViolTP int `json:"violation_tp"`
+	ViolFP int `json:"violation_fp"`
+	ViolFN int `json:"violation_fn"`
+	ViolTN int `json:"violation_tn"`
+	// ViolationPrecision/Recall follow the usual convention: an empty
+	// denominator scores 1.0 (nothing wrongly predicted / nothing to
+	// find).
+	ViolationPrecision float64 `json:"violation_precision"`
+	ViolationRecall    float64 `json:"violation_recall"`
+	// ObservedDetected counts truth-violating scenarios where the
+	// single-trace baseline (ordinary testing) saw the violation in
+	// some observed run — the paper's "small probability" detector,
+	// measured against the same truth.
+	ObservedDetected int `json:"observed_detected"`
+
+	// Race metrics are micro-averaged over pair keys across scenarios.
+	RaceTP        int     `json:"race_tp"`
+	RaceFP        int     `json:"race_fp"`
+	RaceFN        int     `json:"race_fn"`
+	RacePrecision float64 `json:"race_precision"`
+	RaceRecall    float64 `json:"race_recall"`
+
+	// WallMS / TruthMS are summed analysis and ground-truth times.
+	WallMS  float64 `json:"wall_ms"`
+	TruthMS float64 `json:"truth_ms"`
+}
+
+// Scores is the scored view of a grid run.
+type Scores struct {
+	// ByBehavior is sorted by behavior name.
+	ByBehavior []Score `json:"by_behavior"`
+	// Overall aggregates every scenario.
+	Overall Score `json:"overall"`
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1.0
+	}
+	return float64(num) / float64(den)
+}
+
+func (s *Score) finish() {
+	s.ViolationPrecision = ratio(s.ViolTP, s.ViolTP+s.ViolFP)
+	s.ViolationRecall = ratio(s.ViolTP, s.ViolTP+s.ViolFN)
+	s.RacePrecision = ratio(s.RaceTP, s.RaceTP+s.RaceFP)
+	s.RaceRecall = ratio(s.RaceTP, s.RaceTP+s.RaceFN)
+}
+
+func (s *Score) add(o Outcome) {
+	s.Scenarios++
+	s.WallMS += o.WallMS
+	s.TruthMS += o.TruthMS
+	switch {
+	case o.Truth.Violating && o.PredictedViolation:
+		s.ViolTP++
+	case o.Truth.Violating && !o.PredictedViolation:
+		s.ViolFN++
+	case !o.Truth.Violating && o.PredictedViolation:
+		s.ViolFP++
+	default:
+		s.ViolTN++
+	}
+	if o.Truth.Violating && o.ObservedViolation {
+		s.ObservedDetected++
+	}
+	truth := map[string]bool{}
+	for _, k := range o.Truth.RaceKeys {
+		truth[k] = true
+	}
+	predicted := map[string]bool{}
+	for _, k := range o.PredictedRaceKeys {
+		predicted[k] = true
+	}
+	for k := range predicted {
+		if truth[k] {
+			s.RaceTP++
+		} else {
+			s.RaceFP++
+		}
+	}
+	for k := range truth {
+		if !predicted[k] {
+			s.RaceFN++
+		}
+	}
+}
+
+// ScoreOutcomes computes per-behavior and overall precision/recall.
+func ScoreOutcomes(outcomes []Outcome) Scores {
+	byClass := map[string]*Score{}
+	overall := &Score{Behavior: "overall"}
+	for _, o := range outcomes {
+		b := string(o.Scenario.Behavior)
+		sc := byClass[b]
+		if sc == nil {
+			sc = &Score{Behavior: b}
+			byClass[b] = sc
+		}
+		sc.add(o)
+		overall.add(o)
+	}
+	overall.finish()
+	out := Scores{Overall: *overall}
+	names := make([]string, 0, len(byClass))
+	for b := range byClass {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	for _, b := range names {
+		byClass[b].finish()
+		out.ByBehavior = append(out.ByBehavior, *byClass[b])
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"gompax/internal/causality"
 	"gompax/internal/clock"
 	"gompax/internal/event"
+	"gompax/internal/lab"
 	"gompax/internal/lattice"
 	"gompax/internal/monitor"
 	"gompax/internal/mvc"
@@ -60,7 +61,9 @@ func analyzeAllModes(t *testing.T, c Case, msgs []event.Message, workers int, ce
 }
 
 // TestClockSubstrateParity is the clock-parity harness: 500 random
-// computations, each executed through both Algorithm A
+// computations (50 under -short; GOMPAX_LAB_CASES overrides both, so
+// `make gate` can deepen the run without editing this file), each
+// executed through both Algorithm A
 // implementations — the production mvc.Tracker on interned clock.Ref
 // values and the naive LegacyTracker on mutable vc.VC values. For
 // every case it asserts
@@ -80,9 +83,10 @@ func analyzeAllModes(t *testing.T, c Case, msgs []event.Message, workers int, ce
 //     legacy tracker's vectors.
 func TestClockSubstrateParity(t *testing.T) {
 	t.Parallel()
+	cases := lab.Cases(500, 50, testing.Short())
 	rng := rand.New(rand.NewSource(99))
 	explored := 0
-	for iter := 0; iter < 500; iter++ {
+	for iter := 0; iter < cases; iter++ {
 		c, err := Random(rng)
 		if err != nil {
 			t.Fatal(err)
@@ -178,5 +182,5 @@ func TestClockSubstrateParity(t *testing.T) {
 		}
 		explored++
 	}
-	t.Logf("500 cases checked, %d small enough for the 8-way explorer comparison", explored)
+	t.Logf("%d cases checked, %d small enough for the 8-way explorer comparison", cases, explored)
 }

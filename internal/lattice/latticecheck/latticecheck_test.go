@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"gompax/internal/event"
+	"gompax/internal/lab"
 	"gompax/internal/lattice"
 	"gompax/internal/monitor"
 	"gompax/internal/predict"
@@ -48,18 +49,20 @@ func levelWidths(l *lattice.Lattice) []int {
 // to materialize; the differential check needs the ground truth.
 const maxBuildNodes = 20000
 
-// TestDifferentialExplorers is the harness: ≥200 random computations,
-// each analyzed by the materialized lattice, the sequential offline
+// TestDifferentialExplorers is the harness: ≥200 random computations
+// (40 under -short; GOMPAX_LAB_CASES overrides both), each analyzed by
+// the materialized lattice, the sequential offline
 // analyzer, the parallel offline analyzer, and the online analyzer
 // (sequential and parallel) under a scrambled delivery order. All must
 // agree on per-level cut counts, total cuts, width, verdicts,
 // violation sets and counterexamples.
 func TestDifferentialExplorers(t *testing.T) {
 	t.Parallel()
+	target := lab.Cases(200, 40, testing.Short())
 	rng := rand.New(rand.NewSource(2026))
 	checked, skipped := 0, 0
-	for iter := 0; checked < 200; iter++ {
-		if iter > 5000 {
+	for iter := 0; checked < target; iter++ {
+		if iter > 25*target {
 			t.Fatalf("only %d cases checked after %d iterations (%d skipped)", checked, iter, skipped)
 		}
 		c, err := Random(rng)
@@ -180,14 +183,16 @@ func raceSet(reports []race.Report) []string {
 	return out
 }
 
-// TestDetectorMatchesPredictRaces: over random workloads, the online
+// TestDetectorMatchesPredictRaces: over random workloads (sized by
+// GOMPAX_LAB_CASES / -short like the other harnesses), the online
 // race detector and the offline pairwise check over its recorded
 // accesses predict the same races, and the offline check is invariant
 // under shuffling its input.
 func TestDetectorMatchesPredictRaces(t *testing.T) {
 	t.Parallel()
+	cases := lab.Cases(200, 40, testing.Short())
 	rng := rand.New(rand.NewSource(7))
-	for iter := 0; iter < 200; iter++ {
+	for iter := 0; iter < cases; iter++ {
 		c, err := Random(rng)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,280 @@
+package progs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gompax/internal/mtl"
+)
+
+// This file is the scenario generator behind internal/lab: the pulse
+// template family (deterministic workloads with known behavior) and
+// Generate, a seeded random program generator with degenerate-candidate
+// rejection.
+
+// PulseVar is the per-thread relevant pulse variable of the pulse
+// template family.
+func PulseVar(t int) string { return fmt.Sprintf("v%d", t) }
+
+// PulseOverlapProperty is the pulse templates' safety property: the
+// first two workers' pulse variables are never simultaneously raised.
+// Only v0 and v1 are relevant; additional workers add causal bulk
+// without widening the property, mirroring the paper's point that
+// irrelevant variables still shape the causal order (§2.3).
+const PulseOverlapProperty = `!(v0 = 1 /\ v1 = 1)`
+
+// PulseRacyProperty observes only the lock-protected flag of the racy
+// pulse template, which never holds -1: the property is unviolated in
+// every consistent run, while the unsynchronized data (and noise)
+// writes race for real.
+const PulseRacyProperty = `!(flag = -1)`
+
+// PulseViolating builds the deterministic-detection workload: each
+// worker raises and lowers its own variable, with no cross-thread
+// conflict on any property variable. Every reconstructed computation
+// therefore keeps the first pulses concurrent, and the overlap cut
+// (v0=1, v1=1) is present in every lattice — prediction must succeed
+// from every seed. Contention adds one unsynchronized write of a
+// shared noise variable at the start of each thread: it entangles the
+// threads' causal prefixes (and is itself a real data race) without
+// ever ordering one thread's pulse after another's.
+func PulseViolating(threads, pulses, contention int) string {
+	var b strings.Builder
+	b.WriteString("shared ")
+	for t := 0; t < threads; t++ {
+		fmt.Fprintf(&b, "%s = 0, ", PulseVar(t))
+	}
+	b.WriteString("noise = 0;\n\n")
+	for t := 0; t < threads; t++ {
+		fmt.Fprintf(&b, "thread w%d {\n", t)
+		if contention > 0 {
+			fmt.Fprintf(&b, "    noise = %d;\n", t+1)
+		}
+		for p := 0; p < pulses; p++ {
+			fmt.Fprintf(&b, "    %s = 1;\n", PulseVar(t))
+			fmt.Fprintf(&b, "    %s = 0;\n", PulseVar(t))
+		}
+		b.WriteString("}\n\n")
+	}
+	return b.String()
+}
+
+// PulseClean is the same pulse workload with every shared access
+// inside one global critical section per pulse: no consistent run
+// overlaps two pulses and no access is unsynchronized. Any predicted
+// violation or race here is a false positive.
+func PulseClean(threads, pulses, contention int) string {
+	var b strings.Builder
+	b.WriteString("shared ")
+	for t := 0; t < threads; t++ {
+		fmt.Fprintf(&b, "%s = 0, ", PulseVar(t))
+	}
+	b.WriteString("noise = 0;\nmutex m;\n\n")
+	for t := 0; t < threads; t++ {
+		fmt.Fprintf(&b, "thread w%d {\n", t)
+		for p := 0; p < pulses; p++ {
+			b.WriteString("    lock(m);\n")
+			if contention > 0 && p == 0 {
+				fmt.Fprintf(&b, "    noise = %d;\n", t+1)
+			}
+			fmt.Fprintf(&b, "    %s = 1;\n", PulseVar(t))
+			fmt.Fprintf(&b, "    %s = 0;\n", PulseVar(t))
+			b.WriteString("    unlock(m);\n")
+		}
+		b.WriteString("}\n\n")
+	}
+	return b.String()
+}
+
+// PulseRacy builds the racy workload: every pulse performs one
+// unsynchronized write of a shared data variable (a genuine race
+// between every pair of workers, predicted under the
+// synchronization-only causality from every observed execution)
+// followed by a lock-protected write of the monitored flag (never
+// racy, never violating).
+func PulseRacy(threads, pulses, contention int) string {
+	var b strings.Builder
+	b.WriteString("shared data = 0, flag = 0, noise = 0;\nmutex m;\n\n")
+	for t := 0; t < threads; t++ {
+		fmt.Fprintf(&b, "thread w%d {\n", t)
+		if contention > 0 {
+			fmt.Fprintf(&b, "    noise = %d;\n", t+1)
+		}
+		for p := 0; p < pulses; p++ {
+			fmt.Fprintf(&b, "    data = %d;\n", t*100+p)
+			b.WriteString("    lock(m);\n")
+			fmt.Fprintf(&b, "    flag = %d;\n", t+1)
+			b.WriteString("    unlock(m);\n")
+		}
+		b.WriteString("}\n\n")
+	}
+	return b.String()
+}
+
+// GenOptions configures Generate. The zero value is usable.
+type GenOptions struct {
+	// Threads is the worker count (default 2; property vars are p0, p1).
+	Threads int
+	// MaxStmts bounds the random statements per thread beyond the
+	// mandatory pulse (default 3). Keeps exhaustive ground truth cheap.
+	MaxStmts int
+	// Violating asks for a program whose pulses can overlap. Candidates
+	// whose violation writes turn out statically unreachable — a pulse
+	// never raised, or every pulse fully serialized under the global
+	// mutex — are rejected and regenerated.
+	Violating bool
+}
+
+func (o GenOptions) defaults() GenOptions {
+	if o.Threads < 2 {
+		o.Threads = 2
+	}
+	if o.MaxStmts <= 0 {
+		o.MaxStmts = 3
+	}
+	return o
+}
+
+// Generated is one accepted random program.
+type Generated struct {
+	// Source and Property are ready for mtl.Parse / logic.ParseFormula.
+	Source   string
+	Property string
+	// Seed is the seed the accepted candidate was drawn from; Attempts
+	// counts the degenerate candidates rejected before it (0 = first
+	// candidate accepted).
+	Seed     int64
+	Attempts int
+	// Locked is true when the candidate serializes its pulses under the
+	// global mutex (only possible with Violating false: such candidates
+	// are trivially clean by construction).
+	Locked bool
+}
+
+// genProgram is one raw candidate before validation.
+type genProgram struct {
+	source string
+	// accesses counts shared-variable accesses per thread.
+	accesses []int
+	// raised marks threads that raise their pulse variable.
+	raised []bool
+	// lockedPulse marks threads whose pulse is wrapped in lock(m).
+	lockedPulse []bool
+}
+
+// candidate draws one random program. Thread t always owns pulse var
+// p_t (no cross-thread conflicts on property variables, so a reachable
+// overlap is predictable from every observed run); the random filler
+// statements write the shared data/noise variables, skip, or take the
+// global mutex.
+func candidate(rng *rand.Rand, o GenOptions) genProgram {
+	g := genProgram{
+		accesses:    make([]int, o.Threads),
+		raised:      make([]bool, o.Threads),
+		lockedPulse: make([]bool, o.Threads),
+	}
+	var b strings.Builder
+	b.WriteString("shared ")
+	for t := 0; t < o.Threads; t++ {
+		fmt.Fprintf(&b, "p%d = 0, ", t)
+	}
+	b.WriteString("d = 0, n = 0;\nmutex m;\n\n")
+	for t := 0; t < o.Threads; t++ {
+		fmt.Fprintf(&b, "thread g%d {\n", t)
+		stmts := rng.Intn(o.MaxStmts + 1)
+		for s := 0; s < stmts; s++ {
+			switch rng.Intn(4) {
+			case 0:
+				fmt.Fprintf(&b, "    d = %d;\n", rng.Intn(100))
+				g.accesses[t]++
+			case 1:
+				fmt.Fprintf(&b, "    n = %d;\n", rng.Intn(100))
+				g.accesses[t]++
+			case 2:
+				fmt.Fprintf(&b, "    lock(m);\n    d = %d;\n    unlock(m);\n", rng.Intn(100))
+				g.accesses[t]++
+			case 3:
+				b.WriteString("    skip;\n")
+			}
+		}
+		// The pulse itself is drawn too: a thread may skip it entirely
+		// (degenerate for violating intent), raise-and-lower it bare, or
+		// serialize it under the mutex (trivially clean).
+		switch rng.Intn(3) {
+		case 0:
+			// no pulse
+		case 1:
+			fmt.Fprintf(&b, "    p%d = 1;\n    p%d = 0;\n", t, t)
+			g.accesses[t] += 2
+			g.raised[t] = true
+		case 2:
+			fmt.Fprintf(&b, "    lock(m);\n    p%d = 1;\n    p%d = 0;\n    unlock(m);\n", t, t)
+			g.accesses[t] += 2
+			g.raised[t] = true
+			g.lockedPulse[t] = true
+		}
+		b.WriteString("}\n\n")
+	}
+	g.source = b.String()
+	return g
+}
+
+// degenerate reports why a candidate must be rejected, or "".
+func degenerate(g genProgram, o GenOptions) string {
+	for t, n := range g.accesses {
+		if n == 0 {
+			return fmt.Sprintf("thread g%d performs no shared access", t)
+		}
+	}
+	if o.Violating {
+		// The property watches p0 and p1: both pulses must exist and at
+		// least one of the two must run unserialized, or the overlap cut
+		// is unreachable and the scenario is trivially clean — which
+		// would inflate recall (an absent violation is "recalled" for
+		// free).
+		if !g.raised[0] || !g.raised[1] {
+			return "violation unreachable: a property pulse is never raised"
+		}
+		if g.lockedPulse[0] && g.lockedPulse[1] {
+			return "violation unreachable: both property pulses serialized under m"
+		}
+	}
+	return ""
+}
+
+// maxGenAttempts bounds rejection-and-regeneration; the acceptance
+// probability per candidate is far above 1/8, so hitting the bound
+// indicates a generator bug rather than bad luck.
+const maxGenAttempts = 64
+
+// Generate draws seeded random programs until one passes validation,
+// rejecting degenerate candidates (a thread with zero shared accesses,
+// or — with Violating set — an unreachable violation) instead of
+// silently emitting trivially-clean scenarios. The result is
+// deterministic in (seed, opts) and always parses.
+func Generate(seed int64, opts GenOptions) (Generated, error) {
+	o := opts.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < maxGenAttempts; attempt++ {
+		g := candidate(rng, o)
+		if why := degenerate(g, o); why != "" {
+			continue
+		}
+		if _, err := mtl.Parse(g.source); err != nil {
+			return Generated{}, fmt.Errorf("progs: generated program does not parse: %w\n%s", err, g.source)
+		}
+		return Generated{
+			Source:   g.source,
+			Property: PulseGeneratedProperty,
+			Seed:     seed,
+			Attempts: attempt,
+			Locked:   g.lockedPulse[0] && g.lockedPulse[1],
+		}, nil
+	}
+	return Generated{}, fmt.Errorf("progs: no valid candidate in %d attempts (seed %d)", maxGenAttempts, seed)
+}
+
+// PulseGeneratedProperty is the property monitored over generated
+// programs: the first two threads' pulses never overlap.
+const PulseGeneratedProperty = `!(p0 = 1 /\ p1 = 1)`
