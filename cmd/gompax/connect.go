@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -16,6 +18,7 @@ import (
 	"gompax/internal/mtl"
 	"gompax/internal/sched"
 	"gompax/internal/serve"
+	"gompax/internal/telemetry/tracing"
 	"gompax/internal/wire"
 )
 
@@ -35,6 +38,8 @@ type clientConfig struct {
 	maxEvents   uint64
 	chaos       float64
 	chaosSeed   int64
+	traceOut    string // Chrome trace-event JSON output file ("" = off)
+	traceHTTP   string // daemon HTTP address to merge daemon spans from
 }
 
 // streamInto executes the instrumented program and writes the session
@@ -104,10 +109,10 @@ func runCapture(stdout, stderr io.Writer, c clientConfig) int {
 // refusals (overloaded, queue-timeout, quota-exceeded) and transport
 // errors with jittered exponential backoff that honors the daemon's
 // RETRY-AFTER hint. ctx cancellation (SIGINT/SIGTERM) aborts the wait.
-func dialWithRetry(ctx context.Context, stderr io.Writer, c clientConfig, network string) (*serve.Client, error) {
+func dialWithRetry(ctx context.Context, stderr io.Writer, c clientConfig, network, traceHex string) (*serve.Client, error) {
 	bo := serve.NewBackoff(time.Now().UnixNano())
 	for attempt := 0; ; attempt++ {
-		cl, err := serve.Dial(network, c.addr, serve.SessionRequest{Spec: c.spec, Tenant: c.tenant})
+		cl, err := serve.Dial(network, c.addr, serve.SessionRequest{Spec: c.spec, Tenant: c.tenant, Trace: traceHex})
 		if err == nil {
 			return cl, nil
 		}
@@ -145,9 +150,30 @@ func runConnect(stdout, stderr io.Writer, c clientConfig) int {
 	if strings.Contains(c.addr, "/") {
 		network = "unix"
 	}
+	// With -trace-out the client mints the trace id and hands it to the
+	// daemon in the handshake, so both sides record into the same trace.
+	// All span handles below are nil when tracing is off; their methods
+	// are no-ops.
+	var tr *tracing.Tracer
+	var root *tracing.Span
+	traceHex := ""
+	if c.traceOut != "" {
+		tr = tracing.New(tracing.Options{Process: "gompax"})
+		root = tr.StartTrace("client.session")
+		root.SetAttr("addr", c.addr)
+		if c.spec != "" {
+			root.SetAttr("spec", c.spec)
+		}
+		traceHex = root.TraceID().String()
+	}
+	sessionID := ""
+	defer func() { writeClientTrace(stdout, stderr, c, tr, root, sessionID) }()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cl, err := dialWithRetry(ctx, stderr, c, network)
+	dsp := root.Child("client.dial")
+	cl, err := dialWithRetry(ctx, stderr, c, network, traceHex)
+	dsp.End()
 	if err != nil {
 		var rej *serve.RejectError
 		if errors.As(err, &rej) {
@@ -157,36 +183,50 @@ func runConnect(stdout, stderr io.Writer, c clientConfig) int {
 		}
 		return exitError
 	}
+	sessionID = cl.ID()
+	root.SetAttr("session", sessionID)
 	fmt.Fprintf(stdout, "session %s: admitted\n", cl.ID())
 
+	ssp := root.Child("client.stream")
 	if c.sessionFile != "" {
+		ssp.SetAttr("source", "file")
 		raw, err := os.ReadFile(c.sessionFile)
 		if err != nil {
+			ssp.End()
 			cl.Close()
 			fmt.Fprintln(stderr, "gompax:", err)
 			return exitError
 		}
 		if _, err := cl.Conn().Write(raw); err != nil {
+			ssp.End()
 			cl.Close()
 			fmt.Fprintf(stderr, "gompax: session %s: sending session: %v\n", cl.ID(), err)
 			return exitError
 		}
-	} else if err := c.streamInto(cl.Conn()); err != nil {
-		cl.Close()
-		fmt.Fprintf(stderr, "gompax: session %s: streaming session: %v\n", cl.ID(), err)
-		return exitError
+	} else {
+		ssp.SetAttr("source", "live")
+		if err := c.streamInto(cl.Conn()); err != nil {
+			ssp.End()
+			cl.Close()
+			fmt.Fprintf(stderr, "gompax: session %s: streaming session: %v\n", cl.ID(), err)
+			return exitError
+		}
 	}
 	// Half-close so the daemon sees EOF even if the chaos injector ate
 	// the Bye frame.
 	if cw, ok := cl.Conn().(interface{ CloseWrite() error }); ok {
 		cw.CloseWrite()
 	}
+	ssp.End()
 
+	vsp := root.Child("client.verdict-wait")
 	v, err := cl.Finish(2 * time.Minute)
+	vsp.End()
 	if err != nil {
 		fmt.Fprintf(stderr, "gompax: session %s: %v\n", cl.ID(), err)
 		return exitError
 	}
+	root.SetAttr("verdict", v.Verdict)
 	fmt.Fprintf(stdout, "session %s: verdict=%s violations=%d cuts=%d degraded=%t\n",
 		v.ID, v.Verdict, v.Violations, v.Cuts, v.Degraded)
 	switch v.Verdict {
@@ -197,4 +237,60 @@ func runConnect(stdout, stderr io.Writer, c clientConfig) int {
 	default:
 		return exitError
 	}
+}
+
+// writeClientTrace finalizes the client trace after a -connect run:
+// ends the root span, merges the daemon-side spans when -trace-http
+// names the daemon's HTTP API, and writes the combined tree as Chrome
+// trace-event JSON to -trace-out. Best effort — a failed daemon fetch
+// degrades to a client-only trace rather than failing the run.
+func writeClientTrace(stdout, stderr io.Writer, c clientConfig, tr *tracing.Tracer, root *tracing.Span, sessionID string) {
+	if tr == nil {
+		return
+	}
+	root.End()
+	if c.traceHTTP != "" && sessionID != "" {
+		if err := mergeDaemonSpans(tr, c.traceHTTP, sessionID); err != nil {
+			fmt.Fprintf(stderr, "gompax: fetching daemon trace: %v (writing client-side spans only)\n", err)
+		}
+	}
+	spans := tr.Spans(root.TraceID())
+	f, err := os.Create(c.traceOut)
+	if err != nil {
+		fmt.Fprintln(stderr, "gompax:", err)
+		return
+	}
+	if err := tracing.WriteChrome(f, spans); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "gompax: writing %s: %v\n", c.traceOut, err)
+		return
+	}
+	fmt.Fprintf(stdout, "trace %s (%d spans) written to %s\n", root.TraceID(), len(spans), c.traceOut)
+}
+
+// mergeDaemonSpans fetches the daemon's span records for the session
+// from its HTTP API and ingests them into the client tracer, so the
+// exported file holds the whole cross-process tree under one trace id.
+func mergeDaemonSpans(tr *tracing.Tracer, addr, sessionID string) error {
+	url := fmt.Sprintf("http://%s/sessions/%s/trace?format=spans", addr, sessionID)
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var spans []tracing.SpanData
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return fmt.Errorf("decoding daemon spans: %w", err)
+	}
+	tr.Ingest(spans)
+	return nil
 }

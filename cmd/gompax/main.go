@@ -38,6 +38,15 @@
 //	               retry-after hint
 //	-session file  with -connect: send a session captured with -capture
 //	-capture file  write the session byte stream to a file and exit
+//	-trace-out f   with -connect: write the run's span tree as Chrome
+//	               trace-event JSON to f (open in Perfetto). The client
+//	               mints the trace id and hands it to the daemon in the
+//	               handshake, so both sides share one trace.
+//	-trace-http a  with -connect and -trace-out: fetch the daemon-side
+//	               spans from its HTTP API at a (host:port) after the
+//	               verdict and merge them into the trace file, linking
+//	               client send, queue wait, per-level analysis and the
+//	               verdict write under one trace id
 //	-telemetry-addr a  serve /metrics, /healthz, /statusz and
 //	               /debug/pprof on address a (e.g. :9090)
 //	-log-level l   structured log level: debug, info, warn, error
@@ -104,6 +113,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	retries := fs.Int("retry", 0, "with -connect: re-submissions after retryable rejects or dial failures, with jittered backoff honoring the daemon's retry-after hint")
 	sessionFile := fs.String("session", "", "with -connect: send a session file captured with -capture instead of executing a program")
 	capture := fs.String("capture", "", "write the instrumented session byte stream to this file instead of analyzing")
+	traceOut := fs.String("trace-out", "", "with -connect: write the run's span tree as Chrome trace-event JSON to this file")
+	traceHTTP := fs.String("trace-http", "", "with -connect and -trace-out: merge the daemon-side spans fetched from its HTTP API at this address")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address (e.g. :9090)")
 	logLevel := fs.String("log-level", "warn", "structured log level: debug, info, warn, error")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON")
@@ -127,6 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sessionFile: *sessionFile, captureFile: *capture,
 		seed: *seed, maxEvents: *maxEvents,
 		chaos: *chaos, chaosSeed: *chaosSeed,
+		traceOut: *traceOut, traceHTTP: *traceHTTP,
 	}
 	if *capture != "" {
 		if *progFile == "" || *prop == "" {

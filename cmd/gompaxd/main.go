@@ -41,6 +41,12 @@
 //	-grace d             drain grace period on SIGTERM/SIGINT (default 30s)
 //	-addr-file file      write the bound TCP address here (for scripts
 //	                     using -listen 127.0.0.1:0)
+//	-trace               keep a per-session span tree in an in-memory
+//	                     flight recorder, served at /sessions/{id}/trace
+//	                     (default true; sessions carry the client's
+//	                     trace id when the handshake provides one)
+//	-trace-buffer n      flight-recorder capacity in traces (default 64;
+//	                     oldest evicted first)
 //	-log-level l         structured log level: debug, info, warn, error
 //	-log-json            emit logs as JSON
 //
@@ -66,6 +72,7 @@ import (
 	"gompax/internal/httpx"
 	"gompax/internal/serve"
 	"gompax/internal/telemetry"
+	"gompax/internal/telemetry/tracing"
 )
 
 const (
@@ -180,6 +187,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	counterexamples := fs.Bool("counterexamples", true, "store a violating run per violation")
 	grace := fs.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
 	addrFile := fs.String("addr-file", "", "write the bound TCP address to this file")
+	trace := fs.Bool("trace", true, "record per-session span trees in the in-memory flight recorder")
+	traceBuffer := fs.Int("trace-buffer", 0, "flight-recorder capacity in traces (0 = default 64)")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, error")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON")
 	if err := fs.Parse(args); err != nil {
@@ -207,6 +216,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return exitError
 	}
 
+	var tracer *tracing.Tracer
+	if *trace {
+		tracer = tracing.New(tracing.Options{Process: "gompaxd", MaxTraces: *traceBuffer})
+	}
+
 	d, err := serve.New(serve.Config{
 		Specs:           specs,
 		DefaultSpec:     *defaultSpec,
@@ -223,6 +237,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Fsync:           *fsyncPolicy,
 		FsyncInterval:   *fsyncInterval,
 		Tenants:         tenants,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "gompaxd:", err)
@@ -261,7 +276,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if *httpAddr != "" {
 		mux := telemetry.Handler(telemetry.Default())
 		d.Mount(mux)
-		hsrv, err = httpx.Serve(*httpAddr, mux)
+		hsrv, err = httpx.Serve(*httpAddr, httpx.AccessLog(mux, telemetry.Logger("http")))
 		if err != nil {
 			fmt.Fprintln(stderr, "gompaxd:", err)
 			return exitError

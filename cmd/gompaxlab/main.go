@@ -14,12 +14,18 @@
 //
 //	gompaxlab [-grid default|short|golden] [-seed N] [-generated N]
 //	          [-workers N] [-out DIR] [-gate BENCH_lab.json] [-q]
+//	          [-traces]
+//
+// With -traces, each scenario additionally exports its analysis span
+// tree as Chrome trace-event JSON under -out/traces/, linked from the
+// report's scenario table.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"gompax/internal/lab"
 )
@@ -33,6 +39,7 @@ func main() {
 		out       = flag.String("out", "_lab", "artifact output directory")
 		gatePath  = flag.String("gate", "", "evaluate the floors in this BENCH_lab.json and fail on any miss")
 		quiet     = flag.Bool("q", false, "suppress per-scenario progress")
+		traces    = flag.Bool("traces", false, "export per-scenario Chrome trace-event JSON under <out>/traces/")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -57,6 +64,9 @@ func main() {
 	}
 
 	runner := &lab.Runner{Workers: *workers}
+	if *traces {
+		runner.TraceDir = filepath.Join(*out, "traces")
+	}
 	n := *generated
 	if n < 0 {
 		n = 0

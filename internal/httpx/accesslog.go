@@ -1,0 +1,73 @@
+package httpx
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status and size for the access
+// log. WriteHeader may never be called (implicit 200), so the zero
+// state reads as StatusOK.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it streams, so wrapping
+// does not break chunked responses (pprof profiles flush).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps h so every request emits one structured log line:
+// method, path, status, duration and remote address. Severity follows
+// the outcome — server errors log at Error, client errors at Warn,
+// everything else at Debug — so a daemon at the default info level
+// stays quiet under healthy scrape traffic but surfaces failures, and
+// -log-level debug turns on the full access log.
+func AccessLog(h http.Handler, log *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		lvl := slog.LevelDebug
+		switch {
+		case status >= 500:
+			lvl = slog.LevelError
+		case status >= 400:
+			lvl = slog.LevelWarn
+		}
+		log.Log(r.Context(), lvl, "http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"bytes", sw.bytes,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -121,9 +121,22 @@ func ReportMarkdown(g Grid, outcomes []Outcome, scores Scores, checks []Check) [
 		b.WriteString("\n")
 	}
 
+	// The trace column appears only when the run exported traces, so
+	// golden reports from untraced runs stay byte-identical.
+	withTraces := false
+	for _, o := range outcomes {
+		if o.TraceFile != "" {
+			withTraces = true
+			break
+		}
+	}
 	b.WriteString("## Scenarios\n\n")
-	b.WriteString("| scenario | behavior | truth | interleavings | violating runs | predicted | races truth/pred | degraded runs | wall ms | truth ms |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	traceHead, traceSep := "", ""
+	if withTraces {
+		traceHead, traceSep = " trace |", "---|"
+	}
+	fmt.Fprintf(&b, "| scenario | behavior | truth | interleavings | violating runs | predicted | races truth/pred | degraded runs | wall ms | truth ms |%s\n", traceHead)
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|%s\n", traceSep)
 	for _, o := range outcomes {
 		truthLabel := "clean"
 		if o.Truth.Violating {
@@ -138,13 +151,20 @@ func ReportMarkdown(g Grid, outcomes []Outcome, scores Scores, checks []Check) [
 				degraded++
 			}
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %s | %d/%d | %d/%d | %.1f | %.1f |\n",
+		traceCell := ""
+		if withTraces {
+			traceCell = " |"
+			if o.TraceFile != "" {
+				traceCell = fmt.Sprintf(" [trace](%s) |", o.TraceFile)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %s | %d/%d | %d/%d | %.1f | %.1f |%s\n",
 			o.Scenario.Name, o.Scenario.Behavior, truthLabel,
 			o.Truth.Interleavings, o.Truth.ViolatingRuns,
 			boolMark(o.PredictedViolation),
 			len(o.Truth.RaceKeys), len(o.PredictedRaceKeys),
 			degraded, len(o.Runs),
-			o.WallMS, o.TruthMS)
+			o.WallMS, o.TruthMS, traceCell)
 	}
 	b.WriteString("\n")
 	return b.Bytes()

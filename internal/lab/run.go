@@ -3,7 +3,10 @@ package lab
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"gompax/internal/driver"
@@ -17,6 +20,7 @@ import (
 	"gompax/internal/predict"
 	"gompax/internal/race"
 	"gompax/internal/sched"
+	"gompax/internal/telemetry/tracing"
 	"gompax/internal/wire"
 )
 
@@ -68,6 +72,10 @@ type Outcome struct {
 	WallMS  float64 `json:"wall_ms"`
 	TruthMS float64 `json:"truth_ms"`
 	Allocs  uint64  `json:"allocs"`
+	// TraceFile, set only when the runner exports traces, is the
+	// artifact-relative path of this scenario's Chrome trace-event file
+	// (omitted from JSON otherwise, keeping golden results stable).
+	TraceFile string `json:"trace_file,omitempty"`
 }
 
 // Runner executes scenarios. The zero value is ready to use.
@@ -76,6 +84,11 @@ type Runner struct {
 	Truth TruthOptions
 	// Workers is passed to the predictive analyzer (0 = sequential).
 	Workers int
+	// TraceDir, when set, exports one Chrome trace-event JSON file per
+	// scenario into that directory — the span tree of every observed
+	// run's online analysis, openable in Perfetto. Empty keeps tracing
+	// off (and Outcome.TraceFile unset).
+	TraceDir string
 	// truthCache shares ground truth between scenarios over the same
 	// program and property (chaos derivations of a base scenario).
 	truthCache map[string]Truth
@@ -175,7 +188,8 @@ func receiverFor(buf *bytes.Buffer, lossy bool) *wire.Receiver {
 }
 
 // runOnce performs one observed execution and its full analysis.
-func (r *Runner) runOnce(sc Scenario, c *compiled, seed int64) (RunOutcome, error) {
+// span, when non-nil, parents the run's analysis spans.
+func (r *Runner) runOnce(sc Scenario, c *compiled, seed int64, span *tracing.Span) (RunOutcome, error) {
 	out := RunOutcome{Seed: seed}
 	lossy := sc.Fault != nil
 
@@ -209,6 +223,7 @@ func (r *Runner) runOnce(sc Scenario, c *compiled, seed int64) (RunOutcome, erro
 	res, aerr := observer.Analyze(receiverFor(buf, lossy), c.mprog, predict.Options{
 		Lossy:   lossy,
 		Workers: r.Workers,
+		Span:    span,
 	})
 	if aerr != nil {
 		// Partial results are still scored; the error is recorded.
@@ -284,12 +299,25 @@ func (r *Runner) RunScenario(sc Scenario) (Outcome, error) {
 	if runs <= 0 {
 		runs = 1
 	}
+	// Per-scenario tracer: seeded by the scenario so the span ids are
+	// reproducible, one exported file per scenario.
+	var tr *tracing.Tracer
+	var root *tracing.Span
+	if r.TraceDir != "" {
+		tr = tracing.New(tracing.Options{Process: "gompaxlab", Seed: uint64(sc.Seed) + 1})
+		root = tr.StartTrace("lab.scenario")
+		root.SetAttr("scenario", sc.Name)
+		root.SetAttr("behavior", string(sc.Behavior))
+	}
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	keys := map[string]bool{}
 	for i := 0; i < runs; i++ {
-		ro, err := r.runOnce(sc, c, runSeed(sc, i))
+		rsp := root.Child("lab.run")
+		rsp.SetAttr("seed", fmt.Sprint(runSeed(sc, i)))
+		ro, err := r.runOnce(sc, c, runSeed(sc, i), rsp)
+		rsp.End()
 		if err != nil {
 			return out, err
 		}
@@ -304,7 +332,33 @@ func (r *Runner) RunScenario(sc Scenario) (Outcome, error) {
 	runtime.ReadMemStats(&ms1)
 	out.Allocs = ms1.Mallocs - ms0.Mallocs
 	out.PredictedRaceKeys = sortedKeys(keys)
+	if tr != nil {
+		root.End()
+		file, err := writeScenarioTrace(r.TraceDir, sc.Name, tr.Spans(root.TraceID()))
+		if err != nil {
+			return out, err
+		}
+		out.TraceFile = file
+	}
 	return out, nil
+}
+
+// writeScenarioTrace exports one scenario's spans as Chrome
+// trace-event JSON into dir and returns the artifact-relative path
+// (the report links it as <base(dir)>/<file>).
+func writeScenarioTrace(dir, scenario string, spans []tracing.SpanData) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := strings.NewReplacer("/", "-", " ", "_").Replace(scenario) + ".json"
+	buf, err := tracing.ChromeJSON(spans)
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+		return "", err
+	}
+	return filepath.Join(filepath.Base(dir), name), nil
 }
 
 // RunGrid runs every scenario of a grid. progress, when non-nil, is

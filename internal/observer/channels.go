@@ -11,6 +11,7 @@ import (
 	"gompax/internal/monitor"
 	"gompax/internal/predict"
 	"gompax/internal/telemetry"
+	"gompax/internal/telemetry/tracing"
 	"gompax/internal/wire"
 )
 
@@ -40,6 +41,10 @@ type SessionOptions struct {
 	// reclaimed promptly, which is what the daemon does and what the
 	// cancellation regression test asserts.
 	Ctx context.Context
+	// Span, when non-nil, nests the session's ingest and per-level
+	// analysis spans under the caller's trace (the daemon passes its
+	// serve.session root here). Nil keeps the old fire-and-forget span.
+	Span *tracing.Span
 }
 
 // AnalyzeChannels consumes a session that was split across several
@@ -76,8 +81,14 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 		return predict.Result{}, fmt.Errorf("observer: no channels")
 	}
 	mSessions.With("channels").Inc()
-	sp := telemetry.StartSpan("observer.session")
-	defer sp.End()
+	if opts.Span != nil {
+		tsp := opts.Span.Child("observer.session")
+		defer tsp.End()
+		opts.Predict.Span = tsp
+	} else {
+		sp := telemetry.StartSpan("observer.session")
+		defer sp.End()
+	}
 
 	var mu sync.Mutex
 	var online *predict.Online

@@ -104,8 +104,17 @@ func attachWireStats(res *predict.Result, rs ...*wire.Receiver) {
 // so far is returned alongside the error, never discarded.
 func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (predict.Result, error) {
 	mSessions.With("online").Inc()
-	sp := telemetry.StartSpan("observer.analyze")
-	defer sp.End()
+	if opts.Span != nil {
+		// Tree tracing: nest the whole ingest under the caller's span
+		// and parent the per-level analysis spans to it. The tracing
+		// span feeds the same span metrics the plain one would.
+		tsp := opts.Span.Child("observer.analyze")
+		defer tsp.End()
+		opts.Span = tsp
+	} else {
+		sp := telemetry.StartSpan("observer.analyze")
+		defer sp.End()
+	}
 	var online *predict.Online
 	// partial salvages the work done so far when the session dies.
 	partial := func(err error) (predict.Result, error) {

@@ -48,6 +48,8 @@ type Online struct {
 	lossy    bool
 	workers  int
 	closed   bool
+	progress *Progress
+	ls       levelSpans
 }
 
 // NewOnline starts an online analysis session. The root monitor is
@@ -72,6 +74,8 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 		paths:     opts.Counterexamples,
 		lossy:     opts.Lossy,
 		workers:   normalizeWorkers(opts.Workers),
+		progress:  opts.Progress,
+		ls:        newLevelSpans(opts.Span),
 	}
 	for i := range o.pending {
 		o.pending[i] = map[uint64]event.Message{}
@@ -94,8 +98,10 @@ func NewOnline(prog *monitor.Program, initial logic.State, threads int, opts Opt
 			viol.Run = &lattice.Run{States: []logic.State{initial}}
 		}
 		o.result.Violations = append(o.result.Violations, viol)
+		o.progress.record(&o.result.Stats, 1, 1)
 		return o, nil
 	}
+	o.progress.record(&o.result.Stats, 1, 0)
 	o.frontier[root.Clock()] = &pentry{counts: root.Clock(), state: initial, keys: map[uint64][]int{m.Key(): nil}}
 	return o, nil
 }
@@ -223,6 +229,8 @@ func (o *Online) Close() (Result, error) {
 		o.result.Degrade().Stalled = true
 	}
 	finishTelemetry(&o.result)
+	o.progress.record(&o.result.Stats, len(o.frontier), len(o.result.Violations))
+	o.progress.finish()
 	return o.result, nil
 }
 
@@ -324,6 +332,7 @@ func (o *Online) advance() error {
 		o.result.Stats.addLevel(len(out.next), out.pairWidth)
 		flushLevelTelemetry(len(out.next), out.pairWidth, out.newCuts, out.pairs, out.edges, out.violated)
 		publishStatus(&o.result, false)
+		o.ls.seal(o.result.Stats.Levels-1, len(out.next), out.newCuts)
 		if err := checkBudget(Options{MaxCuts: o.maxCuts, MaxWidth: o.maxWidth}, &o.result.Stats, len(out.next)); err != nil {
 			return err
 		}
@@ -344,6 +353,7 @@ func (o *Online) advance() error {
 		// per (cut, monitor state); across parents and levels the same
 		// cut can still recur, so keep reports unique.
 		o.dedupViolations()
+		o.progress.record(&o.result.Stats, len(o.frontier), len(o.result.Violations))
 	}
 	return nil
 }

@@ -246,7 +246,7 @@ func dedupLevelViolations(vs []levelViolation) []levelViolation {
 func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Options, workers int) (Result, error) {
 	mAnalyses.With("offline", "parallel").Inc()
 	res, root, rootKeys, done, err := analyzeRoot(prog, comp, opts)
-	defer func() { finishTelemetry(&res) }()
+	defer func() { finishTelemetry(&res); opts.Progress.finish() }()
 	if done || err != nil {
 		return res, err
 	}
@@ -270,6 +270,7 @@ func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Opti
 	}
 
 	reported := map[violKey]bool{}
+	ls := newLevelSpans(opts.Span)
 	for len(frontier) > 0 {
 		out, err := expandLevelParallel(prog, frontier, succs, workers, opts.Counterexamples)
 		if err != nil {
@@ -281,12 +282,15 @@ func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Opti
 			res.Stats.addLevel(len(out.next), out.pairWidth)
 			flushLevelTelemetry(len(out.next), out.pairWidth, out.newCuts, out.pairs, out.edges, out.violated)
 			publishStatus(&res, false)
+			ls.seal(res.Stats.Levels-1, len(out.next), out.newCuts)
 		}
 		if err := checkBudget(opts, &res.Stats, len(out.next)); err != nil {
 			return res, err
 		}
-		if reportViolations(&res, out.viols, reported, opts,
-			func(ids []int) lattice.Run { return buildRun(comp, ids) }) {
+		stop := reportViolations(&res, out.viols, reported, opts,
+			func(ids []int) lattice.Run { return buildRun(comp, ids) })
+		opts.Progress.record(&res.Stats, len(out.next), len(res.Violations))
+		if stop {
 			return res, nil
 		}
 		frontier = out.next
@@ -351,9 +355,11 @@ func analyzeRoot(prog *monitor.Program, comp *lattice.Computation, opts Options)
 			viol.Run = &lattice.Run{States: []logic.State{root.State()}}
 		}
 		res.Violations = append(res.Violations, viol)
+		opts.Progress.record(&res.Stats, 1, 1)
 		// A violated monitor state is not propagated: every extension is
 		// already reported at its shortest witness.
 		return res, root, nil, true, nil
 	}
+	opts.Progress.record(&res.Stats, 1, 0)
 	return res, root, map[uint64][]int{m0.Key(): pathIfTracking(opts, nil)}, false, nil
 }

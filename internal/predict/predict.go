@@ -30,6 +30,7 @@ import (
 	"gompax/internal/lattice"
 	"gompax/internal/logic"
 	"gompax/internal/monitor"
+	"gompax/internal/telemetry/tracing"
 	"gompax/internal/wire"
 )
 
@@ -75,6 +76,15 @@ type Options struct {
 	// the sequential explorer's (violations are reported in canonical
 	// per-level order: cut key, then monitor key).
 	Workers int
+	// Progress, when non-nil, receives an atomic per-level snapshot of
+	// the running analysis (level, frontier width, totals, last-advance
+	// time; see Progress). A serving layer polls it for live session
+	// introspection. Updated only at level seals; nil costs nothing.
+	Progress *Progress
+	// Span, when non-nil, parents one tracing child span per sealed
+	// lattice level, linking the exploration into an end-to-end trace.
+	// All three explorers honor it at their shared level barrier.
+	Span *tracing.Span
 }
 
 // Violation is a predicted safety violation: a reachable global state
@@ -301,7 +311,7 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 	}
 	mAnalyses.With("offline", "sequential").Inc()
 	res, root, rootKeys, done, err := analyzeRoot(prog, comp, opts)
-	defer func() { finishTelemetry(&res) }()
+	defer func() { finishTelemetry(&res); opts.Progress.finish() }()
 	if done || err != nil {
 		// A violated monitor state is not propagated: the property is a
 		// safety property, every extension of a violating run prefix is
@@ -314,6 +324,7 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 		root.Clock(): {cut: root, keys: rootKeys},
 	}
 	scratch := prog.NewMonitor()
+	ls := newLevelSpans(opts.Span)
 	// The same violating (cut, monitor state) pair is typically reachable
 	// from several parents; report it once.
 	reported := map[violKey]bool{}
@@ -383,13 +394,16 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 			flushLevelTelemetry(len(next), pairs,
 				res.Stats.Cuts-cutsBefore, res.Stats.Pairs-pairsBefore, levelEdges, len(levelViols))
 			publishStatus(&res, false)
+			ls.seal(res.Stats.Levels-1, len(next), res.Stats.Cuts-cutsBefore)
 		}
 		if err := checkBudget(opts, &res.Stats, len(next)); err != nil {
 			return res, err
 		}
 		sortLevelViolations(levelViols)
-		if reportViolations(&res, dedupLevelViolations(levelViols), reported, opts,
-			func(ids []int) lattice.Run { return buildRun(comp, ids) }) {
+		stop := reportViolations(&res, dedupLevelViolations(levelViols), reported, opts,
+			func(ids []int) lattice.Run { return buildRun(comp, ids) })
+		opts.Progress.record(&res.Stats, len(next), len(res.Violations))
+		if stop {
 			return res, nil
 		}
 		frontier = next

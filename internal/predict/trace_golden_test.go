@@ -1,0 +1,78 @@
+package predict
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"gompax/internal/lattice"
+	"gompax/internal/logic"
+	"gompax/internal/monitor"
+	"gompax/internal/progs"
+	"gompax/internal/telemetry/tracing"
+	"gompax/internal/trace"
+)
+
+// TestChromeTraceGoldenFig6 pins the Chrome trace-event export of the
+// span tree produced by analyzing the paper's Fig. 6 trace: one
+// analysis root with one predict.level child per sealed lattice level
+// (5 levels, widths 1-1-2-2-1), each carrying its level geometry as
+// args. The tracer is seeded and the spans normalized onto a virtual
+// clock, so the file is byte-stable. Regenerate with
+// GOMPAX_UPDATE_GOLDEN=1.
+func TestChromeTraceGoldenFig6(t *testing.T) {
+	f, err := os.Open("../../testdata/crossing_fig6.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	msgs, err := trace.ReadMessages(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := logic.StateFromMap(map[string]int64{"x": -1, "y": 0, "z": 0})
+	comp, err := lattice.NewComputation(initial, 2, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := monitor.MustCompile(logic.MustParseFormula(progs.CrossingProperty))
+
+	tr := tracing.New(tracing.Options{Process: "gompax", Seed: 1})
+	root := tr.StartTrace("predict.analyze")
+	res, err := Analyze(prog, comp, Options{Span: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if res.Stats.Levels != 5 || res.Stats.Cuts != 7 {
+		t.Fatalf("fig6 geometry drifted: %+v", res.Stats)
+	}
+
+	spans := tr.Spans(root.TraceID())
+	// One root + one span per sealed level. Level 0 (the initial cut)
+	// is seeded before the loop, so 4 explored levels are sealed.
+	if len(spans) < 2 {
+		t.Fatalf("got %d spans, want the analysis root plus per-level children", len(spans))
+	}
+	got, err := tracing.ChromeJSON(tracing.Normalize(spans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(bytes.TrimRight(got, "\n"), '\n')
+
+	const golden = "../../testdata/fig6_trace_chrome.json"
+	if os.Getenv("GOMPAX_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("chrome trace drifted from %s:\n got: %s\nwant: %s", golden, got, want)
+	}
+}

@@ -6,20 +6,31 @@ import (
 	"strings"
 	"time"
 
+	"gompax/internal/predict"
+	"gompax/internal/telemetry/tracing"
 	"gompax/internal/wire"
 )
 
 // The daemon's HTTP JSON API, mounted next to the telemetry
 // introspection endpoints (/metrics, /healthz, /statusz):
 //
-//	GET /sessions             all stored session summaries
-//	                          (?spec=, ?verdict= filter)
-//	GET /sessions/{id}        one full session record
-//	GET /summary              daemon + store aggregates
+//	GET /sessions                all stored session summaries
+//	                             (?spec=, ?verdict= filter)
+//	GET /sessions/{id}           one full session record
+//	GET /sessions/{id}/progress  live exploration progress (level,
+//	                             frontier width, cuts, last-advance
+//	                             age); synthesized from the record for
+//	                             finished sessions
+//	GET /sessions/{id}/trace     the session's span tree from the
+//	                             flight recorder — Chrome trace-event
+//	                             JSON by default, raw span records
+//	                             with ?format=spans
+//	GET /summary                 daemon + store aggregates
 //
 // The API serves from the store's in-memory index; every record it
 // can return is already durable on disk (Append writes before it
-// indexes).
+// indexes). Progress for in-flight sessions reads the analyzer's
+// atomic Progress snapshot through the live registry (live.go).
 
 // SessionSummary is the /sessions list entry: the record without its
 // bulky fields, plus the per-session wire health (satellite: degraded
@@ -112,9 +123,57 @@ func (d *Daemon) handleSessions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleSession(w http.ResponseWriter, r *http.Request) {
-	id := strings.TrimPrefix(r.URL.Path, "/sessions/")
-	if id == "" || strings.Contains(id, "/") {
+	path := strings.TrimPrefix(r.URL.Path, "/sessions/")
+	id, sub, _ := strings.Cut(path, "/")
+	if id == "" || strings.Contains(sub, "/") {
 		http.NotFound(w, r)
+		return
+	}
+	switch sub {
+	case "":
+		rec, ok := d.store.Get(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, rec)
+	case "progress":
+		d.handleProgress(w, r, id)
+	case "trace":
+		d.handleTrace(w, r, id)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// ProgressResponse is the /sessions/{id}/progress document: the
+// analyzer's live snapshot for in-flight sessions, synthesized from
+// the stored record for finished ones. LastAdvanceAgeMS is computed
+// server-side so "is it stalled?" needs no clock agreement: a live
+// session whose age keeps growing while its level stands still is
+// stuck; a healthy one advances between polls.
+type ProgressResponse struct {
+	ID    string `json:"id"`
+	Spec  string `json:"spec,omitempty"`
+	State string `json:"state"` // "running" or "finished"
+	// Verdict is set for finished sessions.
+	Verdict          string                   `json:"verdict,omitempty"`
+	Trace            string                   `json:"trace,omitempty"`
+	Progress         predict.ProgressSnapshot `json:"progress"`
+	LastAdvanceAgeMS float64                  `json:"last_advance_age_ms"`
+}
+
+func (d *Daemon) handleProgress(w http.ResponseWriter, r *http.Request, id string) {
+	if ls := d.liveSessionByID(id); ls != nil {
+		snap := ls.Progress.Snapshot()
+		resp := ProgressResponse{ID: id, Spec: ls.Spec, State: "running", Progress: snap}
+		if ls.Trace != 0 {
+			resp.Trace = ls.Trace.String()
+		}
+		if !snap.LastAdvance.IsZero() {
+			resp.LastAdvanceAgeMS = float64(time.Since(snap.LastAdvance).Microseconds()) / 1000
+		}
+		writeJSON(w, resp)
 		return
 	}
 	rec, ok := d.store.Get(id)
@@ -122,7 +181,54 @@ func (d *Daemon) handleSession(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	writeJSON(w, rec)
+	// Finished: rebuild the terminal snapshot from the record.
+	snap := predict.ProgressSnapshot{
+		Level:       rec.Stats.Levels - 1,
+		Cuts:        rec.Stats.Cuts,
+		Pairs:       rec.Stats.Pairs,
+		Violations:  rec.Violations,
+		LastAdvance: rec.End,
+		Done:        true,
+	}
+	if n := len(rec.Stats.LevelWidths); n > 0 {
+		snap.FrontierWidth = rec.Stats.LevelWidths[n-1]
+	}
+	writeJSON(w, ProgressResponse{
+		ID: id, Spec: rec.Spec, State: "finished", Verdict: rec.Verdict,
+		Trace: rec.TraceID, Progress: snap,
+		LastAdvanceAgeMS: float64(time.Since(rec.End).Microseconds()) / 1000,
+	})
+}
+
+func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request, id string) {
+	tr := d.cfg.Tracer
+	if tr == nil {
+		http.Error(w, "tracing is not enabled on this daemon", http.StatusNotFound)
+		return
+	}
+	var traceID tracing.TraceID
+	if ls := d.liveSessionByID(id); ls != nil {
+		traceID = ls.Trace
+	} else if rec, ok := d.store.Get(id); ok && rec.TraceID != "" {
+		traceID, _ = tracing.ParseTraceID(rec.TraceID)
+	}
+	if traceID == 0 {
+		http.NotFound(w, r)
+		return
+	}
+	spans := tr.Spans(traceID)
+	if len(spans) == 0 {
+		http.Error(w, "trace evicted from the flight recorder", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "spans" {
+		writeJSON(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tracing.WriteChrome(w, spans); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (d *Daemon) handleSummary(w http.ResponseWriter, r *http.Request) {

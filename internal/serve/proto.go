@@ -14,7 +14,7 @@ import (
 // final verdict travel on the same connection as the frame stream
 // without touching the wire frame format.
 //
-//	client → GOMPAXD/1 spec=<name> tenant=<tenant>\n
+//	client → GOMPAXD/1 spec=<name> tenant=<tenant> trace=<16-hex>\n
 //	daemon → OK id=<session-id>\n                           (admitted)
 //	daemon → REJECT reason=<reason> retry-after=<dur>\n     (refused)
 //	client → <wire frames: Hello, Messages, ThreadDone, Bye>
@@ -25,8 +25,12 @@ import (
 // admission queue. The REJECT line is the explicit reject frame the
 // overloaded daemon sends instead of silently dropping the connection.
 //
-// Both handshake keys are optional: spec defaults to the daemon's
-// default spec, tenant to the "default" admission tenant. A REJECT may
+// All handshake keys are optional: spec defaults to the daemon's
+// default spec, tenant to the "default" admission tenant, and trace —
+// the client-minted end-to-end trace id the daemon continues through
+// its own pipeline spans — defaults to absent (the pre-tracing
+// behavior, so old clients and old daemons interoperate unchanged; an
+// unparsable trace value is ignored, never rejected). A REJECT may
 // carry a retry-after hint (a Go duration) telling the client when a
 // retry could succeed; rejects without the hint (draining,
 // bad-handshake, unknown-spec) are not worth retrying.
@@ -121,6 +125,12 @@ type SessionRequest struct {
 	// Tenant is the admission tenant to account the session to
 	// ("" = the "default" tenant).
 	Tenant string
+	// Trace is a client-minted end-to-end trace id (16 hex digits; see
+	// internal/telemetry/tracing). When set it rides the handshake's
+	// trace= key and the daemon continues the same trace through
+	// admission, analysis and the verdict journal. "" omits the key —
+	// the pre-tracing handshake.
+	Trace string
 }
 
 // DialSession connects to a daemon, requests a session against the
@@ -143,6 +153,9 @@ func Dial(network, addr string, req SessionRequest) (*Client, error) {
 	}
 	if req.Tenant != "" {
 		line += " tenant=" + req.Tenant
+	}
+	if req.Trace != "" {
+		line += " trace=" + req.Trace
 	}
 	if _, err := io.WriteString(conn, line+"\n"); err != nil {
 		conn.Close()

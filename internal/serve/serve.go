@@ -61,6 +61,7 @@ import (
 	"gompax/internal/observer"
 	"gompax/internal/predict"
 	"gompax/internal/serve/crashpoints"
+	"gompax/internal/telemetry/tracing"
 	"gompax/internal/wire"
 )
 
@@ -111,6 +112,12 @@ type Config struct {
 	SegmentBytes  int64
 	Fsync         string
 	FsyncInterval time.Duration
+	// Tracer, when non-nil, records an end-to-end span tree per session
+	// in its flight recorder, served at /sessions/{id}/trace. Sessions
+	// whose handshake carried a trace= id continue the client's trace;
+	// legacy sessions get a daemon-minted id. Nil disables tracing at
+	// zero cost (every span call is a nil no-op).
+	Tracer *tracing.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -145,6 +152,7 @@ type pending struct {
 	conn    net.Conn
 	sp      *spec
 	tenant  string
+	trace   tracing.TraceID // client-minted trace id (0 = none sent)
 	enq     time.Time
 	timer   *time.Timer
 	claimed atomic.Bool
@@ -179,6 +187,10 @@ type Daemon struct {
 	active    atomic.Int64
 	rejMu     sync.Mutex
 	rejects   map[string]uint64
+
+	// live indexes the sessions currently being analyzed (see live.go).
+	liveMu sync.Mutex
+	live   map[string]*liveSession
 }
 
 // New compiles the spec registry, opens the results store (running
@@ -231,12 +243,17 @@ func New(cfg Config) (*Daemon, error) {
 		cancel:  cancel,
 		rejects: map[string]uint64{},
 	}
+	d.publishLiveStatus()
 	for i := 0; i < cfg.MaxSessions; i++ {
 		d.workWG.Add(1)
 		go d.worker()
 	}
 	return d, nil
 }
+
+// Tracer exposes the daemon's flight recorder (nil when tracing is
+// off) for the HTTP trace endpoint and tests.
+func (d *Daemon) Tracer() *tracing.Tracer { return d.cfg.Tracer }
 
 // Store exposes the results store (read-only use expected).
 func (d *Daemon) Store() *Store { return d.store }
@@ -336,6 +353,15 @@ func (d *Daemon) handshake(conn net.Conn) {
 		tenant = "default"
 	}
 	p := &pending{conn: conn, sp: sp, tenant: tenant, enq: time.Now()}
+	// The trace key is advisory: a missing or unparsable id falls back
+	// to the pre-tracing behavior, it never rejects the session.
+	if tr := kv["trace"]; tr != "" {
+		if id, err := tracing.ParseTraceID(tr); err == nil {
+			p.trace = id
+		} else {
+			dlog.Debug("ignoring malformed handshake trace id", "trace", tr, "err", err)
+		}
+	}
 	p.timer = time.AfterFunc(d.cfg.QueueTimeout, func() {
 		if p.claim() {
 			d.reject(conn, ReasonQueueTimeout, p.tenant, 2*time.Second)
@@ -396,12 +422,40 @@ func (d *Daemon) handle(p *pending) {
 
 	id := d.store.NextID()
 	start := time.Now()
+
+	// Trace continuation: the root span starts at enqueue time so the
+	// queue wait is inside the same trace the client minted. Legacy
+	// clients (no trace= key) get a daemon-minted id while a tracer is
+	// configured, so the flight recorder covers them too. With no
+	// tracer every span below is nil and free.
+	traceID := p.trace
+	if traceID == 0 && d.cfg.Tracer != nil {
+		traceID = d.cfg.Tracer.NewTraceID()
+	}
+	var traceHex string
+	if traceID != 0 {
+		traceHex = traceID.String()
+	}
+	root := d.cfg.Tracer.ContinueTraceAt(traceID, "serve.session", p.enq)
+	root.SetAttr("id", id)
+	root.SetAttr("spec", p.sp.name)
+	root.SetAttr("tenant", p.tenant)
+	root.SetAttr("remote", remoteOf(conn))
+	defer root.End()
+	// The admission span covers enqueue → worker claim (this moment).
+	adm := root.ChildAt("serve.admission", p.enq)
+	adm.EndAt(start)
+
 	// Journal the admission intent BEFORE acking: every session whose
 	// client saw OK is recoverable as interrupted after a crash.
-	if err := d.store.Accepted(AcceptedInfo{
+	jsp := root.Child("serve.accept-journal")
+	err := d.store.Accepted(AcceptedInfo{
 		ID: id, Spec: p.sp.name, Formula: p.sp.formula,
 		Tenant: p.tenant, Remote: remoteOf(conn), Start: start.UTC(),
-	}); err != nil {
+		Trace: traceHex,
+	})
+	jsp.End()
+	if err != nil {
 		dlog.Error("accepted-intent journal failed; refusing session", "id", id, "err", err)
 		d.reject(conn, ReasonOverloaded, p.tenant, time.Second)
 		return
@@ -421,6 +475,15 @@ func (d *Daemon) handle(p *pending) {
 		mActive.Add(-1)
 	}()
 
+	// Register the session in the live index so /sessions/{id}/progress
+	// and the /statusz "sessions" section can watch the exploration.
+	progress := &predict.Progress{}
+	untrack := d.trackLive(&liveSession{
+		ID: id, Spec: p.sp.name, Tenant: p.tenant,
+		Start: start, Trace: traceID, Progress: progress,
+	})
+	defer untrack()
+
 	// The session context aborts the analysis (drain deadline, daemon
 	// stop); closing the connection when it fires unblocks the pump
 	// goroutine's read so nothing leaks — the contract documented on
@@ -438,17 +501,23 @@ func (d *Daemon) handle(p *pending) {
 			MaxWidth:        d.cfg.MaxWidth,
 			Workers:         d.cfg.Workers,
 			Counterexamples: d.cfg.Counterexamples,
+			Progress:        progress,
 		},
 		IdleTimeout: d.cfg.IdleTimeout,
 		Ctx:         sctx,
+		Span:        root,
 	})
 
 	rec := buildRecord(id, p.sp, remoteOf(conn), start, res, aerr, r.Stats())
 	rec.Tenant = p.tenant
+	rec.TraceID = traceHex
 	crashpoints.Hit(crashpoints.ServeVerdictPreJournal)
+	vsp := root.Child("serve.verdict-journal")
 	if err := d.store.Append(rec); err != nil {
 		dlog.Error("results store append failed", "id", id, "err", err)
 	}
+	vsp.End()
+	root.SetAttr("verdict", rec.Verdict)
 	crashpoints.Hit(crashpoints.ServeVerdictPostJournal)
 	d.completed.Add(1)
 	mCompleted.With(rec.Verdict).Inc()
@@ -457,7 +526,10 @@ func (d *Daemon) handle(p *pending) {
 
 	// Detach the context watcher before the trailer write so a drain
 	// cancellation between the two cannot race the final line; the
-	// record is already durable either way.
+	// record is already durable either way. The root span ends here,
+	// not at the deferred End, so a client that fetches the trace the
+	// moment it sees VERDICT finds the full session tree recorded.
+	root.End()
 	unwatch()
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	fmt.Fprintf(conn, "VERDICT id=%s verdict=%s violations=%d cuts=%d degraded=%t\n",

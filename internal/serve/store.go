@@ -55,6 +55,12 @@ type Record struct {
 	// Counterexample is the state sequence of the first predicted
 	// violation's run, when the analysis tracked one.
 	Counterexample []string `json:"counterexample,omitempty"`
+	// TraceID is the session's end-to-end trace id (hex), when the
+	// session carried one — either minted by the client and propagated
+	// through the handshake trace= key, or minted by the daemon for
+	// legacy clients while a tracer is configured. It keys the flight
+	// recorder at /sessions/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Session verdict classes.
@@ -82,6 +88,9 @@ type AcceptedInfo struct {
 	Tenant  string    `json:"tenant,omitempty"`
 	Remote  string    `json:"remote,omitempty"`
 	Start   time.Time `json:"start"`
+	// Trace is the session's trace id (hex), preserved so an
+	// interrupted session's record still links to its trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // StoreOptions configures the segmented results store under a Store.
@@ -173,6 +182,7 @@ func OpenStoreOptions(o StoreOptions) (*Store, error) {
 			End:     time.Now().UTC(),
 			Verdict: VerdictInterrupted,
 			Error:   "session was in flight when the daemon stopped uncleanly",
+			TraceID: info.Trace,
 		}
 		if err := s.append(rec); err != nil {
 			log.Close()

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gompax/internal/telemetry/tracing"
+)
+
+// traceTestDaemon is newTestDaemon with a seeded flight recorder.
+func traceTestDaemon(t testing.TB, cfg Config) (*Daemon, string, *tracing.Tracer) {
+	t.Helper()
+	tr := tracing.New(tracing.Options{Process: "gompaxd", Seed: 1})
+	cfg.Tracer = tr
+	d, addr := newTestDaemon(t, cfg)
+	return d, addr, tr
+}
+
+// spanNames collects the distinct span names in a trace.
+func spanNames(spans []tracing.SpanData) map[string]int {
+	names := map[string]int{}
+	for _, s := range spans {
+		names[s.Name]++
+	}
+	return names
+}
+
+// TestTraceHandshakeRoundTrip: a client-minted trace id rides the
+// handshake, the daemon continues it, and the flight recorder ends up
+// holding the whole session tree — admission, accept journal, observer
+// ingest, per-level analysis, verdict journal — under that one id.
+func TestTraceHandshakeRoundTrip(t *testing.T) {
+	d, addr, tr := traceTestDaemon(t, Config{})
+
+	clientTrace := tr.NewTraceID()
+	c, err := Dial("tcp", addr, SessionRequest{Spec: "clean", Trace: clientTrace.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Conn().Write(crossingBlob(t, cleanProp, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if cw, ok := c.Conn().(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+	v, err := c.Finish(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, ok := d.Store().Get(v.ID)
+	if !ok {
+		t.Fatalf("session %s not stored", v.ID)
+	}
+	if rec.TraceID != clientTrace.String() {
+		t.Fatalf("stored trace id %q, want the client's %q", rec.TraceID, clientTrace)
+	}
+
+	spans := tr.Spans(clientTrace)
+	if len(spans) == 0 {
+		t.Fatal("flight recorder holds no spans for the client trace")
+	}
+	for _, s := range spans {
+		if s.Trace != clientTrace {
+			t.Fatalf("span %s carries trace %v, want %v", s.Name, s.Trace, clientTrace)
+		}
+	}
+	names := spanNames(spans)
+	for _, want := range []string{
+		"serve.session", "serve.admission", "serve.accept-journal",
+		"observer.session", "predict.level", "serve.verdict-journal",
+	} {
+		if names[want] == 0 {
+			t.Errorf("trace misses span %q (have %v)", want, names)
+		}
+	}
+	// The root must be closed by the time the client has its verdict,
+	// so an immediate trace fetch sees the full tree.
+	for _, s := range spans {
+		if s.Name == "serve.session" {
+			if s.End.Before(s.Start) || s.End.IsZero() {
+				t.Fatalf("serve.session not ended: %+v", s)
+			}
+			if s.Attrs["verdict"] != VerdictOK {
+				t.Fatalf("serve.session verdict attr = %q", s.Attrs["verdict"])
+			}
+		}
+	}
+}
+
+// TestTraceLegacyClientMinted: a client that doesn't speak the trace=
+// key (the old handshake) still gets a daemon-minted trace, so the
+// flight recorder covers every session.
+func TestTraceLegacyClientMinted(t *testing.T) {
+	d, addr, tr := traceTestDaemon(t, Config{})
+	v, id, err := runSession(addr, "clean", crossingBlob(t, cleanProp, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != VerdictOK {
+		t.Fatalf("verdict %+v", v)
+	}
+	rec, ok := d.Store().Get(id)
+	if !ok || rec.TraceID == "" {
+		t.Fatalf("legacy session has no daemon-minted trace id: %+v", rec)
+	}
+	traceID, err := tracing.ParseTraceID(rec.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans(traceID)) == 0 {
+		t.Fatal("no spans recorded for the daemon-minted trace")
+	}
+}
+
+// TestTraceMalformedKeyIgnored: an unparsable trace= value must not
+// reject the session — the key is advisory.
+func TestTraceMalformedKeyIgnored(t *testing.T) {
+	d, addr, _ := traceTestDaemon(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GOMPAXD/1 spec=clean trace=not-a-trace-id\n")
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "OK ") {
+		t.Fatalf("handshake reply %q, want OK", line)
+	}
+	id := strings.TrimSpace(strings.TrimPrefix(line, "OK id="))
+	if _, err := conn.Write(crossingBlob(t, cleanProp, 3)); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	verdict, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(verdict, "VERDICT ") || !strings.Contains(verdict, "verdict=ok") {
+		t.Fatalf("verdict line %q", verdict)
+	}
+	// The daemon minted its own id instead of failing the session.
+	rec, ok := d.Store().Get(id)
+	if !ok || rec.TraceID == "" || rec.TraceID == "not-a-trace-id" {
+		t.Fatalf("record after malformed trace key: %+v", rec)
+	}
+}
+
+// TestTraceEndpoint: /sessions/{id}/trace serves the span tree —
+// Chrome trace-event JSON by default, raw spans with ?format=spans —
+// and 404s when tracing is off or the trace was evicted.
+func TestTraceEndpoint(t *testing.T) {
+	d, addr, _ := traceTestDaemon(t, Config{})
+	v, id, err := runSession(addr, "clean", crossingBlob(t, cleanProp, 4), nil)
+	if err != nil || v.Verdict != VerdictOK {
+		t.Fatalf("session: %+v, %v", v, err)
+	}
+
+	mux := http.NewServeMux()
+	d.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var spans []tracing.SpanData
+	getJSON(t, srv.URL+"/sessions/"+id+"/trace?format=spans", &spans)
+	if len(spans) == 0 {
+		t.Fatal("?format=spans returned no spans")
+	}
+	names := spanNames(spans)
+	if names["serve.session"] == 0 || names["predict.level"] == 0 {
+		t.Fatalf("span names %v", names)
+	}
+
+	resp, err := http.Get(srv.URL + "/sessions/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"traceEvents"`)) {
+		t.Fatalf("chrome export: status %d body %.120s", resp.StatusCode, body)
+	}
+
+	if resp, _ := http.Get(srv.URL + "/sessions/nope/trace"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session trace status %d", resp.StatusCode)
+	}
+}
+
+// TestTraceEndpointDisabled: without a tracer the endpoint says so.
+func TestTraceEndpointDisabled(t *testing.T) {
+	d, addr := newTestDaemon(t, Config{})
+	v, id, err := runSession(addr, "clean", crossingBlob(t, cleanProp, 5), nil)
+	if err != nil || v.Verdict != VerdictOK {
+		t.Fatalf("session: %+v, %v", v, err)
+	}
+	mux := http.NewServeMux()
+	d.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/sessions/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace endpoint with tracing off: status %d", resp.StatusCode)
+	}
+}
+
+// TestProgressEndpoint covers both states: a live session mid-stream
+// reports "running" with a growing last-advance age (how an operator
+// spots a stall), and a finished one reports "finished" with the
+// terminal lattice geometry.
+func TestProgressEndpoint(t *testing.T) {
+	d, addr, _ := traceTestDaemon(t, Config{})
+	mux := http.NewServeMux()
+	d.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Hold a session open: handshake + the session bytes minus the
+	// final Bye, keeping the connection up so the analysis waits.
+	blob := crossingBlob(t, cleanProp, 6)
+	c, err := Dial("tcp", addr, SessionRequest{Spec: "clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := c.ID()
+	if _, err := c.Conn().Write(blob[:len(blob)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	var live ProgressResponse
+	// The worker claims the session asynchronously; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/sessions/" + id + "/progress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			getBody(t, resp, &live)
+			if live.State == "running" {
+				break
+			}
+		} else {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never showed up as running (last %+v)", id, live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if live.Progress.Done {
+		t.Fatalf("live session reports done: %+v", live)
+	}
+	if live.Trace == "" {
+		t.Fatalf("live progress carries no trace id: %+v", live)
+	}
+
+	// A stalled session is distinguishable purely by its growing age.
+	time.Sleep(30 * time.Millisecond)
+	var later ProgressResponse
+	getJSON(t, srv.URL+"/sessions/"+id+"/progress", &later)
+	if later.State == "running" && later.LastAdvanceAgeMS <= live.LastAdvanceAgeMS {
+		t.Fatalf("last-advance age did not grow while stalled: %v -> %v",
+			live.LastAdvanceAgeMS, later.LastAdvanceAgeMS)
+	}
+
+	// Finish the session; progress flips to finished and matches the
+	// stored record.
+	if _, err := c.Conn().Write(blob[len(blob)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	if cw, ok := c.Conn().(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+	if _, err := c.Finish(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var done ProgressResponse
+	getJSON(t, srv.URL+"/sessions/"+id+"/progress", &done)
+	if done.State != "finished" || !done.Progress.Done || done.Verdict != VerdictOK {
+		t.Fatalf("finished progress: %+v", done)
+	}
+	rec, _ := d.Store().Get(id)
+	if done.Progress.Cuts != rec.Stats.Cuts || done.Progress.Level != rec.Stats.Levels-1 {
+		t.Fatalf("finished progress %+v disagrees with record stats %+v", done.Progress, rec.Stats)
+	}
+}
+
+// getBody decodes an already-issued response.
+func getBody(t testing.TB, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding progress response: %v", err)
+	}
+}

@@ -58,6 +58,7 @@ func formatBound(v float64) string {
 // Families are ordered by name and series by label values, so the
 // output is deterministic for a fixed metric state.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.runScrapeHooks()
 	var b strings.Builder
 	for _, f := range r.sortedFamilies() {
 		children := f.sortedChildren()

@@ -195,6 +195,14 @@ type child struct {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+
+	// scrapeHooks run at the start of every WriteTo, so gauges that
+	// mirror external state (runtime memory stats, queue depths) are
+	// sampled exactly when a collector looks — pull-based, with no
+	// background sampling goroutine. Keyed by name so re-registration
+	// replaces rather than stacks.
+	scrapeMu    sync.Mutex
+	scrapeHooks map[string]func()
 }
 
 // NewRegistry returns an empty registry.
@@ -314,6 +322,41 @@ func (r *Registry) NewHistogramVec(name, help string, labels ...string) *Histogr
 
 // With returns the histogram for the given label values.
 func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).histogram }
+
+// OnScrape registers a named hook that runs at the start of every
+// WriteTo (i.e. on each /metrics scrape), before the families are
+// rendered. Hooks refresh gauges whose truth lives outside the
+// registry — Go runtime stats, admission queue depth — so scrapes see
+// current values without any background sampling. Registering the same
+// name again replaces the hook (a daemon restart in tests re-registers
+// cleanly instead of stacking stale closures).
+func (r *Registry) OnScrape(name string, f func()) {
+	r.scrapeMu.Lock()
+	if r.scrapeHooks == nil {
+		r.scrapeHooks = map[string]func(){}
+	}
+	r.scrapeHooks[name] = f
+	r.scrapeMu.Unlock()
+}
+
+// runScrapeHooks runs the registered hooks in name order (determinism
+// for tests; the hooks themselves must be independent).
+func (r *Registry) runScrapeHooks() {
+	r.scrapeMu.Lock()
+	names := make([]string, 0, len(r.scrapeHooks))
+	for name := range r.scrapeHooks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hooks := make([]func(), len(names))
+	for i, name := range names {
+		hooks[i] = r.scrapeHooks[name]
+	}
+	r.scrapeMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+}
 
 // sortedFamilies returns the registry's families ordered by name.
 func (r *Registry) sortedFamilies() []*family {

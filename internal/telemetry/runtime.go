@@ -1,0 +1,31 @@
+package telemetry
+
+import "runtime"
+
+// Go runtime health gauges, sampled on scrape via the registry's
+// OnScrape hook — a /metrics pull pays one ReadMemStats, an idle
+// process pays nothing. These answer the operational questions the
+// session metrics can't: is the daemon leaking goroutines, how much
+// heap does the lattice frontier actually hold, and is GC pressure
+// eating the online analysis budget.
+var (
+	mGoroutines = Default().NewGauge("gompax_go_goroutines",
+		"Number of live goroutines, sampled at scrape.")
+	mHeapInuse = Default().NewGauge("gompax_go_heap_inuse_bytes",
+		"Bytes of heap memory in in-use spans, sampled at scrape.")
+	mGCPauseTotal = Default().NewGauge("gompax_go_gc_pause_total_ns",
+		"Cumulative stop-the-world GC pause time in nanoseconds.")
+	mGCCycles = Default().NewGauge("gompax_go_gc_cycles",
+		"Completed GC cycles since process start.")
+)
+
+func init() {
+	Default().OnScrape("runtime", func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mGoroutines.Set(int64(runtime.NumGoroutine()))
+		mHeapInuse.Set(int64(ms.HeapInuse))
+		mGCPauseTotal.Set(int64(ms.PauseTotalNs))
+		mGCCycles.Set(int64(ms.NumGC))
+	})
+}

@@ -73,9 +73,10 @@ type Server struct {
 // Serve binds addr (e.g. ":9090"), activates gated telemetry, and
 // serves the introspection endpoints in a background goroutine until
 // Close. The server lifecycle (bind, background serve, shutdown) is
-// the shared httpx implementation.
+// the shared httpx implementation; requests go through the structured
+// access log (visible at -log-level debug, errors always).
 func Serve(addr string) (*Server, error) {
-	srv, err := httpx.Serve(addr, Handler(Default()))
+	srv, err := httpx.Serve(addr, httpx.AccessLog(Handler(Default()), Logger("http")))
 	if err != nil {
 		return nil, err
 	}

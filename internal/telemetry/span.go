@@ -52,10 +52,18 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	d := time.Since(s.start)
-	spanDurations.With(s.name, s.parent).Observe(uint64(d.Nanoseconds()))
-	spansTotal.With(s.name, s.parent).Inc()
+	ObserveSpan(s.name, s.parent, time.Since(s.start))
+}
+
+// ObserveSpan feeds one completed span into the span metrics
+// (gompax_span_duration_nanoseconds and gompax_spans_total) and the
+// debug span log. The tracing package calls this when its richer spans
+// end, so tree-traced pipelines keep populating the same histograms
+// the fire-and-forget spans always fed.
+func ObserveSpan(name, parent string, d time.Duration) {
+	spanDurations.With(name, parent).Observe(uint64(d.Nanoseconds()))
+	spansTotal.With(name, parent).Inc()
 	if l := Logger("span"); l.Enabled(nil, slog.LevelDebug) {
-		l.Debug("span end", "span", s.name, "parent", s.parent, "duration", d)
+		l.Debug("span end", "span", name, "parent", parent, "duration", d)
 	}
 }

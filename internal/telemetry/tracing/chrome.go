@@ -1,0 +1,201 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event export: the JSON object format understood by
+// Perfetto and chrome://tracing. Each completed span becomes a ph:"X"
+// complete event (ts/dur in microseconds), each span event a ph:"i"
+// instant, and each distinct process name a ph:"M" process_name
+// metadata record so client and daemon render as separate tracks of
+// the same timeline.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// micros converts a wall-clock instant to trace microseconds relative
+// to the epoch base.
+func micros(base, t time.Time) float64 {
+	return float64(t.Sub(base).Nanoseconds()) / 1e3
+}
+
+// WriteChrome renders spans as a Chrome trace-event JSON document.
+// Spans from every process in the slice land in one timeline;
+// timestamps are rebased to the earliest span start so the viewer
+// opens at zero.
+func WriteChrome(w io.Writer, spans []SpanData) error {
+	spans = append([]SpanData(nil), spans...)
+	SortSpans(spans)
+
+	// Stable pid per process name, in order of first appearance.
+	pids := map[string]int{}
+	var procs []string
+	for _, sp := range spans {
+		name := sp.Proc
+		if name == "" {
+			name = "gompax"
+		}
+		if _, ok := pids[name]; !ok {
+			pids[name] = len(procs) + 1
+			procs = append(procs, name)
+		}
+	}
+
+	var base time.Time
+	if len(spans) > 0 {
+		base = spans[0].Start
+		for _, sp := range spans {
+			if sp.Start.Before(base) {
+				base = sp.Start
+			}
+		}
+	}
+
+	file := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, name := range procs {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pids[name],
+			TID:   0,
+			Args:  map[string]any{"name": name},
+		})
+	}
+	for _, sp := range spans {
+		name := sp.Proc
+		if name == "" {
+			name = "gompax"
+		}
+		pid := pids[name]
+		args := map[string]any{
+			"trace": sp.Trace.String(),
+			"span":  sp.ID.String(),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = sp.Parent.String()
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		dur := micros(base, sp.End) - micros(base, sp.Start)
+		if dur < 0 {
+			dur = 0
+		}
+		d := dur
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name:  sp.Name,
+			Phase: "X",
+			TS:    micros(base, sp.Start),
+			Dur:   &d,
+			PID:   pid,
+			TID:   1,
+			Args:  args,
+		})
+		for _, ev := range sp.Events {
+			evArgs := map[string]any{"span": sp.ID.String()}
+			for k, v := range ev.Attrs {
+				evArgs[k] = v
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name:  ev.Name,
+				Phase: "i",
+				TS:    micros(base, ev.Time),
+				PID:   pid,
+				TID:   1,
+				Scope: "t",
+				Args:  evArgs,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// ChromeJSON is WriteChrome into a byte slice.
+func ChromeJSON(spans []SpanData) ([]byte, error) {
+	var buf writerBuf
+	if err := WriteChrome(&buf, spans); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// Normalize rewrites span times (and event times) to deterministic
+// values derived from the tree structure alone, so golden tests of the
+// Chrome export stay byte-stable across hosts. Each span's interval is
+// rebuilt by a depth-first walk over the parent links: entering a span
+// advances a 1µs-step virtual clock, leaving it stamps the end.
+// Children are visited in (original start, span ID) order, which is
+// deterministic when the producing code path is sequential and the
+// tracer was seeded. The input is not modified.
+func Normalize(spans []SpanData) []SpanData {
+	out := append([]SpanData(nil), spans...)
+	SortSpans(out)
+
+	children := map[SpanID][]int{}
+	index := map[SpanID]int{}
+	for i, sp := range out {
+		index[sp.ID] = i
+	}
+	var roots []int
+	for i, sp := range out {
+		if _, ok := index[sp.Parent]; sp.Parent != 0 && ok {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+
+	epoch := time.Unix(0, 0).UTC()
+	tick := 0
+	next := func() time.Time {
+		tick++
+		return epoch.Add(time.Duration(tick) * time.Microsecond)
+	}
+	var walk func(i int)
+	walk = func(i int) {
+		out[i].Start = next()
+		for e := range out[i].Events {
+			out[i].Events[e].Time = next()
+		}
+		// Child order is already deterministic: out is sorted and the
+		// children lists were built in sorted-index order.
+		for _, c := range children[out[i].ID] {
+			walk(c)
+		}
+		out[i].End = next()
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}

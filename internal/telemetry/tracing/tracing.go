@@ -1,0 +1,453 @@
+// Package tracing is gompax's span-tree tracer: real 64-bit trace and
+// span identifiers, parent links, attributes and point events, with an
+// in-memory per-trace flight recorder and a Chrome/Perfetto trace-event
+// exporter (chrome.go).
+//
+// It upgrades telemetry.Span — which records only name, parent name and
+// duration into histograms — to full causal trees that cross the
+// process boundary: gompax -connect mints a trace ID, carries it in the
+// GOMPAXD/1 handshake, and gompaxd continues the same trace through
+// admission, queue wait, worker claim, observer ingest, per-level
+// lattice exploration and the verdict journal. One exported file then
+// shows where a session's time actually went, queue time included.
+//
+// The nil contract of telemetry.Span is preserved and extended: a nil
+// *Tracer returns nil *Spans, and every method on a nil *Span is a
+// no-op, so code paths instrumented with tracing cost one pointer
+// compare when no tracer is configured. Ending a span also feeds the
+// existing gompax_span_duration_nanoseconds / gompax_spans_total
+// metrics via telemetry.ObserveSpan, so the tracer is a strict superset
+// of the old fire-and-forget spans.
+package tracing
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompax/internal/telemetry"
+)
+
+// TraceID identifies one end-to-end trace (one client session, one lab
+// scenario, one local check). Zero is "no trace".
+type TraceID uint64
+
+// SpanID identifies one span within a trace. Zero is "no parent".
+type SpanID uint64
+
+// String renders the ID as 16 lowercase hex digits — the wire form
+// used in the handshake trace= key.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// String renders the span ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseTraceID parses the 16-hex-digit wire form. The zero ID is
+// rejected: it means "no trace" and must not appear on the wire.
+func ParseTraceID(s string) (TraceID, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("tracing: trace id %q: want 16 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tracing: trace id %q: %v", s, err)
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("tracing: trace id %q: zero id", s)
+	}
+	return TraceID(v), nil
+}
+
+// MarshalText renders hex for JSON (span dumps, progress snapshots).
+func (id TraceID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText parses the hex form.
+func (id *TraceID) UnmarshalText(b []byte) error {
+	v, err := ParseTraceID(string(b))
+	if err != nil {
+		return err
+	}
+	*id = v
+	return nil
+}
+
+// MarshalText renders hex for JSON.
+func (id SpanID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText parses the hex form.
+func (id *SpanID) UnmarshalText(b []byte) error {
+	v, err := strconv.ParseUint(string(b), 16, 64)
+	if err != nil {
+		return fmt.Errorf("tracing: span id %q: %v", b, err)
+	}
+	*id = SpanID(v)
+	return nil
+}
+
+// Event is a point-in-time marker inside a span (a retry, a level
+// seal, a budget hit).
+type Event struct {
+	Name  string            `json:"name"`
+	Time  time.Time         `json:"time"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanData is one completed span as stored in the flight recorder and
+// shipped between processes. Parent is zero for root spans.
+type SpanData struct {
+	Trace  TraceID           `json:"trace"`
+	ID     SpanID            `json:"id"`
+	Parent SpanID            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Proc   string            `json:"proc,omitempty"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Events []Event           `json:"events,omitempty"`
+}
+
+// Options configures a Tracer. The zero value is usable: defaults are
+// applied by New.
+type Options struct {
+	// Process names the emitting process ("gompax", "gompaxd",
+	// "gompaxlab"); it becomes the Chrome trace's process track.
+	Process string
+	// MaxTraces bounds the flight recorder: when a new trace would
+	// exceed it, the oldest recorded trace is evicted. Default 64.
+	MaxTraces int
+	// MaxSpans caps completed spans retained per trace; further spans
+	// still run (and still feed the span metrics) but their data is
+	// dropped and counted. Default 4096.
+	MaxSpans int
+	// Seed, when nonzero, makes ID generation deterministic
+	// (allocation-ordered) for golden tests. Production tracers leave
+	// it zero and get random IDs.
+	Seed uint64
+}
+
+const (
+	defaultMaxTraces = 64
+	defaultMaxSpans  = 4096
+)
+
+// traceBuf is one trace's slot in the flight recorder.
+type traceBuf struct {
+	spans   []SpanData
+	dropped uint64
+}
+
+// Tracer mints IDs and records completed spans in a bounded in-memory
+// flight recorder (newest MaxTraces traces, MaxSpans spans each). All
+// methods are safe for concurrent use; a nil *Tracer is a valid no-op
+// tracer.
+type Tracer struct {
+	proc      string
+	maxTraces int
+	maxSpans  int
+	base      uint64
+	ctr       atomic.Uint64
+
+	mu     sync.Mutex
+	traces map[TraceID]*traceBuf
+	order  []TraceID // insertion order for eviction
+}
+
+// New returns a Tracer with opts (zero fields defaulted).
+func New(opts Options) *Tracer {
+	if opts.MaxTraces <= 0 {
+		opts.MaxTraces = defaultMaxTraces
+	}
+	if opts.MaxSpans <= 0 {
+		opts.MaxSpans = defaultMaxSpans
+	}
+	base := opts.Seed
+	if base == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			base = binary.LittleEndian.Uint64(b[:])
+		}
+		base |= 1 // never zero, even if the random source failed
+	}
+	return &Tracer{
+		proc:      opts.Process,
+		maxTraces: opts.MaxTraces,
+		maxSpans:  opts.MaxSpans,
+		base:      base,
+		traces:    map[TraceID]*traceBuf{},
+	}
+}
+
+// splitmix64 is the SplitMix64 output mix — a cheap bijective hash
+// turning the sequential counter into well-spread IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) nextID() uint64 {
+	for {
+		if v := splitmix64(t.base + t.ctr.Add(1)); v != 0 {
+			return v
+		}
+	}
+}
+
+// NewTraceID mints a fresh nonzero trace ID. Nil tracers return 0.
+func (t *Tracer) NewTraceID() TraceID {
+	if t == nil {
+		return 0
+	}
+	return TraceID(t.nextID())
+}
+
+// Span is one in-flight timed operation within a trace. All methods
+// are safe on a nil receiver and safe for concurrent use.
+type Span struct {
+	tr         *Tracer
+	trace      TraceID
+	id         SpanID
+	parent     SpanID
+	name       string
+	parentName string
+	start      time.Time
+
+	mu     sync.Mutex
+	attrs  map[string]string
+	events []Event
+	ended  bool
+}
+
+// register makes room for a trace in the flight recorder, evicting the
+// oldest trace when full. Caller holds t.mu.
+func (t *Tracer) registerLocked(id TraceID) *traceBuf {
+	if b, ok := t.traces[id]; ok {
+		return b
+	}
+	for len(t.order) >= t.maxTraces {
+		old := t.order[0]
+		t.order = t.order[1:]
+		delete(t.traces, old)
+	}
+	b := &traceBuf{}
+	t.traces[id] = b
+	t.order = append(t.order, id)
+	return b
+}
+
+func (t *Tracer) span(trace TraceID, parent SpanID, parentName, name string, start time.Time) *Span {
+	if t == nil || trace == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	t.registerLocked(trace)
+	t.mu.Unlock()
+	return &Span{
+		tr:         t,
+		trace:      trace,
+		id:         SpanID(t.nextID()),
+		parent:     parent,
+		name:       name,
+		parentName: parentName,
+		start:      start,
+	}
+}
+
+// StartTrace mints a new trace ID and opens its root span.
+func (t *Tracer) StartTrace(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.span(t.NewTraceID(), 0, "", name, time.Now())
+}
+
+// ContinueTrace opens a root span on an existing trace ID — the
+// receiving side of cross-process propagation.
+func (t *Tracer) ContinueTrace(id TraceID, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.ContinueTraceAt(id, name, time.Now())
+}
+
+// ContinueTraceAt is ContinueTrace with an explicit start time, for
+// spans that conceptually began before the tracer saw them (a
+// session's queue wait starts at enqueue, not at worker claim).
+func (t *Tracer) ContinueTraceAt(id TraceID, name string, start time.Time) *Span {
+	return t.span(id, 0, "", name, start)
+}
+
+// TraceID returns the span's trace ID (0 for nil spans).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// Child opens a sub-span. A child of a nil span is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.span(s.trace, s.id, s.name, name, time.Now())
+}
+
+// ChildAt is Child with an explicit start time.
+func (s *Span) ChildAt(name string, start time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.span(s.trace, s.id, s.name, name, start)
+}
+
+// SetAttr attaches a key/value attribute. Later sets of the same key
+// win.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Event records a point-in-time marker with optional key/value attr
+// pairs (odd trailing keys are dropped).
+func (s *Span) Event(name string, kv ...string) {
+	if s == nil {
+		return
+	}
+	ev := Event{Name: name, Time: time.Now()}
+	for i := 0; i+1 < len(kv); i += 2 {
+		if ev.Attrs == nil {
+			ev.Attrs = map[string]string{}
+		}
+		ev.Attrs[kv[i]] = kv[i+1]
+	}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// End completes the span now. Safe on nil; a second End is a no-op.
+func (s *Span) End() { s.EndAt(time.Now()) }
+
+// EndAt completes the span at an explicit time.
+func (s *Span) EndAt(end time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	data := SpanData{
+		Trace:  s.trace,
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Proc:   s.tr.proc,
+		Start:  s.start,
+		End:    end,
+		Attrs:  s.attrs,
+		Events: s.events,
+	}
+	s.attrs = nil
+	s.events = nil
+	s.mu.Unlock()
+
+	t := s.tr
+	t.mu.Lock()
+	b := t.registerLocked(s.trace)
+	if len(b.spans) >= t.maxSpans {
+		b.dropped++
+	} else {
+		b.spans = append(b.spans, data)
+	}
+	t.mu.Unlock()
+	telemetry.ObserveSpan(s.name, s.parentName, end.Sub(s.start))
+}
+
+// Spans returns a copy of the recorded spans of a trace (nil when the
+// trace is unknown or evicted).
+func (t *Tracer) Spans(id TraceID) []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.traces[id]
+	if !ok {
+		return nil
+	}
+	return append([]SpanData(nil), b.spans...)
+}
+
+// Dropped returns how many spans of a trace were discarded by the
+// per-trace cap.
+func (t *Tracer) Dropped(id TraceID) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.traces[id]; ok {
+		return b.dropped
+	}
+	return 0
+}
+
+// TraceIDs lists the recorded traces, oldest first.
+func (t *Tracer) TraceIDs() []TraceID {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceID(nil), t.order...)
+}
+
+// Ingest merges externally produced spans (a peer process's slice of
+// the same trace) into the recorder, honoring the per-trace cap. Spans
+// with a zero trace ID are ignored.
+func (t *Tracer) Ingest(spans []SpanData) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range spans {
+		if sp.Trace == 0 {
+			continue
+		}
+		b := t.registerLocked(sp.Trace)
+		if len(b.spans) >= t.maxSpans {
+			b.dropped++
+			continue
+		}
+		b.spans = append(b.spans, sp)
+	}
+}
+
+// SortSpans orders spans for stable output: by start time, then span
+// ID. Sorting happens in place.
+func SortSpans(spans []SpanData) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}

@@ -1,0 +1,228 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil tracer and the nil spans it hands out must be safe everywhere:
+// the untraced daemon path calls every span method on nils.
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if got := tr.NewTraceID(); got != 0 {
+		t.Fatalf("nil tracer NewTraceID = %v, want 0", got)
+	}
+	for _, sp := range []*Span{
+		tr.StartTrace("root"),
+		tr.ContinueTrace(42, "cont"),
+		tr.ContinueTraceAt(42, "cont", time.Now()),
+	} {
+		if sp != nil {
+			t.Fatalf("nil tracer returned non-nil span %v", sp)
+		}
+	}
+	var sp *Span
+	if got := sp.TraceID(); got != 0 {
+		t.Fatalf("nil span TraceID = %v, want 0", got)
+	}
+	sp.SetAttr("k", "v")
+	sp.Event("e", "k", "v")
+	child := sp.Child("child")
+	if child != nil {
+		t.Fatalf("nil span Child = %v, want nil", child)
+	}
+	grand := child.ChildAt("grand", time.Now())
+	if grand != nil {
+		t.Fatalf("nil child ChildAt = %v, want nil", grand)
+	}
+	sp.End()
+	sp.EndAt(time.Now())
+	if got := tr.Spans(42); got != nil {
+		t.Fatalf("nil tracer Spans = %v, want nil", got)
+	}
+	if got := tr.TraceIDs(); got != nil {
+		t.Fatalf("nil tracer TraceIDs = %v, want nil", got)
+	}
+	tr.Ingest([]SpanData{{Trace: 1, ID: 2}})
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	tr := New(Options{Process: "test", Seed: 7})
+	root := tr.StartTrace("root")
+	root.SetAttr("k", "v")
+	child := root.Child("child")
+	child.Event("tick", "n", "1")
+	child.End()
+	root.End()
+
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	SortSpans(spans)
+	if spans[0].Name != "root" || spans[1].Name != "child" {
+		t.Fatalf("span order: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Fatalf("child parent %v, want root id %v", spans[1].Parent, spans[0].ID)
+	}
+	if spans[0].Trace != spans[1].Trace || spans[0].Trace != root.TraceID() {
+		t.Fatalf("trace ids differ: %v vs %v", spans[0].Trace, spans[1].Trace)
+	}
+	if spans[0].Attrs["k"] != "v" {
+		t.Fatalf("root attrs = %v", spans[0].Attrs)
+	}
+	if len(spans[1].Events) != 1 || spans[1].Events[0].Name != "tick" || spans[1].Events[0].Attrs["n"] != "1" {
+		t.Fatalf("child events = %+v", spans[1].Events)
+	}
+	if spans[0].Proc != "test" {
+		t.Fatalf("proc = %q, want test", spans[0].Proc)
+	}
+}
+
+// End must record a span exactly once no matter how many times it is
+// called — the daemon ends its root before the VERDICT trailer and
+// again in a defer.
+func TestEndIsIdempotent(t *testing.T) {
+	tr := New(Options{Seed: 1})
+	root := tr.StartTrace("root")
+	root.End()
+	root.End()
+	root.EndAt(time.Now())
+	if got := len(tr.Spans(root.TraceID())); got != 1 {
+		t.Fatalf("got %d spans after repeated End, want 1", got)
+	}
+}
+
+// Concurrent span emission across goroutines on one trace; run under
+// -race this is the tracer's central safety test.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Options{Seed: 3})
+	root := tr.StartTrace("root")
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := root.Child(fmt.Sprintf("w%d", w))
+				sp.SetAttr("i", fmt.Sprint(i))
+				sp.Event("e")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	spans := tr.Spans(root.TraceID())
+	if got, want := len(spans), workers*perWorker+1; got != want {
+		t.Fatalf("got %d spans, want %d", got, want)
+	}
+}
+
+// The per-trace span cap drops overflow instead of growing without
+// bound, and counts what it dropped.
+func TestSpanCapDrops(t *testing.T) {
+	tr := New(Options{Seed: 5, MaxSpans: 4})
+	root := tr.StartTrace("root")
+	for i := 0; i < 10; i++ {
+		root.Child("c").End()
+	}
+	root.End()
+	if got := len(tr.Spans(root.TraceID())); got != 4 {
+		t.Fatalf("got %d spans, want cap 4", got)
+	}
+	// 10 children + 1 root attempted, 4 kept.
+	if got := tr.Dropped(root.TraceID()); got != 7 {
+		t.Fatalf("dropped = %d, want 7", got)
+	}
+}
+
+// The flight recorder evicts whole traces oldest-first at MaxTraces.
+func TestFlightRecorderEviction(t *testing.T) {
+	tr := New(Options{Seed: 9, MaxTraces: 2})
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		sp := tr.StartTrace("root")
+		sp.End()
+		ids = append(ids, sp.TraceID())
+	}
+	if got := tr.Spans(ids[0]); got != nil {
+		t.Fatalf("oldest trace still present: %v", got)
+	}
+	for _, id := range ids[1:] {
+		if got := len(tr.Spans(id)); got != 1 {
+			t.Fatalf("trace %v: %d spans, want 1", id, got)
+		}
+	}
+	if got := len(tr.TraceIDs()); got != 2 {
+		t.Fatalf("TraceIDs len = %d, want 2", got)
+	}
+}
+
+// A seeded tracer is deterministic: same seed, same ids.
+func TestSeededDeterminism(t *testing.T) {
+	a := New(Options{Seed: 11})
+	b := New(Options{Seed: 11})
+	if a.NewTraceID() != b.NewTraceID() {
+		t.Fatal("seeded tracers disagree on the first trace id")
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := TraceID(0xdeadbeef01020304)
+	got, err := ParseTraceID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "xyz", "123", strings.Repeat("0", 16), strings.Repeat("f", 17)} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Fatalf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+// Ingest merges foreign spans (the client merging daemon spans) under
+// the same trace id and ignores records with no trace.
+func TestIngest(t *testing.T) {
+	tr := New(Options{Seed: 13})
+	root := tr.StartTrace("client")
+	root.End()
+	tr.Ingest([]SpanData{
+		{Trace: root.TraceID(), ID: 999, Name: "daemon", Proc: "gompaxd"},
+		{Trace: 0, ID: 1000, Name: "orphan"},
+	})
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans after ingest, want 2", len(spans))
+	}
+}
+
+// SpanData survives a JSON round trip (the ?format=spans API the
+// client merge path consumes).
+func TestSpanDataJSONRoundTrip(t *testing.T) {
+	tr := New(Options{Seed: 17, Process: "p"})
+	root := tr.StartTrace("root")
+	root.SetAttr("a", "b")
+	root.Event("e", "k", "v")
+	root.End()
+	spans := tr.Spans(root.TraceID())
+	buf, err := json.Marshal(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []SpanData
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Trace != spans[0].Trace || back[0].ID != spans[0].ID ||
+		back[0].Name != "root" || back[0].Attrs["a"] != "b" || len(back[0].Events) != 1 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

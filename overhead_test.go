@@ -8,6 +8,7 @@ import (
 
 	"gompax/internal/predict"
 	"gompax/internal/telemetry"
+	"gompax/internal/telemetry/tracing"
 )
 
 // TestTelemetryOverheadGate enforces the telemetry overhead budget of
@@ -15,8 +16,12 @@ import (
 // (benchGrid(4,12), a 28561-cut lattice) with telemetry active may not
 // be more than 5% slower than with telemetry inactive. The per-level
 // counter flushes are unconditional either way; the active flag only
-// adds the /statusz snapshot publication and timestamp reads, so a
-// failure here means a change put real work on the hot path.
+// adds the /statusz snapshot publication and timestamp reads, and the
+// active configuration additionally runs with a tracing span attached
+// — a flight recorder enabled and recording per-level spans, the exact
+// state a traced daemon session is in — so the delta also bounds what
+// span-tree tracing adds to the analysis hot path (one clock read and
+// one span append per sealed level, nothing per cut).
 //
 // Timing gates are noisy on shared CI hardware, so the gate only runs
 // when explicitly requested: GOMPAX_TELEMETRY_GATE=1 make telemetry-gate.
@@ -30,11 +35,18 @@ func TestTelemetryOverheadGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tr := tracing.New(tracing.Options{Process: "gate", Seed: 1})
 	run := func(active bool) time.Duration {
 		telemetry.SetActive(active)
 		defer telemetry.SetActive(false)
+		var opts predict.Options
+		if active {
+			span := tr.StartTrace("gate.analyze")
+			defer span.End()
+			opts.Span = span
+		}
 		start := time.Now()
-		if _, err := predict.Analyze(prog, comp, predict.Options{}); err != nil {
+		if _, err := predict.Analyze(prog, comp, opts); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)
@@ -55,7 +67,7 @@ func TestTelemetryOverheadGate(t *testing.T) {
 	}
 
 	delta := float64(minOn-minOff) / float64(minOff) * 100
-	summary := fmt.Sprintf("telemetry off %v, on %v, delta %+.2f%% (min of %d interleaved runs)",
+	summary := fmt.Sprintf("telemetry off %v, on+traced %v, delta %+.2f%% (min of %d interleaved runs)",
 		minOff, minOn, delta, k)
 	t.Log(summary)
 	if delta > 5 {

@@ -56,7 +56,9 @@ run_gate clock     env GOMPAX_CLOCK_GATE=1 "$GO" test -count=1 -run TestClockAll
 run_gate telemetry env GOMPAX_TELEMETRY_GATE=1 "$GO" test -count=1 -run TestTelemetryOverheadGate .
 run_gate serve     env GO="$GO" bash scripts/serve_smoke.sh
 run_gate crash     env GO="$GO" bash scripts/crash_smoke.sh
-run_gate accuracy  "$GO" run ./cmd/gompaxlab -grid "$GRID" -out "$OUT" -gate "$BENCH" -q
+# -traces exports per-scenario Chrome trace-event files under
+# $OUT/traces/ (uploaded as CI artifacts; open in Perfetto).
+run_gate accuracy  "$GO" run ./cmd/gompaxlab -grid "$GRID" -out "$OUT" -gate "$BENCH" -q -traces
 
 echo
 echo "release gate summary (grid=$GRID, logs in $OUT/)"
