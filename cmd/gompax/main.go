@@ -53,8 +53,12 @@
 //	-log-json      emit logs as JSON instead of text
 //
 // Exit codes: 0 when every run is clean, 1 when any run predicts a
-// violation, 2 on usage or pipeline errors and for runs that finished
-// degraded (lossy session) without predicting a violation.
+// violation — of the safety property, the liveness property, or any
+// message-passing analysis (send-on-closed, lost-message, partial
+// deadlock) — and 2 on usage or pipeline errors and for runs that
+// finished degraded (lossy session) without predicting a violation.
+// A violation always beats a degradation: a degraded run that still
+// predicted a violation exits 1, not 2.
 package main
 
 import (
@@ -64,6 +68,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"strings"
 
 	"gompax/internal/driver"
 	"gompax/internal/instrument"
@@ -217,9 +222,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "--- seed %d ---\n", s)
 		}
 		if *quiet {
-			verdict := "ok"
+			var parts []string
 			if rep.Result.Violated() {
-				verdict = fmt.Sprintf("PREDICTED %d violation(s)", len(rep.Result.Violations))
+				parts = append(parts, fmt.Sprintf("PREDICTED %d violation(s)", len(rep.Result.Violations)))
+			}
+			if rep.Messaging.Violating() {
+				parts = append(parts, fmt.Sprintf("%d message-passing finding(s)", len(rep.Messaging.Findings)))
+			}
+			verdict := "ok"
+			if len(parts) > 0 {
+				verdict = strings.Join(parts, ", ")
 			}
 			fmt.Fprintf(stdout, "seed %d: %s\n", s, verdict)
 		} else {
@@ -239,9 +251,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "\nwhy the counterexample violates the property (T/f per state):")
 			fmt.Fprint(stdout, ex.String())
 		}
-		if rep.Result.Violated() || len(rep.LivenessViolations) > 0 {
+		if rep.Result.Violated() || len(rep.LivenessViolations) > 0 || rep.Messaging.Violating() {
 			exit = exitViolated
-			log.Info("violation predicted", "seed", s, "violations", len(rep.Result.Violations))
+			log.Info("violation predicted", "seed", s, "violations", len(rep.Result.Violations),
+				"messaging", rep.Messaging.Counts())
 		}
 		if rep.Result.Degraded.Any() && !degraded {
 			degraded = true
@@ -325,10 +338,13 @@ func runChaos(stdout io.Writer, src, prop string, seed int64, rate float64, chao
 		fmt.Fprintln(stdout, "degraded: no (session survived intact)")
 	}
 	fmt.Fprintf(stdout, "analysis: %d cuts over %d levels\n", res.Stats.Cuts, res.Stats.Levels)
+	if res.Messaging != nil {
+		fmt.Fprintf(stdout, "messaging: %s\n", res.Messaging.Summary())
+	}
 	if res.Violated() {
 		fmt.Fprintf(stdout, "PREDICTED %d violation(s) despite the damage\n", len(res.Violations))
 	} else {
 		fmt.Fprintln(stdout, "no violation predicted from the surviving frames")
 	}
-	return res.Violated(), res.Degraded.Any(), nil
+	return res.Violated() || res.Messaging.Violating(), res.Degraded.Any(), nil
 }

@@ -36,6 +36,50 @@ func TestExitCodeViolation(t *testing.T) {
 	}
 }
 
+// TestExitCodeMessaging pins the exit-code mapping for the
+// message-passing verdicts: every channel analysis finding exits 1
+// exactly like a property violation, and a clean channel program stays
+// on 0.
+func TestExitCodeMessaging(t *testing.T) {
+	tests := []struct {
+		name     string
+		prog     string
+		want     int
+		contains string
+	}{
+		{"clean pipeline", "pipeline", exitClean, "ok"},
+		{"send on closed", "sendclosed", exitViolated, "message-passing finding"},
+		{"lost message", "lostmsg", exitViolated, "message-passing finding"},
+		{"partial deadlock", "partialdeadlock", exitViolated, "message-passing finding"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, out, errOut := runCLI("-prog", "../../testdata/"+tt.prog+".mtl", "-prop", "done >= 0", "-quiet")
+			if code != tt.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tt.want, out, errOut)
+			}
+			if !strings.Contains(out, tt.contains) {
+				t.Fatalf("stdout missing %q:\n%s", tt.contains, out)
+			}
+		})
+	}
+}
+
+// TestMessagingSummaryAndDeadlockLines checks the full (non-quiet)
+// report: the deadlock line names the parked thread and the messaging
+// line carries the per-kind counts and the witness.
+func TestMessagingSummaryAndDeadlockLines(t *testing.T) {
+	code, out, _ := runCLI("-prog", "../../testdata/partialdeadlock.mtl", "-prop", "done >= 0")
+	if code != exitViolated {
+		t.Fatalf("exit %d, want %d\n%s", code, exitViolated, out)
+	}
+	for _, want := range []string{"deadlock:", "messaging:", "partial-deadlock on", "parked on select"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestExitCodeDegraded(t *testing.T) {
 	// Chaos seed 3 at rate 0.3 deterministically loses enough frames
 	// that no violation survives, but the session is degraded: that

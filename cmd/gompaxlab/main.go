@@ -91,9 +91,10 @@ func main() {
 		if o.Truth.Violating {
 			truth = "violating"
 		}
-		fmt.Fprintf(os.Stderr, "  %-28s truth=%-9s interleavings=%-5d predicted=%-5v races=%d/%d wall=%.0fms\n",
+		fmt.Fprintf(os.Stderr, "  %-28s truth=%-9s interleavings=%-5d predicted=%-5v races=%d/%d msgs=%d/%d wall=%.0fms\n",
 			o.Scenario.Name, truth, o.Truth.Interleavings, o.PredictedViolation,
-			len(o.PredictedRaceKeys), len(o.Truth.RaceKeys), o.WallMS)
+			len(o.PredictedRaceKeys), len(o.Truth.RaceKeys),
+			len(o.PredictedMsgKeys), len(o.Truth.MsgKeys), o.WallMS)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "gompaxlab: grid %q, %d scenarios, seed %d\n", grid.Name, len(grid.Scenarios), grid.Seed)
@@ -114,10 +115,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gompaxlab:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("grid %q: %d scenarios — violation P=%.2f R=%.2f, race P=%.2f R=%.2f (artifacts in %s)\n",
+	fmt.Printf("grid %q: %d scenarios — violation P=%.2f R=%.2f, race P=%.2f R=%.2f, msg P=%.2f R=%.2f (artifacts in %s)\n",
 		grid.Name, len(outcomes),
 		scores.Overall.ViolationPrecision, scores.Overall.ViolationRecall,
-		scores.Overall.RacePrecision, scores.Overall.RaceRecall, *out)
+		scores.Overall.RacePrecision, scores.Overall.RaceRecall,
+		scores.Overall.MsgPrecision, scores.Overall.MsgRecall, *out)
 	if haveGates {
 		fmt.Print(lab.SummaryTable(checks))
 		if !lab.Passed(checks) {

@@ -6,12 +6,20 @@
 // Usage:
 //
 //	mtlrun -prog file.mtl [-seed n] [-trace] [-race] [-deadlock] [-explore n]
+//
+// Exit codes: 0 for a clean run, 1 for any detected violation — a
+// deadlock (including partial deadlocks on channel operations), a
+// runtime channel fault (send on closed), values left undelivered in
+// channel buffers, or a predicted race/deadlock from the attached
+// detectors — and 2 on usage or pipeline errors. A violation always
+// wins: once anything scored 1, later reporting cannot lower it.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -25,12 +33,22 @@ import (
 	"gompax/internal/trace"
 )
 
-type tracer struct{ n int }
+// Exit codes.
+const (
+	exitClean    = 0
+	exitViolated = 1
+	exitError    = 2
+)
+
+type tracer struct {
+	n   int
+	out io.Writer
+}
 
 func (t *tracer) line(format string, args ...interface{}) {
 	t.n++
-	fmt.Printf("%4d  ", t.n)
-	fmt.Printf(format+"\n", args...)
+	fmt.Fprintf(t.out, "%4d  ", t.n)
+	fmt.Fprintf(t.out, format+"\n", args...)
 }
 
 func (t *tracer) Read(tid int, name string, val int64) { t.line("t%d  read   %s = %d", tid, name, val) }
@@ -44,6 +62,26 @@ func (t *tracer) WaitResume(tid int, c string) { t.line("t%d  resume %s", tid, c
 func (t *tracer) Internal(tid int)             { t.line("t%d  skip", tid) }
 func (t *tracer) Spawn(p, c int)               { t.line("t%d  spawn  -> t%d", p, c) }
 
+func (t *tracer) ChanSend(tid int, ch string, val int64, capacity int64, partner int) {
+	t.line("t%d  send   %s <- %d", tid, ch, val)
+}
+func (t *tracer) ChanRecv(tid int, ch string, val int64) {
+	t.line("t%d  recv   %s -> %d", tid, ch, val)
+}
+func (t *tracer) ChanClose(tid int, ch string) { t.line("t%d  close  %s", tid, ch) }
+func (t *tracer) ChanSendClosed(tid int, ch string, val int64) {
+	t.line("t%d  FAULT  send on closed %s (value %d)", tid, ch, val)
+}
+func (t *tracer) ChanRecvClosed(tid int, ch string) {
+	t.line("t%d  recv   %s -> 0 (closed)", tid, ch)
+}
+func (t *tracer) ChanBlock(tid int, ch string, aux string) {
+	t.line("t%d  park   %s", tid, aux)
+}
+
+// multiHooks fans interpreter callbacks out to every attached hook;
+// channel callbacks reach only the hooks that implement ChannelHooks
+// (the deadlock detector, for one, is lock-only).
 type multiHooks []interp.Hooks
 
 func (m multiHooks) Read(tid int, n string, v int64) {
@@ -61,45 +99,92 @@ func (m multiHooks) WaitResume(tid int, c string) {
 func (m multiHooks) Internal(tid int) { each(m, func(h interp.Hooks) { h.Internal(tid) }) }
 func (m multiHooks) Spawn(p, c int)   { each(m, func(h interp.Hooks) { h.Spawn(p, c) }) }
 
+func (m multiHooks) ChanSend(tid int, ch string, val int64, capacity int64, partner int) {
+	eachChan(m, func(h interp.ChannelHooks) { h.ChanSend(tid, ch, val, capacity, partner) })
+}
+func (m multiHooks) ChanRecv(tid int, ch string, val int64) {
+	eachChan(m, func(h interp.ChannelHooks) { h.ChanRecv(tid, ch, val) })
+}
+func (m multiHooks) ChanClose(tid int, ch string) {
+	eachChan(m, func(h interp.ChannelHooks) { h.ChanClose(tid, ch) })
+}
+func (m multiHooks) ChanSendClosed(tid int, ch string, val int64) {
+	eachChan(m, func(h interp.ChannelHooks) { h.ChanSendClosed(tid, ch, val) })
+}
+func (m multiHooks) ChanRecvClosed(tid int, ch string) {
+	eachChan(m, func(h interp.ChannelHooks) { h.ChanRecvClosed(tid, ch) })
+}
+func (m multiHooks) ChanBlock(tid int, ch string, aux string) {
+	eachChan(m, func(h interp.ChannelHooks) { h.ChanBlock(tid, ch, aux) })
+}
+
 func each(m multiHooks, f func(interp.Hooks)) {
 	for _, h := range m {
 		f(h)
 	}
 }
 
+func eachChan(m multiHooks, f func(interp.ChannelHooks)) {
+	for _, h := range m {
+		if ch, ok := h.(interp.ChannelHooks); ok {
+			f(ch)
+		}
+	}
+}
+
+var (
+	_ interp.Hooks        = multiHooks(nil)
+	_ interp.ChannelHooks = multiHooks(nil)
+	_ interp.Hooks        = (*tracer)(nil)
+	_ interp.ChannelHooks = (*tracer)(nil)
+)
+
 func main() {
-	progFile := flag.String("prog", "", "MTL program file")
-	seed := flag.Int64("seed", 1, "random scheduler seed")
-	traceFlag := flag.Bool("trace", false, "print every event")
-	raceFlag := flag.Bool("race", false, "attach the predictive race detector")
-	deadlockFlag := flag.Bool("deadlock", false, "attach the deadlock predictor")
-	explore := flag.Int("explore", 0, "exhaustively explore up to n interleavings and summarize outcomes")
-	dump := flag.String("dump", "", "write the run's full instrumented event trace (golden text format) to this file")
-	maxEvents := flag.Uint64("max-events", 1_000_000, "event bound")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted, so tests can drive the
+// CLI end to end and assert on the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	progFile := fs.String("prog", "", "MTL program file")
+	seed := fs.Int64("seed", 1, "random scheduler seed")
+	traceFlag := fs.Bool("trace", false, "print every event")
+	raceFlag := fs.Bool("race", false, "attach the predictive race detector")
+	deadlockFlag := fs.Bool("deadlock", false, "attach the deadlock predictor")
+	explore := fs.Int("explore", 0, "exhaustively explore up to n interleavings and summarize outcomes")
+	dump := fs.String("dump", "", "write the run's full instrumented event trace (golden text format) to this file")
+	maxEvents := fs.Uint64("max-events", 1_000_000, "event bound")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	if *progFile == "" {
-		fmt.Fprintln(os.Stderr, "mtlrun: -prog is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mtlrun: -prog is required")
+		fs.Usage()
+		return exitError
 	}
 	src, err := os.ReadFile(*progFile)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	code, err := mtl.Compile(mustParse(string(src)))
+	prog, err := mtl.Parse(string(src))
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
+	}
+	code, err := mtl.Compile(prog)
+	if err != nil {
+		return fail(stderr, err)
 	}
 
 	if *explore > 0 {
-		exploreMain(code, *explore, *maxEvents)
-		return
+		return exploreMain(stdout, stderr, code, *explore, *maxEvents)
 	}
 
 	var hooks multiHooks
 	if *traceFlag {
-		hooks = append(hooks, &tracer{})
+		hooks = append(hooks, &tracer{out: stdout})
 	}
 	var rd *race.Detector
 	if *raceFlag {
@@ -119,33 +204,36 @@ func main() {
 
 	m := interp.NewMachine(code, hooks)
 	res, err := sched.Run(m, sched.NewRandom(*seed), *maxEvents)
-	exitCode := 0
+	exitCode := exitClean
 	var dl *sched.DeadlockError
 	switch {
 	case errors.As(err, &dl):
-		fmt.Printf("DEADLOCK after %d events: %v\n", m.Events(), dl.Blocked)
-		exitCode = 1
+		fmt.Fprintf(stdout, "DEADLOCK after %d events: %v\n", m.Events(), dl.Blocked)
+		for _, b := range m.ChannelBlocked() {
+			fmt.Fprintf(stdout, "  parked: %s\n", b)
+		}
+		exitCode = exitViolated
 	case err != nil:
-		fail(err)
+		return fail(stderr, err)
 	default:
-		fmt.Printf("completed: %d events\n", res.Events)
+		fmt.Fprintf(stdout, "completed: %d events\n", res.Events)
 	}
 
 	if col != nil {
 		f, ferr := os.Create(*dump)
 		if ferr != nil {
-			fail(ferr)
+			return fail(stderr, ferr)
 		}
 		if werr := trace.WriteMessages(f, col.Messages); werr != nil {
-			fail(werr)
+			return fail(stderr, werr)
 		}
 		if cerr := f.Close(); cerr != nil {
-			fail(cerr)
+			return fail(stderr, cerr)
 		}
-		fmt.Printf("trace: %d events written to %s\n", len(col.Messages), *dump)
+		fmt.Fprintf(stdout, "trace: %d events written to %s\n", len(col.Messages), *dump)
 	}
 
-	fmt.Println("final state:")
+	fmt.Fprintln(stdout, "final state:")
 	final := m.SharedState()
 	var names []string
 	for k := range final {
@@ -153,35 +241,58 @@ func main() {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		fmt.Printf("  %s = %d\n", k, final[k])
+		fmt.Fprintf(stdout, "  %s = %d\n", k, final[k])
+	}
+
+	// Observed channel outcomes: runtime faults and values still
+	// sitting in buffers when the program stopped are violations in
+	// their own right, same footing as a detector report.
+	if faults := m.Faults(); len(faults) > 0 {
+		fmt.Fprintf(stdout, "channel faults: %d\n", len(faults))
+		for _, f := range faults {
+			fmt.Fprintf(stdout, "  %s\n", f)
+		}
+		exitCode = exitViolated
+	}
+	if pending := m.ChannelsPending(); len(pending) > 0 {
+		var chans []string
+		for ch := range pending {
+			chans = append(chans, ch)
+		}
+		sort.Strings(chans)
+		fmt.Fprintln(stdout, "undelivered channel values:")
+		for _, ch := range chans {
+			fmt.Fprintf(stdout, "  %s: %d value(s) never received\n", ch, pending[ch])
+		}
+		exitCode = exitViolated
 	}
 
 	if rd != nil {
 		if races := rd.Races(); len(races) > 0 {
-			fmt.Printf("predicted data races: %d\n", len(races))
+			fmt.Fprintf(stdout, "predicted data races: %d\n", len(races))
 			for _, r := range races {
-				fmt.Printf("  %s\n", r)
+				fmt.Fprintf(stdout, "  %s\n", r)
 			}
-			exitCode = 1
+			exitCode = exitViolated
 		} else {
-			fmt.Println("no data races predicted")
+			fmt.Fprintln(stdout, "no data races predicted")
 		}
 	}
 	if dd != nil {
 		if cycles := dd.Cycles(); len(cycles) > 0 {
-			fmt.Printf("predicted deadlocks: %d\n", len(cycles))
+			fmt.Fprintf(stdout, "predicted deadlocks: %d\n", len(cycles))
 			for _, c := range cycles {
-				fmt.Printf("  %s\n", c)
+				fmt.Fprintf(stdout, "  %s\n", c)
 			}
-			exitCode = 1
+			exitCode = exitViolated
 		} else {
-			fmt.Println("no deadlocks predicted")
+			fmt.Fprintln(stdout, "no deadlocks predicted")
 		}
 	}
-	os.Exit(exitCode)
+	return exitCode
 }
 
-func exploreMain(code *mtl.Compiled, limit int, maxEvents uint64) {
+func exploreMain(stdout, stderr io.Writer, code *mtl.Compiled, limit int, maxEvents uint64) int {
 	m := interp.NewMachine(code, nil)
 	finals := map[string]int{}
 	deadlocks := 0
@@ -203,31 +314,24 @@ func exploreMain(code *mtl.Compiled, limit int, maxEvents uint64) {
 		return true
 	})
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("explored %d maximal interleavings (%d deadlocked)\n", n, deadlocks)
+	fmt.Fprintf(stdout, "explored %d maximal interleavings (%d deadlocked)\n", n, deadlocks)
 	var keys []string
 	for k := range finals {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Printf("  %5d x  %s\n", finals[k], k)
+		fmt.Fprintf(stdout, "  %5d x  %s\n", finals[k], k)
 	}
 	if deadlocks > 0 {
-		os.Exit(1)
+		return exitViolated
 	}
+	return exitClean
 }
 
-func mustParse(src string) *mtl.Program {
-	p, err := mtl.Parse(src)
-	if err != nil {
-		fail(err)
-	}
-	return p
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mtlrun:", err)
-	os.Exit(2)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "mtlrun:", err)
+	return exitError
 }

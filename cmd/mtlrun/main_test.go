@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodes pins the exit-code mapping, including the observed
+// channel outcomes: a runtime channel fault, undelivered buffered
+// values and a (partial) deadlock all exit 1 like a detector report,
+// while usage and compile errors stay on 2.
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name     string
+		args     []string
+		want     int
+		contains string // required substring of stdout
+		errs     string // required substring of stderr
+	}{
+		{
+			name: "clean run",
+			args: []string{"-prog", "../../testdata/crossing.mtl"},
+			want: exitClean, contains: "completed:",
+		},
+		{
+			name: "clean channel pipeline",
+			args: []string{"-prog", "../../testdata/pipeline.mtl"},
+			want: exitClean, contains: "completed:",
+		},
+		{
+			name: "send on closed channel faults",
+			args: []string{"-prog", "../../testdata/sendclosed.mtl", "-seed", "1"},
+			want: exitViolated, contains: "channel faults: 1",
+		},
+		{
+			name: "undelivered buffered values",
+			args: []string{"-prog", "../../testdata/lostmsg.mtl"},
+			want: exitViolated, contains: "never received",
+		},
+		{
+			name: "partial deadlock on select",
+			args: []string{"-prog", "../../testdata/partialdeadlock.mtl"},
+			want: exitViolated, contains: "DEADLOCK",
+		},
+		{
+			name: "explore counts deadlocks",
+			args: []string{"-prog", "../../testdata/partialdeadlock.mtl", "-explore", "16"},
+			want: exitViolated, contains: "deadlocked)",
+		},
+		{
+			name: "explore clean",
+			args: []string{"-prog", "../../testdata/pipeline.mtl", "-explore", "16"},
+			want: exitClean, contains: "explored",
+		},
+		{
+			name: "race detector still reports",
+			args: []string{"-prog", "../../testdata/racy.mtl", "-race"},
+			want: exitViolated, contains: "predicted data races",
+		},
+		{
+			name: "missing program flag",
+			args: nil,
+			want: exitError, errs: "-prog is required",
+		},
+		{
+			name: "missing file",
+			args: []string{"-prog", "no-such-file.mtl"},
+			want: exitError, errs: "no-such-file",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, out, errOut := runCLI(tt.args...)
+			if code != tt.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tt.want, out, errOut)
+			}
+			if tt.contains != "" && !strings.Contains(out, tt.contains) {
+				t.Fatalf("stdout missing %q:\n%s", tt.contains, out)
+			}
+			if tt.errs != "" && !strings.Contains(errOut, tt.errs) {
+				t.Fatalf("stderr missing %q:\n%s", tt.errs, errOut)
+			}
+		})
+	}
+}
+
+// TestChannelTrace checks the tracer's channel lines end to end.
+func TestChannelTrace(t *testing.T) {
+	code, out, _ := runCLI("-prog", "../../testdata/pipeline.mtl", "-trace")
+	if code != exitClean {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"send   c <- 1", "recv   c -> 1", "close  c", "recv   c -> 0 (closed)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}

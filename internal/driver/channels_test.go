@@ -1,0 +1,136 @@
+package driver
+
+import "testing"
+
+func TestChannelPipeline(t *testing.T) {
+	src := `
+shared done = 0;
+chan c = 2;
+thread producer {
+  send(c, 1);
+  send(c, 2);
+  close(c);
+}
+thread consumer {
+  var x = 0;
+  x = recv(c);
+  x = recv(c);
+  done = 1;
+}
+`
+	rep, err := Check(Config{Source: src, Property: "done >= 0", Seed: 7})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.Messaging == nil {
+		t.Fatal("no messaging report")
+	}
+	if rep.Messaging.Violating() {
+		t.Fatalf("clean pipeline flagged: %+v", rep.Messaging.Findings)
+	}
+}
+
+func TestChannelSendClosed(t *testing.T) {
+	src := `
+shared done = 0;
+chan c = 1;
+thread a {
+  send(c, 1);
+  done = 1;
+}
+thread b {
+  close(c);
+}
+`
+	for seed := int64(0); seed < 8; seed++ {
+		rep, err := Check(Config{Source: src, Property: "done >= 0", Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Messaging == nil || rep.Messaging.SendOnClosed == 0 {
+			t.Fatalf("seed %d: send-on-closed not detected: %v", seed, rep.Messaging)
+		}
+	}
+}
+
+func TestChannelLost(t *testing.T) {
+	src := `
+shared done = 0;
+chan c = 4;
+thread a {
+  send(c, 1);
+  send(c, 2);
+  done = 1;
+}
+thread b {
+  var x = 0;
+  x = recv(c);
+}
+`
+	rep, err := Check(Config{Source: src, Property: "done >= 0", Seed: 3})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.Messaging == nil || rep.Messaging.LostMessages == 0 {
+		t.Fatalf("lost message not detected: %v", rep.Messaging)
+	}
+}
+
+func TestChannelDeadlock(t *testing.T) {
+	src := `
+shared done = 0;
+chan c;
+chan d;
+thread a {
+  var x = 0;
+  x = recv(c);
+  done = 1;
+}
+thread b {
+  var y = 0;
+  y = recv(d);
+  done = 2;
+}
+`
+	rep, err := Check(Config{Source: src, Property: "done >= 0", Seed: 1})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.Deadlock == nil {
+		t.Fatal("expected deadlock")
+	}
+	if rep.Messaging == nil || rep.Messaging.PartialDeadlocks != 2 {
+		t.Fatalf("partial deadlocks: %v", rep.Messaging)
+	}
+}
+
+func TestChannelSelect(t *testing.T) {
+	src := `
+shared got = 0;
+chan c;
+chan d;
+thread a {
+  send(c, 41);
+}
+thread b {
+  var x = 0;
+  var y = 0;
+  select {
+    case x = recv(c) { got = x; }
+    case y = recv(d) { got = y + 100; }
+  }
+}
+`
+	for seed := int64(0); seed < 4; seed++ {
+		rep, err := Check(Config{Source: src, Property: "got < 42", Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Messaging == nil {
+			t.Fatal("no messaging report")
+		}
+		if rep.Messaging.Violating() {
+			t.Fatalf("seed %d: clean select flagged: %+v", seed, rep.Messaging.Findings)
+		}
+	}
+}

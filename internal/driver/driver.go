@@ -8,6 +8,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -17,6 +18,7 @@ import (
 	"gompax/internal/liveness"
 	"gompax/internal/logic"
 	"gompax/internal/monitor"
+	"gompax/internal/msg"
 	"gompax/internal/mtl"
 	"gompax/internal/predict"
 	"gompax/internal/replay"
@@ -97,6 +99,14 @@ type Report struct {
 	// LivenessViolations holds predicted liveness violations (lassos
 	// u·v-omega falsifying Config.LivenessProperty).
 	LivenessViolations []liveness.Violation
+	// Messaging holds the message-passing analyses' report when the
+	// program uses channels; nil for channel-free programs.
+	Messaging *msg.Report
+	// Deadlock is non-nil when the observed execution ended with
+	// blocked threads instead of completing. The analysis still runs
+	// over the events emitted up to the deadlock (this is how a
+	// partial deadlock reaches the message-passing analyses).
+	Deadlock *sched.DeadlockError
 }
 
 // Check runs the pipeline.
@@ -136,8 +146,15 @@ func Check(cfg Config) (*Report, error) {
 	runSpan := root.Child("driver.instrument")
 	out, err := instrument.Run(code, policy, s, maxEvents)
 	runSpan.End()
+	var deadlock *sched.DeadlockError
 	if err != nil {
-		return nil, err
+		// A deadlocked execution is an analyzable outcome, not a
+		// pipeline failure: the events emitted up to the deadlock are a
+		// complete record of what every thread did, which is exactly
+		// what the partial-deadlock analysis needs.
+		if !errors.As(err, &deadlock) {
+			return nil, err
+		}
 	}
 
 	rep := &Report{
@@ -146,6 +163,13 @@ func Check(cfg Config) (*Report, error) {
 		Initial:  initial,
 		Messages: out.Messages,
 		Schedule: out.Result.Schedule,
+		Deadlock: deadlock,
+	}
+
+	if hasChannelEvents(out.Messages) {
+		// The driver observed the execution directly — no wire, no
+		// loss — so the whole-stream analyses always run.
+		rep.Messaging = msg.Analyze(out.Messages, msg.Options{Complete: true, Predictive: true})
 	}
 
 	// Observed-run states and the JPAX-style baseline verdict.
@@ -216,6 +240,15 @@ func Check(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+func hasChannelEvents(msgs []event.Message) bool {
+	for _, m := range msgs {
+		if m.Event.Kind.IsChannel() {
+			return true
+		}
+	}
+	return false
+}
+
 // StatesOf folds relevant messages over an initial state, producing
 // the run's global state sequence.
 func StatesOf(initial logic.State, msgs []event.Message) []logic.State {
@@ -223,7 +256,11 @@ func StatesOf(initial logic.State, msgs []event.Message) []logic.State {
 	states = append(states, initial)
 	cur := initial
 	for _, m := range msgs {
-		cur = cur.With(m.Event.Var, m.Event.Value)
+		if !m.Event.Kind.IsChannel() {
+			// Channel events carry no state update (their Var is a
+			// channel name, not a shared variable).
+			cur = cur.With(m.Event.Var, m.Event.Value)
+		}
 		states = append(states, cur)
 	}
 	return states
@@ -275,6 +312,16 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "liveness:  PREDICTED %d potential liveness violation(s):\n", len(r.LivenessViolations))
 		for _, v := range r.LivenessViolations {
 			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	if r.Deadlock != nil {
+		fmt.Fprintf(&b, "deadlock:  execution ended with blocked threads: %s\n",
+			strings.Join(r.Deadlock.Blocked, "; "))
+	}
+	if r.Messaging != nil {
+		fmt.Fprintf(&b, "messaging: %s\n", r.Messaging.Summary())
+		if r.Messaging.Violating() {
+			b.WriteString(msg.FormatFindings(r.Messaging.Findings))
 		}
 	}
 	return b.String()

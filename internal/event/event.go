@@ -40,17 +40,46 @@ const (
 	// Spawn marks dynamic creation of a thread; the child inherits the
 	// parent's clock (dynamic-thread extension mentioned in §2).
 	Spawn
+	// ChanSend is a completed send of a value into a channel. Its Slot
+	// is the 1-based position of the send among all sends on that
+	// channel (the FIFO slot, following Sulzmann–Stadtmüller's
+	// per-channel send/receive counters).
+	ChanSend
+	// ChanRecv is a completed receive of a value from a channel; Slot is
+	// the 1-based position among the channel's receives, so the k-th
+	// receive pairs with the k-th send.
+	ChanRecv
+	// ChanClose closes a channel; Slot records how many sends the
+	// channel had seen at close time.
+	ChanClose
+	// ChanSendClosed is the runtime fault of sending on a closed
+	// channel (the send does not transfer a value; the thread halts).
+	ChanSendClosed
+	// ChanRecvClosed is a receive from a closed, drained channel: it
+	// yields the zero value instead of a sent one.
+	ChanRecvClosed
+	// ChanBlock marks a thread parking on a channel operation with no
+	// available partner. Aux describes the blocked operation and, for
+	// select, every alternative communication. A thread whose last
+	// event is an unresolved ChanBlock is blocked at session end.
+	ChanBlock
 )
 
 var kindNames = [...]string{
-	Internal:   "internal",
-	Read:       "read",
-	Write:      "write",
-	Acquire:    "acquire",
-	Release:    "release",
-	Signal:     "signal",
-	WaitResume: "waitresume",
-	Spawn:      "spawn",
+	Internal:       "internal",
+	Read:           "read",
+	Write:          "write",
+	Acquire:        "acquire",
+	Release:        "release",
+	Signal:         "signal",
+	WaitResume:     "waitresume",
+	Spawn:          "spawn",
+	ChanSend:       "chansend",
+	ChanRecv:       "chanrecv",
+	ChanClose:      "chanclose",
+	ChanSendClosed: "chansendclosed",
+	ChanRecvClosed: "chanrecvclosed",
+	ChanBlock:      "chanblock",
 }
 
 func (k Kind) String() string {
@@ -71,6 +100,19 @@ func (k Kind) IsAccess() bool { return k == Read || k.IsWrite() }
 func (k Kind) IsWrite() bool {
 	switch k {
 	case Write, Acquire, Release, Signal, WaitResume:
+		return true
+	}
+	return false
+}
+
+// IsChannel reports whether the event kind is a message-passing
+// (channel) event. Channel events are synchronization events with
+// their own causality rules (package mvc); they are deliberately not
+// writes under ≺, so the shared-variable lattice and race analyses are
+// unaffected by their presence.
+func (k Kind) IsChannel() bool {
+	switch k {
+	case ChanSend, ChanRecv, ChanClose, ChanSendClosed, ChanRecvClosed, ChanBlock:
 		return true
 	}
 	return false
@@ -98,6 +140,14 @@ type Event struct {
 	Value int64
 	// Relevant marks membership in the relevant event set R.
 	Relevant bool
+	// Slot is the per-channel FIFO position of a channel event (1-based
+	// k-th send / k-th receive; sends-at-close for ChanClose). Zero for
+	// non-channel events.
+	Slot uint64
+	// Aux carries auxiliary detail for channel events (the blocked
+	// operation and select alternatives of a ChanBlock). Empty for
+	// non-channel events.
+	Aux string
 }
 
 // ID returns a stable identifier for the event within its execution.
@@ -111,6 +161,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s[%s t%d #%d]", e.Kind, e.ID(), e.Thread, e.Seq)
 	case e.Kind == Read:
 		return fmt.Sprintf("read[%s %s=%d]", e.ID(), e.Var, e.Value)
+	case e.Kind == ChanBlock:
+		return fmt.Sprintf("%s[%s %s %s]", e.Kind, e.ID(), e.Var, e.Aux)
+	case e.Kind.IsChannel():
+		return fmt.Sprintf("%s[%s %s#%d=%d]", e.Kind, e.ID(), e.Var, e.Slot, e.Value)
 	default:
 		return fmt.Sprintf("%s[%s %s:=%d]", e.Kind, e.ID(), e.Var, e.Value)
 	}

@@ -70,7 +70,32 @@ func (in *Instrumentor) Spawn(parent, child int) {
 	}
 }
 
-var _ interp.Hooks = (*Instrumentor)(nil)
+// ChanSend implements interp.ChannelHooks.
+func (in *Instrumentor) ChanSend(tid int, ch string, val int64, capacity int64, partner int) {
+	in.tracker.ChanSend(tid, ch, val, capacity, partner)
+}
+
+// ChanRecv implements interp.ChannelHooks.
+func (in *Instrumentor) ChanRecv(tid int, ch string, val int64) { in.tracker.ChanRecv(tid, ch, val) }
+
+// ChanClose implements interp.ChannelHooks.
+func (in *Instrumentor) ChanClose(tid int, ch string) { in.tracker.ChanClose(tid, ch) }
+
+// ChanSendClosed implements interp.ChannelHooks.
+func (in *Instrumentor) ChanSendClosed(tid int, ch string, val int64) {
+	in.tracker.ChanSendClosed(tid, ch, val)
+}
+
+// ChanRecvClosed implements interp.ChannelHooks.
+func (in *Instrumentor) ChanRecvClosed(tid int, ch string) { in.tracker.ChanRecvClosed(tid, ch) }
+
+// ChanBlock implements interp.ChannelHooks.
+func (in *Instrumentor) ChanBlock(tid int, ch string, aux string) { in.tracker.ChanBlock(tid, ch, aux) }
+
+var (
+	_ interp.Hooks        = (*Instrumentor)(nil)
+	_ interp.ChannelHooks = (*Instrumentor)(nil)
+)
 
 // PolicyFor returns the JMPaX relevance policy for a specification:
 // writes of the variables the formula mentions.

@@ -1,0 +1,282 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"gompax/internal/interp"
+	"gompax/internal/mtl"
+)
+
+// chanRecorder extends recorder with the channel hook callbacks.
+type chanRecorder struct {
+	recorder
+}
+
+func (r *chanRecorder) ChanSend(tid int, ch string, val int64, capacity int64, partner int) {
+	r.events = append(r.events, sprintf("cs%d:%s=%d/p%d", tid, ch, val, partner))
+}
+func (r *chanRecorder) ChanRecv(tid int, ch string, val int64) {
+	r.events = append(r.events, sprintf("cr%d:%s=%d", tid, ch, val))
+}
+func (r *chanRecorder) ChanClose(tid int, ch string) {
+	r.events = append(r.events, sprintf("cc%d:%s", tid, ch))
+}
+func (r *chanRecorder) ChanSendClosed(tid int, ch string, val int64) {
+	r.events = append(r.events, sprintf("cf%d:%s=%d", tid, ch, val))
+}
+func (r *chanRecorder) ChanRecvClosed(tid int, ch string) {
+	r.events = append(r.events, sprintf("cd%d:%s", tid, ch))
+}
+func (r *chanRecorder) ChanBlock(tid int, ch string, aux string) {
+	r.events = append(r.events, sprintf("cb%d:%s[%s]", tid, ch, aux))
+}
+
+func compile(t *testing.T, src string) *mtl.Compiled {
+	t.Helper()
+	prog, err := mtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := mtl.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+func TestUnbufferedRendezvousEmitsPairInOneStep(t *testing.T) {
+	code := compile(t, `
+shared got = 0;
+chan c;
+thread sender { send(c, 7); }
+thread receiver { var x = 0; x = recv(c); got = x; }
+`)
+	rec := &chanRecorder{}
+	m := interp.NewMachine(code, rec)
+
+	// Receiver runs first until it parks on the recv (the first park
+	// emits a ChanBlock event).
+	for guard := 0; m.Status(1) != interp.BlockedRecv; guard++ {
+		if guard > 10 {
+			t.Fatalf("receiver never parked (status %v)", m.Status(1))
+		}
+		if _, err := m.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Status(1); got != interp.BlockedRecv {
+		t.Fatalf("receiver status = %v, want BlockedRecv", got)
+	}
+	ev0 := m.Events()
+	// Sender completes the rendezvous: ONE step, TWO events (send+recv).
+	kind, err := m.Step(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != interp.Progressed && kind != interp.Finished {
+		t.Fatalf("sender step = %v", kind)
+	}
+	if m.Events() != ev0+2 {
+		t.Fatalf("rendezvous emitted %d events, want 2", m.Events()-ev0)
+	}
+	joined := strings.Join(rec.events, " ")
+	if !strings.Contains(joined, "cb1:c[recv(c)]") {
+		t.Fatalf("missing receiver park event: %v", rec.events)
+	}
+	if !strings.Contains(joined, "cs0:c=7/p1 cr1:c=7") {
+		t.Fatalf("rendezvous pair not emitted send-then-recv: %v", rec.events)
+	}
+	runAll(t, m)
+	if got := m.SharedState()["got"]; got != 7 {
+		t.Fatalf("got = %d, want 7", got)
+	}
+}
+
+func TestBufferedFIFOAndLostMessages(t *testing.T) {
+	code := compile(t, `
+shared a = 0, b = 0;
+chan c = 3;
+thread p { send(c, 1); send(c, 2); send(c, 3); }
+thread q { a = recv(c); b = recv(c); }
+`)
+	rec := &chanRecorder{}
+	m := interp.NewMachine(code, rec)
+	runAll(t, m)
+	st := m.SharedState()
+	if st["a"] != 1 || st["b"] != 2 {
+		t.Fatalf("FIFO violated: a=%d b=%d", st["a"], st["b"])
+	}
+	if pend := m.ChannelsPending(); pend["c"] != 1 {
+		t.Fatalf("pending = %v, want c:1", pend)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	code := compile(t, `
+shared drained = -1, after = -1;
+chan c = 2;
+thread p { send(c, 5); close(c); }
+thread q { drained = recv(c); after = recv(c); }
+`)
+	rec := &chanRecorder{}
+	m := interp.NewMachine(code, rec)
+	// Run the producer to completion first, then the consumer.
+	for m.Status(0) != interp.Done {
+		if _, err := m.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runAll(t, m)
+	st := m.SharedState()
+	if st["drained"] != 5 {
+		t.Fatalf("drained = %d, want 5 (buffered value survives close)", st["drained"])
+	}
+	if st["after"] != 0 {
+		t.Fatalf("after = %d, want 0 (recv on closed-and-empty yields zero)", st["after"])
+	}
+	if !strings.Contains(strings.Join(rec.events, " "), "cd1:c") {
+		t.Fatalf("missing ChanRecvClosed: %v", rec.events)
+	}
+}
+
+func TestSendOnClosedFaultHaltsThread(t *testing.T) {
+	code := compile(t, `
+shared done = 0;
+chan c = 1;
+thread closer { close(c); }
+thread sender { send(c, 9); done = 1; }
+`)
+	rec := &chanRecorder{}
+	m := interp.NewMachine(code, rec)
+	// closer first, then sender hits the closed channel.
+	if _, err := m.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	kind, err := m.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != interp.Progressed {
+		t.Fatalf("faulting send step = %v, want Progressed", kind)
+	}
+	if m.Status(1) != interp.Done {
+		t.Fatalf("faulted thread status = %v, want Done (halted)", m.Status(1))
+	}
+	faults := m.Faults()
+	if len(faults) != 1 || !strings.Contains(faults[0], "send on closed channel c") {
+		t.Fatalf("faults = %v", faults)
+	}
+	if m.SharedState()["done"] != 0 {
+		t.Fatalf("faulted thread kept executing past the fault")
+	}
+	if !strings.Contains(strings.Join(rec.events, " "), "cf1:c=9") {
+		t.Fatalf("missing ChanSendClosed event: %v", rec.events)
+	}
+}
+
+func TestDoubleCloseIsRuntimeError(t *testing.T) {
+	code := compile(t, `
+chan c;
+thread a { close(c); close(c); }
+`)
+	m := interp.NewMachine(code, interp.NopHooks{})
+	if _, err := m.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(0); err == nil {
+		t.Fatal("double close did not error")
+	}
+}
+
+func TestSelectPrefersFirstReadyCaseAndDefault(t *testing.T) {
+	code := compile(t, `
+shared got = 0;
+chan c = 1, d = 1;
+thread chooser {
+  var x = 0;
+  send(d, 2);
+  select {
+    case x = recv(c) { got = x; }
+    case x = recv(d) { got = x + 10; }
+  }
+  select {
+    case x = recv(c) { got = got + 100; }
+    default { got = got + 1000; }
+  }
+}
+`)
+	rec := &chanRecorder{}
+	m := interp.NewMachine(code, rec)
+	runAll(t, m)
+	// First select: only d ready -> second case (2+10); second select:
+	// nothing ready -> default (+1000).
+	if got := m.SharedState()["got"]; got != 1012 {
+		t.Fatalf("got = %d, want 1012", got)
+	}
+}
+
+func TestSelectParkAndWake(t *testing.T) {
+	code := compile(t, `
+shared got = 0;
+chan c, d;
+thread waiter {
+  var x = 0;
+  select {
+    case x = recv(c) { got = x; }
+    case x = recv(d) { got = x + 10; }
+  }
+}
+thread giver { send(d, 5); }
+`)
+	rec := &chanRecorder{}
+	m := interp.NewMachine(code, rec)
+	for guard := 0; m.Status(0) != interp.BlockedSelect; guard++ {
+		if guard > 10 {
+			t.Fatalf("waiter never parked (status %v)", m.Status(0))
+		}
+		if _, err := m.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Status(0); got != interp.BlockedSelect {
+		t.Fatalf("waiter status = %v, want BlockedSelect", got)
+	}
+	if blocked := m.ChannelBlocked(); len(blocked) != 1 || !strings.Contains(blocked[0], "select") {
+		t.Fatalf("ChannelBlocked = %v", blocked)
+	}
+	runAll(t, m)
+	if got := m.SharedState()["got"]; got != 15 {
+		t.Fatalf("got = %d, want 15", got)
+	}
+	joined := strings.Join(rec.events, " ")
+	if !strings.Contains(joined, "cb0:") || !strings.Contains(joined, "select:recv(c),recv(d)") {
+		t.Fatalf("missing select park event with alternatives: %v", rec.events)
+	}
+}
+
+func TestSnapshotRestoreChannels(t *testing.T) {
+	code := compile(t, `
+chan c = 2;
+thread p { send(c, 1); close(c); send(c, 2); }
+`)
+	m := interp.NewMachine(code, interp.NopHooks{})
+	if _, err := m.Step(0); err != nil { // send 1
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	key1 := m.StateKey()
+	if _, err := m.Step(0); err != nil { // close
+		t.Fatal(err)
+	}
+	if m.StateKey() == key1 {
+		t.Fatal("close did not change the state key")
+	}
+	m.Restore(snap)
+	if m.StateKey() != key1 {
+		t.Fatalf("restore did not recover channel state:\n got %q\nwant %q", m.StateKey(), key1)
+	}
+	if len(m.Faults()) != 0 {
+		t.Fatalf("faults leaked across restore: %v", m.Faults())
+	}
+}

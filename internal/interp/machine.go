@@ -38,6 +38,34 @@ type Hooks interface {
 	Spawn(parent, child int)
 }
 
+// ChannelHooks is an optional extension of Hooks: implementations
+// additionally receive one callback per channel event. Hooks that do
+// not implement it simply never see channel events — the machine
+// checks with a type assertion, so the §3.1 shared-variable hook
+// surface is unchanged.
+type ChannelHooks interface {
+	// ChanSend reports a completed send of val into ch. capacity is the
+	// channel's declared capacity; partner is the receiving thread of
+	// an unbuffered rendezvous (the matching ChanRecv follows
+	// immediately), -1 for a buffered send.
+	ChanSend(tid int, ch string, val int64, capacity int64, partner int)
+	// ChanRecv reports a completed receive of val from ch.
+	ChanRecv(tid int, ch string, val int64)
+	// ChanClose reports closing ch.
+	ChanClose(tid int, ch string)
+	// ChanSendClosed reports the runtime fault of a send on closed ch;
+	// the sending thread halts.
+	ChanSendClosed(tid int, ch string, val int64)
+	// ChanRecvClosed reports a receive from a closed, drained ch
+	// yielding the zero value.
+	ChanRecvClosed(tid int, ch string)
+	// ChanBlock reports a thread parking on a channel operation with no
+	// available partner; aux describes the operation (and, for select,
+	// every alternative). Emitted once per park — a completed operation
+	// follows as a later event of the same thread if the park resolves.
+	ChanBlock(tid int, ch string, aux string)
+}
+
 // NopHooks is a Hooks that does nothing (uninstrumented execution).
 type NopHooks struct{}
 
@@ -77,6 +105,14 @@ const (
 	BlockedCond
 	// Done threads have halted.
 	Done
+	// BlockedSend threads wait to send on a channel (unbuffered with no
+	// receiver, or full buffer).
+	BlockedSend
+	// BlockedRecv threads wait to receive on a channel (unbuffered with
+	// no sender, or empty buffer).
+	BlockedRecv
+	// BlockedSelect threads wait inside a select with no ready case.
+	BlockedSelect
 )
 
 func (s Status) String() string {
@@ -87,9 +123,21 @@ func (s Status) String() string {
 		return "blocked(lock)"
 	case BlockedCond:
 		return "blocked(cond)"
+	case BlockedSend:
+		return "blocked(send)"
+	case BlockedRecv:
+		return "blocked(recv)"
+	case BlockedSelect:
+		return "blocked(select)"
 	default:
 		return "done"
 	}
+}
+
+// IsChannelBlocked reports whether the status is one of the
+// channel-parked states.
+func (s Status) IsChannelBlocked() bool {
+	return s == BlockedSend || s == BlockedRecv || s == BlockedSelect
 }
 
 // StepKind is the outcome of one Step call.
@@ -131,6 +179,14 @@ type threadState struct {
 	status    Status
 	blockedOn string
 	waiting   bool // at an OpWait that has parked but not yet resumed
+	parked    bool // a ChanBlock was emitted for the park at this pc
+}
+
+// chanState is the runtime state of one declared channel.
+type chanState struct {
+	cap    int64
+	buf    []int64
+	closed bool
 }
 
 // Machine is a deterministic MTL interpreter.
@@ -138,10 +194,13 @@ type Machine struct {
 	code    *mtl.Compiled
 	shared  map[string]int64
 	threads []threadState
-	holder  map[string]int // mutex -> holding thread, -1 if free
+	holder  map[string]int        // mutex -> holding thread, -1 if free
+	chans   map[string]*chanState // channel -> buffer/closed state
 	hooks   Hooks
+	chooks  ChannelHooks // hooks, if it implements ChannelHooks
 	events  uint64
 	spawns  uint64
+	faults  []string // channel runtime faults (send on closed)
 }
 
 // NewMachine prepares a machine with all threads at their entry
@@ -154,10 +213,15 @@ func NewMachine(code *mtl.Compiled, hooks Hooks) *Machine {
 		code:   code,
 		shared: code.Prog.InitialState(),
 		holder: map[string]int{},
+		chans:  map[string]*chanState{},
 		hooks:  hooks,
 	}
+	m.chooks, _ = hooks.(ChannelHooks)
 	for _, mu := range code.Prog.Mutexes {
 		m.holder[mu] = -1
+	}
+	for _, c := range code.Prog.Chans {
+		m.chans[c.Name] = &chanState{cap: c.Cap}
 	}
 	for i := range code.Threads {
 		t := &code.Threads[i]
@@ -177,6 +241,7 @@ func (m *Machine) SetHooks(h Hooks) {
 		h = NopHooks{}
 	}
 	m.hooks = h
+	m.chooks, _ = h.(ChannelHooks)
 }
 
 // Threads returns the number of threads.
@@ -232,7 +297,7 @@ func (m *Machine) Deadlocked() bool {
 		switch m.threads[i].status {
 		case Runnable:
 			return false
-		case BlockedLock, BlockedCond:
+		case BlockedLock, BlockedCond, BlockedSend, BlockedRecv, BlockedSelect:
 			anyBlocked = true
 		}
 	}
@@ -245,7 +310,7 @@ func (m *Machine) BlockedThreads() []string {
 	var out []string
 	for i := range m.threads {
 		t := &m.threads[i]
-		if t.status == BlockedLock || t.status == BlockedCond {
+		if t.status == BlockedLock || t.status == BlockedCond || t.status.IsChannelBlocked() {
 			out = append(out, fmt.Sprintf("%s %s on %s", t.name, t.status, t.blockedOn))
 		}
 	}
@@ -257,8 +322,10 @@ type Snapshot struct {
 	shared  map[string]int64
 	threads []threadState
 	holder  map[string]int
+	chans   map[string]*chanState
 	events  uint64
 	spawns  uint64
+	faults  []string
 }
 
 // Snapshot returns a deep copy of the machine state.
@@ -267,14 +334,21 @@ func (m *Machine) Snapshot() Snapshot {
 		shared:  make(map[string]int64, len(m.shared)),
 		threads: make([]threadState, len(m.threads)),
 		holder:  make(map[string]int, len(m.holder)),
+		chans:   make(map[string]*chanState, len(m.chans)),
 		events:  m.events,
 		spawns:  m.spawns,
+		faults:  append([]string(nil), m.faults...),
 	}
 	for k, v := range m.shared {
 		s.shared[k] = v
 	}
 	for k, v := range m.holder {
 		s.holder[k] = v
+	}
+	for k, v := range m.chans {
+		c := *v
+		c.buf = append([]int64(nil), v.buf...)
+		s.chans[k] = &c
 	}
 	for i, t := range m.threads {
 		c := t
@@ -296,6 +370,12 @@ func (m *Machine) Restore(s Snapshot) {
 	for k, v := range s.holder {
 		m.holder[k] = v
 	}
+	m.chans = make(map[string]*chanState, len(s.chans))
+	for k, v := range s.chans {
+		c := *v
+		c.buf = append([]int64(nil), v.buf...)
+		m.chans[k] = &c
+	}
 	m.threads = make([]threadState, len(s.threads))
 	for i, t := range s.threads {
 		c := t
@@ -305,6 +385,7 @@ func (m *Machine) Restore(s Snapshot) {
 	}
 	m.events = s.events
 	m.spawns = s.spawns
+	m.faults = append([]string(nil), s.faults...)
 }
 
 // RuntimeError is an MTL execution error with thread and pc context.
@@ -524,6 +605,17 @@ func (m *Machine) Step(tid int) (StepKind, error) {
 			m.events++
 			m.hooks.Internal(tid)
 			return Progressed, nil
+		case mtl.OpPop:
+			pop()
+			t.pc++
+		case mtl.OpSend:
+			return m.stepSend(tid, in)
+		case mtl.OpRecv:
+			return m.stepRecv(tid, in)
+		case mtl.OpClose:
+			return m.stepClose(tid, in)
+		case mtl.OpSelect:
+			return m.stepSelect(tid, in)
 		case mtl.OpHalt:
 			t.status = Done
 			if m.holder != nil {
@@ -618,9 +710,22 @@ func (m *Machine) StateKey() string {
 	for _, k := range locks {
 		fmt.Fprintf(&b, "%s@%d;", k, m.holder[k])
 	}
+	chans := make([]string, 0, len(m.chans))
+	for k := range m.chans {
+		chans = append(chans, k)
+	}
+	sort.Strings(chans)
+	for _, k := range chans {
+		c := m.chans[k]
+		fmt.Fprintf(&b, "%s!%v", k, c.closed)
+		for _, v := range c.buf {
+			fmt.Fprintf(&b, ",%d", v)
+		}
+		b.WriteByte(';')
+	}
 	for i := range m.threads {
 		t := &m.threads[i]
-		fmt.Fprintf(&b, "|%d:%d:%d:%s:%v", i, t.pc, t.status, t.blockedOn, t.waiting)
+		fmt.Fprintf(&b, "|%d:%d:%d:%s:%v:%v", i, t.pc, t.status, t.blockedOn, t.waiting, t.parked)
 		for _, v := range t.stack {
 			fmt.Fprintf(&b, ",%d", v)
 		}

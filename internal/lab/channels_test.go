@@ -1,0 +1,139 @@
+package lab
+
+import (
+	"reflect"
+	"testing"
+
+	"gompax/internal/wire"
+)
+
+// The channel templates are constructed so their findings are
+// schedule-invariant; these tests pin that property against exhaustive
+// ground truth, which is what lets BENCH_lab.json demand msg precision
+// = recall = 1.00 for the finding-bearing classes.
+
+func runChan(t *testing.T, sc Scenario) Outcome {
+	t.Helper()
+	r := &Runner{}
+	out, err := r.RunScenario(sc)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	if !out.Truth.Complete {
+		t.Fatalf("%s: exploration incomplete (%d interleavings)", sc.Name, out.Truth.Interleavings)
+	}
+	if out.Truth.Violating || out.PredictedViolation {
+		t.Errorf("%s: channel scenarios must keep the property clean (truth=%v predicted=%v)",
+			sc.Name, out.Truth.Violating, out.PredictedViolation)
+	}
+	if len(out.Truth.RaceKeys) != 0 || len(out.PredictedRaceKeys) != 0 {
+		t.Errorf("%s: channel scenarios must be race-free (truth=%v predicted=%v)",
+			sc.Name, out.Truth.RaceKeys, out.PredictedRaceKeys)
+	}
+	return out
+}
+
+// TestChanCleanTruth: the pipeline template yields no finding in any
+// interleaving and the analyses predict none from any run.
+func TestChanCleanTruth(t *testing.T) {
+	for _, values := range []int{1, 2, 3} {
+		out := runChan(t, buildChan(ChanClean, values, 0, 5))
+		if len(out.Truth.MsgKeys) != 0 {
+			t.Errorf("%s: truth should have no channel findings, got %v", out.Scenario.Name, out.Truth.MsgKeys)
+		}
+		if len(out.PredictedMsgKeys) != 0 {
+			t.Errorf("%s: false-positive channel findings %v", out.Scenario.Name, out.PredictedMsgKeys)
+		}
+	}
+}
+
+// TestChanClosedTruth: send-on-closed is realized in some interleaving
+// (truth) and predicted from every observed run — as an executed fault
+// when the close won the race, from the concurrent clocks otherwise.
+func TestChanClosedTruth(t *testing.T) {
+	for _, values := range []int{1, 2} {
+		out := runChan(t, buildChan(ChanClosed, values, 0, 6))
+		want := []string{"send-on-closed|c"}
+		if !reflect.DeepEqual(out.Truth.MsgKeys, want) {
+			t.Errorf("%s: truth msg keys = %v, want %v", out.Scenario.Name, out.Truth.MsgKeys, want)
+		}
+		if !reflect.DeepEqual(out.PredictedMsgKeys, want) {
+			t.Errorf("%s: predicted msg keys = %v, want %v", out.Scenario.Name, out.PredictedMsgKeys, want)
+		}
+		for _, ro := range out.Runs {
+			if !reflect.DeepEqual(ro.MsgKeys, want) {
+				t.Errorf("%s seed %d: run msg keys = %v, want %v", out.Scenario.Name, ro.Seed, ro.MsgKeys, want)
+			}
+		}
+	}
+}
+
+// TestChanLostTruth: every interleaving strands sent-kept values in
+// the buffer, and every observed run's complete session reports them.
+func TestChanLostTruth(t *testing.T) {
+	for _, p := range []struct{ sent, kept int }{{2, 1}, {3, 1}, {3, 2}} {
+		out := runChan(t, buildChan(ChanLost, p.sent, p.kept, 7))
+		want := []string{"lost-message|c"}
+		if !reflect.DeepEqual(out.Truth.MsgKeys, want) {
+			t.Errorf("%s: truth msg keys = %v, want %v", out.Scenario.Name, out.Truth.MsgKeys, want)
+		}
+		for _, ro := range out.Runs {
+			if !reflect.DeepEqual(ro.MsgKeys, want) {
+				t.Errorf("%s seed %d: run msg keys = %v, want %v", out.Scenario.Name, ro.Seed, ro.MsgKeys, want)
+			}
+		}
+	}
+}
+
+// TestChanDeadlockTruth: every interleaving ends with the waiter
+// parked (a partial deadlock — the helper finishes), the observed runs
+// deadlock too, and the analysis names the park's first alternative.
+func TestChanDeadlockTruth(t *testing.T) {
+	for _, alts := range []int{1, 2, 3} {
+		out := runChan(t, buildChan(ChanDeadlock, alts, 0, 8))
+		if out.Truth.Deadlocks != out.Truth.Interleavings {
+			t.Errorf("%s: %d of %d interleavings deadlocked, want all",
+				out.Scenario.Name, out.Truth.Deadlocks, out.Truth.Interleavings)
+		}
+		want := []string{"partial-deadlock|c0"}
+		if !reflect.DeepEqual(out.Truth.MsgKeys, want) {
+			t.Errorf("%s: truth msg keys = %v, want %v", out.Scenario.Name, out.Truth.MsgKeys, want)
+		}
+		for _, ro := range out.Runs {
+			if !ro.Deadlocked {
+				t.Errorf("%s seed %d: observed run should deadlock", out.Scenario.Name, ro.Seed)
+			}
+			if !reflect.DeepEqual(ro.MsgKeys, want) {
+				t.Errorf("%s seed %d: run msg keys = %v, want %v", out.Scenario.Name, ro.Seed, ro.MsgKeys, want)
+			}
+		}
+	}
+}
+
+// TestChanChaosSubset: a faulty wire may cost channel findings (the
+// whole-stream analyses abstain on degraded sessions) but must never
+// invent one — predicted keys stay inside the clean session's keys and
+// inside truth.
+func TestChanChaosSubset(t *testing.T) {
+	bases := []Scenario{
+		buildChan(ChanClosed, 2, 0, 9),
+		buildChan(ChanLost, 3, 1, 9),
+		buildChan(ChanDeadlock, 2, 0, 9),
+	}
+	for _, base := range bases {
+		sc := chaosOn(base, wire.FaultPlan{Drop: 0.25, Corrupt: 0.1, Seed: 99}, "mix")
+		if sc.Behavior != ChanChaos {
+			t.Fatalf("%s: behavior = %s, want %s", sc.Name, sc.Behavior, ChanChaos)
+		}
+		out := runChan(t, sc)
+		truth := map[string]bool{}
+		for _, k := range out.Truth.MsgKeys {
+			truth[k] = true
+		}
+		for _, k := range out.PredictedMsgKeys {
+			if !truth[k] {
+				t.Errorf("%s: chaos invented finding %q outside truth %v", sc.Name, k, out.Truth.MsgKeys)
+			}
+		}
+	}
+}

@@ -16,6 +16,9 @@ type Floor struct {
 	MinRaceRecall         *float64 `json:"min_race_recall,omitempty"`
 	MinRacePrecision      *float64 `json:"min_race_precision,omitempty"`
 	MaxRaceFP             *int     `json:"max_race_false_positives,omitempty"`
+	MinMsgRecall          *float64 `json:"min_msg_recall,omitempty"`
+	MinMsgPrecision       *float64 `json:"min_msg_precision,omitempty"`
+	MaxMsgFP              *int     `json:"max_msg_false_positives,omitempty"`
 }
 
 // PerfBudget bounds the lab's own cost so accuracy never regresses by
@@ -143,6 +146,18 @@ func (g Gates) Evaluate(outcomes []Outcome, scores Scores) []Check {
 		if f.MaxRaceFP != nil {
 			add("race-fp", fmt.Sprintf("≤ %d", *f.MaxRaceFP),
 				fmt.Sprintf("%d", s.RaceFP), s.RaceFP <= *f.MaxRaceFP)
+		}
+		if f.MinMsgRecall != nil {
+			add("msg-recall", fmt.Sprintf("≥ %.2f", *f.MinMsgRecall),
+				fmt.Sprintf("%.2f", s.MsgRecall), s.MsgRecall >= *f.MinMsgRecall)
+		}
+		if f.MinMsgPrecision != nil {
+			add("msg-precision", fmt.Sprintf("≥ %.2f", *f.MinMsgPrecision),
+				fmt.Sprintf("%.2f", s.MsgPrecision), s.MsgPrecision >= *f.MinMsgPrecision)
+		}
+		if f.MaxMsgFP != nil {
+			add("msg-fp", fmt.Sprintf("≤ %d", *f.MaxMsgFP),
+				fmt.Sprintf("%d", s.MsgFP), s.MsgFP <= *f.MaxMsgFP)
 		}
 	}
 	return checks

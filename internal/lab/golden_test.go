@@ -77,7 +77,8 @@ func TestResultsSchema(t *testing.T) {
 		}
 		for _, field := range []string{
 			"scenario", "truth", "runs",
-			"predicted_violation", "predicted_race_keys", "observed_violation",
+			"predicted_violation", "predicted_race_keys", "predicted_msg_keys",
+			"observed_violation",
 			"wall_ms", "truth_ms", "allocs",
 		} {
 			if _, ok := doc[field]; !ok {
@@ -100,7 +101,7 @@ func TestResultsSchema(t *testing.T) {
 		if err := json.Unmarshal(doc["truth"], &tr); err != nil {
 			t.Fatalf("line %d truth: %v", i, err)
 		}
-		for _, field := range []string{"interleavings", "complete", "violating", "violating_runs", "race_keys", "deadlocks"} {
+		for _, field := range []string{"interleavings", "complete", "violating", "violating_runs", "race_keys", "deadlocks", "msg_keys"} {
 			if _, ok := tr[field]; !ok {
 				t.Errorf("line %d: truth missing field %q", i, field)
 			}

@@ -126,7 +126,7 @@ func TestDefaultGridShape(t *testing.T) {
 		if sc.Runs < 1 {
 			t.Errorf("%s: Runs = %d", sc.Name, sc.Runs)
 		}
-		if sc.Behavior == Chaos {
+		if sc.Behavior == Chaos || sc.Behavior == ChanChaos {
 			if sc.Fault == nil {
 				t.Errorf("%s: chaos scenario without a fault plan", sc.Name)
 			}
@@ -135,7 +135,8 @@ func TestDefaultGridShape(t *testing.T) {
 			}
 		}
 	}
-	for _, b := range []Behavior{Clean, Racy, Violating, Chaos} {
+	for _, b := range []Behavior{Clean, Racy, Violating, Chaos,
+		ChanClean, ChanClosed, ChanLost, ChanDeadlock, ChanChaos} {
 		if byClass[b] == 0 {
 			t.Errorf("grid has no %s scenarios", b)
 		}

@@ -86,6 +86,50 @@ func boolMark(b bool) string {
 	return "no"
 }
 
+// msgKindOf extracts the analysis kind from a "kind|channel" key.
+func msgKindOf(key string) string {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// writeMsgKindTable renders the per-kind message-passing finding
+// counts across the grid — truth keys vs predicted keys per analysis.
+// Omitted entirely when no scenario has channel truth or predictions,
+// so reports from channel-free grids are unchanged.
+func writeMsgKindTable(b *bytes.Buffer, outcomes []Outcome) {
+	truthByKind := map[string]int{}
+	predByKind := map[string]int{}
+	any := false
+	for _, o := range outcomes {
+		for _, k := range o.Truth.MsgKeys {
+			truthByKind[msgKindOf(k)]++
+			any = true
+		}
+		for _, k := range o.PredictedMsgKeys {
+			predByKind[msgKindOf(k)]++
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	b.WriteString("## Message-passing findings by kind\n\n")
+	b.WriteString("| kind | truth keys | predicted keys |\n|---|---|---|\n")
+	kinds := map[string]bool{}
+	for k := range truthByKind {
+		kinds[k] = true
+	}
+	for k := range predByKind {
+		kinds[k] = true
+	}
+	for _, k := range sortedKeys(kinds) {
+		fmt.Fprintf(b, "| %s | %d | %d |\n", k, truthByKind[k], predByKind[k])
+	}
+	b.WriteString("\n")
+}
+
 // ReportMarkdown renders the human-readable report.md: the per-class
 // precision/recall table, the gate checks (when provided), and the
 // per-scenario detail table.
@@ -94,19 +138,23 @@ func ReportMarkdown(g Grid, outcomes []Outcome, scores Scores, checks []Check) [
 	fmt.Fprintf(&b, "# gompaxlab report — grid %q (seed %d, %d scenarios)\n\n", g.Name, g.Seed, len(outcomes))
 
 	b.WriteString("## Detection quality by behavior class\n\n")
-	b.WriteString("| behavior | scenarios | viol P | viol R | viol TP/FP/FN/TN | baseline detected | race P | race R | race TP/FP/FN |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| behavior | scenarios | viol P | viol R | viol TP/FP/FN/TN | baseline detected | race P | race R | race TP/FP/FN | msg P | msg R | msg TP/FP/FN |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	rows := append(append([]Score{}, scores.ByBehavior...), scores.Overall)
 	for _, s := range rows {
-		fmt.Fprintf(&b, "| %s | %d | %.2f | %.2f | %d/%d/%d/%d | %d/%d | %.2f | %.2f | %d/%d/%d |\n",
+		fmt.Fprintf(&b, "| %s | %d | %.2f | %.2f | %d/%d/%d/%d | %d/%d | %.2f | %.2f | %d/%d/%d | %.2f | %.2f | %d/%d/%d |\n",
 			s.Behavior, s.Scenarios,
 			s.ViolationPrecision, s.ViolationRecall,
 			s.ViolTP, s.ViolFP, s.ViolFN, s.ViolTN,
 			s.ObservedDetected, s.ViolTP+s.ViolFN,
 			s.RacePrecision, s.RaceRecall,
-			s.RaceTP, s.RaceFP, s.RaceFN)
+			s.RaceTP, s.RaceFP, s.RaceFN,
+			s.MsgPrecision, s.MsgRecall,
+			s.MsgTP, s.MsgFP, s.MsgFN)
 	}
-	b.WriteString("\n\"baseline detected\" counts truth-violating scenarios the single-trace monitor caught on an observed run — the paper's ordinary-testing detector, measured against the same exhaustive ground truth the predictor is scored on.\n\n")
+	b.WriteString("\n\"baseline detected\" counts truth-violating scenarios the single-trace monitor caught on an observed run — the paper's ordinary-testing detector, measured against the same exhaustive ground truth the predictor is scored on. The msg columns score the message-passing analyses' \"kind|channel\" finding keys against the union of outcomes realized across all interleavings.\n\n")
+
+	writeMsgKindTable(&b, outcomes)
 
 	if checks != nil {
 		b.WriteString("## Gate checks\n\n")
@@ -135,8 +183,8 @@ func ReportMarkdown(g Grid, outcomes []Outcome, scores Scores, checks []Check) [
 	if withTraces {
 		traceHead, traceSep = " trace |", "---|"
 	}
-	fmt.Fprintf(&b, "| scenario | behavior | truth | interleavings | violating runs | predicted | races truth/pred | degraded runs | wall ms | truth ms |%s\n", traceHead)
-	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|%s\n", traceSep)
+	fmt.Fprintf(&b, "| scenario | behavior | truth | interleavings | violating runs | predicted | races truth/pred | msgs truth/pred | degraded runs | wall ms | truth ms |%s\n", traceHead)
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|%s\n", traceSep)
 	for _, o := range outcomes {
 		truthLabel := "clean"
 		if o.Truth.Violating {
@@ -158,11 +206,12 @@ func ReportMarkdown(g Grid, outcomes []Outcome, scores Scores, checks []Check) [
 				traceCell = fmt.Sprintf(" [trace](%s) |", o.TraceFile)
 			}
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %s | %d/%d | %d/%d | %.1f | %.1f |%s\n",
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %s | %d/%d | %d/%d | %d/%d | %.1f | %.1f |%s\n",
 			o.Scenario.Name, o.Scenario.Behavior, truthLabel,
 			o.Truth.Interleavings, o.Truth.ViolatingRuns,
 			boolMark(o.PredictedViolation),
 			len(o.Truth.RaceKeys), len(o.PredictedRaceKeys),
+			len(o.Truth.MsgKeys), len(o.PredictedMsgKeys),
 			degraded, len(o.Runs),
 			o.WallMS, o.TruthMS, traceCell)
 	}

@@ -2,6 +2,7 @@ package lab
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -43,6 +44,12 @@ type RunOutcome struct {
 	PredictedViolation bool `json:"predicted_violation"`
 	// RaceKeys are the predicted race pair keys.
 	RaceKeys []string `json:"race_keys"`
+	// MsgKeys are the message-passing findings ("kind|channel" keys)
+	// from this run's session.
+	MsgKeys []string `json:"msg_keys"`
+	// Deadlocked is true when the observed execution itself ended with
+	// parked threads (its emitted prefix is analyzed like any other).
+	Deadlocked bool `json:"deadlocked,omitempty"`
 	// Cuts and Levels summarize the explored lattice.
 	Cuts   int `json:"cuts"`
 	Levels int `json:"levels"`
@@ -59,10 +66,11 @@ type Outcome struct {
 	Scenario Scenario     `json:"scenario"`
 	Truth    Truth        `json:"truth"`
 	Runs     []RunOutcome `json:"runs"`
-	// PredictedViolation / PredictedRaceKeys are the per-scenario
-	// verdicts: the union over the observed runs.
+	// PredictedViolation / PredictedRaceKeys / PredictedMsgKeys are the
+	// per-scenario verdicts: the union over the observed runs.
 	PredictedViolation bool     `json:"predicted_violation"`
 	PredictedRaceKeys  []string `json:"predicted_race_keys"`
+	PredictedMsgKeys   []string `json:"predicted_msg_keys"`
 	// ObservedViolation is true when any observed run violated by
 	// itself — what ordinary testing would have seen.
 	ObservedViolation bool `json:"observed_violation"`
@@ -200,7 +208,16 @@ func (r *Runner) runOnce(sc Scenario, c *compiled, seed int64, span *tracing.Spa
 	det := race.NewDetector(len(c.code.Threads))
 	m := interp.NewMachine(c.code, tee{in, det})
 	if _, err := sched.Run(m, sched.NewRandom(seed), 1_000_000); err != nil {
-		return out, fmt.Errorf("lab: %s seed %d: run: %w", sc.Name, seed, err)
+		// A deadlocked execution is a legitimate observation — exactly
+		// what the partial-deadlock analysis exists for. Its emitted
+		// prefix flows through the pipeline like any completed run
+		// (mirroring the driver, which streams the prefix and closes the
+		// session normally).
+		var dl *sched.DeadlockError
+		if !errors.As(err, &dl) {
+			return out, fmt.Errorf("lab: %s seed %d: run: %w", sc.Name, seed, err)
+		}
+		out.Deadlocked = true
 	}
 	out.Messages = len(col.Messages)
 
@@ -230,6 +247,7 @@ func (r *Runner) runOnce(sc Scenario, c *compiled, seed int64, span *tracing.Spa
 		out.Error = aerr.Error()
 	}
 	out.PredictedViolation = res.Violated()
+	out.MsgKeys = res.Messaging.Keys()
 	out.Cuts = res.Stats.Cuts
 	out.Levels = res.Stats.Levels
 	out.Degraded = res.Degraded != nil
@@ -313,6 +331,7 @@ func (r *Runner) RunScenario(sc Scenario) (Outcome, error) {
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	keys := map[string]bool{}
+	mkeys := map[string]bool{}
 	for i := 0; i < runs; i++ {
 		rsp := root.Child("lab.run")
 		rsp.SetAttr("seed", fmt.Sprint(runSeed(sc, i)))
@@ -327,11 +346,15 @@ func (r *Runner) RunScenario(sc Scenario) (Outcome, error) {
 		for _, k := range ro.RaceKeys {
 			keys[k] = true
 		}
+		for _, k := range ro.MsgKeys {
+			mkeys[k] = true
+		}
 	}
 	out.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	runtime.ReadMemStats(&ms1)
 	out.Allocs = ms1.Mallocs - ms0.Mallocs
 	out.PredictedRaceKeys = sortedKeys(keys)
+	out.PredictedMsgKeys = sortedKeys(mkeys)
 	if tr != nil {
 		root.End()
 		file, err := writeScenarioTrace(r.TraceDir, sc.Name, tr.Spans(root.TraceID()))

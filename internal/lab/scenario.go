@@ -45,7 +45,43 @@ const (
 	// whose behavior label is derived from the computed ground truth
 	// rather than declared up front.
 	Generated Behavior = "generated"
+
+	// The channel classes score the message-passing analyses. Their
+	// monitored property holds in every interleaving and they are free
+	// of data races, so the violation and race columns stay clean and
+	// the msg_* floors are what the class is about. Each template's
+	// findings are schedule-invariant (see internal/progs/channels.go),
+	// which is why the faulting classes can demand msg precision =
+	// recall = 1.00 against exhaustive ground truth.
+	//
+	// ChanClean is the clean pipeline: balanced produce/consume with a
+	// close, no finding in any interleaving (false-positive watch).
+	ChanClean Behavior = "chan-clean"
+	// ChanClosed admits send-on-closed in every interleaving: observed
+	// as a runtime fault when the close wins, predicted from the
+	// concurrent clocks when the sends win.
+	ChanClosed Behavior = "chan-closed"
+	// ChanLost leaves undelivered buffered values at the end of every
+	// interleaving.
+	ChanLost Behavior = "chan-lost"
+	// ChanDeadlock parks one thread forever on a receive (or select)
+	// with no causally-possible partner while the rest finish.
+	ChanDeadlock Behavior = "chan-deadlock"
+	// ChanChaos is a channel workload whose observer session runs
+	// through a seeded FaultWriter. Scored like chaos: loss may cost
+	// msg recall (the whole-stream analyses abstain on degraded
+	// sessions), never msg precision.
+	ChanChaos Behavior = "chan-chaos"
 )
+
+// isChannel reports whether a behavior is one of the channel classes.
+func isChannel(b Behavior) bool {
+	switch b {
+	case ChanClean, ChanClosed, ChanLost, ChanDeadlock, ChanChaos:
+		return true
+	}
+	return false
+}
 
 // Scenario is one declarative grid entry: a program, a property, and
 // the seeds that make every run of it reproducible.
@@ -99,12 +135,45 @@ func build(behavior Behavior, threads, pulses, contention int, seed int64) Scena
 	return sc
 }
 
+// buildChan materializes one channel-class scenario from the templates
+// in internal/progs. The scale axes are reused with channel meanings:
+// Pulses is the value count (values sent, or select alternatives for
+// the deadlock class) and Contention is the receive count for the
+// lost-message class.
+func buildChan(behavior Behavior, pulses, contention int, seed int64) Scenario {
+	sc := Scenario{
+		Name:       fmt.Sprintf("%s-p%d-c%d", behavior, pulses, contention),
+		Behavior:   behavior,
+		Pulses:     pulses,
+		Contention: contention,
+		Property:   progs.ChanProperty,
+		Seed:       seed,
+		Runs:       3,
+	}
+	switch behavior {
+	case ChanClean:
+		sc.Threads, sc.Source = 2, progs.ChanPipeline(pulses)
+	case ChanClosed:
+		sc.Threads, sc.Source = 3, progs.ChanSendOnClosed(pulses)
+	case ChanLost:
+		sc.Threads, sc.Source = 2, progs.ChanLostMessage(pulses, contention)
+	case ChanDeadlock:
+		sc.Threads, sc.Source = 2, progs.ChanPartialDeadlock(pulses)
+	default:
+		panic("lab: buildChan only materializes channel template behaviors")
+	}
+	return sc
+}
+
 // chaosOn derives a chaos scenario: the base workload with its
 // observer sessions routed through a FaultWriter. SpareHello keeps the
 // session openable; everything else is fair game.
 func chaosOn(base Scenario, plan wire.FaultPlan, tag string) Scenario {
 	sc := base
 	sc.Behavior = Chaos
+	if isChannel(base.Behavior) {
+		sc.Behavior = ChanChaos
+	}
 	sc.Base = base.Name
 	sc.Name = fmt.Sprintf("chaos-%s-%s", tag, base.Name)
 	plan.SpareHello = true
@@ -132,8 +201,9 @@ var scales = []struct{ threads, pulses, contention int }{
 }
 
 // DefaultGrid is the deep release grid: every template behavior at
-// every scale plus six chaos derivations — 27 scenarios, all with
-// complete exhaustive ground truth.
+// every scale, six chaos derivations, and the channel classes at a
+// few scales with two channel-chaos derivations — 40 scenarios, all
+// with complete exhaustive ground truth.
 func DefaultGrid(seed int64) Grid {
 	g := Grid{Name: "default", Seed: seed}
 	var violating, racy []Scenario
@@ -161,11 +231,31 @@ func DefaultGrid(seed int64) Grid {
 		chaosOn(racy[2], drop, "drop"),      // racy-t2-p2-c0
 		chaosOn(racy[1], mixed, "mix"),      // racy-t2-p1-c1
 	)
+	// Channel classes: every template at a few scales, plus two chaos
+	// derivations over the finding-bearing bases.
+	closed2 := buildChan(ChanClosed, 2, 0, seed)
+	lost31 := buildChan(ChanLost, 3, 1, seed)
+	g.Scenarios = append(g.Scenarios,
+		buildChan(ChanClean, 1, 0, seed),
+		buildChan(ChanClean, 2, 0, seed),
+		buildChan(ChanClean, 3, 0, seed),
+		buildChan(ChanClosed, 1, 0, seed),
+		closed2,
+		buildChan(ChanLost, 2, 1, seed),
+		lost31,
+		buildChan(ChanLost, 3, 2, seed),
+		buildChan(ChanDeadlock, 1, 0, seed),
+		buildChan(ChanDeadlock, 2, 0, seed),
+		buildChan(ChanDeadlock, 3, 0, seed),
+		chaosOn(closed2, drop, "drop"),
+		chaosOn(lost31, mixed, "mix"),
+	)
 	return g
 }
 
-// ShortGrid is the CI grid: one scenario per behavior at two scales —
-// 8 scenarios, a few seconds of work.
+// ShortGrid is the CI grid: one scenario per behavior (including each
+// channel class) at one or two scales — 13 scenarios, a few seconds
+// of work.
 func ShortGrid(seed int64) Grid {
 	g := Grid{Name: "short", Seed: seed}
 	v1 := build(Violating, 2, 1, 0, seed)
@@ -174,15 +264,22 @@ func ShortGrid(seed int64) Grid {
 	r2 := build(Racy, 2, 2, 0, seed)
 	c1 := build(Clean, 2, 1, 0, seed)
 	c2 := build(Clean, 3, 1, 1, seed)
+	closed := buildChan(ChanClosed, 1, 0, seed)
 	g.Scenarios = append(g.Scenarios, v1, v2, r1, r2, c1, c2,
 		chaosOn(v2, wire.FaultPlan{Drop: 0.15, Seed: seed + 1}, "drop"),
 		chaosOn(r2, wire.FaultPlan{Drop: 0.1, Corrupt: 0.1, Delay: 0.15, MaxDelay: 3, Seed: seed + 2}, "mix"),
+		buildChan(ChanClean, 2, 0, seed),
+		closed,
+		buildChan(ChanLost, 2, 1, seed),
+		buildChan(ChanDeadlock, 2, 0, seed),
+		chaosOn(closed, wire.FaultPlan{Drop: 0.15, Seed: seed + 3}, "drop"),
 	)
 	return g
 }
 
 // GoldenGrid is the tiny fixed grid behind the golden artifact test:
-// one scenario per behavior, smallest scale, fixed seed. Changing it
+// one scenario per shared-variable behavior plus the four channel
+// template classes, smallest scale, fixed seed. Changing it
 // invalidates testdata/lab.
 func GoldenGrid() Grid {
 	g := Grid{Name: "golden", Seed: 42}
@@ -192,6 +289,10 @@ func GoldenGrid() Grid {
 		build(Clean, 2, 1, 0, 42),
 		build(Racy, 2, 1, 0, 42),
 		chaosOn(v, wire.FaultPlan{Drop: 0.2, Seed: 43}, "drop"),
+		buildChan(ChanClean, 1, 0, 42),
+		buildChan(ChanClosed, 1, 0, 42),
+		buildChan(ChanLost, 2, 1, 42),
+		buildChan(ChanDeadlock, 2, 0, 42),
 	)
 	return g
 }

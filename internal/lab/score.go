@@ -32,6 +32,14 @@ type Score struct {
 	RacePrecision float64 `json:"race_precision"`
 	RaceRecall    float64 `json:"race_recall"`
 
+	// Message-passing metrics are micro-averaged over "kind|channel"
+	// finding keys, predicted vs the interleaving-union ground truth.
+	MsgTP        int     `json:"msg_tp"`
+	MsgFP        int     `json:"msg_fp"`
+	MsgFN        int     `json:"msg_fn"`
+	MsgPrecision float64 `json:"msg_precision"`
+	MsgRecall    float64 `json:"msg_recall"`
+
 	// WallMS / TruthMS are summed analysis and ground-truth times.
 	WallMS  float64 `json:"wall_ms"`
 	TruthMS float64 `json:"truth_ms"`
@@ -57,6 +65,33 @@ func (s *Score) finish() {
 	s.ViolationRecall = ratio(s.ViolTP, s.ViolTP+s.ViolFN)
 	s.RacePrecision = ratio(s.RaceTP, s.RaceTP+s.RaceFP)
 	s.RaceRecall = ratio(s.RaceTP, s.RaceTP+s.RaceFN)
+	s.MsgPrecision = ratio(s.MsgTP, s.MsgTP+s.MsgFP)
+	s.MsgRecall = ratio(s.MsgTP, s.MsgTP+s.MsgFN)
+}
+
+// keyCounts classifies predicted keys against truth keys, adding to
+// the micro-averaged tallies.
+func keyCounts(truthKeys, predictedKeys []string, tp, fp, fn *int) {
+	truth := map[string]bool{}
+	for _, k := range truthKeys {
+		truth[k] = true
+	}
+	predicted := map[string]bool{}
+	for _, k := range predictedKeys {
+		predicted[k] = true
+	}
+	for k := range predicted {
+		if truth[k] {
+			*tp++
+		} else {
+			*fp++
+		}
+	}
+	for k := range truth {
+		if !predicted[k] {
+			*fn++
+		}
+	}
 }
 
 func (s *Score) add(o Outcome) {
@@ -76,26 +111,8 @@ func (s *Score) add(o Outcome) {
 	if o.Truth.Violating && o.ObservedViolation {
 		s.ObservedDetected++
 	}
-	truth := map[string]bool{}
-	for _, k := range o.Truth.RaceKeys {
-		truth[k] = true
-	}
-	predicted := map[string]bool{}
-	for _, k := range o.PredictedRaceKeys {
-		predicted[k] = true
-	}
-	for k := range predicted {
-		if truth[k] {
-			s.RaceTP++
-		} else {
-			s.RaceFP++
-		}
-	}
-	for k := range truth {
-		if !predicted[k] {
-			s.RaceFN++
-		}
-	}
+	keyCounts(o.Truth.RaceKeys, o.PredictedRaceKeys, &s.RaceTP, &s.RaceFP, &s.RaceFN)
+	keyCounts(o.Truth.MsgKeys, o.PredictedMsgKeys, &s.MsgTP, &s.MsgFP, &s.MsgFN)
 }
 
 // ScoreOutcomes computes per-behavior and overall precision/recall.

@@ -10,6 +10,7 @@ import (
 	"gompax/internal/interp"
 	"gompax/internal/logic"
 	"gompax/internal/monitor"
+	"gompax/internal/msg"
 	"gompax/internal/mtl"
 	"gompax/internal/mvc"
 	"gompax/internal/sched"
@@ -42,6 +43,14 @@ type Truth struct {
 	RaceKeys []string `json:"race_keys"`
 	// Deadlocks counts interleavings that ended deadlocked.
 	Deadlocks int `json:"deadlocks"`
+	// MsgKeys is the sorted union, over every interleaving, of the
+	// message-passing outcomes that actually happened in it, as
+	// "kind|channel" keys matching msg.Report.Keys(): an executed
+	// send-on-closed fault, a channel ending the run with undelivered
+	// buffered values, or a thread still parked on a channel operation
+	// at the end. This is observational ground truth — a predicted
+	// finding is correct exactly when some interleaving realizes it.
+	MsgKeys []string `json:"msg_keys"`
 }
 
 // TruthOptions bounds the exploration.
@@ -151,7 +160,39 @@ func (t tee) Spawn(parent, child int) {
 	}
 }
 
+// The tee also implements the optional ChannelHooks extension,
+// forwarding to the members that do. The machine discovers channel
+// support with one type assertion on its top-level hooks, so without
+// this no consumer behind a tee would ever see a channel event.
+func (t tee) eachChan(f func(interp.ChannelHooks)) {
+	for _, h := range t {
+		if ch, ok := h.(interp.ChannelHooks); ok {
+			f(ch)
+		}
+	}
+}
+
+func (t tee) ChanSend(tid int, ch string, val, capacity int64, partner int) {
+	t.eachChan(func(h interp.ChannelHooks) { h.ChanSend(tid, ch, val, capacity, partner) })
+}
+func (t tee) ChanRecv(tid int, ch string, val int64) {
+	t.eachChan(func(h interp.ChannelHooks) { h.ChanRecv(tid, ch, val) })
+}
+func (t tee) ChanClose(tid int, ch string) {
+	t.eachChan(func(h interp.ChannelHooks) { h.ChanClose(tid, ch) })
+}
+func (t tee) ChanSendClosed(tid int, ch string, val int64) {
+	t.eachChan(func(h interp.ChannelHooks) { h.ChanSendClosed(tid, ch, val) })
+}
+func (t tee) ChanRecvClosed(tid int, ch string) {
+	t.eachChan(func(h interp.ChannelHooks) { h.ChanRecvClosed(tid, ch) })
+}
+func (t tee) ChanBlock(tid int, ch string, aux string) {
+	t.eachChan(func(h interp.ChannelHooks) { h.ChanBlock(tid, ch, aux) })
+}
+
 var _ interp.Hooks = tee(nil)
+var _ interp.ChannelHooks = tee(nil)
 
 // hbKind classifies recorded events for the independent happens-before
 // ground truth (it shares no code with the vector clocks it judges).
@@ -188,7 +229,88 @@ func (r *hbRecorder) WaitResume(tid int, c string)        { r.add(tid, c, hbSync
 func (r *hbRecorder) Internal(tid int)                    { r.add(tid, "", hbOther, -1) }
 func (r *hbRecorder) Spawn(parent, child int)             { r.add(parent, "", hbOther, child) }
 
+// Channel events mirror the race detector's channel-as-lock encoding:
+// every completed operation on a channel synchronizes on the channel's
+// name (their total order contributes happens-before edges), while a
+// park establishes no order on its own.
+func (r *hbRecorder) ChanSend(tid int, ch string, _, _ int64, _ int) { r.add(tid, ch, hbSync, -1) }
+func (r *hbRecorder) ChanRecv(tid int, ch string, _ int64)           { r.add(tid, ch, hbSync, -1) }
+func (r *hbRecorder) ChanClose(tid int, ch string)                   { r.add(tid, ch, hbSync, -1) }
+func (r *hbRecorder) ChanSendClosed(tid int, ch string, _ int64)     { r.add(tid, ch, hbSync, -1) }
+func (r *hbRecorder) ChanRecvClosed(tid int, ch string)              { r.add(tid, ch, hbSync, -1) }
+func (r *hbRecorder) ChanBlock(tid int, _ string, _ string)          { r.add(tid, "", hbOther, -1) }
+
 var _ interp.Hooks = (*hbRecorder)(nil)
+var _ interp.ChannelHooks = (*hbRecorder)(nil)
+
+// chanOutcomes records what actually happened to every channel of one
+// concrete execution, from first principles (it shares no code with
+// internal/msg, whose predictions it is the ground truth for). At the
+// end of the run, keys() projects the outcomes onto the same
+// "kind|channel" keys msg.Report.Keys() emits.
+type chanOutcomes struct {
+	sends   map[string]int  // completed value-carrying sends per channel
+	recvs   map[string]int  // completed value-carrying receives per channel
+	faulted map[string]bool // channels with an executed send-on-closed
+	parked  map[int]string  // thread -> channel of its unresolved park
+}
+
+func newChanOutcomes() *chanOutcomes {
+	return &chanOutcomes{
+		sends:   map[string]int{},
+		recvs:   map[string]int{},
+		faulted: map[string]bool{},
+		parked:  map[int]string{},
+	}
+}
+
+func (c *chanOutcomes) Read(int, string, int64)  {}
+func (c *chanOutcomes) Write(int, string, int64) {}
+func (c *chanOutcomes) Acquire(int, string)      {}
+func (c *chanOutcomes) Release(int, string)      {}
+func (c *chanOutcomes) Signal(int, string)       {}
+func (c *chanOutcomes) WaitResume(int, string)   {}
+func (c *chanOutcomes) Internal(int)             {}
+func (c *chanOutcomes) Spawn(int, int)           {}
+
+// A completed operation of a thread resolves its pending park (a
+// resumed park always completes as a later event of the same thread);
+// a park that is never followed by one is still standing at the end.
+func (c *chanOutcomes) ChanSend(tid int, ch string, _, _ int64, _ int) {
+	c.sends[ch]++
+	delete(c.parked, tid)
+}
+func (c *chanOutcomes) ChanRecv(tid int, ch string, _ int64) {
+	c.recvs[ch]++
+	delete(c.parked, tid)
+}
+func (c *chanOutcomes) ChanClose(tid int, ch string) { delete(c.parked, tid) }
+func (c *chanOutcomes) ChanSendClosed(tid int, ch string, _ int64) {
+	c.faulted[ch] = true
+	delete(c.parked, tid) // the thread halts on the fault, it is not parked
+}
+func (c *chanOutcomes) ChanRecvClosed(tid int, ch string)  { delete(c.parked, tid) }
+func (c *chanOutcomes) ChanBlock(tid int, ch string, _ string) { c.parked[tid] = ch }
+
+// keys folds the run's outcomes into the truth set: executed faults,
+// channels ending with more sends than receives (values no receiver
+// ever took), and threads still parked when the run ended.
+func (c *chanOutcomes) keys(into map[string]bool) {
+	for ch := range c.faulted {
+		into[string(msg.SendOnClosed)+"|"+ch] = true
+	}
+	for ch, n := range c.sends {
+		if n > c.recvs[ch] {
+			into[string(msg.LostMessage)+"|"+ch] = true
+		}
+	}
+	for _, ch := range c.parked {
+		into[string(msg.PartialDeadlock)+"|"+ch] = true
+	}
+}
+
+var _ interp.Hooks = (*chanOutcomes)(nil)
+var _ interp.ChannelHooks = (*chanOutcomes)(nil)
 
 // PairKey canonically names a conflicting access pair: variable plus
 // each side's (thread, is-write), order-normalized. Ground truth and
@@ -296,11 +418,13 @@ func computeTruth(c *compiled, opts TruthOptions) (Truth, error) {
 		Complete:      n < opts.MaxInterleavings,
 	}
 	raceKeys := map[string]bool{}
+	msgKeys := map[string]bool{}
 	for _, schedule := range schedules {
 		col := &mvc.Collector{}
 		in := instrument.New(len(c.code.Threads), c.policy, col)
 		rec := &hbRecorder{}
-		mm := interp.NewMachine(c.code, tee{in, rec})
+		chn := newChanOutcomes()
+		mm := interp.NewMachine(c.code, tee{in, rec, chn})
 		_, err := sched.Run(mm, &sched.Scripted{Seq: schedule}, opts.MaxEvents)
 		var dl *sched.DeadlockError
 		if errors.As(err, &dl) {
@@ -320,8 +444,10 @@ func computeTruth(c *compiled, opts TruthOptions) (Truth, error) {
 			truth.ViolatingRuns++
 		}
 		closureRaceKeys(rec.events, raceKeys)
+		chn.keys(msgKeys)
 	}
 	truth.RaceKeys = sortedKeys(raceKeys)
+	truth.MsgKeys = sortedKeys(msgKeys)
 	return truth, nil
 }
 

@@ -210,10 +210,17 @@ func (c *Computation) Advance(cut Cut, thread int) Succ {
 	next := int(cut.counts.Get(thread)) + 1
 	m := c.perThread[thread][next-1]
 	counts := c.table.Tick(cut.counts, thread)
+	state := cut.state
+	if !m.Event.Kind.IsChannel() {
+		// Channel events advance the cut (they tick the thread's clock,
+		// so they occupy lattice positions) but carry no state update:
+		// the Var is a channel name, not a shared variable.
+		state = state.With(m.Event.Var, m.Event.Value)
+	}
 	return Succ{
 		Thread: thread,
 		Msg:    m,
-		Cut:    Cut{counts: counts, state: cut.state.With(m.Event.Var, m.Event.Value)},
+		Cut:    Cut{counts: counts, state: state},
 	}
 }
 

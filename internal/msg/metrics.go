@@ -1,0 +1,32 @@
+package msg
+
+import (
+	"encoding/json"
+
+	"gompax/internal/telemetry"
+)
+
+var (
+	mAnalyses = telemetry.Default().NewCounter("gompax_msg_analyses_total",
+		"Message-passing analysis passes executed.")
+	mFindings = telemetry.Default().NewCounterVec("gompax_msg_findings_total",
+		"Message-passing findings, by analysis kind.", "kind")
+)
+
+// statusSection marshals the per-kind finding tallies at scrape time,
+// so the /statusz "messaging" section is always current with zero cost
+// on the analysis path.
+type statusSection struct{}
+
+func (statusSection) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"analyses":         mAnalyses.Value(),
+		"send_on_closed":   mFindings.With(string(SendOnClosed)).Value(),
+		"lost_message":     mFindings.With(string(LostMessage)).Value(),
+		"partial_deadlock": mFindings.With(string(PartialDeadlock)).Value(),
+	})
+}
+
+func init() {
+	telemetry.PublishStatus("messaging", statusSection{})
+}

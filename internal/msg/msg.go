@@ -1,0 +1,321 @@
+// Package msg implements the message-passing analyses over the
+// channel-event stream Algorithm A emits: predictive send-on-closed
+// detection, lost-message detection, and partial-deadlock detection.
+// It is a sibling of package race — the same "analyze the observed
+// messages, predict what other consistent runs could do" shape, but
+// over channel causality instead of shared-variable accesses.
+//
+// Three analyses:
+//
+//   - Send-on-closed. An observed ChanSendClosed event is a witnessed
+//     violation. Predictively, a completed ChanSend whose clock is
+//     concurrent with the channel's ChanClose clock could have been
+//     scheduled after the close in some consistent run — a predicted
+//     violation even though the observed run dodged it. Both checks
+//     are per-pair, so message loss can only lose findings, never
+//     invent them: the analysis stays sound under a degraded session.
+//
+//   - Lost message. On a complete session, a channel whose completed
+//     sends outnumber its completed receives at session end holds
+//     values no receiver ever took — buffered messages lost when the
+//     program finished. This is a whole-stream count, so it abstains
+//     (reports nothing) when the session is incomplete or lossy.
+//
+//   - Partial deadlock. On a complete session, a thread whose last
+//     channel event is a ChanBlock parked on a communication and never
+//     completed it: no causally-possible partner existed (a resumed
+//     park always produces a later completed channel event of the same
+//     thread, so "last channel event is a park" exactly characterizes
+//     threads still parked at session end — including unchosen select
+//     alternatives, whose channels are listed in the event's Aux).
+//     Like lost-message detection it abstains on incomplete sessions.
+package msg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gompax/internal/event"
+)
+
+// Kind names one of the message-passing analyses.
+type Kind string
+
+const (
+	// SendOnClosed is a send that did, or in some consistent run could,
+	// execute against a closed channel.
+	SendOnClosed Kind = "send-on-closed"
+	// LostMessage is a buffered value sent but never received before
+	// the session ended.
+	LostMessage Kind = "lost-message"
+	// PartialDeadlock is a thread parked on a channel operation with no
+	// causally-possible partner for any of its alternatives.
+	PartialDeadlock Kind = "partial-deadlock"
+)
+
+// Finding is one detected violation with its counterexample witness.
+type Finding struct {
+	Kind    Kind
+	Channel string
+	// Thread is the offending thread (the sender for send-on-closed
+	// and lost-message, the parked thread for partial-deadlock).
+	Thread int
+	// Observed is true when the violation happened in the monitored run
+	// itself (e.g. an executed send-on-closed fault) rather than being
+	// predicted from causality.
+	Observed bool
+	// Witness explains the finding in terms of the stream's events and
+	// clocks — the counterexample a user replays or inspects.
+	Witness string
+}
+
+func (f Finding) String() string {
+	mode := "predicted"
+	if f.Observed {
+		mode = "observed"
+	}
+	return fmt.Sprintf("%s on %s (%s): %s", f.Kind, f.Channel, mode, f.Witness)
+}
+
+// Options configures Analyze.
+type Options struct {
+	// Complete marks the session as having ended cleanly with no
+	// message loss: every emitted channel event was delivered. The
+	// whole-stream analyses (lost-message, partial-deadlock) only run
+	// on complete sessions — on a lossy one they abstain, so loss can
+	// weaken verdicts but never flip them.
+	Complete bool
+	// Predictive enables causality-based prediction of send-on-closed
+	// violations (concurrent send/close pairs). Observed faults are
+	// always reported.
+	Predictive bool
+}
+
+// Report is the outcome of the message-passing analyses on one
+// session's channel events.
+type Report struct {
+	Findings []Finding
+	// Per-kind counts, for verdict lines and telemetry.
+	SendOnClosed     int
+	LostMessages     int
+	PartialDeadlocks int
+	// ChannelEvents is how many channel events the analyses saw.
+	ChannelEvents int
+	// Abstained is true when the whole-stream analyses were skipped
+	// because the session was incomplete or lossy.
+	Abstained bool
+}
+
+// Violating reports whether any analysis found a violation.
+func (r *Report) Violating() bool { return r != nil && len(r.Findings) > 0 }
+
+// Counts returns the per-kind finding counts keyed by Kind.
+func (r *Report) Counts() map[Kind]int {
+	if r == nil {
+		return nil
+	}
+	return map[Kind]int{
+		SendOnClosed:    r.SendOnClosed,
+		LostMessage:     r.LostMessages,
+		PartialDeadlock: r.PartialDeadlocks,
+	}
+}
+
+// Summary renders a one-line human summary.
+func (r *Report) Summary() string {
+	if r == nil || r.ChannelEvents == 0 {
+		return "no channel events"
+	}
+	if len(r.Findings) == 0 {
+		if r.Abstained {
+			return fmt.Sprintf("%d channel events, no violations (whole-stream analyses abstained: incomplete session)", r.ChannelEvents)
+		}
+		return fmt.Sprintf("%d channel events, no violations", r.ChannelEvents)
+	}
+	return fmt.Sprintf("%d channel events: %d send-on-closed, %d lost-message, %d partial-deadlock",
+		r.ChannelEvents, r.SendOnClosed, r.LostMessages, r.PartialDeadlocks)
+}
+
+// chanStream is the per-channel view Analyze builds.
+type chanStream struct {
+	sends   []event.Message // completed ChanSend events
+	nrecv   int             // completed ChanRecv count
+	closes  []event.Message // ChanClose events (at most one per consistent run)
+	faulted []event.Message // observed ChanSendClosed events
+}
+
+// Analyze runs the message-passing analyses over a session's messages
+// (non-channel messages are ignored, so callers can pass the full
+// stream). Findings are ordered by kind, then channel, then thread.
+func Analyze(msgs []event.Message, opts Options) *Report {
+	mAnalyses.Inc()
+	r := &Report{}
+	chans := map[string]*chanStream{}
+	lastChanEvent := map[int]event.Message{} // thread -> its latest channel event
+	var order []string
+	stream := func(ch string) *chanStream {
+		c, ok := chans[ch]
+		if !ok {
+			c = &chanStream{}
+			chans[ch] = c
+			order = append(order, ch)
+		}
+		return c
+	}
+	for _, m := range msgs {
+		if !m.Event.Kind.IsChannel() {
+			continue
+		}
+		r.ChannelEvents++
+		c := stream(m.Event.Var)
+		switch m.Event.Kind {
+		case event.ChanSend:
+			c.sends = append(c.sends, m)
+		case event.ChanRecv:
+			c.nrecv++
+		case event.ChanClose:
+			c.closes = append(c.closes, m)
+		case event.ChanSendClosed:
+			c.faulted = append(c.faulted, m)
+		}
+		// A thread's channel events arrive in its program order (Index
+		// ascending), but interleaved streams can reorder across
+		// threads — track the per-thread maximum explicitly.
+		if prev, ok := lastChanEvent[m.Event.Thread]; !ok || m.Event.Index > prev.Event.Index {
+			lastChanEvent[m.Event.Thread] = m
+		}
+	}
+	if r.ChannelEvents == 0 {
+		return r
+	}
+	sort.Strings(order)
+
+	// Send-on-closed: observed faults first, then predicted concurrent
+	// send/close pairs.
+	for _, ch := range order {
+		c := chans[ch]
+		for _, f := range c.faulted {
+			r.add(Finding{
+				Kind: SendOnClosed, Channel: ch, Thread: f.Event.Thread, Observed: true,
+				Witness: fmt.Sprintf("thread %d executed send(%s, %d) after close (event %d)",
+					f.Event.Thread, ch, f.Event.Value, f.Event.Seq),
+			})
+		}
+		if !opts.Predictive {
+			continue
+		}
+		for _, cl := range c.closes {
+			for _, s := range c.sends {
+				if s.Event.Thread == cl.Event.Thread {
+					continue // program order decides; never concurrent
+				}
+				if s.Concurrent(cl) {
+					r.add(Finding{
+						Kind: SendOnClosed, Channel: ch, Thread: s.Event.Thread,
+						Witness: fmt.Sprintf("send(%s, %d) by thread %d at %v is concurrent with close by thread %d at %v: a consistent run closes first",
+							ch, s.Event.Value, s.Event.Thread, s.Clock, cl.Event.Thread, cl.Clock),
+					})
+				}
+			}
+		}
+	}
+
+	if !opts.Complete {
+		r.Abstained = true
+		return r
+	}
+
+	// Lost message: completed sends minus completed receives, per
+	// channel, at session end.
+	for _, ch := range order {
+		c := chans[ch]
+		if lost := len(c.sends) - c.nrecv; lost > 0 {
+			last := c.sends[len(c.sends)-1]
+			r.add(Finding{
+				Kind: LostMessage, Channel: ch, Thread: last.Event.Thread,
+				Witness: fmt.Sprintf("%d of %d values sent on %s never received (last unreceived send: value %d by thread %d, event %d)",
+					lost, len(c.sends), ch, last.Event.Value, last.Event.Thread, last.Event.Seq),
+			})
+		}
+	}
+
+	// Partial deadlock: threads whose final channel event is a park.
+	var parked []int
+	for tid := range lastChanEvent {
+		parked = append(parked, tid)
+	}
+	sort.Ints(parked)
+	for _, tid := range parked {
+		m := lastChanEvent[tid]
+		if m.Event.Kind != event.ChanBlock {
+			continue
+		}
+		op := m.Event.Aux
+		if op == "" {
+			op = fmt.Sprintf("op(%s)", m.Event.Var)
+		}
+		r.add(Finding{
+			Kind: PartialDeadlock, Channel: m.Event.Var, Thread: tid,
+			Witness: fmt.Sprintf("thread %d parked on %s (event %d) and no alternative ever found a partner",
+				tid, op, m.Event.Seq),
+		})
+	}
+	return r
+}
+
+// add appends a finding, deduplicating on (kind, channel, thread), and
+// maintains the per-kind tallies and telemetry.
+func (r *Report) add(f Finding) {
+	for _, have := range r.Findings {
+		if have.Kind == f.Kind && have.Channel == f.Channel && have.Thread == f.Thread {
+			if f.Observed && !have.Observed {
+				break // upgrade below
+			}
+			return
+		}
+	}
+	for i, have := range r.Findings {
+		if have.Kind == f.Kind && have.Channel == f.Channel && have.Thread == f.Thread {
+			r.Findings[i] = f // observed beats predicted
+			return
+		}
+	}
+	r.Findings = append(r.Findings, f)
+	switch f.Kind {
+	case SendOnClosed:
+		r.SendOnClosed++
+	case LostMessage:
+		r.LostMessages++
+	case PartialDeadlock:
+		r.PartialDeadlocks++
+	}
+	mFindings.With(string(f.Kind)).Inc()
+}
+
+// Keys returns the findings as sorted "kind|channel" strings — the
+// shape the lab scores against exhaustive ground truth.
+func (r *Report) Keys() []string {
+	if r == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, f := range r.Findings {
+		set[string(f.Kind)+"|"+f.Channel] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FormatFindings renders findings one per line for reports.
+func FormatFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package msg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gompax/internal/clock"
+	"gompax/internal/event"
+)
+
+// mk builds a synthetic channel message with an explicit clock, so the
+// tests pin the analysis semantics independently of the interpreter.
+func mk(kind event.Kind, tid int, index uint64, ch string, val int64, comps ...uint64) event.Message {
+	return event.Message{
+		Event: event.Event{Thread: tid, Index: index, Kind: kind, Var: ch, Value: val},
+		Clock: clock.Of(comps...),
+	}
+}
+
+func TestAnalyzeNoChannelEvents(t *testing.T) {
+	r := Analyze([]event.Message{
+		{Event: event.Event{Thread: 0, Index: 1, Kind: event.Write, Var: "x", Value: 1}},
+	}, Options{Complete: true, Predictive: true})
+	if r.ChannelEvents != 0 || r.Violating() {
+		t.Fatalf("shared-variable stream produced %+v", r)
+	}
+	if got := r.Summary(); got != "no channel events" {
+		t.Fatalf("Summary = %q", got)
+	}
+}
+
+func TestObservedSendOnClosed(t *testing.T) {
+	// An executed fault is reported even on an incomplete session with
+	// prediction off — it is a witnessed violation, not a guess.
+	r := Analyze([]event.Message{
+		mk(event.ChanClose, 1, 1, "c", 0, 0, 1),
+		mk(event.ChanSendClosed, 0, 1, "c", 7, 1, 1),
+	}, Options{})
+	if r.SendOnClosed != 1 || !r.Findings[0].Observed {
+		t.Fatalf("observed fault not reported: %+v", r.Findings)
+	}
+	if !strings.Contains(r.Findings[0].String(), "observed") {
+		t.Fatalf("finding should render as observed: %s", r.Findings[0])
+	}
+}
+
+func TestPredictedSendOnClosed(t *testing.T) {
+	// t0's send and t1's close are concurrent (neither clock dominates)
+	// → predicted. t2's send is ordered before the close → clean. The
+	// closer's own send is skipped: program order decides there.
+	msgs := []event.Message{
+		mk(event.ChanSend, 2, 1, "c", 1, 0, 0, 1),
+		mk(event.ChanClose, 1, 2, "c", 0, 0, 1, 1),
+		mk(event.ChanSend, 0, 1, "c", 2, 1, 0, 0),
+		mk(event.ChanSend, 1, 1, "c", 3, 0, 1, 0),
+		// Balance the receives so lost-message stays out of the picture.
+		mk(event.ChanRecv, 2, 2, "c", 1, 1, 1, 2),
+		mk(event.ChanRecv, 2, 3, "c", 2, 1, 1, 3),
+		mk(event.ChanRecv, 2, 4, "c", 3, 1, 1, 4),
+	}
+	r := Analyze(msgs, Options{Complete: true, Predictive: true})
+	if r.SendOnClosed != 1 {
+		t.Fatalf("want exactly the concurrent pair predicted, got %+v", r.Findings)
+	}
+	f := r.Findings[0]
+	if f.Observed || f.Thread != 0 || f.Channel != "c" {
+		t.Fatalf("wrong finding: %+v", f)
+	}
+	if got, want := r.Keys(), []string{"send-on-closed|c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+
+	// Prediction off: the concurrent pair is not reported.
+	if r := Analyze(msgs, Options{Complete: true}); r.SendOnClosed != 0 {
+		t.Fatalf("prediction disabled but still found %+v", r.Findings)
+	}
+}
+
+func TestLostMessageCounting(t *testing.T) {
+	// Two sends, one real receive, one closed-channel drain: the drain
+	// delivers no value, so exactly one message is lost.
+	msgs := []event.Message{
+		mk(event.ChanSend, 0, 1, "c", 1, 1, 0),
+		mk(event.ChanSend, 0, 2, "c", 2, 2, 0),
+		mk(event.ChanRecv, 1, 1, "c", 1, 1, 1),
+		mk(event.ChanRecvClosed, 1, 2, "c", 0, 2, 2),
+	}
+	r := Analyze(msgs, Options{Complete: true})
+	if r.LostMessages != 1 {
+		t.Fatalf("want one lost-message finding, got %+v", r.Findings)
+	}
+	if got, want := r.Keys(), []string{"lost-message|c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+
+	// The whole-stream analyses abstain on an incomplete session: a
+	// lossy stream must never manufacture a missing receive.
+	r = Analyze(msgs, Options{})
+	if !r.Abstained || r.Violating() {
+		t.Fatalf("incomplete session should abstain, got %+v", r)
+	}
+	if !strings.Contains(r.Summary(), "abstained") {
+		t.Fatalf("Summary should mention abstention: %q", r.Summary())
+	}
+}
+
+func TestPartialDeadlockLastEventWins(t *testing.T) {
+	// t1 parked and never ran again → finding. t2 parked, then its
+	// later receive completed (higher Index) → resumed, no finding,
+	// regardless of the order the messages were delivered in.
+	msgs := []event.Message{
+		mk(event.ChanRecv, 2, 2, "c", 1, 1, 0, 2),
+		mk(event.ChanBlock, 2, 1, "c", 0, 0, 0, 1),
+		mk(event.ChanSend, 0, 1, "c", 1, 1, 0, 0),
+		mk(event.ChanBlock, 1, 1, "d", 0, 0, 1, 0),
+	}
+	r := Analyze(msgs, Options{Complete: true})
+	if r.PartialDeadlocks != 1 {
+		t.Fatalf("want one partial-deadlock finding, got %+v", r.Findings)
+	}
+	if f := r.Findings[len(r.Findings)-1]; f.Thread != 1 || f.Channel != "d" {
+		t.Fatalf("wrong parked thread/channel: %+v", f)
+	}
+}
+
+func TestObservedUpgradesPredicted(t *testing.T) {
+	// The same (kind, channel, thread) triple found both predictively
+	// and as an executed fault is one finding, reported as observed.
+	msgs := []event.Message{
+		mk(event.ChanSend, 0, 1, "c", 1, 1, 0),
+		mk(event.ChanClose, 1, 1, "c", 0, 0, 1),
+		mk(event.ChanSendClosed, 0, 2, "c", 2, 2, 1),
+	}
+	r := Analyze(msgs, Options{Predictive: true})
+	if r.SendOnClosed != 1 || !r.Findings[0].Observed {
+		t.Fatalf("want one observed finding, got %+v", r.Findings)
+	}
+	if c := r.Counts(); c[SendOnClosed] != 1 {
+		t.Fatalf("Counts = %v", c)
+	}
+}

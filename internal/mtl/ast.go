@@ -39,6 +39,8 @@ type Program struct {
 	// Mutexes and Conds list declared lock and condition variable names.
 	Mutexes []string
 	Conds   []string
+	// Chans lists declared channels in source order.
+	Chans []ChanDecl
 	// Threads lists the thread bodies in declaration order; thread i in
 	// the program is thread t_{i+1} in the paper's numbering.
 	Threads []ThreadDecl
@@ -55,6 +57,13 @@ type SharedDecl struct {
 	Init int64
 }
 
+// ChanDecl declares a channel of int values. Cap 0 is an unbuffered
+// (rendezvous) channel; Cap > 0 is a FIFO buffer of that capacity.
+type ChanDecl struct {
+	Name string
+	Cap  int64
+}
+
 // ThreadDecl is one declared thread.
 type ThreadDecl struct {
 	Name string
@@ -66,6 +75,15 @@ func (p *Program) InitialState() map[string]int64 {
 	m := make(map[string]int64, len(p.Shared))
 	for _, d := range p.Shared {
 		m[d.Name] = d.Init
+	}
+	return m
+}
+
+// ChanCaps returns the declared channels' capacities by name.
+func (p *Program) ChanCaps() map[string]int64 {
+	m := make(map[string]int64, len(p.Chans))
+	for _, c := range p.Chans {
+		m[c.Name] = c.Cap
 	}
 	return m
 }
@@ -141,6 +159,51 @@ type SpawnStmt struct{ Task string }
 // Skip is an internal no-op event (the paper's "irrelevant code").
 type Skip struct{}
 
+// SendStmt sends the value of an expression into a channel:
+// send(c, e); — blocking when the channel is unbuffered with no
+// waiting receiver or its buffer is full, and a runtime fault when the
+// channel is closed.
+type SendStmt struct {
+	Chan string
+	Expr logic.Expr
+}
+
+// RecvStmt receives from a channel: x = recv(c); or recv(c); (value
+// discarded when Target is empty). Receiving from a closed, drained
+// channel yields zero.
+type RecvStmt struct {
+	Chan   string
+	Target string
+}
+
+// CloseStmt closes a channel: close(c);. Subsequent receives drain the
+// buffer and then yield zero; subsequent sends fault.
+type CloseStmt struct{ Chan string }
+
+// SelectStmt waits for the first ready case among alternative channel
+// communications, Go-style; cases are checked in syntactic order and
+// the first ready one fires (deterministic MTL semantics, so the
+// exhaustive scheduler remains exact ground truth). With a default
+// block and no ready case, the default runs immediately.
+type SelectStmt struct {
+	Cases      []SelectCase
+	HasDefault bool
+	Default    []Stmt
+}
+
+// SelectCase is one communication alternative of a select.
+type SelectCase struct {
+	// Send distinguishes `case send(c, e)` from `case [x =] recv(c)`.
+	Send bool
+	Chan string
+	// Expr is the sent value (send cases only).
+	Expr logic.Expr
+	// Target names the variable receiving the value (recv cases;
+	// empty = discard).
+	Target string
+	Body   []Stmt
+}
+
 func (Assign) stmt()        {}
 func (VarDecl) stmt()       {}
 func (If) stmt()            {}
@@ -152,6 +215,10 @@ func (NotifyStmt) stmt()    {}
 func (NotifyAllStmt) stmt() {}
 func (SpawnStmt) stmt()     {}
 func (Skip) stmt()          {}
+func (SendStmt) stmt()      {}
+func (RecvStmt) stmt()      {}
+func (CloseStmt) stmt()     {}
+func (SelectStmt) stmt()    {}
 
 func ind(b *strings.Builder, n int) {
 	for i := 0; i < n; i++ {
@@ -262,6 +329,53 @@ func (s Skip) writeTo(b *strings.Builder, indent int) {
 	b.WriteString("skip;\n")
 }
 
+func (s SendStmt) writeTo(b *strings.Builder, indent int) {
+	ind(b, indent)
+	fmt.Fprintf(b, "send(%s, %s);\n", s.Chan, s.Expr)
+}
+
+func (s RecvStmt) writeTo(b *strings.Builder, indent int) {
+	ind(b, indent)
+	if s.Target != "" {
+		fmt.Fprintf(b, "%s = recv(%s);\n", s.Target, s.Chan)
+	} else {
+		fmt.Fprintf(b, "recv(%s);\n", s.Chan)
+	}
+}
+
+func (s CloseStmt) writeTo(b *strings.Builder, indent int) {
+	ind(b, indent)
+	fmt.Fprintf(b, "close(%s);\n", s.Chan)
+}
+
+func (s SelectStmt) writeTo(b *strings.Builder, indent int) {
+	ind(b, indent)
+	b.WriteString("select {\n")
+	for _, c := range s.Cases {
+		ind(b, indent)
+		switch {
+		case c.Send:
+			fmt.Fprintf(b, "case send(%s, %s) {\n", c.Chan, c.Expr)
+		case c.Target != "":
+			fmt.Fprintf(b, "case %s = recv(%s) {\n", c.Target, c.Chan)
+		default:
+			fmt.Fprintf(b, "case recv(%s) {\n", c.Chan)
+		}
+		writeBlock(b, c.Body, indent+1)
+		ind(b, indent)
+		b.WriteString("}\n")
+	}
+	if s.HasDefault {
+		ind(b, indent)
+		b.WriteString("default {\n")
+		writeBlock(b, s.Default, indent+1)
+		ind(b, indent)
+		b.WriteString("}\n")
+	}
+	ind(b, indent)
+	b.WriteString("}\n")
+}
+
 // String renders the program back to parseable MTL source.
 func (p *Program) String() string {
 	var b strings.Builder
@@ -273,6 +387,13 @@ func (p *Program) String() string {
 	}
 	for _, c := range p.Conds {
 		fmt.Fprintf(&b, "cond %s;\n", c)
+	}
+	for _, c := range p.Chans {
+		if c.Cap > 0 {
+			fmt.Fprintf(&b, "chan %s = %d;\n", c.Name, c.Cap)
+		} else {
+			fmt.Fprintf(&b, "chan %s;\n", c.Name)
+		}
 	}
 	for _, t := range p.Threads {
 		fmt.Fprintf(&b, "\nthread %s {\n", t.Name)

@@ -32,6 +32,16 @@ func Check(p *Program) error {
 		}
 		conds[c] = true
 	}
+	chans := map[string]bool{}
+	for _, c := range p.Chans {
+		if chans[c.Name] || conds[c.Name] || mutexes[c.Name] || shared[c.Name] {
+			return fmt.Errorf("mtl: chan %q conflicts with another declaration", c.Name)
+		}
+		if c.Cap < 0 {
+			return fmt.Errorf("mtl: chan %q has negative capacity %d", c.Name, c.Cap)
+		}
+		chans[c.Name] = true
+	}
 	threads := map[string]bool{}
 	tasks := map[string]bool{}
 	for _, t := range p.Tasks {
@@ -49,23 +59,23 @@ func Check(p *Program) error {
 	units := append(append([]ThreadDecl(nil), p.Threads...), p.Tasks...)
 	for _, t := range units {
 		locals := map[string]bool{}
-		if err := checkBlock(t.Name, t.Body, shared, mutexes, conds, tasks, locals); err != nil {
+		if err := checkBlock(t.Name, t.Body, shared, mutexes, conds, chans, tasks, locals); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func checkBlock(thread string, stmts []Stmt, shared, mutexes, conds, tasks, locals map[string]bool) error {
+func checkBlock(thread string, stmts []Stmt, shared, mutexes, conds, chans, tasks, locals map[string]bool) error {
 	for _, s := range stmts {
-		if err := checkStmt(thread, s, shared, mutexes, conds, tasks, locals); err != nil {
+		if err := checkStmt(thread, s, shared, mutexes, conds, chans, tasks, locals); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func checkStmt(thread string, s Stmt, shared, mutexes, conds, tasks, locals map[string]bool) error {
+func checkStmt(thread string, s Stmt, shared, mutexes, conds, chans, tasks, locals map[string]bool) error {
 	checkExpr := func(e logic.Expr) error {
 		for _, v := range logic.ExprVars(e) {
 			if !shared[v] && !locals[v] {
@@ -96,8 +106,8 @@ func checkStmt(thread string, s Stmt, shared, mutexes, conds, tasks, locals map[
 		if shared[g.Name] {
 			return fmt.Errorf("mtl: thread %s: local %q shadows a shared variable", thread, g.Name)
 		}
-		if mutexes[g.Name] || conds[g.Name] {
-			return fmt.Errorf("mtl: thread %s: local %q conflicts with a mutex or cond", thread, g.Name)
+		if mutexes[g.Name] || conds[g.Name] || chans[g.Name] {
+			return fmt.Errorf("mtl: thread %s: local %q conflicts with a mutex, cond or chan", thread, g.Name)
 		}
 		if err := checkExpr(g.Expr); err != nil {
 			return err
@@ -117,15 +127,15 @@ func checkStmt(thread string, s Stmt, shared, mutexes, conds, tasks, locals map[
 		if err := checkCond(g.Cond); err != nil {
 			return err
 		}
-		if err := checkBlock(thread, g.Then, shared, mutexes, conds, tasks, locals); err != nil {
+		if err := checkBlock(thread, g.Then, shared, mutexes, conds, chans, tasks, locals); err != nil {
 			return err
 		}
-		return checkBlock(thread, g.Else, shared, mutexes, conds, tasks, locals)
+		return checkBlock(thread, g.Else, shared, mutexes, conds, chans, tasks, locals)
 	case While:
 		if err := checkCond(g.Cond); err != nil {
 			return err
 		}
-		return checkBlock(thread, g.Body, shared, mutexes, conds, tasks, locals)
+		return checkBlock(thread, g.Body, shared, mutexes, conds, chans, tasks, locals)
 	case LockStmt:
 		if !mutexes[g.Name] {
 			return fmt.Errorf("mtl: thread %s locks undeclared mutex %q", thread, g.Name)
@@ -150,6 +160,41 @@ func checkStmt(thread string, s Stmt, shared, mutexes, conds, tasks, locals map[
 		if !tasks[g.Task] {
 			return fmt.Errorf("mtl: thread %s spawns undeclared task %q", thread, g.Task)
 		}
+	case SendStmt:
+		if !chans[g.Chan] {
+			return fmt.Errorf("mtl: thread %s sends on undeclared chan %q", thread, g.Chan)
+		}
+		if err := checkExpr(g.Expr); err != nil {
+			return err
+		}
+	case RecvStmt:
+		if !chans[g.Chan] {
+			return fmt.Errorf("mtl: thread %s receives from undeclared chan %q", thread, g.Chan)
+		}
+		if g.Target != "" && !shared[g.Target] && !locals[g.Target] {
+			return fmt.Errorf("mtl: thread %s receives into undeclared variable %q", thread, g.Target)
+		}
+	case CloseStmt:
+		if !chans[g.Chan] {
+			return fmt.Errorf("mtl: thread %s closes undeclared chan %q", thread, g.Chan)
+		}
+	case SelectStmt:
+		for _, c := range g.Cases {
+			if !chans[c.Chan] {
+				return fmt.Errorf("mtl: thread %s selects on undeclared chan %q", thread, c.Chan)
+			}
+			if c.Send {
+				if err := checkExpr(c.Expr); err != nil {
+					return err
+				}
+			} else if c.Target != "" && !shared[c.Target] && !locals[c.Target] {
+				return fmt.Errorf("mtl: thread %s receives into undeclared variable %q", thread, c.Target)
+			}
+			if err := checkBlock(thread, c.Body, shared, mutexes, conds, chans, tasks, locals); err != nil {
+				return err
+			}
+		}
+		return checkBlock(thread, g.Default, shared, mutexes, conds, chans, tasks, locals)
 	case Skip:
 	}
 	return nil

@@ -57,6 +57,20 @@ const (
 	OpSkip
 	// OpHalt ends the thread.
 	OpHalt
+	// OpPop discards the top of stack.
+	OpPop
+	// OpSend pops a value and sends it into channel Name (event:
+	// chansend; may block first; faults on a closed channel).
+	OpSend
+	// OpRecv receives from channel Name and pushes the value (event:
+	// chanrecv / chanrecvclosed; may block first).
+	OpRecv
+	// OpClose closes channel Name (event: chanclose).
+	OpClose
+	// OpSelect fires the first ready case of Sel (event; may block
+	// first). Send-case values are already on the stack, pushed in case
+	// order before the OpSelect.
+	OpSelect
 )
 
 var opNames = [...]string{
@@ -68,6 +82,8 @@ var opNames = [...]string{
 	OpLock: "lock", OpUnlock: "unlock",
 	OpWait: "wait", OpNotify: "notify", OpNotifyAll: "notifyall",
 	OpSpawn: "spawn", OpSkip: "skip", OpHalt: "halt",
+	OpPop: "pop", OpSend: "send", OpRecv: "recv",
+	OpClose: "close", OpSelect: "select",
 }
 
 func (op OpCode) String() string {
@@ -82,9 +98,34 @@ type Instr struct {
 	Op     OpCode
 	Val    int64       // OpPush
 	Idx    int         // OpLoadLocal / OpStoreLocal
-	Name   string      // shared variable, mutex or cond name
+	Name   string      // shared variable, mutex, cond or chan name
 	Cmp    logic.CmpOp // OpCmp
 	Target int         // OpJump / OpJumpFalse
+	Sel    *SelectCode // OpSelect case table
+}
+
+// SelectCode is the compiled case table of one select statement.
+type SelectCode struct {
+	Cases []SelectOp
+	// Default is the jump target of the default block, -1 when absent.
+	Default int
+	// NumSend counts send cases. Their values sit on the stack when the
+	// OpSelect executes, pushed in case order (evaluated once at select
+	// entry, Go-style).
+	NumSend int
+}
+
+// SelectOp is one compiled communication alternative.
+type SelectOp struct {
+	Send bool
+	Chan string
+	// SendIdx is the ordinal of a send case among send cases (the
+	// position of its value among the pushed ones); -1 for recv cases.
+	SendIdx int
+	// Target is the jump target of the case's code. Recv cases with an
+	// assignment target begin with the store instruction; bare recv
+	// cases begin with an OpPop.
+	Target int
 }
 
 func (in Instr) String() string {
@@ -93,12 +134,14 @@ func (in Instr) String() string {
 		return fmt.Sprintf("push %d", in.Val)
 	case OpLoadLocal, OpStoreLocal:
 		return fmt.Sprintf("%s %d", in.Op, in.Idx)
-	case OpLoadShared, OpStoreShared, OpLock, OpUnlock, OpWait, OpNotify, OpNotifyAll, OpSpawn:
+	case OpLoadShared, OpStoreShared, OpLock, OpUnlock, OpWait, OpNotify, OpNotifyAll, OpSpawn, OpSend, OpRecv, OpClose:
 		return fmt.Sprintf("%s %s", in.Op, in.Name)
 	case OpCmp:
 		return fmt.Sprintf("cmp %s", in.Cmp)
 	case OpJump, OpJumpFalse:
 		return fmt.Sprintf("%s %d", in.Op, in.Target)
+	case OpSelect:
+		return fmt.Sprintf("select %d cases", len(in.Sel.Cases))
 	default:
 		return in.Op.String()
 	}
@@ -108,7 +151,8 @@ func (in Instr) String() string {
 // point for the scheduler).
 func (in Instr) IsEvent() bool {
 	switch in.Op {
-	case OpLoadShared, OpStoreShared, OpLock, OpUnlock, OpWait, OpNotify, OpNotifyAll, OpSpawn, OpSkip:
+	case OpLoadShared, OpStoreShared, OpLock, OpUnlock, OpWait, OpNotify, OpNotifyAll, OpSpawn, OpSkip,
+		OpSend, OpRecv, OpClose, OpSelect:
 		return true
 	}
 	return false
@@ -247,6 +291,57 @@ func (c *compiler) stmt(s Stmt) {
 		c.emit(Instr{Op: OpSpawn, Name: g.Task})
 	case Skip:
 		c.emit(Instr{Op: OpSkip})
+	case SendStmt:
+		c.expr(g.Expr)
+		c.emit(Instr{Op: OpSend, Name: g.Chan})
+	case RecvStmt:
+		c.emit(Instr{Op: OpRecv, Name: g.Chan})
+		c.storeRecv(g.Target)
+	case CloseStmt:
+		c.emit(Instr{Op: OpClose, Name: g.Chan})
+	case SelectStmt:
+		sel := &SelectCode{Default: -1}
+		for _, cs := range g.Cases {
+			op := SelectOp{Send: cs.Send, Chan: cs.Chan, SendIdx: -1}
+			if cs.Send {
+				op.SendIdx = sel.NumSend
+				sel.NumSend++
+				c.expr(cs.Expr)
+			}
+			sel.Cases = append(sel.Cases, op)
+		}
+		c.emit(Instr{Op: OpSelect, Sel: sel})
+		var ends []int
+		for i, cs := range g.Cases {
+			sel.Cases[i].Target = c.here()
+			if !cs.Send {
+				c.storeRecv(cs.Target)
+			}
+			c.block(cs.Body)
+			ends = append(ends, c.emit(Instr{Op: OpJump}))
+		}
+		if g.HasDefault {
+			sel.Default = c.here()
+			c.block(g.Default)
+			ends = append(ends, c.emit(Instr{Op: OpJump}))
+		}
+		end := c.here()
+		for _, j := range ends {
+			c.patch(j, end)
+		}
+	}
+}
+
+// storeRecv emits the instruction consuming a received value: a store
+// into the named shared or local variable, or a pop when discarded.
+func (c *compiler) storeRecv(target string) {
+	switch {
+	case target == "":
+		c.emit(Instr{Op: OpPop})
+	case c.shared[target]:
+		c.emit(Instr{Op: OpStoreShared, Name: target})
+	default:
+		c.emit(Instr{Op: OpStoreLocal, Idx: c.local(target)})
 	}
 }
 

@@ -12,6 +12,12 @@ func FuzzParse(f *testing.F) {
 		"thread t { while (1 == 1) { skip; } }",
 		"shared if = 0;",
 		"{{{", "",
+		// Channel constructs: rendezvous, buffered send with close and
+		// a closed-channel drain, and select over alternatives.
+		"shared x = 0; chan c; thread a { send(c, 1); } thread b { var y = 0; y = recv(c); x = y; }",
+		"shared d = 0;\nchan c = 2;\nthread p { send(c, 1); send(c, 2); close(c); }\nthread q { var x = 0; x = recv(c); x = recv(c); x = recv(c); d = 1; }",
+		"shared d = 0;\nchan a;\nchan b;\nthread w {\n    var x = 0;\n    var y = 0;\n    select {\n        case x = recv(a) { d = 1; }\n        case y = recv(b) { d = 2; }\n    }\n}\nthread s { send(b, 7); }",
+		"chan c = 0;", "chan c; chan c;", "thread t { send(c, 1); }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

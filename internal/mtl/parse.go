@@ -16,6 +16,7 @@ import (
 //	decl      := 'shared' ident '=' int {',' ident '=' int} ';'
 //	           | 'mutex' ident {',' ident} ';'
 //	           | 'cond' ident {',' ident} ';'
+//	           | 'chan' ident ['=' int] {',' ident ['=' int]} ';'
 //	thread    := 'thread' ident '{' stmt* '}'
 //	task      := 'task' ident '{' stmt* '}'   (started by 'spawn')
 //	stmt      := ident '=' expr ';'
@@ -26,6 +27,12 @@ import (
 //	           | 'wait' '(' ident ')' ';'   | 'notify' '(' ident ')' ';'
 //	           | 'notifyall' '(' ident ')' ';'
 //	           | 'skip' ';'
+//	           | 'send' '(' ident ',' expr ')' ';'
+//	           | ['ident' '='] 'recv' '(' ident ')' ';'
+//	           | 'close' '(' ident ')' ';'
+//	           | 'select' '{' selcase* ['default' block] '}'
+//	selcase   := 'case' ('send' '(' ident ',' expr ')'
+//	                    | [ident '='] 'recv' '(' ident ')') block
 //	block     := '{' stmt* '}'
 //	cond      := cor                        (boolean, non-temporal)
 //	cor       := cand {'||' cand}
@@ -111,6 +118,8 @@ var keywords = map[string]bool{
 	"var": true, "if": true, "else": true, "while": true,
 	"lock": true, "unlock": true, "wait": true, "notify": true,
 	"notifyall": true, "skip": true, "true": true, "false": true,
+	"chan": true, "send": true, "recv": true, "close": true,
+	"select": true, "case": true, "default": true,
 }
 
 func isKeyword(s string) bool { return keywords[s] }
@@ -153,6 +162,28 @@ func (p *mtlParser) program() (*Program, error) {
 				return nil, err
 			}
 			prog.Conds = append(prog.Conds, names...)
+		case p.accept("chan"):
+			for {
+				name, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				capacity := int64(0)
+				if p.accept("=") {
+					v, err := p.intLit()
+					if err != nil {
+						return nil, err
+					}
+					capacity = v
+				}
+				prog.Chans = append(prog.Chans, ChanDecl{Name: name, Cap: capacity})
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
 		case p.accept("thread"):
 			name, err := p.ident()
 			if err != nil {
@@ -323,6 +354,26 @@ func (p *mtlParser) stmt() (Stmt, error) {
 			return nil, err
 		}
 		return NotifyAllStmt{Name: name}, p.expect(";")
+	case p.accept("send"):
+		ch, e, err := p.sendArgs()
+		if err != nil {
+			return nil, err
+		}
+		return SendStmt{Chan: ch, Expr: e}, p.expect(";")
+	case p.accept("recv"):
+		ch, err := p.parenName()
+		if err != nil {
+			return nil, err
+		}
+		return RecvStmt{Chan: ch}, p.expect(";")
+	case p.accept("close"):
+		ch, err := p.parenName()
+		if err != nil {
+			return nil, err
+		}
+		return CloseStmt{Chan: ch}, p.expect(";")
+	case p.accept("select"):
+		return p.selectStmt()
 	case t.kind == tIdent && !isKeyword(t.text):
 		name, err := p.ident()
 		if err != nil {
@@ -331,6 +382,13 @@ func (p *mtlParser) stmt() (Stmt, error) {
 		if err := p.expect("="); err != nil {
 			return nil, err
 		}
+		if p.accept("recv") {
+			ch, err := p.parenName()
+			if err != nil {
+				return nil, err
+			}
+			return RecvStmt{Chan: ch, Target: name}, p.expect(";")
+		}
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
@@ -338,6 +396,94 @@ func (p *mtlParser) stmt() (Stmt, error) {
 		return Assign{Name: name, Expr: e}, p.expect(";")
 	}
 	return nil, fmt.Errorf("mtl:%s: expected statement, found %s", t.pos(), t)
+}
+
+// sendArgs parses '(' ident ',' expr ')' after a 'send'.
+func (p *mtlParser) sendArgs() (string, logic.Expr, error) {
+	if err := p.expect("("); err != nil {
+		return "", nil, err
+	}
+	ch, err := p.ident()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return "", nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return "", nil, err
+	}
+	return ch, e, p.expect(")")
+}
+
+func (p *mtlParser) selectStmt() (Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	s := SelectStmt{}
+	for {
+		switch {
+		case p.accept("case"):
+			if s.HasDefault {
+				return nil, fmt.Errorf("mtl:%s: select case after default", p.peek().pos())
+			}
+			var c SelectCase
+			switch {
+			case p.accept("send"):
+				ch, e, err := p.sendArgs()
+				if err != nil {
+					return nil, err
+				}
+				c = SelectCase{Send: true, Chan: ch, Expr: e}
+			case p.accept("recv"):
+				ch, err := p.parenName()
+				if err != nil {
+					return nil, err
+				}
+				c = SelectCase{Chan: ch}
+			default:
+				target, err := p.ident()
+				if err != nil {
+					return nil, fmt.Errorf("mtl:%s: expected send, recv or assignment in select case", p.peek().pos())
+				}
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				if err := p.expect("recv"); err != nil {
+					return nil, err
+				}
+				ch, err := p.parenName()
+				if err != nil {
+					return nil, err
+				}
+				c = SelectCase{Chan: ch, Target: target}
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			c.Body = body
+			s.Cases = append(s.Cases, c)
+		case p.accept("default"):
+			if s.HasDefault {
+				return nil, fmt.Errorf("mtl:%s: select has two defaults", p.peek().pos())
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.HasDefault = true
+			s.Default = body
+		case p.accept("}"):
+			if len(s.Cases) == 0 {
+				return nil, fmt.Errorf("mtl:%s: select has no communication cases", p.peek().pos())
+			}
+			return s, nil
+		default:
+			return nil, fmt.Errorf("mtl:%s: expected case, default or } in select, found %s", p.peek().pos(), p.peek())
+		}
+	}
 }
 
 func (p *mtlParser) parenName() (string, error) {

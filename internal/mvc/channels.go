@@ -1,0 +1,168 @@
+package mvc
+
+import (
+	"gompax/internal/clock"
+	"gompax/internal/event"
+)
+
+// Channel causality, following Sulzmann–Stadtmüller's two-phase
+// vector-clock rules for message-passing Go programs, adapted to
+// Algorithm A's per-thread MVCs:
+//
+//   - Every channel event ticks its thread's clock (it is always
+//     relevant — the message-passing analyses need the full channel
+//     stream).
+//   - Unbuffered rendezvous: the send joins the receiver's pre-clock
+//     (a send cannot complete before its receiver arrives — the
+//     symmetric/backward edge), and the matching receive joins the
+//     send's post-clock. The pair is therefore mutually ordered:
+//     send ⊲ recv and no consistent run separates them.
+//   - Buffered FIFO slot chaining: the k-th receive joins the k-th
+//     send's clock (the value's causal past travels with it), and the
+//     k-th send joins the (k-cap)-th receive's clock (a bounded buffer
+//     cannot accept send k before receive k-cap freed its slot).
+//   - close is a release edge: its clock is joined into every
+//     subsequent drained receive (ChanRecvClosed) and into the fault
+//     event of any send that observed the close.
+//
+// Events carry their per-channel FIFO position in Event.Slot.
+
+type chanClocks struct {
+	cap    int64
+	sends  []clock.Ref // clock of the k-th completed send (index k-1)
+	recvs  []clock.Ref // clock of the k-th completed receive
+	nsend  uint64
+	nrecv  uint64
+	closed bool
+	closeC clock.Ref
+}
+
+func (t *Tracker) chanClocksOf(ch string, capacity int64) *chanClocks {
+	c, ok := t.chans[ch]
+	if !ok {
+		c = &chanClocks{cap: capacity}
+		t.chans[ch] = c
+	}
+	return c
+}
+
+// beginChan starts processing a channel event: sequence numbers,
+// per-thread index, relevance, and the step-1 tick. It returns the
+// ticked clock; the caller applies kind-specific joins and finishes
+// with finishChan.
+func (t *Tracker) beginChan(e *event.Event) clock.Ref {
+	i := e.Thread
+	t.mustThread(i)
+	t.seq++
+	t.counts[i]++
+	e.Seq = t.seq
+	e.Index = t.counts[i]
+	e.Relevant = t.policy.Relevant(*e)
+	return t.table.Tick(t.threads[i], i)
+}
+
+func (t *Tracker) finishChan(e event.Event, vi clock.Ref) event.Event {
+	i := e.Thread
+	t.threads[i] = vi
+	if e.Relevant {
+		t.emitted++
+		mEmitted.Inc()
+		if t.sink != nil {
+			t.sink.Emit(event.Message{Event: e, Clock: vi})
+		}
+	}
+	t.tallies[i].Inc()
+	return e
+}
+
+// ChanSend processes a completed send. capacity is the channel's
+// declared capacity; partner is the receiving thread of an unbuffered
+// rendezvous (whose ChanRecv must be processed immediately after), or
+// -1 for a buffered send.
+func (t *Tracker) ChanSend(i int, ch string, value, capacity int64, partner int) event.Event {
+	e := event.Event{Thread: i, Kind: event.ChanSend, Var: ch, Value: value}
+	vi := t.beginChan(&e)
+	c := t.chanClocksOf(ch, capacity)
+	if partner >= 0 && partner < len(t.threads) {
+		// Rendezvous backward edge: the send completes together with
+		// the receive, so it happens after everything the receiver did
+		// before arriving.
+		vi = t.table.Join(vi, t.threads[partner])
+	}
+	if c.cap > 0 && c.nsend >= uint64(c.cap) {
+		// Slot reuse: send k waits for receive k-cap to free a slot.
+		if k := c.nsend - uint64(c.cap); k < uint64(len(c.recvs)) {
+			vi = t.table.Join(vi, c.recvs[k])
+		}
+	}
+	c.nsend++
+	e.Slot = c.nsend
+	c.sends = append(c.sends, vi)
+	mChanEvents.With("send").Inc()
+	return t.finishChan(e, vi)
+}
+
+// ChanRecv processes a completed receive: the k-th receive joins the
+// k-th send's clock.
+func (t *Tracker) ChanRecv(i int, ch string, value int64) event.Event {
+	e := event.Event{Thread: i, Kind: event.ChanRecv, Var: ch, Value: value}
+	vi := t.beginChan(&e)
+	c := t.chanClocksOf(ch, 0)
+	if c.nrecv < uint64(len(c.sends)) {
+		vi = t.table.Join(vi, c.sends[c.nrecv])
+	}
+	c.nrecv++
+	e.Slot = c.nrecv
+	c.recvs = append(c.recvs, vi)
+	mChanEvents.With("recv").Inc()
+	return t.finishChan(e, vi)
+}
+
+// ChanClose processes a close; Slot records how many sends had
+// completed before the close.
+func (t *Tracker) ChanClose(i int, ch string) event.Event {
+	e := event.Event{Thread: i, Kind: event.ChanClose, Var: ch}
+	vi := t.beginChan(&e)
+	c := t.chanClocksOf(ch, 0)
+	c.closed = true
+	c.closeC = vi
+	e.Slot = c.nsend
+	mChanEvents.With("close").Inc()
+	return t.finishChan(e, vi)
+}
+
+// ChanSendClosed processes the send-on-closed fault: the faulting
+// thread observed the close, so it joins the close clock.
+func (t *Tracker) ChanSendClosed(i int, ch string, value int64) event.Event {
+	e := event.Event{Thread: i, Kind: event.ChanSendClosed, Var: ch, Value: value}
+	vi := t.beginChan(&e)
+	c := t.chanClocksOf(ch, 0)
+	if c.closed {
+		vi = t.table.Join(vi, c.closeC)
+	}
+	mChanEvents.With("sendclosed").Inc()
+	return t.finishChan(e, vi)
+}
+
+// ChanRecvClosed processes a drained receive from a closed channel
+// (the release edge of the close reaches every such receive).
+func (t *Tracker) ChanRecvClosed(i int, ch string) event.Event {
+	e := event.Event{Thread: i, Kind: event.ChanRecvClosed, Var: ch}
+	vi := t.beginChan(&e)
+	c := t.chanClocksOf(ch, 0)
+	if c.closed {
+		vi = t.table.Join(vi, c.closeC)
+	}
+	mChanEvents.With("recvclosed").Inc()
+	return t.finishChan(e, vi)
+}
+
+// ChanBlock processes a park on a channel operation: a plain tick with
+// no cross-thread edge (the thread learned nothing — it found no
+// partner).
+func (t *Tracker) ChanBlock(i int, ch string, aux string) event.Event {
+	e := event.Event{Thread: i, Kind: event.ChanBlock, Var: ch, Aux: aux}
+	vi := t.beginChan(&e)
+	mChanEvents.With("block").Inc()
+	return t.finishChan(e, vi)
+}

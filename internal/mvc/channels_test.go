@@ -1,0 +1,131 @@
+package mvc
+
+import (
+	"testing"
+
+	"gompax/internal/event"
+)
+
+// collect returns a tracker for n threads whose channel messages land
+// in the returned collector (zero policy: only channel events are
+// relevant, which is exactly what these tests exercise).
+func collect(n int) (*Tracker, *Collector) {
+	col := &Collector{}
+	return NewTracker(n, Policy{}, col), col
+}
+
+func TestRendezvousMutuallyOrdered(t *testing.T) {
+	tr, col := collect(2)
+	// The receiver arrives first and parks (this is also the emission
+	// order the interpreter produces for a rendezvous).
+	tr.ChanBlock(1, "c", "recv(c)")
+	// Rendezvous: send completes with partner 1, then the receive.
+	tr.ChanSend(0, "c", 7, 0, 1)
+	tr.ChanRecv(1, "c", 7)
+	if len(col.Messages) != 3 {
+		t.Fatalf("messages = %d, want 3 (block, send, recv)", len(col.Messages))
+	}
+	send, recv := col.Messages[1], col.Messages[2]
+	if send.Event.Kind != event.ChanSend || recv.Event.Kind != event.ChanRecv {
+		t.Fatalf("kinds = %v, %v", send.Event.Kind, recv.Event.Kind)
+	}
+	if !send.Precedes(recv) {
+		t.Fatal("send does not precede its matching recv")
+	}
+	// The backward edge: the send happens after the receiver's arrival,
+	// so the receiver's pre-rendezvous progress is in the send's clock.
+	if send.Clock.Get(1) == 0 {
+		t.Fatalf("send clock %v missing the receiver's pre-clock (backward edge)", send.Clock)
+	}
+}
+
+func TestBufferedSlotChaining(t *testing.T) {
+	tr, col := collect(3)
+	// Capacity 1: the second send cannot complete before the first
+	// receive freed the slot.
+	tr.ChanSend(0, "c", 1, 1, -1)
+	tr.ChanRecv(1, "c", 1)
+	tr.ChanSend(2, "c", 2, 1, -1)
+	s1, r1, s2 := col.Messages[0], col.Messages[1], col.Messages[2]
+	if !s1.Precedes(r1) {
+		t.Fatal("send 1 does not precede recv 1 (value edge)")
+	}
+	if !r1.Precedes(s2) {
+		t.Fatal("recv 1 does not precede send 2 (slot-reuse edge)")
+	}
+	if s1.Event.Slot != 1 || s2.Event.Slot != 2 || r1.Event.Slot != 1 {
+		t.Fatalf("slots = %d, %d, %d", s1.Event.Slot, r1.Event.Slot, s2.Event.Slot)
+	}
+}
+
+func TestBufferedSendsUnorderedWithinCapacity(t *testing.T) {
+	tr, col := collect(2)
+	// Capacity 2: two sends by different threads with no other sync
+	// stay concurrent — the buffer does not serialize them.
+	tr.ChanSend(0, "c", 1, 2, -1)
+	tr.ChanSend(1, "c", 2, 2, -1)
+	s1, s2 := col.Messages[0], col.Messages[1]
+	if !s1.Concurrent(s2) {
+		t.Fatalf("within-capacity sends are ordered: %v vs %v", s1.Clock, s2.Clock)
+	}
+}
+
+func TestCloseReleaseEdge(t *testing.T) {
+	tr, col := collect(2)
+	tr.Internal(0)
+	tr.ChanClose(0, "c")
+	tr.ChanRecvClosed(1, "c")
+	cl, rc := col.Messages[0], col.Messages[1]
+	if !cl.Precedes(rc) {
+		t.Fatal("close does not precede the drained recv")
+	}
+}
+
+func TestSendAndCloseConcurrentWithoutSync(t *testing.T) {
+	tr, col := collect(2)
+	// A buffered send and a close by different threads with no other
+	// synchronization: causally unordered — the raw material of the
+	// predictive send-on-closed analysis.
+	tr.ChanSend(0, "c", 1, 4, -1)
+	tr.ChanClose(1, "c")
+	s, cl := col.Messages[0], col.Messages[1]
+	if !s.Concurrent(cl) {
+		t.Fatalf("unsynchronized send and close are ordered: %v vs %v", s.Clock, cl.Clock)
+	}
+}
+
+func TestSendClosedJoinsCloseClock(t *testing.T) {
+	tr, col := collect(2)
+	tr.ChanClose(0, "c")
+	tr.ChanSendClosed(1, "c", 9)
+	cl, f := col.Messages[0], col.Messages[1]
+	if !cl.Precedes(f) {
+		t.Fatal("close does not precede the observed send-on-closed fault")
+	}
+	if f.Event.Kind != event.ChanSendClosed {
+		t.Fatalf("kind = %v", f.Event.Kind)
+	}
+}
+
+func TestChanBlockCarriesAuxAndNoCrossEdge(t *testing.T) {
+	tr, col := collect(2)
+	tr.Internal(0)
+	tr.ChanBlock(1, "c", "select:recv(c),send(d)")
+	b := col.Messages[0]
+	if b.Event.Aux != "select:recv(c),send(d)" {
+		t.Fatalf("aux = %q", b.Event.Aux)
+	}
+	if b.Clock.Get(0) != 0 {
+		t.Fatalf("park picked up a cross-thread edge: %v", b.Clock)
+	}
+}
+
+func TestChannelEventsAlwaysRelevant(t *testing.T) {
+	p := WritesOf("x") // channel names are never in Vars
+	if !p.Relevant(event.Event{Kind: event.ChanSend, Var: "c"}) {
+		t.Fatal("channel event not relevant under a vars policy")
+	}
+	if p.Relevant(event.Event{Kind: event.Read, Var: "c"}) {
+		t.Fatal("read of unlisted var relevant")
+	}
+}

@@ -18,6 +18,8 @@ var (
 		"Events processed by the MVC instrumentation (Algorithm A), by thread.", "thread")
 	mVarEvents = telemetry.Default().NewCounterVec("gompax_mvc_var_events_total",
 		"Shared-variable accesses processed by Algorithm A, by variable.", "var")
+	mChanEvents = telemetry.Default().NewCounterVec("gompax_mvc_chan_events_total",
+		"Channel events processed by the two-phase vector-clock rules, by kind.", "kind")
 	mEmitted = telemetry.Default().NewCounter("gompax_mvc_messages_total",
 		"Relevant-event messages <e,i,V_i> emitted to the observer.")
 	mUpdateLatency = telemetry.Default().NewHistogram("gompax_mvc_update_nanoseconds",

@@ -81,6 +81,13 @@ func (p Policy) Relevant(e event.Event) bool {
 	if p.All {
 		return true
 	}
+	if e.Kind.IsChannel() {
+		// Channel events are always relevant: the message-passing
+		// analyses (package msg) need every one of them, and programs
+		// without channels emit none — so legacy relevance is
+		// unchanged.
+		return true
+	}
 	if !p.Vars[e.Var] {
 		return false
 	}
@@ -113,6 +120,7 @@ type Tracker struct {
 	counts  []uint64    // per-thread event index (k of e_i^k)
 	tallies []*telemetry.Counter
 	vars    map[string]*varClocks
+	chans   map[string]*chanClocks
 	seq     uint64 // global position in the observed execution M
 	emitted uint64
 }
@@ -129,6 +137,7 @@ func NewTracker(n int, policy Policy, sink Sink) *Tracker {
 		counts:  make([]uint64, n),
 		tallies: make([]*telemetry.Counter, n),
 		vars:    make(map[string]*varClocks),
+		chans:   make(map[string]*chanClocks),
 	}
 	for i := range t.threads {
 		t.tallies[i] = threadCounter(i)

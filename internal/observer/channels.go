@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"gompax/internal/event"
 	"gompax/internal/monitor"
 	"gompax/internal/predict"
 	"gompax/internal/telemetry"
@@ -93,6 +94,7 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 	var mu sync.Mutex
 	var online *predict.Online
 	var firstHello *wire.Hello
+	var chanMsgs []event.Message
 
 	handle := func(f wire.Frame) error {
 		mu.Lock()
@@ -114,6 +116,9 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 				return fmt.Errorf("observer: message before hello")
 			}
 			mMessagesFed.Inc()
+			if f.Msg.Event.Kind.IsChannel() {
+				chanMsgs = append(chanMsgs, f.Msg)
+			}
 			return online.Feed(f.Msg)
 		case wire.FrameThreadDone:
 			if online == nil {
@@ -227,6 +232,7 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 		// Salvage the analysis done before the session died.
 		res := online.Partial()
 		attachWireStats(&res, rs...)
+		attachMessaging(&res, chanMsgs, false)
 		return res, firstErr
 	}
 	var res predict.Result
@@ -245,5 +251,6 @@ func AnalyzeSession(rs []*wire.Receiver, prog *monitor.Program, opts SessionOpti
 		res.Degrade().MissingBye = res.Degrade().MissingBye || missingBye
 	}
 	attachWireStats(&res, rs...)
+	attachMessaging(&res, chanMsgs, stalled == 0 && !missingBye)
 	return res, err
 }

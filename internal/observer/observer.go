@@ -14,6 +14,7 @@ import (
 	"gompax/internal/event"
 	"gompax/internal/lattice"
 	"gompax/internal/monitor"
+	"gompax/internal/msg"
 	"gompax/internal/predict"
 	"gompax/internal/telemetry"
 	"gompax/internal/wire"
@@ -92,6 +93,24 @@ func attachWireStats(res *predict.Result, rs ...*wire.Receiver) {
 	}
 }
 
+// attachMessaging runs the message-passing analyses over the session's
+// channel events (if any) and attaches the report to the result. It
+// must run after the degradation report is final: the whole-stream
+// analyses (lost-message, partial-deadlock) only fire on complete
+// sessions (complete=true and no recorded degradation), so loss can
+// weaken a channel verdict but never flip it. Sessions without channel
+// events get no report at all — legacy results are byte-for-byte what
+// they were before channels existed.
+func attachMessaging(res *predict.Result, chanMsgs []event.Message, complete bool) {
+	if len(chanMsgs) == 0 {
+		return
+	}
+	res.Messaging = msg.Analyze(chanMsgs, msg.Options{
+		Complete:   complete && !res.Degraded.Any(),
+		Predictive: true,
+	})
+}
+
 // Analyze consumes a session online: every message is fed to the
 // incremental analyzer the moment it arrives, so violations on early
 // lattice levels are detected while the program is still running.
@@ -116,6 +135,7 @@ func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (pre
 		defer sp.End()
 	}
 	var online *predict.Online
+	var chanMsgs []event.Message
 	// partial salvages the work done so far when the session dies.
 	partial := func(err error) (predict.Result, error) {
 		mSessionErrors.Inc()
@@ -125,6 +145,7 @@ func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (pre
 		}
 		res := online.Partial()
 		attachWireStats(&res, r)
+		attachMessaging(&res, chanMsgs, false)
 		return res, err
 	}
 	for {
@@ -138,6 +159,7 @@ func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (pre
 				res.Degrade().MissingBye = true
 			}
 			attachWireStats(&res, r)
+			attachMessaging(&res, chanMsgs, true)
 			return res, cerr
 		}
 		if err != nil {
@@ -160,6 +182,9 @@ func Analyze(r *wire.Receiver, prog *monitor.Program, opts predict.Options) (pre
 				return predict.Result{}, fmt.Errorf("observer: message before hello")
 			}
 			mMessagesFed.Inc()
+			if f.Msg.Event.Kind.IsChannel() {
+				chanMsgs = append(chanMsgs, f.Msg)
+			}
 			if err := online.Feed(f.Msg); err != nil {
 				return partial(err)
 			}

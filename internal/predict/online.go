@@ -373,7 +373,7 @@ func (o *Online) expandSuccessors(ent *pentry, yield func(thread, index int, cou
 			continue
 		}
 		counts := o.table.Tick(ent.counts, i)
-		yield(i, need, counts, ent.state.With(msg.Event.Var, msg.Event.Value))
+		yield(i, need, counts, applyMessage(ent.state, msg))
 	}
 }
 
@@ -487,7 +487,7 @@ func (o *Online) buildRun(ids []int) lattice.Run {
 		th := id >> 32
 		idx := id & 0xffffffff
 		msg := o.events[th][idx-1]
-		cur = cur.With(msg.Event.Var, msg.Event.Value)
+		cur = applyMessage(cur, msg)
 		run.Msgs = append(run.Msgs, msg)
 		run.States = append(run.States, cur)
 	}

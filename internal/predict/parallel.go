@@ -265,7 +265,7 @@ func analyzeParallel(prog *monitor.Program, comp *lattice.Computation, opts Opti
 				continue
 			}
 			counts := table.Tick(ent.counts, i)
-			yield(i, next, counts, ent.state.With(m.Event.Var, m.Event.Value))
+			yield(i, next, counts, applyMessage(ent.state, m))
 		}
 	}
 

@@ -30,6 +30,7 @@ import (
 	"gompax/internal/lattice"
 	"gompax/internal/logic"
 	"gompax/internal/monitor"
+	gmsg "gompax/internal/msg"
 	"gompax/internal/telemetry/tracing"
 	"gompax/internal/wire"
 )
@@ -186,6 +187,10 @@ type Result struct {
 	// from was lossy: the verdict is sound for the events that
 	// arrived, but runs involving lost events were not explored.
 	Degraded *Degraded
+	// Messaging is the message-passing analyses' report, attached by
+	// the observer when the session carried channel events; nil for
+	// sessions without channels, so legacy results are untouched.
+	Messaging *gmsg.Report
 }
 
 // Violated reports whether any violation was predicted.
@@ -409,6 +414,17 @@ func Analyze(prog *monitor.Program, comp *lattice.Computation, opts Options) (Re
 		frontier = next
 	}
 	return res, nil
+}
+
+// applyMessage folds one message's state update into a cut state.
+// Channel events are state-neutral: they occupy lattice positions
+// (they tick their thread's clock) but their Var is a channel name,
+// not a shared variable.
+func applyMessage(s logic.State, m event.Message) logic.State {
+	if m.Event.Kind.IsChannel() {
+		return s
+	}
+	return s.With(m.Event.Var, m.Event.Value)
 }
 
 // pathID encodes a successor edge as thread*2^32 | index for compact

@@ -1,0 +1,111 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file holds the channel behavior templates behind the lab's
+// message-passing classes. Each template is constructed so its
+// channel findings are *schedule-invariant*: the same "kind|channel"
+// keys are realizable (and, for the faulting classes, realized or
+// predictable) in every maximal interleaving. That is what lets the
+// lab demand precision = recall = 1.00 against exhaustive ground
+// truth instead of a probabilistic floor.
+
+// ChanProperty is the safety property every channel scenario monitors.
+// It holds in every interleaving of every template, so the violation
+// and race scores stay trivially clean and the scenarios isolate the
+// message-passing analyses.
+const ChanProperty = `done >= 0`
+
+// ChanPipeline is the clean class: a producer sends 1..values into a
+// buffer sized to hold them all and closes; the consumer takes
+// values+1 receives, the last of which drains the closed channel for
+// a zero. Every interleaving balances sends and receives, the single
+// close is program-ordered after the producer's own sends, and every
+// park resolves — no analysis fires, in any schedule.
+func ChanPipeline(values int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared done = 0;\nchan c = %d;\n\nthread producer {\n", values)
+	for i := 1; i <= values; i++ {
+		fmt.Fprintf(&b, "    send(c, %d);\n", i)
+	}
+	b.WriteString("    close(c);\n}\n\nthread consumer {\n    var x = 0;\n")
+	for i := 0; i <= values; i++ {
+		b.WriteString("    x = recv(c);\n")
+	}
+	b.WriteString("    done = 1;\n}\n")
+	return b.String()
+}
+
+// ChanSendOnClosed is the send-on-closed class: the sender and the
+// closer never synchronize, so every send is causally concurrent with
+// the close. Schedules that close first fault the sender at runtime
+// (observed finding); schedules where the sends win still yield the
+// predicted finding from the clocks. The reader drains whatever made
+// it into the buffer — values or closed-channel zeros — so completed
+// sends and receives always balance and no other analysis fires.
+func ChanSendOnClosed(values int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared done = 0;\nchan c = %d;\n\nthread sender {\n", values)
+	for i := 1; i <= values; i++ {
+		fmt.Fprintf(&b, "    send(c, %d);\n", i)
+	}
+	b.WriteString("    done = 1;\n}\n\nthread closer {\n    close(c);\n}\n\nthread reader {\n    var x = 0;\n")
+	for i := 0; i < values; i++ {
+		b.WriteString("    x = recv(c);\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ChanLostMessage is the lost-message class: the producer puts sent
+// values into a buffer large enough to never park, the consumer takes
+// only kept of them (kept < sent), so sent-kept values sit undelivered
+// in the buffer at the end of every interleaving.
+func ChanLostMessage(sent, kept int) string {
+	if kept >= sent {
+		panic("progs: ChanLostMessage needs kept < sent")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared done = 0;\nchan c = %d;\n\nthread producer {\n", sent)
+	for i := 1; i <= sent; i++ {
+		fmt.Fprintf(&b, "    send(c, %d0);\n", i)
+	}
+	b.WriteString("    done = 1;\n}\n\nthread consumer {\n    var x = 0;\n")
+	for i := 0; i < kept; i++ {
+		b.WriteString("    x = recv(c);\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ChanPartialDeadlock is the partial-deadlock class: the waiter offers
+// alts alternative receives (a plain receive for alts = 1, a select
+// otherwise) on channels nobody ever sends on, so it parks forever in
+// every interleaving while the helper finishes normally — a partial
+// deadlock, not a whole-program hang. The park (and so the finding's
+// key) is on c0, the first alternative.
+func ChanPartialDeadlock(alts int) string {
+	var b strings.Builder
+	b.WriteString("shared done = 0;\n")
+	for i := 0; i < alts; i++ {
+		fmt.Fprintf(&b, "chan c%d;\n", i)
+	}
+	b.WriteString("\nthread waiter {\n")
+	for i := 0; i < alts; i++ {
+		fmt.Fprintf(&b, "    var x%d = 0;\n", i)
+	}
+	if alts == 1 {
+		b.WriteString("    x0 = recv(c0);\n    done = 1;\n")
+	} else {
+		b.WriteString("    select {\n")
+		for i := 0; i < alts; i++ {
+			fmt.Fprintf(&b, "        case x%d = recv(c%d) { done = %d; }\n", i, i, i+1)
+		}
+		b.WriteString("    }\n")
+	}
+	b.WriteString("}\n\nthread helper {\n    done = done + 10;\n}\n")
+	return b.String()
+}

@@ -241,4 +241,35 @@ func (d *Detector) Spawn(parent, child int) {
 	d.clocks[child] = d.clocks[parent]
 }
 
-var _ interp.Hooks = (*Detector)(nil)
+// Channel operations are synchronization: the detector treats every
+// completed operation on a channel as a write of the channel's own
+// sync variable, totally ordering all operations on that channel. This
+// is deliberately coarser than the two-phase rules of package mvc — a
+// channel in the sync-only causality behaves like a lock — which keeps
+// the detector's predictions a subset of what the exhaustive scheduler
+// can realize (the lab's ground-truth recorder applies the identical
+// encoding).
+
+// ChanSend implements interp.ChannelHooks.
+func (d *Detector) ChanSend(tid int, ch string, _ int64, _ int64, _ int) { d.syncWrite(tid, ch) }
+
+// ChanRecv implements interp.ChannelHooks.
+func (d *Detector) ChanRecv(tid int, ch string, _ int64) { d.syncWrite(tid, ch) }
+
+// ChanClose implements interp.ChannelHooks.
+func (d *Detector) ChanClose(tid int, ch string) { d.syncWrite(tid, ch) }
+
+// ChanSendClosed implements interp.ChannelHooks.
+func (d *Detector) ChanSendClosed(tid int, ch string, _ int64) { d.syncWrite(tid, ch) }
+
+// ChanRecvClosed implements interp.ChannelHooks.
+func (d *Detector) ChanRecvClosed(tid int, ch string) { d.syncWrite(tid, ch) }
+
+// ChanBlock implements interp.ChannelHooks: a park establishes no
+// cross-thread edge.
+func (d *Detector) ChanBlock(tid int, ch string, _ string) { d.tick(tid) }
+
+var (
+	_ interp.Hooks        = (*Detector)(nil)
+	_ interp.ChannelHooks = (*Detector)(nil)
+)

@@ -114,11 +114,14 @@ type RunResult struct {
 	Events uint64
 	// Schedule records which thread was stepped, for every Step that
 	// progressed, finished, or parked the thread on a condition
-	// variable (cond-parking must be replayed: it determines which
-	// waiters a later notify wakes). Lock-parking attempts are omitted:
-	// a thread parked on a lock behaves exactly like a runnable thread
-	// whose next step is the acquisition. Replaying the schedule
-	// through Scripted reproduces the run exactly.
+	// variable or a channel operation (cond-parking must be replayed:
+	// it determines which waiters a later notify wakes; a channel
+	// first-park emits a ChanBlock event and establishes rendezvous
+	// eligibility, so it must be replayed too). Lock-parking attempts
+	// and silent channel re-parks (a woken thread re-checking and
+	// parking again without an event) are omitted: they behave exactly
+	// like the thread staying runnable. Replaying the schedule through
+	// Scripted reproduces the run exactly.
 	Schedule []int
 }
 
@@ -143,6 +146,7 @@ func Run(m *interp.Machine, s Scheduler, maxEvents uint64) (RunResult, error) {
 		if !ok {
 			return res, fmt.Errorf("sched: scheduler chose non-runnable thread %d (runnable %v)", tid, runnable)
 		}
+		ev0 := m.Events()
 		kind, err := m.Step(tid)
 		if err != nil {
 			return res, err
@@ -154,8 +158,10 @@ func Run(m *interp.Machine, s Scheduler, maxEvents uint64) (RunResult, error) {
 			// Lock-parking consumed no event and is equivalent to
 			// staying runnable, so it is not part of the schedule.
 			// Cond-parking is: a later notify only wakes threads that
-			// have already parked.
-			if m.Status(tid) == interp.BlockedCond {
+			// have already parked. Channel first-parks emit a ChanBlock
+			// event (m.Events advanced) and must replay; silent channel
+			// re-parks are omitted like lock-parks.
+			if m.Status(tid) == interp.BlockedCond || m.Events() > ev0 {
 				res.Schedule = append(res.Schedule, tid)
 			}
 		}
@@ -221,20 +227,22 @@ func Explore(m *interp.Machine, limit int, maxEvents uint64, fn func(ExploreResu
 		branched := false
 		for _, tid := range runnable {
 			snap := m.Snapshot()
+			ev0 := m.Events()
 			kind, err := m.Step(tid)
 			if err != nil {
 				return err
 			}
-			if kind == interp.Blocked && m.Status(tid) == interp.BlockedLock {
-				// Lock-parking produces no event and an equivalent
-				// state; skip this branch to avoid duplicate
-				// interleavings.
+			if kind == interp.Blocked && m.Events() == ev0 && m.Status(tid) != interp.BlockedCond {
+				// Lock-parking and silent channel re-parks produce no
+				// event and an equivalent state; skip this branch to
+				// avoid duplicate interleavings.
 				m.Restore(snap)
 				continue
 			}
-			// Progress, finish, and cond-parking are all genuine
-			// branches (cond-parking determines which waiters a later
-			// notify can wake).
+			// Progress, finish, cond-parking and channel first-parks
+			// (which emit a ChanBlock event) are all genuine branches
+			// (cond-parking determines which waiters a later notify can
+			// wake; a channel park establishes rendezvous eligibility).
 			branched = true
 			schedule = append(schedule, tid)
 			if err := rec(); err != nil {

@@ -539,9 +539,11 @@ func (d *Daemon) handle(p *pending) {
 // verdictFor classifies a finished analysis. Violations take
 // precedence: a session that predicted a violation and then blew its
 // budget is a violation (with the error preserved in the record).
+// Message-passing findings (send-on-closed, lost-message, partial
+// deadlock) are violations on equal footing with property violations.
 func verdictFor(res predict.Result, err error) string {
 	switch {
-	case res.Violated():
+	case res.Violated() || res.Messaging.Violating():
 		return VerdictViolation
 	case errors.Is(err, predict.ErrBudget):
 		return VerdictBudget
@@ -570,6 +572,7 @@ func buildRecord(id string, sp *spec, remote string, start time.Time, res predic
 		Stats:      res.Stats,
 		Degraded:   res.Degraded,
 		Wire:       ws,
+		Messaging:  res.Messaging,
 	}
 	if aerr != nil {
 		rec.Error = aerr.Error()

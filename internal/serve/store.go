@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"gompax/internal/msg"
 	"gompax/internal/predict"
 	"gompax/internal/serve/segstore"
 	"gompax/internal/wire"
@@ -55,6 +56,10 @@ type Record struct {
 	// Counterexample is the state sequence of the first predicted
 	// violation's run, when the analysis tracked one.
 	Counterexample []string `json:"counterexample,omitempty"`
+	// Messaging is the message-passing analyses' report for sessions
+	// that carried channel events; nil otherwise, so legacy records
+	// serialize exactly as before.
+	Messaging *msg.Report `json:"messaging,omitempty"`
 	// TraceID is the session's end-to-end trace id (hex), when the
 	// session carried one — either minted by the client and propagated
 	// through the handshake trace= key, or minted by the daemon for

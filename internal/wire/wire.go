@@ -166,7 +166,11 @@ func msgErr(off int, field string, err error) error {
 const maxClockComponents = 1 << 20
 
 // appendEventFields encodes the event portion of a message, shared by
-// both protocol versions.
+// both protocol versions. Channel events additionally carry their FIFO
+// slot and auxiliary detail after the value; the extension is keyed on
+// the event kind byte rather than a frame version, so a stream without
+// channel events is byte-identical to what pre-channel senders wrote,
+// and old captures (which contain no channel kinds) decode unchanged.
 func appendEventFields(buf []byte, m event.Message) []byte {
 	buf = append(buf, byte(m.Event.Kind))
 	buf = binary.AppendUvarint(buf, uint64(m.Event.Thread))
@@ -180,6 +184,11 @@ func appendEventFields(buf []byte, m event.Message) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(m.Event.Var)))
 	buf = append(buf, m.Event.Var...)
 	buf = binary.AppendVarint(buf, m.Event.Value)
+	if m.Event.Kind.IsChannel() {
+		buf = binary.AppendUvarint(buf, m.Event.Slot)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Event.Aux)))
+		buf = append(buf, m.Event.Aux...)
+	}
 	return buf
 }
 
@@ -260,6 +269,25 @@ func decodeEventFields(buf []byte) (event.Message, int, error) {
 	}
 	m.Event.Value = v
 	off += n
+	if m.Event.Kind.IsChannel() {
+		if m.Event.Slot, n, err = getUvarint(buf[off:]); err != nil {
+			return m, 0, msgErr(off, "slot", err)
+		}
+		off += n
+		auxLen, n, err := getUvarint(buf[off:])
+		if err != nil {
+			return m, 0, msgErr(off, "aux length", err)
+		}
+		if auxLen > maxFrameLen {
+			return m, 0, msgErr(off, "aux length", ErrBadLength)
+		}
+		off += n
+		if off+int(auxLen) > len(buf) {
+			return m, 0, msgErr(off, "aux", ErrTruncated)
+		}
+		m.Event.Aux = string(buf[off : off+int(auxLen)])
+		off += int(auxLen)
+	}
 	return m, off, nil
 }
 
