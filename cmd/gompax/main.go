@@ -70,6 +70,7 @@ import (
 	"os"
 	"strings"
 
+	"gompax/internal/clock"
 	"gompax/internal/driver"
 	"gompax/internal/instrument"
 	"gompax/internal/logic"
@@ -123,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address (e.g. :9090)")
 	logLevel := fs.String("log-level", "warn", "structured log level: debug, info, warn, error")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON")
+	clockRepr := fs.String("clock-repr", "auto", "vector-clock substrate: flat, tree, or auto (promote to tree past the thread threshold)")
 	if err := fs.Parse(args); err != nil {
 		return exitError
 	}
@@ -133,6 +135,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitError
 	}
 	telemetry.InitLogging(lvl, *logJSON, stderr)
+	repr, err := clock.ParseRepr(*clockRepr)
+	if err != nil {
+		fmt.Fprintf(stderr, "gompax: %v\n", err)
+		return exitError
+	}
+	clock.SetDefaultRepr(repr)
 
 	// Client modes: capture a session to a file, or ship one to a
 	// gompaxd daemon, instead of analyzing locally.

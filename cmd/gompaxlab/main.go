@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	gompaxlab [-grid default|short|golden] [-seed N] [-generated N]
+//	gompaxlab [-grid default|short|golden|deep] [-seed N] [-generated N]
 //	          [-workers N] [-out DIR] [-gate BENCH_lab.json] [-q]
 //	          [-traces]
 //
@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		gridName  = flag.String("grid", "default", "scenario grid: default, short, or golden")
+		gridName  = flag.String("grid", "default", "scenario grid: default, short, golden, or deep")
 		seed      = flag.Int64("seed", 1, "grid seed (ignored by the golden grid)")
 		generated = flag.Int("generated", -1, "random generated scenarios to append (-1 = 4 on the default grid, 0 otherwise)")
 		workers   = flag.Int("workers", 0, "predictive-analysis worker goroutines (0 = sequential)")

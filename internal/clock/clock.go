@@ -63,13 +63,35 @@ type chunk [chunkSize]uint64
 var zeroChunk = &chunk{}
 
 // node is one interned clock value. n is the significant length (the
-// last component is nonzero), chunks has exactly ceil(n/chunkSize)
-// entries, and components beyond n inside the last chunk are zero.
+// last component is nonzero) and components beyond n are zero. Exactly
+// one substrate backs the value: flat (a spine of ceil(n/chunkSize)
+// chunk pointers) or tree (a radix trie of height treeHeight(n) over
+// the same chunks, see tree.go). digest and sum are substrate-
+// independent functions of the value, so mixed-substrate nodes share
+// buckets, comparisons and fast paths.
 type node struct {
-	chunks []*chunk
+	flat   []*chunk
+	tree   *tnode
 	n      int
 	digest uint64
 	sum    uint64
+}
+
+func (p *node) height() int { return treeHeight(p.n) }
+
+// chunkAt returns chunk ci of the value on either substrate, the
+// shared zero chunk beyond its storage.
+func (p *node) chunkAt(ci int) *chunk {
+	if p.flat != nil {
+		if ci >= len(p.flat) {
+			return zeroChunk
+		}
+		return p.flat[ci]
+	}
+	if ci<<chunkShift >= p.n {
+		return zeroChunk
+	}
+	return treeGetChunk(p.tree, ci, p.height())
 }
 
 // Ref is an immutable clock value: a handle to an interned node. The
@@ -118,7 +140,7 @@ func (r Ref) Get(i int) uint64 {
 	if r.p == nil || i < 0 || i >= r.p.n {
 		return 0
 	}
-	return r.p.chunks[i>>chunkShift][i&(chunkSize-1)]
+	return r.p.chunkAt(i >> chunkShift)[i&(chunkSize-1)]
 }
 
 // IsZero reports whether the clock is all zeros.
@@ -148,10 +170,10 @@ func (r Ref) Sum() uint64 {
 // chunkAt returns the ci'th chunk, or the shared zero chunk beyond the
 // clock's storage.
 func (r Ref) chunkAt(ci int) *chunk {
-	if r.p == nil || ci >= len(r.p.chunks) {
+	if r.p == nil {
 		return zeroChunk
 	}
-	return r.p.chunks[ci]
+	return r.p.chunkAt(ci)
 }
 
 // VC materializes the clock as a mutable vc.VC of length Len. The
@@ -161,8 +183,12 @@ func (r Ref) VC() vc.VC {
 		return nil
 	}
 	out := make(vc.VC, r.p.n)
-	for i := range out {
-		out[i] = r.p.chunks[i>>chunkShift][i&(chunkSize-1)]
+	if r.p.flat != nil {
+		for i := range out {
+			out[i] = r.p.flat[i>>chunkShift][i&(chunkSize-1)]
+		}
+	} else {
+		treeFill(out, r.p.tree, 0, r.p.height())
 	}
 	return out
 }
@@ -202,7 +228,8 @@ func (r Ref) String() string {
 // Equal reports whether a and b denote the same clock value. Within
 // one table this is the pointer test; across tables it falls back to
 // a digest comparison (differing digests prove inequality) and then a
-// chunk-sharing-aware component comparison.
+// sharing-aware component comparison on whichever substrates back the
+// two values.
 func Equal(a, b Ref) bool {
 	if a.p == b.p {
 		return true
@@ -213,16 +240,7 @@ func Equal(a, b Ref) bool {
 	if a.p.digest != b.p.digest || a.p.n != b.p.n || a.p.sum != b.p.sum {
 		return false
 	}
-	for ci, ca := range a.p.chunks {
-		cb := b.p.chunks[ci]
-		if ca == cb {
-			continue
-		}
-		if *ca != *cb {
-			return false
-		}
-	}
-	return true
+	return nodesEqual(a.p, b.p)
 }
 
 // Leq reports whether a ≤ b pointwise (missing components are zero).
@@ -239,18 +257,37 @@ func Leq(a, b Ref) bool {
 	if a.p.sum > b.p.sum {
 		return false // pointwise ≤ implies sum ≤
 	}
-	for ci, ca := range a.p.chunks {
-		cb := b.p.chunks[ci]
-		if ca == cb {
-			continue
-		}
-		for k := 0; k < chunkSize; k++ {
-			if ca[k] > cb[k] {
-				return false
+	switch {
+	case a.p.flat != nil && b.p.flat != nil:
+		for ci, ca := range a.p.flat {
+			cb := b.p.flat[ci]
+			if ca == cb {
+				continue
+			}
+			for k := 0; k < chunkSize; k++ {
+				if ca[k] > cb[k] {
+					return false
+				}
 			}
 		}
+		return true
+	case a.p.tree != nil && b.p.tree != nil:
+		return treeLeqRoots(a.p.tree, a.p.height(), b.p.tree, b.p.height())
+	default: // mixed substrates: generic chunk walk
+		nc := (a.p.n + chunkSize - 1) >> chunkShift
+		for ci := 0; ci < nc; ci++ {
+			ca, cb := a.p.chunkAt(ci), b.p.chunkAt(ci)
+			if ca == cb {
+				continue
+			}
+			for k := 0; k < chunkSize; k++ {
+				if ca[k] > cb[k] {
+					return false
+				}
+			}
+		}
+		return true
 	}
-	return true
 }
 
 // Less reports whether a < b, i.e. a ≤ b and a ≠ b.
@@ -284,6 +321,11 @@ func Precedes(a Ref, i int, b Ref) bool {
 func Compare(a, b Ref) int {
 	if a.p == b.p {
 		return 0
+	}
+	if a.p != nil && b.p != nil && a.p.tree != nil && b.p.tree != nil {
+		if ha, hb := a.p.height(), b.p.height(); ha == hb {
+			return treeCompare(a.p.tree, b.p.tree, ha)
+		}
 	}
 	n := a.Len()
 	if bl := b.Len(); bl > n {
@@ -322,6 +364,14 @@ func Diff(prev, cur Ref, f func(i int, delta uint64)) bool {
 	if prev.Len() > cur.Len() {
 		return false
 	}
+	if cur.p != nil && cur.p.tree != nil && (prev.p == nil || prev.p.tree != nil) {
+		var pt *tnode
+		hp := 0
+		if prev.p != nil {
+			pt, hp = prev.p.tree, prev.p.height()
+		}
+		return treeDiffRoots(pt, hp, cur.p.tree, cur.p.height(), 0, f)
+	}
 	nc := (cur.Len() + chunkSize - 1) >> chunkShift
 	for ci := 0; ci < nc; ci++ {
 		cp, cc := prev.chunkAt(ci), cur.chunkAt(ci)
@@ -357,13 +407,26 @@ type tableShard struct {
 // ends and Refs from a single table can serve directly as map keys.
 // All methods are safe for concurrent use.
 type Table struct {
-	shards [tableShards]tableShard
-	size   atomic.Int64
+	shards    [tableShards]tableShard
+	size      atomic.Int64
+	opts      Options
+	threshold int
+	promoted  atomic.Bool
 }
 
-// NewTable returns an empty interning table.
+// NewTable returns an empty interning table on the process default
+// representation (see SetDefaultRepr; auto unless a flag changed it).
 func NewTable() *Table {
-	t := &Table{}
+	return NewTableOpts(Options{Repr: DefaultRepr()})
+}
+
+// NewTableOpts returns an empty interning table on the given
+// substrate.
+func NewTableOpts(o Options) *Table {
+	t := &Table{opts: o, threshold: o.AutoThreshold}
+	if t.threshold <= 0 {
+		t.threshold = DefaultAutoThreshold
+	}
 	for i := range t.shards {
 		t.shards[i].buckets = make(map[uint64][]*node)
 	}
@@ -374,22 +437,79 @@ func NewTable() *Table {
 // Size returns the number of distinct clock values interned so far.
 func (t *Table) Size() int { return int(t.size.Load()) }
 
-// nodesEqual compares two normalized nodes by value, aliased chunks
+// Repr returns the substrate new values are currently built on: the
+// configured representation, resolved for auto tables to flat or tree
+// depending on whether the promotion threshold has been crossed.
+func (t *Table) Repr() Repr {
+	switch {
+	case t.opts.Repr != ReprAuto:
+		return t.opts.Repr
+	case t.promoted.Load():
+		return ReprTree
+	default:
+		return ReprFlat
+	}
+}
+
+// ops picks the representation that builds a value of significant
+// length n, promoting an auto table — one way, for the rest of its
+// life — the first time n crosses the threshold. Values interned
+// before the promotion stay flat; mixed operands go through the
+// generic comparison paths and are converted lazily (and cheaply,
+// since pre-promotion values are threshold-bounded) when a tree
+// operation consumes them.
+func (t *Table) ops(n int) representation {
+	switch t.opts.Repr {
+	case ReprFlat:
+		return flatOps{}
+	case ReprTree:
+		return treeOps{}
+	}
+	if t.promoted.Load() {
+		return treeOps{}
+	}
+	if n > t.threshold {
+		if t.promoted.CompareAndSwap(false, true) {
+			tablePromoted()
+		}
+		return treeOps{}
+	}
+	return flatOps{}
+}
+
+// nodesEqual compares two normalized nodes by value, shared storage
 // shortcut by pointer. Digest equality is assumed (bucket invariant).
 func nodesEqual(x, y *node) bool {
 	if x.n != y.n || x.sum != y.sum {
 		return false
 	}
-	for ci, cx := range x.chunks {
-		cy := y.chunks[ci]
-		if cx == cy {
-			continue
+	switch {
+	case x.flat != nil && y.flat != nil:
+		for ci, cx := range x.flat {
+			cy := y.flat[ci]
+			if cx == cy {
+				continue
+			}
+			if *cx != *cy {
+				return false
+			}
 		}
-		if *cx != *cy {
-			return false
+		return true
+	case x.tree != nil && y.tree != nil:
+		return treeEqual(x.tree, y.tree, x.height())
+	default: // mixed substrates: generic chunk walk
+		nc := (x.n + chunkSize - 1) >> chunkShift
+		for ci := 0; ci < nc; ci++ {
+			cx, cy := x.chunkAt(ci), y.chunkAt(ci)
+			if cx == cy {
+				continue
+			}
+			if *cx != *cy {
+				return false
+			}
 		}
+		return true
 	}
-	return true
 }
 
 // intern returns the canonical Ref for the candidate node, inserting
@@ -408,7 +528,7 @@ func (t *Table) intern(cand *node) Ref {
 	s.buckets[cand.digest] = append(s.buckets[cand.digest], cand)
 	s.mu.Unlock()
 	t.size.Add(1)
-	nodeInterned()
+	nodeInterned(cand)
 	return Ref{cand}
 }
 
@@ -422,26 +542,12 @@ func (t *Table) Intern(comps []uint64) Ref {
 	if n == 0 {
 		return Ref{}
 	}
-	nc := (n + chunkSize - 1) >> chunkShift
-	chunks := make([]*chunk, nc)
-	var digest, sum uint64
-	for ci := 0; ci < nc; ci++ {
-		c := &chunk{}
-		base := ci << chunkShift
-		for k := 0; k < chunkSize && base+k < n; k++ {
-			x := comps[base+k]
-			c[k] = x
-			digest ^= contrib(base+k, x)
-			sum += x
-		}
-		chunks[ci] = c
-	}
-	return t.intern(&node{chunks: chunks, n: n, digest: digest, sum: sum})
+	return t.ops(n).intern(t, comps, n)
 }
 
 // set builds the canonical Ref for r with component i set to x > old,
-// sharing every chunk of r except the one containing i. Both Tick and
-// the explorers' cut advancement reduce to this.
+// sharing all of r's storage except the path to the chunk containing
+// i. Both Tick and the explorers' cut advancement reduce to this.
 func (t *Table) set(r Ref, i int, x uint64) Ref {
 	old := r.Get(i)
 	if x == old {
@@ -453,22 +559,7 @@ func (t *Table) set(r Ref, i int, x uint64) Ref {
 	}
 	// x == 0 would require re-normalizing trailing zeros; no caller
 	// decreases components, and Tick/Join only raise them.
-	nc := (n + chunkSize - 1) >> chunkShift
-	chunks := make([]*chunk, nc)
-	for ci := 0; ci < nc; ci++ {
-		chunks[ci] = r.chunkAt(ci)
-	}
-	ci := i >> chunkShift
-	c := *chunks[ci] // copy-on-write: one chunk copied, the rest shared
-	c[i&(chunkSize-1)] = x
-	chunks[ci] = &c
-	var digest, sum uint64
-	if r.p != nil {
-		digest, sum = r.p.digest, r.p.sum
-	}
-	digest ^= contrib(i, old) ^ contrib(i, x)
-	sum += x - old
-	return t.intern(&node{chunks: chunks, n: n, digest: digest, sum: sum})
+	return t.ops(n).set(t, r, i, x, n)
 }
 
 // Tick returns the clock with component i incremented by one: step 1
@@ -496,42 +587,7 @@ func (t *Table) Join(a, b Ref) Ref {
 	if bl := b.Len(); bl > n {
 		n = bl
 	}
-	nc := (n + chunkSize - 1) >> chunkShift
-	chunks := make([]*chunk, nc)
-	digest, sum := a.p.digest, a.p.sum
-	for ci := 0; ci < nc; ci++ {
-		ca, cb := a.chunkAt(ci), b.chunkAt(ci)
-		if ca == cb {
-			chunks[ci] = ca
-			continue
-		}
-		fromA, fromB := true, true
-		var m chunk
-		base := ci << chunkShift
-		for k := 0; k < chunkSize; k++ {
-			if ca[k] >= cb[k] {
-				m[k] = ca[k]
-				if ca[k] > cb[k] {
-					fromB = false
-				}
-			} else {
-				m[k] = cb[k]
-				fromA = false
-				digest ^= contrib(base+k, ca[k]) ^ contrib(base+k, cb[k])
-				sum += cb[k] - ca[k]
-			}
-		}
-		switch {
-		case fromA:
-			chunks[ci] = ca
-		case fromB:
-			chunks[ci] = cb
-		default:
-			c := m
-			chunks[ci] = &c
-		}
-	}
-	return t.intern(&node{chunks: chunks, n: n, digest: digest, sum: sum})
+	return t.ops(n).join(t, a, b, n)
 }
 
 // global is the process-wide convenience table used by tests, tools

@@ -15,6 +15,13 @@ import (
 // to sessions and reclaimed by GC with their nodes, so the gauges are
 // high-water views of what the process has built, matching when the
 // memory is actually released only as precisely as GC does.
+//
+// The per-representation family splits interned nodes by substrate so
+// an operator can see whether a deep-thread tracer actually promoted
+// (flat nodes stop growing, tree nodes take over) and how big the
+// tree copies are: the copied-nodes histogram is the measured
+// "O(subtree changed)" — it should stay near the trie height on Tick
+// and well below the full node count on Join.
 var (
 	mInterned = telemetry.Default().NewCounter("gompax_clock_interned_total",
 		"Distinct clock values interned across all clock tables.")
@@ -24,20 +31,47 @@ var (
 		"Clock nodes currently interned across all live clock tables.")
 	mTables = telemetry.Default().NewGauge("gompax_clock_intern_tables",
 		"Clock interning tables created by the process.")
+
+	mReprNodes = telemetry.Default().NewCounterVec("gompax_clock_repr_nodes_total",
+		"Clock nodes interned, by storage substrate.", "repr")
+	mFlatNodes  = mReprNodes.With("flat")
+	mTreeNodes  = mReprNodes.With("tree")
+	mPromotions = telemetry.Default().NewCounter("gompax_clock_tree_promotions_total",
+		"Auto tables promoted from the flat to the tree substrate.")
+	mTreeDepth = telemetry.Default().NewGauge("gompax_clock_tree_depth",
+		"Maximum tree-clock trie height built by the process.")
+	mTreeCopied = telemetry.Default().NewHistogram("gompax_clock_tree_copied_nodes",
+		"Trie nodes copied per tree-substrate Tick/Join (subtree-copy size).")
 )
 
 // liveEntries mirrors mEntries for the /statusz snapshot.
 var liveEntries, liveTables atomic.Int64
 
-func nodeInterned() {
+func nodeInterned(p *node) {
 	mInterned.Inc()
 	mEntries.Add(1)
 	liveEntries.Add(1)
+	if p.flat != nil {
+		mFlatNodes.Inc()
+	} else {
+		mTreeNodes.Inc()
+	}
 }
 
 func tableCreated(t *Table) {
 	mTables.Add(1)
 	liveTables.Add(1)
+}
+
+func tablePromoted() {
+	mPromotions.Inc()
+}
+
+// treeOpRecorded tracks one tree-substrate construction: the trie
+// height it ran at and how many tnodes it copied.
+func treeOpRecorded(h, copied int) {
+	mTreeDepth.SetMax(int64(h))
+	mTreeCopied.Observe(uint64(copied))
 }
 
 // statusSection marshals live interning state at scrape time, so the
@@ -58,6 +92,12 @@ func (statusSection) MarshalJSON() ([]byte, error) {
 		"hit_ratio":         ratio,
 		"entries":           liveEntries.Load(),
 		"tables":            liveTables.Load(),
+		"flat_nodes":        mFlatNodes.Value(),
+		"tree_nodes":        mTreeNodes.Value(),
+		"tree_promotions":   mPromotions.Value(),
+		"max_tree_depth":    mTreeDepth.Value(),
+		"tree_copied_nodes": mTreeCopied.Sum(),
+		"tree_ops":          mTreeCopied.Count(),
 	})
 }
 

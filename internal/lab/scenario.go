@@ -46,6 +46,25 @@ const (
 	// rather than declared up front.
 	Generated Behavior = "generated"
 
+	// The deep classes scale the pulse templates to hundreds or
+	// thousands of threads — the regime the tree-clock substrate
+	// exists for. Exhaustive interleaving enumeration is impossible at
+	// this scale, so their ground truth is *declared*: the templates
+	// are constructed so the truth is exactly known analytically (see
+	// buildDeep), and Truth.Declared marks it as such.
+	//
+	// DeepViolating is PulseViolating at deep scale: every worker's
+	// pulse is conflict-free on property variables, so the v0/v1
+	// overlap is predictable from every observed run, and with zero
+	// contention no data race exists.
+	DeepViolating Behavior = "deep-violating"
+	// DeepClean is PulseClean at deep scale: every pulse inside the
+	// one global critical section. The race detector's sync-only
+	// clocks tick at every acquire/release, so the mutex accumulates
+	// all workers into genuine `threads`-wide fan-in joins — and no
+	// violation, race, or finding of any kind.
+	DeepClean Behavior = "deep-clean"
+
 	// The channel classes score the message-passing analyses. Their
 	// monitored property holds in every interleaving and they are free
 	// of data races, so the violation and race columns stay clean and
@@ -108,6 +127,11 @@ type Scenario struct {
 	Fault *wire.FaultPlan `json:"fault,omitempty"`
 	// Base names the scenario this one was derived from (chaos wraps).
 	Base string `json:"base,omitempty"`
+	// Declared, when non-nil, is the scenario's analytic ground truth
+	// and the runner skips exhaustive enumeration (deep classes, whose
+	// scale makes enumeration impossible). Declared truth never counts
+	// toward the truth-complete gate.
+	Declared *Truth `json:"declared,omitempty"`
 }
 
 // build materializes one template scenario from the pulse family in
@@ -165,6 +189,46 @@ func buildChan(behavior Behavior, pulses, contention int, seed int64) Scenario {
 	return sc
 }
 
+// buildDeep materializes one deep-thread scenario with declared
+// ground truth. The truth is analytic, not enumerated:
+//
+//   - deep-violating (PulseViolating, contention 0): every worker
+//     pulses only its own variable, so no property variable has a
+//     cross-thread conflict — the v0/v1 overlap cut is consistent in
+//     every reconstructed computation (truth: violating) — and no two
+//     threads ever touch a common variable, so no data race and no
+//     channel finding exists.
+//   - deep-clean (PulseClean, contention 0): every access sits inside
+//     the one global critical section, so the mutex's total order
+//     serializes all pulses (no consistent overlap, no race, no
+//     finding).
+//
+// Runs shrink as threads grow so the grid's wall budget holds.
+func buildDeep(behavior Behavior, threads int, seed int64) Scenario {
+	sc := Scenario{
+		Name:     fmt.Sprintf("%s-t%d", behavior, threads),
+		Behavior: behavior,
+		Threads:  threads,
+		Pulses:   1,
+		Seed:     seed,
+		Runs:     3,
+	}
+	if threads >= 1024 {
+		sc.Runs = 2
+	}
+	switch behavior {
+	case DeepViolating:
+		sc.Source, sc.Property = progs.PulseViolating(threads, 1, 0), progs.PulseOverlapProperty
+		sc.Declared = &Truth{Declared: true, Violating: true}
+	case DeepClean:
+		sc.Source, sc.Property = progs.PulseClean(threads, 1, 0), progs.PulseOverlapProperty
+		sc.Declared = &Truth{Declared: true}
+	default:
+		panic("lab: buildDeep only materializes deep template behaviors")
+	}
+	return sc
+}
+
 // chaosOn derives a chaos scenario: the base workload with its
 // observer sessions routed through a FaultWriter. SpareHello keeps the
 // session openable; everything else is fair game.
@@ -200,9 +264,10 @@ var scales = []struct{ threads, pulses, contention int }{
 	{3, 1, 0}, {3, 1, 1},
 }
 
-// DefaultGrid is the deep release grid: every template behavior at
-// every scale, six chaos derivations, and the channel classes at a
-// few scales with two channel-chaos derivations — 40 scenarios, all
+// DefaultGrid is the release grid: every template behavior at every
+// scale, six chaos derivations, the channel classes at a few scales
+// with two channel-chaos derivations, and the deep classes at every
+// deep scale — 46 scenarios, all but the declared-truth deep ones
 // with complete exhaustive ground truth.
 func DefaultGrid(seed int64) Grid {
 	g := Grid{Name: "default", Seed: seed}
@@ -250,12 +315,32 @@ func DefaultGrid(seed int64) Grid {
 		chaosOn(closed2, drop, "drop"),
 		chaosOn(lost31, mixed, "mix"),
 	)
+	// Deep classes: both templates at every deep scale, declared truth.
+	for _, threads := range progs.DeepScales {
+		g.Scenarios = append(g.Scenarios,
+			buildDeep(DeepViolating, threads, seed),
+			buildDeep(DeepClean, threads, seed),
+		)
+	}
+	return g
+}
+
+// DeepGrid is the deep-thread grid alone: both deep templates at every
+// deep scale, for focused tree-clock scaling runs.
+func DeepGrid(seed int64) Grid {
+	g := Grid{Name: "deep", Seed: seed}
+	for _, threads := range progs.DeepScales {
+		g.Scenarios = append(g.Scenarios,
+			buildDeep(DeepViolating, threads, seed),
+			buildDeep(DeepClean, threads, seed),
+		)
+	}
 	return g
 }
 
 // ShortGrid is the CI grid: one scenario per behavior (including each
-// channel class) at one or two scales — 13 scenarios, a few seconds
-// of work.
+// channel class and the deep classes at their smallest scale) at one
+// or two scales — 15 scenarios, a few seconds of work.
 func ShortGrid(seed int64) Grid {
 	g := Grid{Name: "short", Seed: seed}
 	v1 := build(Violating, 2, 1, 0, seed)
@@ -265,6 +350,10 @@ func ShortGrid(seed int64) Grid {
 	c1 := build(Clean, 2, 1, 0, seed)
 	c2 := build(Clean, 3, 1, 1, seed)
 	closed := buildChan(ChanClosed, 1, 0, seed)
+	g.Scenarios = append(g.Scenarios,
+		buildDeep(DeepViolating, 64, seed),
+		buildDeep(DeepClean, 64, seed),
+	)
 	g.Scenarios = append(g.Scenarios, v1, v2, r1, r2, c1, c2,
 		chaosOn(v2, wire.FaultPlan{Drop: 0.15, Seed: seed + 1}, "drop"),
 		chaosOn(r2, wire.FaultPlan{Drop: 0.1, Corrupt: 0.1, Delay: 0.15, MaxDelay: 3, Seed: seed + 2}, "mix"),
@@ -306,7 +395,9 @@ func GridByName(name string, seed int64) (Grid, error) {
 		return ShortGrid(seed), nil
 	case "golden":
 		return GoldenGrid(), nil
+	case "deep":
+		return DeepGrid(seed), nil
 	default:
-		return Grid{}, fmt.Errorf("lab: unknown grid %q (default, short, golden)", name)
+		return Grid{}, fmt.Errorf("lab: unknown grid %q (default, short, golden, deep)", name)
 	}
 }

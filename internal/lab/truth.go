@@ -29,6 +29,13 @@ type Truth struct {
 	// sized to always be complete; incomplete truth still lower-bounds
 	// the violating/racy labels but cannot certify a scenario clean.
 	Complete bool `json:"complete"`
+	// Declared is true when the truth was not enumerated but declared
+	// analytically by the scenario's constructor (deep classes, whose
+	// thread counts put exhaustive enumeration out of reach; the
+	// templates are built so the labels are exactly known). Declared
+	// truth is never Complete: the truth-complete gate counts only
+	// enumerated scenarios.
+	Declared bool `json:"declared,omitempty"`
 	// Violating is true when at least one interleaving violates the
 	// property per the single-trace checker.
 	Violating bool `json:"violating"`

@@ -12,6 +12,7 @@ import (
 	"gompax/internal/monitor"
 	"gompax/internal/mvc"
 	"gompax/internal/predict"
+	"gompax/internal/trace"
 	"gompax/internal/vc"
 )
 
@@ -81,6 +82,14 @@ func analyzeAllModes(t *testing.T, c Case, msgs []event.Message, workers int, ce
 //     verdicts, counterexamples and statistics whether fed the
 //     interned tracker's messages or messages re-interned from the
 //     legacy tracker's vectors.
+//
+// Since the tree-clock substrate landed, every case also replays the
+// same ops on explicitly flat-backed and tree-backed trackers
+// (trace.ExecuteOpts): their messages must carry cross-substrate-Equal
+// clocks with identical canonical keys, Theorem 3 must hold on the
+// tree substrate (including mixed flat/tree comparisons), and the
+// tree-backed messages must drive all four explorer modes to the same
+// bytes as the flat ones.
 func TestClockSubstrateParity(t *testing.T) {
 	t.Parallel()
 	cases := lab.Cases(500, 50, testing.Short())
@@ -100,7 +109,31 @@ func TestClockSubstrateParity(t *testing.T) {
 			}
 		}
 
-		// 1. Message parity.
+		// 1a. Substrate parity: replay the ops on explicitly flat- and
+		// tree-backed trackers. Messages must match the default arm
+		// event-for-event with cross-substrate-Equal clocks and equal
+		// canonical keys (the digest contract at work end to end).
+		policy := mvc.WritesOf(c.Relevant...)
+		_, flatMsgs := trace.ExecuteOpts(c.Ops, c.Threads, policy, clock.Options{Repr: clock.ReprFlat})
+		_, treeMsgs := trace.ExecuteOpts(c.Ops, c.Threads, policy, clock.Options{Repr: clock.ReprTree})
+		if len(flatMsgs) != len(c.Msgs) || len(treeMsgs) != len(c.Msgs) {
+			t.Fatalf("iter %d: message counts differ: default %d flat %d tree %d",
+				iter, len(c.Msgs), len(flatMsgs), len(treeMsgs))
+		}
+		for k := range c.Msgs {
+			fm, tm := flatMsgs[k], treeMsgs[k]
+			if fm.Event != c.Msgs[k].Event || tm.Event != c.Msgs[k].Event {
+				t.Fatalf("iter %d msg %d: events differ across substrates", iter, k)
+			}
+			if !clock.Equal(fm.Clock, tm.Clock) {
+				t.Fatalf("iter %d msg %d: flat clock %s != tree clock %s", iter, k, fm.Clock, tm.Clock)
+			}
+			if fm.Clock.Key() != tm.Clock.Key() || fm.Clock.Digest() != tm.Clock.Digest() {
+				t.Fatalf("iter %d msg %d: canonical key/digest differ across substrates", iter, k)
+			}
+		}
+
+		// 1b. Message parity.
 		if len(leg.Msgs) != len(c.Msgs) {
 			t.Fatalf("iter %d: legacy emitted %d messages, interned %d", iter, len(leg.Msgs), len(c.Msgs))
 		}
@@ -127,6 +160,7 @@ func TestClockSubstrateParity(t *testing.T) {
 				}
 				ma, mb := c.Msgs[a], c.Msgs[b]
 				la, lb := leg.Msgs[a], leg.Msgs[b]
+				ta, tb := treeMsgs[a], treeMsgs[b]
 				want := gt.Precedes(pos[ma.Event.ID()], pos[mb.Event.ID()])
 				checks := []struct {
 					name string
@@ -134,6 +168,9 @@ func TestClockSubstrateParity(t *testing.T) {
 				}{
 					{"clock.Precedes", clock.Precedes(ma.Clock, ma.Event.Thread, mb.Clock)},
 					{"clock.Less", clock.Less(ma.Clock, mb.Clock)},
+					{"tree clock.Precedes", clock.Precedes(ta.Clock, ta.Event.Thread, tb.Clock)},
+					{"tree clock.Less", clock.Less(ta.Clock, tb.Clock)},
+					{"mixed clock.Less", clock.Less(ma.Clock, tb.Clock)},
 					{"vc.Precedes", vc.Precedes(la.Clock, la.Event.Thread, lb.Clock)},
 					{"vc.Less", vc.Less(la.Clock, lb.Clock)},
 				}
@@ -167,6 +204,7 @@ func TestClockSubstrateParity(t *testing.T) {
 		cex := iter%2 == 0
 		interned := analyzeAllModes(t, c, c.Msgs, workers, cex)
 		legacyRes := analyzeAllModes(t, c, relegacy, workers, cex)
+		treeRes := analyzeAllModes(t, c, treeMsgs, workers, cex)
 		want := interned[0]
 		for k := 1; k < 4; k++ {
 			if interned[k] != want {
@@ -178,6 +216,10 @@ func TestClockSubstrateParity(t *testing.T) {
 			if legacyRes[k] != want {
 				t.Fatalf("iter %d: legacy-clock mode %d diverged from interned:\n--- interned ---\n%s--- legacy ---\n%s",
 					iter, k, want, legacyRes[k])
+			}
+			if treeRes[k] != want {
+				t.Fatalf("iter %d: tree-clock mode %d diverged from interned:\n--- interned ---\n%s--- tree ---\n%s",
+					iter, k, want, treeRes[k])
 			}
 		}
 		explored++

@@ -231,15 +231,23 @@ func (r *Registry) register(name, help string, kind metricKind, labels []string)
 	return f
 }
 
+// escapeKey escapes the labelKey separator; hoisted to a package var
+// because child lookup is on the hot path of every With call (deep
+// tracers create thousands of labeled children per tracker).
+var escapeKey = strings.NewReplacer(`\`, `\\`, "\x1f", `\u`)
+
 // labelKey joins label values into a child key. The separator cannot
 // appear in values unescaped ambiguity-free, so escape it.
 func labelKey(values []string) string {
 	if len(values) == 0 {
 		return ""
 	}
+	if len(values) == 1 {
+		return escapeKey.Replace(values[0])
+	}
 	escaped := make([]string, len(values))
 	for i, v := range values {
-		escaped[i] = strings.NewReplacer(`\`, `\\`, "\x1f", `\u`).Replace(v)
+		escaped[i] = escapeKey.Replace(v)
 	}
 	return strings.Join(escaped, "\x1f")
 }

@@ -18,7 +18,13 @@ import (
 // delta-encodes almost all of them (crossing deltaRefresh boundaries
 // when count is large enough).
 func chainMessages(rng *rand.Rand, threads, count int) []event.Message {
-	table := clock.NewTable()
+	return chainMessagesOn(clock.NewTable(), rng, threads, count)
+}
+
+// chainMessagesOn is chainMessages on an explicit table, so the
+// cross-representation test can grow identical chains on flat- and
+// tree-backed substrates.
+func chainMessagesOn(table *clock.Table, rng *rand.Rand, threads, count int) []event.Message {
 	clocks := make([]clock.Ref, threads)
 	var msgs []event.Message
 	for k := 0; k < count; k++ {
@@ -268,5 +274,55 @@ func TestCorruptedDeltaChainResync(t *testing.T) {
 	}
 	if !stats.Lossy() {
 		t.Fatal("stats should report a lossy channel")
+	}
+}
+
+// TestDeltaCrossRepresentation pins the wire contract the tree-clock
+// substrate must honor: the v3 delta encoding is defined on clock
+// *values* (ascending (index, delta) emission via clock.Diff), so the
+// same message chains grown on a flat-backed and a tree-backed table
+// must serialize to byte-identical session streams — including at deep
+// thread counts where the tree substrate changes every internal
+// representation detail — and both must round-trip to clocks Equal
+// across substrates.
+func TestDeltaCrossRepresentation(t *testing.T) {
+	for _, tc := range []struct{ threads, count int }{
+		{4, 200},
+		{100, 400},
+		{1024, 600},
+	} {
+		flatMsgs := chainMessagesOn(
+			clock.NewTableOpts(clock.Options{Repr: clock.ReprFlat}),
+			rand.New(rand.NewSource(42)), tc.threads, tc.count)
+		treeMsgs := chainMessagesOn(
+			clock.NewTableOpts(clock.Options{Repr: clock.ReprTree}),
+			rand.New(rand.NewSource(42)), tc.threads, tc.count)
+
+		var flatBuf, treeBuf bytes.Buffer
+		encodeSession(t, NewSender(&flatBuf), tc.threads, flatMsgs)
+		encodeSession(t, NewSender(&treeBuf), tc.threads, treeMsgs)
+		if !bytes.Equal(flatBuf.Bytes(), treeBuf.Bytes()) {
+			t.Fatalf("t%d: flat- and tree-backed sessions differ: %d vs %d bytes",
+				tc.threads, flatBuf.Len(), treeBuf.Len())
+		}
+
+		// Round-trip the (shared) bytes and compare against both
+		// origin substrates: the receiver's interned clocks must be
+		// Equal to flat and tree sources alike.
+		got := drainMessages(t, NewReceiver(&flatBuf))
+		if len(got) != len(flatMsgs) {
+			t.Fatalf("t%d: round-trip returned %d messages, want %d", tc.threads, len(got), len(flatMsgs))
+		}
+		for k := range got {
+			if got[k].Event != flatMsgs[k].Event {
+				t.Fatalf("t%d msg %d: event differs after round-trip", tc.threads, k)
+			}
+			if !clock.Equal(got[k].Clock, flatMsgs[k].Clock) || !clock.Equal(got[k].Clock, treeMsgs[k].Clock) {
+				t.Fatalf("t%d msg %d: clock differs after round-trip", tc.threads, k)
+			}
+			if got[k].Clock.Key() != treeMsgs[k].Clock.Key() {
+				t.Fatalf("t%d msg %d: canonical key differs across substrates", tc.threads, k)
+			}
+		}
 	}
 }
